@@ -1,0 +1,70 @@
+//! Microbenchmarks of the geometry substrate (SPAM's RHS workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spam_geometry::{convex_hull, GridIndex, Obb, Point, Polygon, ShapeDescriptors};
+use std::time::Duration;
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometry");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    let runway = Polygon::oriented_rect(Point::new(0.0, 0.0), 3000.0, 50.0, 0.35);
+    let taxiway = Polygon::oriented_rect(Point::new(120.0, 160.0), 2400.0, 25.0, 0.35);
+    let far = Polygon::oriented_rect(Point::new(9000.0, 9000.0), 100.0, 80.0, 1.2);
+
+    g.bench_function("polygon_intersects_near", |b| {
+        b.iter(|| runway.intersects(&taxiway))
+    });
+    g.bench_function("polygon_intersects_far_bbox_reject", |b| {
+        b.iter(|| runway.intersects(&far))
+    });
+    g.bench_function("polygon_adjacent_to", |b| {
+        b.iter(|| runway.adjacent_to(&taxiway, 25.0))
+    });
+    g.bench_function("min_distance", |b| b.iter(|| runway.min_distance(&taxiway)));
+
+    let cloud: Vec<Point> = (0..200)
+        .map(|i| {
+            let a = i as f64 * 0.7;
+            Point::new(1000.0 * a.sin() * (i as f64), 997.0 * a.cos() * (i as f64 % 17.0))
+        })
+        .collect();
+    g.bench_function("convex_hull_200", |b| b.iter(|| convex_hull(&cloud).len()));
+    g.bench_function("obb_of_200", |b| b.iter(|| Obb::of_points(&cloud)));
+    g.bench_function("shape_descriptors", |b| {
+        b.iter(|| ShapeDescriptors::of_polygon(&runway))
+    });
+
+    g.bench_function("grid_build_and_query_500", |b| {
+        b.iter(|| {
+            let bounds = spam_geometry::Aabb::from_corners(
+                Point::new(0.0, 0.0),
+                Point::new(6000.0, 6000.0),
+            );
+            let mut grid = GridIndex::new(bounds, 1024);
+            for i in 0..500u32 {
+                let x = (i as f64 * 97.0) % 5800.0;
+                let y = (i as f64 * 57.0) % 5800.0;
+                grid.insert(spam_geometry::Aabb::from_corners(
+                    Point::new(x, y),
+                    Point::new(x + 60.0, y + 40.0),
+                ));
+            }
+            let mut hits = 0;
+            for i in 0..100u32 {
+                let x = (i as f64 * 211.0) % 5000.0;
+                let q = spam_geometry::Aabb::from_corners(
+                    Point::new(x, x),
+                    Point::new(x + 300.0, x + 300.0),
+                );
+                hits += grid.query(&q).len();
+            }
+            hits
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_geometry);
+criterion_main!(benches);

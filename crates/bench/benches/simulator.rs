@@ -1,0 +1,46 @@
+//! Benchmarks of the Encore-Multimax discrete-event simulator and the
+//! speed-up sweeps the figures are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multimax_sim::{simulate, speedup_curve, Schedule, SimConfig, TaskSet};
+use std::time::Duration;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    let small = TaskSet::lognormal(300, 5.0, 0.45, 7);
+    let large = TaskSet::lognormal(10_000, 5.0, 0.45, 11);
+
+    g.bench_function("simulate_300_tasks_14_procs", |b| {
+        let cfg = SimConfig::encore(14);
+        b.iter(|| simulate(&cfg, &small.tasks).makespan)
+    });
+
+    g.bench_function("simulate_10000_tasks_14_procs", |b| {
+        let cfg = SimConfig::encore(14);
+        b.iter(|| simulate(&cfg, &large.tasks).makespan)
+    });
+
+    g.bench_function("simulate_10000_tasks_lpt", |b| {
+        let cfg = SimConfig {
+            schedule: Schedule::Lpt,
+            ..SimConfig::encore(14)
+        };
+        b.iter(|| simulate(&cfg, &large.tasks).makespan)
+    });
+
+    g.bench_function("speedup_curve_1_to_14", |b| {
+        b.iter(|| speedup_curve(SimConfig::encore, &small, 14).len())
+    });
+
+    g.bench_function("dual_encore_svm_22_procs", |b| {
+        let cfg = SimConfig::dual_encore(22);
+        b.iter(|| simulate(&cfg, &small.tasks).makespan)
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of SPAM phase machinery: scene generation, RTF, single LCC
+//! tasks at the chosen decomposition grains, and the decomposition itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spam::lcc::{decompose, run_lcc_unit, Level, LccUnit};
+use spam::rtf::{run_rtf, run_rtf_task};
+use spam::rules::SpamProgram;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_spam(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spam");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    let dataset = spam::datasets::dc();
+    let sp = SpamProgram::build();
+    let scene = Arc::new(spam::generate_scene(&dataset.spec));
+    let rtf = run_rtf(&sp, &scene);
+    let fragments = Arc::new(rtf.fragments.clone());
+
+    g.bench_function("generate_scene_dc", |b| {
+        b.iter(|| spam::generate_scene(&dataset.spec).len())
+    });
+
+    g.bench_function("rtf_task_10_regions", |b| {
+        let regions: Vec<u32> = (0..10).collect();
+        b.iter(|| run_rtf_task(&sp, &scene, &regions, 0).fragments.len())
+    });
+
+    // A representative Level-3 task (a runway object: several constraints,
+    // real pair work).
+    let runway = fragments
+        .iter()
+        .find(|f| f.kind == spam::FragmentKind::Runway)
+        .expect("runway hypothesis")
+        .id;
+    g.bench_function("lcc_unit_level3_runway", |b| {
+        b.iter(|| {
+            run_lcc_unit(&sp, &scene, &fragments, &LccUnit::Object(runway))
+                .firings
+        })
+    });
+
+    g.bench_function("lcc_unit_level1_pair", |b| {
+        let unit = decompose(&scene, &fragments, Level::L1)
+            .into_iter()
+            .next()
+            .expect("at least one pair");
+        b.iter(|| run_lcc_unit(&sp, &scene, &fragments, &unit).firings)
+    });
+
+    g.bench_function("decompose_all_levels", |b| {
+        b.iter(|| {
+            decompose(&scene, &fragments, Level::L4).len()
+                + decompose(&scene, &fragments, Level::L3).len()
+                + decompose(&scene, &fragments, Level::L2).len()
+                + decompose(&scene, &fragments, Level::L1).len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_spam);
+criterion_main!(benches);

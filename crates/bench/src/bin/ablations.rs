@@ -1,0 +1,105 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. Scheduling: FIFO vs LPT ("big tasks first") — the §6.2 tail-end fix.
+//! 2. Synchronous vs asynchronous task firing — the §3.2 variance argument.
+//! 3. SVM tuning: naive (false sharing, full-page shipping) vs the
+//!    optimised netmemory server — the §7 war story.
+//! 4. Central vs per-cluster task queues — §7 observation 4 (no change).
+//! 5. Message-passing distribution (§9 future work): static vs
+//!    demand-driven task distribution on an iPSC-class machine.
+
+use multimax_sim::{simulate, Machine, MpConfig, MpPolicy, Schedule, SimConfig, SvmConfig};
+use spam::lcc::Level;
+use spam_psm::tlp::{asynchronous_makespan, synchronous_makespan};
+use spam_psm::trace::lcc_trace;
+use tlp_bench::{header, Prepared};
+
+fn main() {
+    let p = Prepared::new(spam::datasets::sf());
+    let phase = p.lcc(Level::L3);
+    let trace = lcc_trace(&phase);
+    let base = simulate(&SimConfig::encore(1), &trace.tasks.tasks).makespan;
+
+    header("Ablation 1 — queue order: FIFO vs LPT (14 task processes)");
+    for sched in [Schedule::Fifo, Schedule::Lpt, Schedule::Spt] {
+        let cfg = SimConfig {
+            schedule: sched,
+            ..SimConfig::encore(14)
+        };
+        let r = simulate(&cfg, &trace.tasks.tasks);
+        println!(
+            "{:>6}: speed-up {:>5.2}, utilisation {:>5.1}%, tail fraction {:>5.1}%",
+            format!("{sched:?}"),
+            base / r.makespan,
+            100.0 * r.utilization(),
+            100.0 * r.tail_fraction()
+        );
+    }
+    println!("paper (§6.2): processing the large tasks first should cut the tail-end effect.");
+
+    header("Ablation 2 — synchronous vs asynchronous firing");
+    for n in [4u32, 8, 14] {
+        let sync = synchronous_makespan(&trace, n);
+        let asyn = asynchronous_makespan(&trace, n);
+        println!(
+            "n={n:>2}: async {:>7.1}s  sync {:>7.1}s  (sync penalty {:>4.1}%)",
+            asyn,
+            sync,
+            100.0 * (sync / asyn - 1.0)
+        );
+    }
+    println!("paper (§3.2): synchronous systems saturate under task-time variance.");
+
+    header("Ablation 3 — SVM server tuning (20 processes across two Encores)");
+    for (name, svm) in [("naive", SvmConfig::naive()), ("tuned", SvmConfig::tuned())] {
+        let cfg = SimConfig {
+            machine: Machine::dual_encore_svm(),
+            task_processes: 20,
+            svm,
+            ..SimConfig::encore(1)
+        };
+        let r = simulate(&cfg, &trace.tasks.tasks);
+        println!(
+            "{name:>6}: speed-up {:>5.2} (per-task remote overhead {:.3}s)",
+            base / r.makespan,
+            svm.per_task_overhead()
+        );
+    }
+    println!("paper (§7): false contention 'brought our system to a halt'; layout fixes");
+    println!("and 64-byte segment shipping made real speed-ups possible.");
+
+    header("Ablation 4 — central vs per-cluster task queues (22 processes)");
+    // Per-cluster queues: halve the serialisation (two independent locks).
+    for (name, dq) in [("central", 0.025), ("per-cluster", 0.0125)] {
+        let cfg = SimConfig {
+            machine: Machine::dual_encore_svm(),
+            task_processes: 22,
+            dequeue_overhead: dq,
+            ..SimConfig::encore(1)
+        };
+        let r = simulate(&cfg, &trace.tasks.tasks);
+        println!(
+            "{name:>12}: speed-up {:>5.2}, queue wait {:>6.2}s",
+            base / r.makespan,
+            r.queue_wait
+        );
+    }
+    println!("paper (§7 obs. 4): 'introducing separate task queues ... would not change");
+    println!("the results' — contention for the central queue is minimal.");
+
+    header("Ablation 5 — message-passing machine (§9): static vs demand-driven");
+    for (name, policy) in [
+        ("static", MpPolicy::Static),
+        ("demand-driven", MpPolicy::DemandDriven),
+    ] {
+        let r = multimax_sim::simulate_mp(&MpConfig::classic(14, policy), &trace.tasks.tasks);
+        println!(
+            "{name:>14}: speed-up {:>5.2} ({} messages)",
+            base / r.makespan,
+            r.messages
+        );
+    }
+    println!("paper (§9): 'we are currently investigating implementations on");
+    println!("message-passing computers' — demand-driven distribution recovers the");
+    println!("shared-queue balance at the cost of two messages per task.");
+}

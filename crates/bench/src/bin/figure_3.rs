@@ -1,0 +1,47 @@
+//! Figure 3: ParaOPS5 match-parallelism speed-ups for three OPS5 systems
+//! (Rubik, Weaver, Tourney) on the Encore Multimax.
+//!
+//! Paper shape: Rubik and Weaver achieve good speed-ups; Tourney stays
+//! "quite low" (≈2). Our stand-in suites reproduce the per-cycle match-
+//! parallelism profile of each class of system; curves come from the
+//! measured cycle logs through the match-parallelism cost model.
+
+use paraops5::costmodel::{amdahl_limit, match_speedup_curve, CostModel};
+use paraops5::suites::{rubik, suite_engine, tourney, weaver};
+use tlp_bench::plot::{curve_points, series, Chart};
+use tlp_bench::{curve_line, header};
+
+fn main() {
+    header("Figure 3 — match parallelism on Rubik / Weaver / Tourney stand-ins");
+    let model = CostModel::default();
+    let mut chart_series = Vec::new();
+    for (i, suite) in [rubik(), weaver(), tourney()].into_iter().enumerate() {
+        let mut e = suite_engine(&suite);
+        let out = e.run(suite.firings + 10);
+        assert!(out.quiescent(), "{out:?}");
+        let log = e.take_cycle_log();
+        let curve = match_speedup_curve(&log, 11, &model);
+        let mean_chunks: f64 =
+            log.iter().map(|c| c.match_chunks as f64).sum::<f64>() / log.len() as f64;
+        println!(
+            "{:<8} (cycles {}, mean activations/cycle {:>5.1}, Amdahl limit {:>5.1}):",
+            suite.name,
+            log.len(),
+            mean_chunks,
+            amdahl_limit(&log)
+        );
+        println!("  speed-up vs match processes: {}", curve_line(&curve));
+        chart_series.push(series(suite.name.to_string(), curve_points(&curve), i));
+    }
+    let chart = Chart {
+        title: "Figure 3 — OPS5 match parallelism (Encore Multimax model)".into(),
+        x_label: "match processes".into(),
+        y_label: "speed-up".into(),
+        series: chart_series,
+    };
+    if let Ok(path) = chart.save("figure_3") {
+        println!("wrote {}", path.display());
+    }
+    println!();
+    println!("paper shape: Rubik ≈ Weaver >> Tourney; Tourney ≈ 2 at 11 processes.");
+}

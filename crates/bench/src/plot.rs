@@ -1,0 +1,246 @@
+//! A small hand-rolled SVG line-chart writer (no dependencies): the figure
+//! binaries drop `figures/*.svg` next to their console output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One line series.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke colour (any SVG colour).
+    pub color: &'static str,
+    /// Dashed (used for theoretical limits).
+    pub dashed: bool,
+}
+
+/// A line chart.
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 440.0;
+const ML: f64 = 62.0; // margins
+const MR: f64 = 20.0;
+const MT: f64 = 44.0;
+const MB: f64 = 52.0;
+
+/// A palette for successive series.
+pub const PALETTE: [&str; 6] = [
+    "#1f6feb", "#d1242f", "#1a7f37", "#9a6700", "#8250df", "#57606a",
+];
+
+impl Chart {
+    /// Renders the chart to an SVG string.
+    pub fn to_svg(&self) -> String {
+        let (mut xmax, mut ymax) = (1.0f64, 1.0f64);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xmax = xmax.max(x);
+                ymax = ymax.max(y);
+            }
+        }
+        let ymax = (ymax * 1.08).ceil();
+        let px = |x: f64| ML + (x / xmax) * (W - ML - MR);
+        let py = |y: f64| H - MB - (y / ymax) * (H - MT - MB);
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="Helvetica,Arial,sans-serif">"#
+        );
+        let _ = write!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="24" font-size="15" font-weight="bold" text-anchor="middle">{}</text>"#,
+            W / 2.0,
+            esc(&self.title)
+        );
+
+        // Gridlines + y ticks.
+        let y_ticks = 6usize;
+        for i in 0..=y_ticks {
+            let v = ymax * i as f64 / y_ticks as f64;
+            let y = py(v);
+            let _ = write!(
+                s,
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#e0e0e0" stroke-width="1"/>"##,
+                W - MR
+            );
+            let _ = write!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{v:.0}</text>"#,
+                ML - 6.0,
+                y + 4.0
+            );
+        }
+        // X ticks at integers (curves are processor counts).
+        let step = if xmax > 16.0 { 2.0 } else { 1.0 };
+        let mut x = 0.0;
+        while x <= xmax + 1e-9 {
+            let xp = px(x);
+            let _ = write!(
+                s,
+                r#"<text x="{xp:.1}" y="{:.1}" font-size="11" text-anchor="middle">{x:.0}</text>"#,
+                H - MB + 16.0
+            );
+            x += step;
+        }
+
+        // Axes.
+        let _ = write!(
+            s,
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{:.1}" stroke="black"/>"#,
+            H - MB
+        );
+        let _ = write!(
+            s,
+            r#"<line x1="{ML}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 12.0,
+            esc(&self.x_label)
+        );
+        let _ = write!(
+            s,
+            r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            esc(&self.y_label)
+        );
+
+        // Series.
+        for sr in &self.series {
+            if sr.points.is_empty() {
+                continue;
+            }
+            let mut d = String::new();
+            for (i, &(x, y)) in sr.points.iter().enumerate() {
+                let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, px(x), py(y));
+            }
+            let dash = if sr.dashed { r#" stroke-dasharray="6,4""# } else { "" };
+            let _ = write!(
+                s,
+                r#"<path d="{d}" fill="none" stroke="{}" stroke-width="2"{dash}/>"#,
+                sr.color
+            );
+            if !sr.dashed {
+                for &(x, y) in &sr.points {
+                    let _ = write!(
+                        s,
+                        r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{}"/>"#,
+                        px(x),
+                        py(y),
+                        sr.color
+                    );
+                }
+            }
+        }
+
+        // Legend.
+        let mut ly = MT + 8.0;
+        for sr in &self.series {
+            let _ = write!(
+                s,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{}" stroke-width="2"{}/>"#,
+                ML + 12.0,
+                ML + 40.0,
+                sr.color,
+                if sr.dashed { r#" stroke-dasharray="6,4""# } else { "" }
+            );
+            let _ = write!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+                ML + 46.0,
+                ly + 4.0,
+                esc(&sr.label)
+            );
+            ly += 16.0;
+        }
+        s.push_str("</svg>");
+        s
+    }
+
+    /// Writes the chart to `figures/<name>.svg` under the workspace root.
+    pub fn save(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("figures");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.svg"));
+        std::fs::write(&path, self.to_svg())?;
+        Ok(path)
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Convenience: a solid series with the palette colour `i`.
+pub fn series(label: impl Into<String>, points: Vec<(f64, f64)>, i: usize) -> Series {
+    Series {
+        label: label.into(),
+        points,
+        color: PALETTE[i % PALETTE.len()],
+        dashed: false,
+    }
+}
+
+/// Convenience: a dashed (limit) series with the palette colour `i`.
+pub fn limit_series(label: impl Into<String>, y: f64, xmax: f64, i: usize) -> Series {
+    Series {
+        label: label.into(),
+        points: vec![(0.0, y), (xmax, y)],
+        color: PALETTE[i % PALETTE.len()],
+        dashed: true,
+    }
+}
+
+/// Converts a `(u32, f64)` speed-up curve into chart points.
+pub fn curve_points(curve: &[(u32, f64)]) -> Vec<(f64, f64)> {
+    curve.iter().map(|&(x, y)| (x as f64, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_renders_with_all_parts() {
+        let c = Chart {
+            title: "Speed-up".into(),
+            x_label: "processes".into(),
+            y_label: "speed-up".into(),
+            series: vec![
+                series("L3", vec![(1.0, 1.0), (7.0, 6.3), (14.0, 12.0)], 0),
+                limit_series("limit", 12.58, 14.0, 1),
+            ],
+        };
+        let svg = c.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Speed-up"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("circle"));
+    }
+
+    #[test]
+    fn escaping_works() {
+        assert_eq!(esc("a<b&c"), "a&lt;b&amp;c");
+    }
+}

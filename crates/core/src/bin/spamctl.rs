@@ -1,0 +1,193 @@
+//! `spamctl` — drive the SPAM interpretation pipeline from the command line.
+//!
+//! ```sh
+//! spamctl [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
+//!         [--topdown] [--sweep] [--quiet]
+//! ```
+//!
+//! * default: run the full pipeline and print the interpretation summary;
+//! * `--level` selects the LCC decomposition level (default 3);
+//! * `--workers N` runs LCC with N real task-process threads (SPAM/PSM);
+//! * `--topdown` follows FA predictions back into LCC (§2.2 re-entry);
+//! * `--sweep` prints the simulated Encore speed-up curve for the run.
+
+use spam::fa::run_fa;
+use spam::lcc::Level;
+use spam::model::run_model;
+use spam::phases::MIPS;
+use spam::rtf::run_rtf;
+use spam::rules::SpamProgram;
+use spam::scene::Scene;
+use spam::topdown::run_topdown;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Opts {
+    dataset: String,
+    level: Level,
+    workers: usize,
+    topdown: bool,
+    sweep: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts {
+        dataset: "moff".into(),
+        level: Level::L3,
+        workers: 1,
+        topdown: false,
+        sweep: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "sf" | "dc" | "moff" | "suburb" => o.dataset = a,
+            "--level" => {
+                o.level = match args.next().as_deref() {
+                    Some("1") => Level::L1,
+                    Some("2") => Level::L2,
+                    Some("3") => Level::L3,
+                    Some("4") => Level::L4,
+                    other => return Err(format!("bad --level {other:?}")),
+                }
+            }
+            "--workers" => {
+                o.workers = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if o.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--topdown" => o.topdown = true,
+            "--sweep" => o.sweep = true,
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: spamctl [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
+                     [--topdown] [--sweep] [--quiet]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn build_scene(name: &str) -> Arc<Scene> {
+    Arc::new(match name {
+        "sf" => spam::generate_scene(&spam::datasets::sf().spec),
+        "dc" => spam::generate_scene(&spam::datasets::dc().spec),
+        "suburb" => spam::generate_suburb(&spam::generate::SuburbSpec::demo()),
+        _ => spam::generate_scene(&spam::datasets::moff().spec),
+    })
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(m) => {
+            eprintln!("{m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sp = SpamProgram::build();
+    let scene = build_scene(&o.dataset);
+    println!(
+        "spamctl: {} ({:?}), {} regions, LCC at {}, {} worker(s)",
+        scene.name,
+        scene.domain,
+        scene.len(),
+        o.level.name(),
+        o.workers
+    );
+
+    let rtf = run_rtf(&sp, &scene);
+    println!("RTF    : {} hypotheses, {} firings", rtf.fragments.len(), rtf.firings);
+    let fragments = Arc::new(rtf.fragments.clone());
+
+    let lcc = if o.workers > 1 {
+        spam_psm_parallel(&sp, &scene, &fragments, o.level, o.workers)
+    } else {
+        spam::lcc::run_lcc(&sp, &scene, &fragments, o.level)
+    };
+    println!(
+        "LCC    : {} tasks, {} consistency records, {} firings, {:.0} simulated s",
+        lcc.units.len(),
+        lcc.consistents.len(),
+        lcc.firings,
+        lcc.work.seconds_at(MIPS)
+    );
+    let mut fragments = Arc::new(lcc.fragments.clone());
+    let mut consistents = lcc.consistents.clone();
+
+    let fa = run_fa(&sp, &scene, &fragments, &consistents);
+    println!(
+        "FA     : {} areas, {} predictions, {} firings",
+        fa.areas.len(),
+        fa.predictions,
+        fa.firings
+    );
+
+    if o.topdown {
+        let td = run_topdown(&sp, &scene, &fragments, &fa, &fa.prediction_list);
+        println!(
+            "TOPDOWN: {} predicted hypotheses, {} confirmed, {} re-entry firings",
+            td.predicted.len(),
+            td.confirmed,
+            td.firings
+        );
+        consistents.extend(td.consistents.iter().copied());
+        fragments = Arc::new(td.fragments);
+    }
+
+    let model = run_model(&sp, &scene, &fragments, &fa.areas, &fa.members);
+    println!(
+        "MODEL  : {} model(s), {} areas, score {}, coverage {:.0}%, window overlap {:.1}%",
+        model.models,
+        model.areas_used,
+        model.score,
+        100.0 * model.metrics.coverage,
+        100.0 * model.metrics.window_overlap
+    );
+
+    if !o.quiet {
+        let mut best: Vec<_> = fragments.iter().collect();
+        best.sort_by_key(|f| -f.support);
+        println!("top hypotheses:");
+        for f in best.iter().take(8) {
+            println!(
+                "  fragment {:>4} region {:>4} {:<18} support {:>3}",
+                f.id,
+                f.region,
+                f.kind.name(),
+                f.support
+            );
+        }
+    }
+
+    if o.sweep {
+        let trace = spam_psm::trace::lcc_trace(&lcc);
+        println!("simulated Encore sweep (task processes: speed-up):");
+        for (n, s) in spam_psm::tlp::simulated_tlp_curve(&trace, 14) {
+            print!("  {n}:{s:.2}");
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn spam_psm_parallel(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<spam::fragments::FragmentHypothesis>>,
+    level: Level,
+    workers: usize,
+) -> spam::lcc::LccPhaseResult {
+    spam_psm::tlp::run_parallel_lcc(sp, scene, fragments, level, workers)
+}

@@ -1,0 +1,168 @@
+//! Combined task-level × match parallelism (Table 9).
+//!
+//! §6.4: "the speed-ups obtained in these combined runs were consistent
+//! with the speed-ups predicted by the multiplication of speed-ups from the
+//! two separate sources." A configuration `(Task_n, Match_m)` uses
+//! `n + n·m` processors: `n` task processes, each with `m` dedicated match
+//! processes.
+
+use crate::trace::PhaseTrace;
+use multimax_sim::{simulate, SimConfig};
+use paraops5::costmodel::{match_component_speedup, CostModel};
+
+/// One cell of the Table 9 grid.
+#[derive(Clone, Copy, Debug)]
+pub struct CombinedCell {
+    /// Task processes.
+    pub task_processes: u32,
+    /// Dedicated match processes per task process.
+    pub match_processes: u32,
+    /// Measured combined speed-up (simulated run with both axes active).
+    pub achieved: f64,
+    /// Predicted speed-up: product of the isolated speed-ups.
+    pub predicted: f64,
+    /// Total processors used (`1 + n + n·m`, counting the control process
+    /// as in §5.2).
+    pub processors: u32,
+}
+
+/// Speed-up of the match component alone under `m` dedicated match
+/// processes, derived from the phase's aggregate cycle log. `m` dedicated
+/// processes plus the task process itself give `m + 1`-way match
+/// parallelism (the paper's Figure 7 axis plots 0 dedicated = baseline).
+pub fn match_axis_speedup(trace: &PhaseTrace, m: u32, model: &CostModel) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    match_component_speedup(&trace.cycle_log, m + 1, model)
+}
+
+/// The speed-up of the whole-task service time when its match component is
+/// sped up by `match_speedup` (Amdahl over the phase's match fraction).
+fn task_service_factor(trace: &PhaseTrace, match_speedup: f64) -> f64 {
+    // Weighted by task service: sum(service_i scaled) / sum(service_i).
+    let total: f64 = trace.tasks.total_service();
+    let scaled: f64 = trace
+        .tasks
+        .tasks
+        .iter()
+        .map(|t| t.service_with_match_speedup(match_speedup))
+        .sum();
+    total / scaled
+}
+
+/// Computes one combined configuration.
+pub fn combined_cell(
+    trace: &PhaseTrace,
+    task_processes: u32,
+    match_processes: u32,
+    model: &CostModel,
+) -> CombinedCell {
+    // Isolated axes.
+    let base_cfg = SimConfig::encore(1);
+    let base = simulate(&base_cfg, &trace.tasks.tasks).makespan;
+
+    let tlp_only = {
+        let cfg = SimConfig::encore(task_processes);
+        base / simulate(&cfg, &trace.tasks.tasks).makespan
+    };
+    let match_component = match_axis_speedup(trace, match_processes, model);
+    let match_only = task_service_factor(trace, match_component);
+
+    // Combined run: every task process fields `match_processes` helpers, so
+    // each task's match component shrinks; queueing effects still apply.
+    let combined_cfg = SimConfig {
+        match_speedup: match_component,
+        ..SimConfig::encore(task_processes)
+    };
+    let achieved = base / simulate(&combined_cfg, &trace.tasks.tasks).makespan;
+
+    CombinedCell {
+        task_processes,
+        match_processes,
+        achieved,
+        predicted: tlp_only * match_only,
+        processors: 1 + task_processes * (1 + match_processes),
+    }
+}
+
+/// Computes the Table 9 grid for the given axes, skipping configurations
+/// that exceed `max_processors` (the paper marks those with asterisks).
+pub fn combined_grid(
+    trace: &PhaseTrace,
+    task_axis: &[u32],
+    match_axis: &[u32],
+    max_processors: u32,
+    model: &CostModel,
+) -> Vec<Vec<Option<CombinedCell>>> {
+    task_axis
+        .iter()
+        .map(|&n| {
+            match_axis
+                .iter()
+                .map(|&m| {
+                    let cell = combined_cell(trace, n, m, model);
+                    if cell.processors <= max_processors {
+                        Some(cell)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::lcc_trace;
+    use spam::lcc::{run_lcc, Level};
+    use spam::rtf::run_rtf;
+    use spam::rules::SpamProgram;
+    use std::sync::Arc;
+
+    fn trace() -> PhaseTrace {
+        let sp = SpamProgram::build();
+        let scene = Arc::new(spam::generate_scene(&spam::datasets::dc().spec));
+        let rtf = run_rtf(&sp, &scene);
+        let frags = Arc::new(rtf.fragments);
+        lcc_trace(&run_lcc(&sp, &scene, &frags, Level::L2))
+    }
+
+    #[test]
+    fn achieved_tracks_predicted() {
+        let t = trace();
+        let model = CostModel::default();
+        for (n, m) in [(2, 1), (4, 2), (3, 1)] {
+            let c = combined_cell(&t, n, m, &model);
+            let rel = (c.achieved - c.predicted).abs() / c.predicted;
+            assert!(
+                rel < 0.12,
+                "(Task{n}, Match{m}): achieved {:.2} vs predicted {:.2}",
+                c.achieved,
+                c.predicted
+            );
+            assert!(c.achieved > 1.0);
+        }
+    }
+
+    #[test]
+    fn combined_exceeds_either_axis_alone() {
+        let t = trace();
+        let model = CostModel::default();
+        let tlp_only = combined_cell(&t, 4, 0, &model);
+        let combined = combined_cell(&t, 4, 2, &model);
+        assert!(combined.achieved > tlp_only.achieved);
+    }
+
+    #[test]
+    fn grid_masks_configurations_beyond_the_machine() {
+        let t = trace();
+        let grid = combined_grid(&t, &[1, 4, 7], &[0, 1, 2, 3], 16, &CostModel::default());
+        // (Task7, Match3) needs 1 + 7*4 = 29 > 16 processors → masked.
+        assert!(grid[2][3].is_none());
+        // (Task4, Match2) needs 13 ≤ 16 → present.
+        assert!(grid[1][2].is_some());
+    }
+}

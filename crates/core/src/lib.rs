@@ -1,0 +1,47 @@
+//! # spam-psm
+//!
+//! SPAM/PSM — the paper's primary contribution: **task-level parallelism**
+//! for a large production system, characterised by three explicit choices
+//! (§3.2, Table 4):
+//!
+//! * **explicit** parallelism — the decomposition is specified by the
+//!   system designer, not extracted by the compiler;
+//! * **asynchronous** production firing — each task process is a complete,
+//!   independent OPS5 system with its own conflict set; there is no global
+//!   resolve barrier;
+//! * **working-memory distribution** — every task process holds all the
+//!   productions and a private working memory initialised from the task
+//!   element.
+//!
+//! The crate provides:
+//!
+//! * [`trace`] — turns measured task executions (from the [`spam`] phase
+//!   runners) into simulator task sets: per-task service seconds at the
+//!   paper's 1.5 MIPS plus the per-task match fraction;
+//! * [`measure`] — the decomposition-selection methodology of §4: per-level
+//!   mean/σ/CV/task-count rows (Tables 5–7) and the baseline rows of
+//!   Table 8;
+//! * [`tlp`] — task-level parallelism itself: a real multi-threaded runner
+//!   (control process + worker task processes around a shared queue,
+//!   verified equivalent to the sequential run) and simulated speed-up
+//!   curves at arbitrary processor counts (Figures 6 and 8);
+//! * [`combined`] — TLP × match-parallelism combination and the
+//!   multiplicative-speed-up prediction of Table 9;
+//! * [`baseline`] — the §6 unoptimised-baseline comparison (the 10–20×
+//!   Lisp→C/ParaOPS5 port factor), via the engine's naive-match backend;
+//! * [`taxonomy`] — Table 4 as data.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod combined;
+pub mod measure;
+pub mod taxonomy;
+pub mod tlp;
+pub mod trace;
+
+pub use combined::{combined_grid, CombinedCell};
+pub use measure::{level_rows, table8_row, LevelRowMeasured, Table8Row};
+pub use tlp::{run_parallel_lcc, run_parallel_rtf, simulated_tlp_curve, synchronous_makespan};
+pub use trace::{lcc_trace, rtf_trace, PhaseTrace};

@@ -1,0 +1,122 @@
+//! Table 4: the dimensions of task-level parallelism, as typed data.
+//!
+//! §3.2 characterises parallel rule-firing systems along three dimensions;
+//! Table 4 classifies the prior systems and SPAM/PSM. The table is
+//! qualitative, so reproducing it means reproducing the classification —
+//! this module holds it as data, and the `table_4` bench binary prints it.
+
+/// Synchronous vs asynchronous production firing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Synchrony {
+    /// A global resolve-phase barrier every cycle.
+    Synchronous,
+    /// Independent firing without cross-processor synchronisation.
+    Asynchronous,
+}
+
+/// Implicit vs explicit detection of parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Detection {
+    /// The system/compiler extracts parallelism from unannotated OPS5.
+    Implicit,
+    /// The decomposition is supplied explicitly.
+    Explicit,
+}
+
+/// What is distributed across processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Productions are partitioned (each partition has its own conflict set).
+    Rules,
+    /// Working-memory elements are partitioned; productions are replicated.
+    WorkingMemory,
+    /// No distribution: parallel firing is built into the control structure.
+    None,
+}
+
+/// One row of Table 4.
+#[derive(Clone, Copy, Debug)]
+pub struct TaxonomyEntry {
+    /// System name (authors where unnamed, as in the paper).
+    pub system: &'static str,
+    /// Firing model.
+    pub synchrony: Synchrony,
+    /// Parallelism detection.
+    pub detection: Detection,
+    /// Distribution choice.
+    pub distribution: Distribution,
+    /// True when the published results are simulations of mini production
+    /// systems (the paper notes all but Soar and SPAM/PSM are).
+    pub simulation_only: bool,
+}
+
+/// Table 4.
+pub const TABLE_4: &[TaxonomyEntry] = &[
+    TaxonomyEntry {
+        system: "Ishida & Stolfo",
+        synchrony: Synchrony::Synchronous,
+        detection: Detection::Implicit,
+        distribution: Distribution::Rules,
+        simulation_only: true,
+    },
+    TaxonomyEntry {
+        system: "Ishida",
+        synchrony: Synchrony::Synchronous,
+        detection: Detection::Implicit,
+        distribution: Distribution::Rules,
+        simulation_only: true,
+    },
+    TaxonomyEntry {
+        system: "Oshisanwo & Dasiewicz",
+        synchrony: Synchrony::Asynchronous,
+        detection: Detection::Implicit,
+        distribution: Distribution::Rules,
+        simulation_only: true,
+    },
+    TaxonomyEntry {
+        system: "Soar",
+        synchrony: Synchrony::Synchronous,
+        detection: Detection::Explicit,
+        distribution: Distribution::None,
+        simulation_only: false,
+    },
+    TaxonomyEntry {
+        system: "SPAM/PSM",
+        synchrony: Synchrony::Asynchronous,
+        detection: Detection::Explicit,
+        distribution: Distribution::WorkingMemory,
+        simulation_only: false,
+    },
+];
+
+/// The SPAM/PSM row (this reproduction's own position in the taxonomy).
+pub fn spam_psm() -> &'static TaxonomyEntry {
+    TABLE_4
+        .iter()
+        .find(|e| e.system == "SPAM/PSM")
+        .expect("SPAM/PSM is in the table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spam_psm_is_explicit_asynchronous_wme_distributed() {
+        let e = spam_psm();
+        assert_eq!(e.synchrony, Synchrony::Asynchronous);
+        assert_eq!(e.detection, Detection::Explicit);
+        assert_eq!(e.distribution, Distribution::WorkingMemory);
+        assert!(!e.simulation_only);
+    }
+
+    #[test]
+    fn only_soar_and_spam_psm_are_real_implementations() {
+        let real: Vec<&str> = TABLE_4
+            .iter()
+            .filter(|e| !e.simulation_only)
+            .map(|e| e.system)
+            .collect();
+        assert_eq!(real, vec!["Soar", "SPAM/PSM"]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Task-level parallelism: the SPAM/PSM execution model.
+//!
+//! Two runners:
+//!
+//! * [`run_parallel_lcc`] — the real thing (§5.1): a control process (the
+//!   calling thread) builds the task queue; `n` task processes (threads),
+//!   each a complete independent OPS5 engine, pull tasks and fire
+//!   asynchronously; the control process collects the results. Verified to
+//!   produce exactly the sequential results at any worker count.
+//! * [`simulated_tlp_curve`] — replays a measured trace on the simulated
+//!   Encore Multimax at 1..=14 task processes (Figure 6 / Figure 8),
+//!   since the container running this reproduction has a single core.
+
+use crate::trace::PhaseTrace;
+use crossbeam::channel::unbounded;
+use multimax_sim::{simulate, Schedule, SimConfig};
+use spam::fragments::FragmentHypothesis;
+use spam::lcc::{decompose, run_lcc_unit, ConsistentRec, LccPhaseResult, Level};
+use spam::rules::SpamProgram;
+use spam::scene::Scene;
+use ops5::WorkCounters;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Runs the LCC phase with `n_workers` real task-process threads pulling
+/// from a shared central queue (asynchronous firing: no coordination beyond
+/// the queue itself).
+pub fn run_parallel_lcc(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    n_workers: usize,
+) -> LccPhaseResult {
+    assert!(n_workers >= 1);
+    let units = decompose(scene, fragments, level);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = unbounded();
+
+    std::thread::scope(|s| {
+        for _ in 0..n_workers {
+            let tx = tx.clone();
+            let next = &next;
+            let units = &units;
+            s.spawn(move || loop {
+                // The central task queue (§5.1): an atomic cursor stands in
+                // for the lock-protected dequeue.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                let r = run_lcc_unit(sp, scene, fragments, &units[i]);
+                tx.send((i, r)).expect("control process alive");
+            });
+        }
+        drop(tx);
+    });
+
+    // Control process: collect and re-order results deterministically.
+    let mut slots: Vec<Option<spam::lcc::LccUnitResult>> = (0..units.len()).map(|_| None).collect();
+    for (i, r) in rx.iter() {
+        slots[i] = Some(r);
+    }
+    let results: Vec<spam::lcc::LccUnitResult> =
+        slots.into_iter().map(|s| s.expect("every task ran")).collect();
+
+    let mut work = WorkCounters::default();
+    let mut firings = 0;
+    let mut consistents: Vec<ConsistentRec> = Vec::new();
+    let mut supports = vec![0i64; fragments.len()];
+    for r in &results {
+        work.add(&r.work);
+        firings += r.firings;
+        consistents.extend(r.consistents.iter().copied());
+        for &(f, sup) in &r.supports {
+            supports[f as usize] += sup;
+        }
+    }
+    let mut updated: Vec<FragmentHypothesis> = fragments.as_ref().clone();
+    for f in &mut updated {
+        f.support = supports[f.id as usize];
+    }
+    LccPhaseResult {
+        level,
+        fragments: updated,
+        consistents,
+        units: results,
+        work,
+        firings,
+    }
+}
+
+/// Runs the RTF phase with `n_workers` real task-process threads over
+/// region batches (the paper's RTF decomposition: 60–100 tasks, §4).
+/// Fragment ids are renumbered densely in batch order, exactly as the
+/// sequential [`spam::rtf::run_rtf_tasks`] does.
+pub fn run_parallel_rtf(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    batches: &[Vec<u32>],
+    n_workers: usize,
+) -> Vec<spam::fragments::FragmentHypothesis> {
+    assert!(n_workers >= 1);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = unbounded();
+    std::thread::scope(|s| {
+        for _ in 0..n_workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= batches.len() {
+                    break;
+                }
+                let r = spam::rtf::run_rtf_task(sp, scene, &batches[i], (i as i64) << 20);
+                tx.send((i, r.fragments)).expect("control process alive");
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<Vec<spam::fragments::FragmentHypothesis>>> =
+        (0..batches.len()).map(|_| None).collect();
+    for (i, f) in rx.iter() {
+        slots[i] = Some(f);
+    }
+    let mut merged = Vec::new();
+    for s in slots {
+        for mut f in s.expect("every batch ran") {
+            f.id = merged.len() as u32;
+            merged.push(f);
+        }
+    }
+    merged
+}
+
+/// Simulated task-level-parallelism speed-up curve for a measured trace,
+/// on the standard Encore configuration (Figure 6 / Figure 8).
+pub fn simulated_tlp_curve(trace: &PhaseTrace, max_workers: u32) -> Vec<(u32, f64)> {
+    multimax_sim::speedup_curve(SimConfig::encore, &trace.tasks, max_workers)
+}
+
+/// Simulated speed-up curve with LPT ("big tasks first") scheduling — the
+/// tail-end-effect fix §6.2 proposes as future work.
+pub fn simulated_tlp_curve_lpt(trace: &PhaseTrace, max_workers: u32) -> Vec<(u32, f64)> {
+    multimax_sim::speedup_curve(
+        |n| SimConfig {
+            schedule: Schedule::Lpt,
+            ..SimConfig::encore(n)
+        },
+        &trace.tasks,
+        max_workers,
+    )
+}
+
+/// Makespan of a *synchronous* task-parallel system: tasks execute in
+/// lock-step rounds of `n` with a barrier after each round (§3.2:
+/// "synchronous systems are less capable of handling variances in
+/// processing times ... a synchronous system quickly reaches saturation
+/// speed-ups"). Used by the sync-vs-async ablation bench.
+pub fn synchronous_makespan(trace: &PhaseTrace, n: u32) -> f64 {
+    let cfg = SimConfig::encore(n);
+    cfg.fork_overhead
+        + trace
+            .tasks
+            .tasks
+            .chunks(n as usize)
+            .map(|round| {
+                round
+                    .iter()
+                    .map(|t| t.service + cfg.dequeue_overhead)
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+}
+
+/// Asynchronous makespan of the same configuration (for the ablation).
+pub fn asynchronous_makespan(trace: &PhaseTrace, n: u32) -> f64 {
+    simulate(&SimConfig::encore(n), &trace.tasks.tasks).makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::lcc_trace;
+    use spam::lcc::run_lcc;
+    use spam::rtf::run_rtf;
+
+    fn setup() -> (SpamProgram, Arc<Scene>, Arc<Vec<FragmentHypothesis>>) {
+        let sp = SpamProgram::build();
+        let scene = Arc::new(spam::generate_scene(&spam::datasets::dc().spec));
+        let rtf = run_rtf(&sp, &scene);
+        let frags = Arc::new(rtf.fragments);
+        (sp, scene, frags)
+    }
+
+    fn canonical(c: &[ConsistentRec]) -> Vec<(u32, u32, &'static str)> {
+        let mut v: Vec<_> = c.iter().map(|r| (r.a, r.b, r.rel.name())).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn parallel_equals_sequential_at_any_worker_count() {
+        let (sp, scene, frags) = setup();
+        let seq = run_lcc(&sp, &scene, &frags, Level::L3);
+        for n in [1, 2, 4] {
+            let par = run_parallel_lcc(&sp, &scene, &frags, Level::L3, n);
+            assert_eq!(par.firings, seq.firings, "workers={n}");
+            assert_eq!(
+                canonical(&par.consistents),
+                canonical(&seq.consistents),
+                "workers={n}"
+            );
+            let seq_sup: Vec<i64> = seq.fragments.iter().map(|f| f.support).collect();
+            let par_sup: Vec<i64> = par.fragments.iter().map(|f| f.support).collect();
+            assert_eq!(seq_sup, par_sup, "workers={n}");
+            assert_eq!(par.work, seq.work, "total work is schedule-independent");
+        }
+    }
+
+    #[test]
+    fn simulated_curve_is_near_linear_on_lcc() {
+        let (sp, scene, frags) = setup();
+        let lcc = run_lcc(&sp, &scene, &frags, Level::L3);
+        let trace = lcc_trace(&lcc);
+        let curve = simulated_tlp_curve(&trace, 14);
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        let s14 = curve[13].1;
+        // DC is the smallest dataset (fewest tasks per processor); the
+        // figure_6 bench exercises the full three-airport sweep where SF
+        // reaches the paper's ~12x.
+        assert!(
+            s14 > 9.0 && s14 <= 14.0,
+            "Figure 6 band (DC): expected near-linear speed-up at 14 processes, got {s14:.2}"
+        );
+    }
+
+    #[test]
+    fn synchronous_lags_asynchronous_under_variance() {
+        let (sp, scene, frags) = setup();
+        let lcc = run_lcc(&sp, &scene, &frags, Level::L3);
+        let trace = lcc_trace(&lcc);
+        let sync = synchronous_makespan(&trace, 8);
+        let asyn = asynchronous_makespan(&trace, 8);
+        assert!(
+            sync > asyn * 1.05,
+            "sync {sync:.1}s should lag async {asyn:.1}s"
+        );
+    }
+
+    #[test]
+    fn parallel_rtf_equals_sequential() {
+        let (sp, scene, _) = setup();
+        let batches = spam::rtf::rtf_task_batches(&scene, 9);
+        let (seq, _) = spam::rtf::run_rtf_tasks(&sp, &scene, &batches);
+        for n in [1, 3] {
+            let par = run_parallel_rtf(&sp, &scene, &batches, n);
+            assert_eq!(seq, par, "workers={n}");
+        }
+    }
+
+    #[test]
+    fn lpt_no_worse_than_fifo() {
+        let (sp, scene, frags) = setup();
+        let lcc = run_lcc(&sp, &scene, &frags, Level::L3);
+        let trace = lcc_trace(&lcc);
+        let fifo = simulated_tlp_curve(&trace, 14);
+        let lpt = simulated_tlp_curve_lpt(&trace, 14);
+        assert!(lpt[13].1 >= fifo[13].1 * 0.999);
+    }
+}

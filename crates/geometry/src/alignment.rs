@@ -1,0 +1,137 @@
+//! Linear-alignment tests.
+//!
+//! SPAM's region-to-fragment phase performs *linear alignment* as a top-down
+//! activity: fragments hypothesised as parts of the same runway or taxiway
+//! must share an axis and lie roughly along one line. These helpers quantify
+//! that.
+
+use crate::obb::{axis_angle_diff, Obb};
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// The result of an alignment test between two elongated regions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlignmentReport {
+    /// Angular difference between the two long axes, radians in `[0, π/2]`.
+    pub angle_diff: f64,
+    /// Perpendicular offset of the second centre from the first axis line (m).
+    pub lateral_offset: f64,
+    /// Gap between the nearer pair of axis endpoints (m); negative when the
+    /// axis extents overlap.
+    pub end_gap: f64,
+}
+
+/// Computes the collinearity report of two oriented boxes.
+pub fn collinearity(a: &Obb, b: &Obb) -> AlignmentReport {
+    let angle_diff = axis_angle_diff(a.angle, b.angle);
+
+    // Perpendicular offset of b's centre from a's (infinite) axis line.
+    let (a0, a1) = a.axis_endpoints();
+    let axis = if a0.distance(a1) <= crate::EPSILON {
+        Segment::new(a0, a0 + crate::point::Vector::from_angle(a.angle))
+    } else {
+        Segment::new(a0, a1)
+    };
+    let dir = axis.direction().normalized();
+    let lateral_offset = (b.center - a.center).cross(dir).abs();
+
+    // Gap along a's axis between the two boxes' axis projections.
+    let proj = |p: Point| (p - a.center).dot(dir);
+    let (b0, b1) = b.axis_endpoints();
+    let (amin, amax) = (-a.half_length, a.half_length);
+    let (pb0, pb1) = (proj(b0), proj(b1));
+    let (bmin, bmax) = (pb0.min(pb1), pb0.max(pb1));
+    let end_gap = if bmin > amax {
+        bmin - amax
+    } else if amin > bmax {
+        amin - bmax
+    } else {
+        // Overlapping extents: negative overlap depth.
+        -(amax.min(bmax) - amin.max(bmin))
+    };
+
+    AlignmentReport {
+        angle_diff,
+        lateral_offset,
+        end_gap,
+    }
+}
+
+/// True when two elongated regions are aligned within the tolerances:
+/// axes within `max_angle` radians, lateral offset at most `max_offset`
+/// metres, and end gap at most `max_gap` metres.
+pub fn aligned(a: &Obb, b: &Obb, max_angle: f64, max_offset: f64, max_gap: f64) -> bool {
+    let r = collinearity(a, b);
+    r.angle_diff <= max_angle && r.lateral_offset <= max_offset && r.end_gap <= max_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    fn obb_of(center: Point, len: f64, w: f64, ang: f64) -> Obb {
+        let p = Polygon::oriented_rect(center, len, w, ang);
+        Obb::of_points(p.vertices()).unwrap()
+    }
+
+    #[test]
+    fn collinear_segments_of_a_runway_align() {
+        // Two pieces of one broken-up runway, separated by a 50 m gap.
+        let a = obb_of(Point::new(0.0, 0.0), 1000.0, 40.0, 0.0);
+        let b = obb_of(Point::new(1050.0, 0.0), 1000.0, 40.0, 0.0);
+        let r = collinearity(&a, &b);
+        assert!(r.angle_diff < 1e-9);
+        assert!(r.lateral_offset < 1e-9);
+        assert!((r.end_gap - 50.0).abs() < 1e-6);
+        assert!(aligned(&a, &b, 0.1, 20.0, 100.0));
+        assert!(!aligned(&a, &b, 0.1, 20.0, 40.0)); // gap too big
+    }
+
+    #[test]
+    fn parallel_offset_regions_do_not_align() {
+        // Runway and a parallel taxiway 200 m to the side.
+        let a = obb_of(Point::new(0.0, 0.0), 1000.0, 40.0, 0.0);
+        let b = obb_of(Point::new(0.0, 200.0), 1000.0, 20.0, 0.0);
+        let r = collinearity(&a, &b);
+        assert!(r.angle_diff < 1e-9);
+        assert!((r.lateral_offset - 200.0).abs() < 1e-6);
+        assert!(r.end_gap < 0.0, "extents overlap along the axis");
+        assert!(!aligned(&a, &b, 0.1, 20.0, 100.0));
+    }
+
+    #[test]
+    fn crossing_regions_fail_angle_test() {
+        let a = obb_of(Point::new(0.0, 0.0), 1000.0, 40.0, 0.0);
+        let b = obb_of(Point::new(0.0, 0.0), 1000.0, 40.0, std::f64::consts::FRAC_PI_3);
+        let r = collinearity(&a, &b);
+        assert!((r.angle_diff - std::f64::consts::FRAC_PI_3).abs() < 1e-9);
+        assert!(!aligned(&a, &b, 0.2, 50.0, 100.0));
+    }
+
+    #[test]
+    fn alignment_is_rotation_invariant() {
+        for &theta in &[0.0, 0.4, 1.1, 2.7] {
+            let pivot = Point::new(123.0, -77.0);
+            let pa = Polygon::oriented_rect(Point::new(0.0, 0.0), 800.0, 30.0, 0.0)
+                .rotated_about(pivot, theta);
+            let pb = Polygon::oriented_rect(Point::new(1000.0, 0.0), 800.0, 30.0, 0.0)
+                .rotated_about(pivot, theta);
+            let a = Obb::of_points(pa.vertices()).unwrap();
+            let b = Obb::of_points(pb.vertices()).unwrap();
+            let r = collinearity(&a, &b);
+            assert!(r.angle_diff < 1e-6, "theta={theta}: {r:?}");
+            assert!(r.lateral_offset < 1e-6, "theta={theta}: {r:?}");
+            assert!((r.end_gap - 200.0).abs() < 1e-6, "theta={theta}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_depth_is_negative_gap() {
+        let a = obb_of(Point::new(0.0, 0.0), 1000.0, 40.0, 0.0);
+        let b = obb_of(Point::new(400.0, 0.0), 1000.0, 40.0, 0.0);
+        let r = collinearity(&a, &b);
+        // a spans [-500,500], b spans [-100,900]; overlap = 600.
+        assert!((r.end_gap + 600.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,205 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box, stored as min/max corners.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// An "empty" box that unions as the identity.
+    pub const EMPTY: Aabb = Aabb {
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// Builds a box from two corner points (in any order).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Aabb {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Tight box around a point set. Returns [`Aabb::EMPTY`] for an empty set.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut b = Aabb::EMPTY;
+        for p in points {
+            b.expand_to(p);
+        }
+        b
+    }
+
+    /// True when no point has been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    /// Grows the box to include `p`.
+    #[inline]
+    pub fn expand_to(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Union of two boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Aabb {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Box width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Box height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Box area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Box centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// True when `p` is inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when the boxes overlap (closed-interval test).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Box inflated by `pad` on every side.
+    pub fn inflated(&self, pad: f64) -> Aabb {
+        Aabb {
+            min: Point::new(self.min.x - pad, self.min.y - pad),
+            max: Point::new(self.max.x + pad, self.max.y + pad),
+        }
+    }
+
+    /// Minimum distance between two boxes (0 when they overlap).
+    pub fn distance_to(&self, other: &Aabb) -> f64 {
+        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
+        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_corners_normalises_order() {
+        let b = Aabb::from_corners(Point::new(3.0, -1.0), Point::new(1.0, 4.0));
+        assert_eq!(b.min, Point::new(1.0, -1.0));
+        assert_eq!(b.max, Point::new(3.0, 4.0));
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(b.area(), 10.0);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let b = Aabb::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert_eq!(e.union(&b), b);
+        assert_eq!(b.union(&e), b);
+        assert!(!e.intersects(&b));
+    }
+
+    #[test]
+    fn intersects_and_touching() {
+        let a = Aabb::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Aabb::from_corners(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let c = Aabb::from_corners(Point::new(2.0, 0.0), Point::new(4.0, 2.0));
+        let d = Aabb::from_corners(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(a.intersects(&c)); // edge touch counts
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn distance_between_boxes() {
+        let a = Aabb::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Aabb::from_corners(Point::new(4.0, 5.0), Point::new(6.0, 7.0));
+        assert!((a.distance_to(&b) - 5.0).abs() < 1e-12);
+        let c = Aabb::from_corners(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        assert_eq!(a.distance_to(&c), 0.0);
+    }
+
+    #[test]
+    fn contains_point_boundary() {
+        let b = Aabb::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert!(b.contains_point(Point::new(0.0, 0.0)));
+        assert!(b.contains_point(Point::new(1.0, 1.0)));
+        assert!(b.contains_point(Point::new(0.5, 0.5)));
+        assert!(!b.contains_point(Point::new(1.01, 0.5)));
+    }
+
+    #[test]
+    fn inflate_grows_box() {
+        let b = Aabb::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).inflated(0.5);
+        assert_eq!(b.min, Point::new(-0.5, -0.5));
+        assert_eq!(b.max, Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn from_points_tight() {
+        let b = Aabb::from_points([
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, 9.0),
+        ]);
+        assert_eq!(b.min, Point::new(-2.0, 3.0));
+        assert_eq!(b.max, Point::new(1.0, 9.0));
+    }
+}

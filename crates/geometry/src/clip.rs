@@ -1,0 +1,146 @@
+//! Convex polygon clipping (Sutherland–Hodgman) and intersection areas.
+//!
+//! SPAM's model-evaluation phase scores a scene model by how much of the
+//! scene its functional areas explain; that needs area-of-overlap between
+//! region polygons and area windows.
+
+use crate::point::Point;
+use crate::polygon::{signed_area, Polygon};
+
+/// Clips `subject` against a **convex** `clip` polygon (Sutherland–Hodgman).
+///
+/// Returns the vertex ring of the intersection (counter-clockwise), or an
+/// empty vector when the polygons do not overlap. The subject may be any
+/// simple polygon; the clip polygon must be convex.
+pub fn clip_convex(subject: &Polygon, clip: &Polygon) -> Vec<Point> {
+    let mut output: Vec<Point> = subject.vertices().to_vec();
+    let cv = clip.vertices();
+    let n = cv.len();
+    for i in 0..n {
+        if output.is_empty() {
+            return output;
+        }
+        let a = cv[i];
+        let b = cv[(i + 1) % n];
+        let edge = b - a;
+        let inside = |p: Point| edge.cross(p - a) >= -crate::EPSILON;
+
+        let input = std::mem::take(&mut output);
+        let m = input.len();
+        for j in 0..m {
+            let cur = input[j];
+            let nxt = input[(j + 1) % m];
+            let cur_in = inside(cur);
+            let nxt_in = inside(nxt);
+            if cur_in {
+                output.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the clip line: add the intersection point.
+                let d = nxt - cur;
+                let denom = edge.cross(d);
+                if denom.abs() > crate::EPSILON {
+                    let t = edge.cross(cur - a) / -denom;
+                    output.push(cur + d * t.clamp(0.0, 1.0));
+                }
+            }
+        }
+    }
+    output
+}
+
+/// Area of the intersection of `subject` with the **convex** `clip`.
+pub fn intersection_area(subject: &Polygon, clip: &Polygon) -> f64 {
+    if !subject.bbox().intersects(&clip.bbox()) {
+        return 0.0;
+    }
+    let ring = clip_convex(subject, clip);
+    if ring.len() < 3 {
+        0.0
+    } else {
+        signed_area(&ring).abs()
+    }
+}
+
+/// Fraction of `subject`'s area lying inside the convex `clip` (0..=1).
+pub fn coverage_fraction(subject: &Polygon, clip: &Polygon) -> f64 {
+    let a = subject.area();
+    if a <= crate::EPSILON {
+        return 0.0;
+    }
+    (intersection_area(subject, clip) / a).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Vector;
+
+    fn sq(cx: f64, cy: f64, s: f64) -> Polygon {
+        Polygon::axis_rect(Point::new(cx, cy), s, s)
+    }
+
+    #[test]
+    fn identical_squares_full_overlap() {
+        let a = sq(0.0, 0.0, 2.0);
+        assert!((intersection_area(&a, &a) - 4.0).abs() < 1e-9);
+        assert!((coverage_fraction(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_overlap() {
+        let a = sq(0.0, 0.0, 2.0);
+        let b = sq(1.0, 0.0, 2.0); // shifted by half its width
+        assert!((intersection_area(&a, &b) - 2.0).abs() < 1e-9);
+        assert!((coverage_fraction(&a, &b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let a = sq(0.0, 0.0, 2.0);
+        let b = sq(10.0, 0.0, 2.0);
+        assert_eq!(intersection_area(&a, &b), 0.0);
+        assert!(clip_convex(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn contained_subject_keeps_its_area() {
+        let small = sq(0.0, 0.0, 1.0);
+        let big = sq(0.0, 0.0, 10.0);
+        assert!((intersection_area(&small, &big) - 1.0).abs() < 1e-9);
+        assert!((intersection_area(&big, &small) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_clip_window() {
+        let subject = sq(0.0, 0.0, 2.0);
+        let diamond = subject.rotated_about(Point::new(0.0, 0.0), std::f64::consts::FRAC_PI_4);
+        // Square ∩ its 45°-rotation is a regular octagon with area 8(√2−1).
+        let expected = 8.0 * (2.0f64.sqrt() - 1.0);
+        assert!(
+            (intersection_area(&subject, &diamond) - expected).abs() < 1e-6,
+            "{}",
+            intersection_area(&subject, &diamond)
+        );
+    }
+
+    #[test]
+    fn intersection_commutes_for_convex_pairs() {
+        let a = Polygon::oriented_rect(Point::new(3.0, 1.0), 6.0, 2.0, 0.4);
+        let b = Polygon::regular(Point::new(4.0, 1.5), 2.0, 12);
+        let ab = intersection_area(&a, &b);
+        let ba = intersection_area(&b, &a);
+        assert!((ab - ba).abs() < 1e-9);
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn translation_far_away_never_negative() {
+        let a = sq(0.0, 0.0, 3.0);
+        for k in 0..20 {
+            let b = a.translated(Vector::new(k as f64 * 0.4, 0.1 * k as f64));
+            let v = intersection_area(&a, &b);
+            assert!((0.0..=9.0 + 1e-9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Region shape descriptors used by SPAM's region-to-fragment rules.
+
+use crate::obb::Obb;
+use crate::polygon::Polygon;
+
+/// Shape statistics of a segmented image region.
+///
+/// These are the features SPAM's RTF (region-to-fragment) phase tests in its
+/// classification rules: a long, thin, straight region with runway-like width
+/// becomes a *runway* hypothesis; a compact medium region near an apron
+/// becomes a *terminal building* hypothesis, and so on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShapeDescriptors {
+    /// Region area (m²).
+    pub area: f64,
+    /// Region perimeter (m).
+    pub perimeter: f64,
+    /// Isoperimetric compactness: `4π·area / perimeter²` (1 for a disc,
+    /// → 0 for elongated or ragged shapes).
+    pub compactness: f64,
+    /// Long / short extent of the minimum-area oriented bounding box.
+    pub elongation: f64,
+    /// Long extent of the oriented bounding box (m).
+    pub length: f64,
+    /// Short extent of the oriented bounding box (m).
+    pub width: f64,
+    /// Orientation of the long axis, radians in `[0, π)`.
+    pub orientation: f64,
+    /// `area / obb_area`: 1 for a perfect rectangle, lower for ragged shapes.
+    pub rectangularity: f64,
+}
+
+impl ShapeDescriptors {
+    /// Computes descriptors for a polygonal region.
+    pub fn of_polygon(poly: &Polygon) -> ShapeDescriptors {
+        let area = poly.area();
+        let perimeter = poly.perimeter();
+        let obb = Obb::of_points(poly.vertices()).expect("polygon has vertices");
+        let obb_area = obb.area();
+        ShapeDescriptors {
+            area,
+            perimeter,
+            compactness: if perimeter > crate::EPSILON {
+                (4.0 * std::f64::consts::PI * area / (perimeter * perimeter)).min(1.0)
+            } else {
+                0.0
+            },
+            elongation: obb.elongation().min(1e6),
+            length: obb.length(),
+            width: obb.width(),
+            orientation: obb.angle,
+            rectangularity: if obb_area > crate::EPSILON {
+                (area / obb_area).min(1.0)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// True for long, thin, rectangular regions (runways, taxiways, roads).
+    pub fn is_linear(&self, min_elongation: f64) -> bool {
+        self.elongation >= min_elongation && self.rectangularity >= 0.5
+    }
+
+    /// True for compact blob-like regions (buildings, tanks).
+    pub fn is_compact(&self, min_compactness: f64) -> bool {
+        self.compactness >= min_compactness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    #[test]
+    fn runway_like_region_is_linear() {
+        let runway = Polygon::oriented_rect(Point::new(0.0, 0.0), 2500.0, 45.0, 0.3);
+        let d = ShapeDescriptors::of_polygon(&runway);
+        assert!(d.elongation > 50.0);
+        assert!(d.is_linear(10.0));
+        assert!(!d.is_compact(0.5));
+        assert!((d.length - 2500.0).abs() < 1e-6);
+        assert!((d.width - 45.0).abs() < 1e-6);
+        assert!(d.rectangularity > 0.99);
+    }
+
+    #[test]
+    fn building_like_region_is_compact() {
+        let bld = Polygon::axis_rect(Point::new(0.0, 0.0), 80.0, 60.0);
+        let d = ShapeDescriptors::of_polygon(&bld);
+        assert!(d.elongation < 2.0);
+        assert!(d.is_compact(0.7));
+        assert!(!d.is_linear(10.0));
+    }
+
+    #[test]
+    fn disc_compactness_is_one() {
+        let disc = Polygon::regular(Point::new(0.0, 0.0), 10.0, 128);
+        let d = ShapeDescriptors::of_polygon(&disc);
+        assert!(d.compactness > 0.99, "compactness was {}", d.compactness);
+        assert!((d.elongation - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn descriptors_rotation_invariant() {
+        let a = Polygon::axis_rect(Point::new(0.0, 0.0), 100.0, 20.0);
+        let b = a.rotated_about(Point::new(50.0, 50.0), 1.234);
+        let da = ShapeDescriptors::of_polygon(&a);
+        let db = ShapeDescriptors::of_polygon(&b);
+        assert!((da.area - db.area).abs() < 1e-6);
+        assert!((da.elongation - db.elongation).abs() < 1e-6);
+        assert!((da.compactness - db.compactness).abs() < 1e-9);
+        assert!((da.rectangularity - db.rectangularity).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! A uniform-grid spatial index over scene regions.
+//!
+//! SPAM's constraint checks are pairwise (*does this runway intersect that
+//! taxiway?*), but candidate generation must not be quadratic over the whole
+//! segmentation. The original system relied on functional-area windows; we
+//! provide a uniform grid that buckets region bounding boxes and answers
+//! "which regions might touch this box" queries.
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// A uniform grid bucketing items by their axis-aligned bounding boxes.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    origin: Point,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<u32>>,
+    boxes: Vec<Aabb>,
+}
+
+impl GridIndex {
+    /// Creates an index covering `bounds`, with roughly `target_cells` cells.
+    pub fn new(bounds: Aabb, target_cells: usize) -> Self {
+        let w = bounds.width().max(1.0);
+        let h = bounds.height().max(1.0);
+        let cell = (w * h / target_cells.max(1) as f64).sqrt().max(1e-6);
+        let nx = (w / cell).ceil() as usize + 1;
+        let ny = (h / cell).ceil() as usize + 1;
+        GridIndex {
+            origin: bounds.min,
+            cell,
+            nx,
+            ny,
+            cells: vec![Vec::new(); nx * ny],
+            boxes: Vec::new(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Inserts an item with bounding box `bb`; returns its dense id.
+    pub fn insert(&mut self, bb: Aabb) -> u32 {
+        let id = self.boxes.len() as u32;
+        self.boxes.push(bb);
+        let (x0, y0, x1, y1) = self.cell_range(&bb);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                self.cells[cy * self.nx + cx].push(id);
+            }
+        }
+        id
+    }
+
+    /// Ids of all items whose bounding box intersects `query`
+    /// (deduplicated, ascending).
+    pub fn query(&self, query: &Aabb) -> Vec<u32> {
+        let mut out = Vec::new();
+        if query.is_empty() {
+            return out;
+        }
+        let (x0, y0, x1, y1) = self.cell_range(query);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                for &id in &self.cells[cy * self.nx + cx] {
+                    if self.boxes[id as usize].intersects(query) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids of items within `gap` of `query` (bounding-box filter only; the
+    /// caller refines with exact polygon distance).
+    pub fn query_within(&self, query: &Aabb, gap: f64) -> Vec<u32> {
+        self.query(&query.inflated(gap))
+    }
+
+    fn cell_range(&self, bb: &Aabb) -> (usize, usize, usize, usize) {
+        let clamp_x = |v: f64| -> usize {
+            (((v - self.origin.x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1)
+        };
+        let clamp_y = |v: f64| -> usize {
+            (((v - self.origin.y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1)
+        };
+        (
+            clamp_x(bb.min.x),
+            clamp_y(bb.min.y),
+            clamp_x(bb.max.x),
+            clamp_y(bb.max.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x0: f64, y0: f64, x1: f64, y1: f64) -> Aabb {
+        Aabb::from_corners(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn world() -> Aabb {
+        bb(0.0, 0.0, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn query_finds_overlapping_items() {
+        let mut g = GridIndex::new(world(), 100);
+        let a = g.insert(bb(10.0, 10.0, 50.0, 50.0));
+        let b = g.insert(bb(40.0, 40.0, 80.0, 80.0));
+        let c = g.insert(bb(500.0, 500.0, 600.0, 600.0));
+        assert_eq!(g.len(), 3);
+        let hits = g.query(&bb(45.0, 45.0, 46.0, 46.0));
+        assert_eq!(hits, vec![a, b]);
+        let hits = g.query(&bb(550.0, 550.0, 551.0, 551.0));
+        assert_eq!(hits, vec![c]);
+        assert!(g.query(&bb(900.0, 900.0, 950.0, 950.0)).is_empty());
+    }
+
+    #[test]
+    fn query_outside_bounds_is_clamped_not_panicking() {
+        let mut g = GridIndex::new(world(), 64);
+        let a = g.insert(bb(990.0, 990.0, 1050.0, 1050.0)); // spills past bounds
+        let hits = g.query(&bb(1040.0, 1040.0, 2000.0, 2000.0));
+        assert_eq!(hits, vec![a]);
+        assert!(g.query(&bb(-500.0, -500.0, -400.0, -400.0)).is_empty());
+    }
+
+    #[test]
+    fn items_spanning_many_cells_are_deduplicated() {
+        let mut g = GridIndex::new(world(), 400);
+        let a = g.insert(bb(0.0, 450.0, 1000.0, 550.0)); // a long runway strip
+        let hits = g.query(&bb(0.0, 0.0, 1000.0, 1000.0));
+        assert_eq!(hits, vec![a]);
+    }
+
+    #[test]
+    fn query_within_respects_gap() {
+        let mut g = GridIndex::new(world(), 100);
+        let a = g.insert(bb(100.0, 100.0, 200.0, 200.0));
+        // A query box 30m away from item a:
+        let q = bb(230.0, 100.0, 260.0, 200.0);
+        assert!(g.query(&q).is_empty());
+        assert_eq!(g.query_within(&q, 40.0), vec![a]);
+        assert!(g.query_within(&q, 10.0).is_empty());
+    }
+
+    #[test]
+    fn brute_force_equivalence() {
+        // Deterministic LCG-driven boxes; grid query must equal brute force.
+        let mut s: u64 = 42;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 20) % 1000) as f64
+        };
+        let mut g = GridIndex::new(world(), 256);
+        let mut boxes = Vec::new();
+        for _ in 0..150 {
+            let x = next();
+            let y = next();
+            let w = next() * 0.1;
+            let h = next() * 0.1;
+            let b = bb(x, y, x + w, y + h);
+            g.insert(b);
+            boxes.push(b);
+        }
+        for _ in 0..50 {
+            let x = next();
+            let y = next();
+            let q = bb(x, y, x + 50.0, y + 50.0);
+            let expected: Vec<u32> = boxes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.intersects(&q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(g.query(&q), expected);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::point::Point;
+
+/// Computes the convex hull of a point set.
+///
+/// Returns the hull vertices in counter-clockwise order without repeating
+/// the first vertex. Collinear points on the hull boundary are dropped.
+/// Degenerate inputs (fewer than three distinct points, or all collinear)
+/// return the distinct extreme points (possibly fewer than three).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= crate::EPSILON
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= crate::EPSILON
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::signed_area;
+
+    #[test]
+    fn square_hull_is_square() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5), // interior point dropped
+            Point::new(0.5, 0.0), // collinear boundary point dropped
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(signed_area(&h) > 0.0, "hull must be counter-clockwise");
+        assert!((signed_area(&h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points_degenerate() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], Point::new(0.0, 0.0));
+        assert_eq!(h[1], Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let h = convex_hull(&[Point::new(2.0, 3.0)]);
+        assert_eq!(h, vec![Point::new(2.0, 3.0)]);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // A deterministic pseudo-random cloud.
+        let mut pts = Vec::new();
+        let mut s: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 16) & 0xFFFF) as f64 / 655.36;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((s >> 16) & 0xFFFF) as f64 / 655.36;
+            pts.push(Point::new(x, y));
+        }
+        let h = convex_hull(&pts);
+        assert!(h.len() >= 3);
+        let poly = crate::polygon::Polygon::new(h);
+        for &p in &pts {
+            assert!(
+                poly.contains_point(p),
+                "hull must contain every input point: {p:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # spam-geometry
+//!
+//! A small, dependency-free 2-D computational-geometry library built as the
+//! substrate for the SPAM aerial-image interpretation system (Harvey et al.,
+//! PPoPP 1990).
+//!
+//! SPAM is unusual among production systems studied for parallelism in that a
+//! large fraction of its run time is spent *outside* the match phase, in
+//! geometric right-hand-side evaluation: spatial-constraint checks such as
+//! *runways intersect taxiways* or *terminal buildings are adjacent to parking
+//! aprons*. In the original system these checks ran as external processes
+//! forked from Lisp (later ported to C function calls). This crate provides
+//! those primitives:
+//!
+//! * [`Point`], [`Vector`], [`Segment`], [`Aabb`] — basic types;
+//! * [`Polygon`] — simple polygons with area / centroid / containment /
+//!   intersection / distance / adjacency predicates;
+//! * [`convex_hull`] — Andrew's monotone chain;
+//! * [`Obb`] — minimum-area oriented bounding box (rotating calipers) and the
+//!   shape descriptors derived from it (elongation, orientation,
+//!   rectangularity);
+//! * [`descriptors`] — region shape statistics used by SPAM's
+//!   region-to-fragment classification rules;
+//! * [`GridIndex`] — a uniform-grid spatial index for neighbour queries over
+//!   scene regions;
+//! * [`alignment`] — collinearity / linear-alignment tests used by SPAM's
+//!   top-down RTF re-entry.
+//!
+//! All computation is `f64`, deterministic, and allocation-conscious: the hot
+//! predicates (`intersects`, `adjacent_to`, `min_distance`) allocate nothing.
+//!
+//! ```
+//! use spam_geometry::{Polygon, Point};
+//!
+//! let runway = Polygon::axis_rect(Point::new(0.0, 0.0), 3000.0, 60.0);
+//! let taxiway = Polygon::axis_rect(Point::new(1500.0, -200.0), 40.0, 500.0);
+//! assert!(runway.bbox().intersects(&taxiway.bbox()) || !runway.intersects(&taxiway));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alignment;
+pub mod bbox;
+pub mod clip;
+pub mod descriptors;
+pub mod grid;
+pub mod hull;
+pub mod obb;
+pub mod point;
+pub mod polygon;
+pub mod segment;
+
+pub use alignment::{aligned, collinearity, AlignmentReport};
+pub use bbox::Aabb;
+pub use clip::{clip_convex, coverage_fraction, intersection_area};
+pub use descriptors::ShapeDescriptors;
+pub use grid::GridIndex;
+pub use hull::convex_hull;
+pub use obb::Obb;
+pub use point::{Point, Vector};
+pub use polygon::Polygon;
+pub use segment::Segment;
+
+/// Geometric tolerance used for exact-coincidence tests.
+pub const EPSILON: f64 = 1e-9;
+
+/// Default adjacency gap (metres) below which two regions count as adjacent.
+///
+/// The SPAM segmentations are metric ground coordinates; two regions closer
+/// than this gap are considered touching. This mirrors the original system's
+/// *adjacency* constraint, which tolerated small segmentation gaps.
+pub const ADJACENCY_GAP: f64 = 15.0;

@@ -1,0 +1,233 @@
+//! Minimum-area oriented bounding boxes via rotating calipers.
+
+use crate::hull::convex_hull;
+use crate::point::{Point, Vector};
+
+/// A minimum-area oriented bounding box of a point set.
+///
+/// SPAM's region-to-fragment rules classify regions largely by the shape of
+/// this box: a runway is a very elongated box, a terminal building a squat
+/// one, and the box orientation feeds the *linear alignment* checks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Obb {
+    /// Box centre.
+    pub center: Point,
+    /// Half the long extent.
+    pub half_length: f64,
+    /// Half the short extent.
+    pub half_width: f64,
+    /// Orientation of the long axis, radians in `[0, π)`.
+    pub angle: f64,
+}
+
+impl Obb {
+    /// Computes the minimum-area OBB of `points`.
+    ///
+    /// Returns `None` for degenerate inputs (fewer than three distinct,
+    /// non-collinear points we still handle by producing a zero-width box;
+    /// an empty input returns `None`).
+    pub fn of_points(points: &[Point]) -> Option<Obb> {
+        if points.is_empty() {
+            return None;
+        }
+        let hull = convex_hull(points);
+        match hull.len() {
+            0 => None,
+            1 => Some(Obb {
+                center: hull[0],
+                half_length: 0.0,
+                half_width: 0.0,
+                angle: 0.0,
+            }),
+            2 => {
+                let d = hull[1] - hull[0];
+                Some(Obb {
+                    center: hull[0].midpoint(hull[1]),
+                    half_length: d.norm() * 0.5,
+                    half_width: 0.0,
+                    angle: fold_angle(d.angle()),
+                })
+            }
+            _ => Some(min_area_obb(&hull)),
+        }
+    }
+
+    /// Elongation: long extent / short extent (≥ 1; ∞ for zero-width boxes).
+    pub fn elongation(&self) -> f64 {
+        if self.half_width <= crate::EPSILON {
+            f64::INFINITY
+        } else {
+            self.half_length / self.half_width
+        }
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f64 {
+        4.0 * self.half_length * self.half_width
+    }
+
+    /// Full length of the long axis.
+    pub fn length(&self) -> f64 {
+        2.0 * self.half_length
+    }
+
+    /// Full length of the short axis.
+    pub fn width(&self) -> f64 {
+        2.0 * self.half_width
+    }
+
+    /// The four corner points (counter-clockwise).
+    pub fn corners(&self) -> [Point; 4] {
+        let u = Vector::from_angle(self.angle) * self.half_length;
+        let v = Vector::from_angle(self.angle).perp() * self.half_width;
+        [
+            self.center - u - v,
+            self.center + u - v,
+            self.center + u + v,
+            self.center - u + v,
+        ]
+    }
+
+    /// Endpoints of the long axis (the "spine" of an elongated region).
+    pub fn axis_endpoints(&self) -> (Point, Point) {
+        let u = Vector::from_angle(self.angle) * self.half_length;
+        (self.center - u, self.center + u)
+    }
+}
+
+/// Folds an angle into `[0, π)` (box axes are undirected).
+pub fn fold_angle(a: f64) -> f64 {
+    let mut a = a % std::f64::consts::PI;
+    if a < 0.0 {
+        a += std::f64::consts::PI;
+    }
+    a
+}
+
+/// Absolute angular difference between two undirected axes, in `[0, π/2]`.
+pub fn axis_angle_diff(a: f64, b: f64) -> f64 {
+    let d = (fold_angle(a) - fold_angle(b)).abs();
+    d.min(std::f64::consts::PI - d)
+}
+
+fn min_area_obb(hull: &[Point]) -> Obb {
+    let n = hull.len();
+    let mut best_area = f64::INFINITY;
+    let mut best = Obb {
+        center: hull[0],
+        half_length: 0.0,
+        half_width: 0.0,
+        angle: 0.0,
+    };
+    // The minimum-area rectangle has a side collinear with a hull edge.
+    for i in 0..n {
+        let e = hull[(i + 1) % n] - hull[i];
+        if e.norm_sq() <= crate::EPSILON {
+            continue;
+        }
+        let u = e.normalized();
+        let v = u.perp();
+        let (mut min_u, mut max_u) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_v, mut max_v) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &p in hull {
+            let d = p - hull[i];
+            let pu = d.dot(u);
+            let pv = d.dot(v);
+            min_u = min_u.min(pu);
+            max_u = max_u.max(pu);
+            min_v = min_v.min(pv);
+            max_v = max_v.max(pv);
+        }
+        let du = max_u - min_u;
+        let dv = max_v - min_v;
+        let area = du * dv;
+        if area < best_area {
+            best_area = area;
+            let cu = (min_u + max_u) * 0.5;
+            let cv = (min_v + max_v) * 0.5;
+            let center = hull[i] + u * cu + v * cv;
+            // Long side defines the orientation.
+            let (hl, hw, ang) = if du >= dv {
+                (du * 0.5, dv * 0.5, u.angle())
+            } else {
+                (dv * 0.5, du * 0.5, v.angle())
+            };
+            best = Obb {
+                center,
+                half_length: hl,
+                half_width: hw,
+                angle: fold_angle(ang),
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    #[test]
+    fn axis_rect_obb_recovers_dimensions() {
+        let r = Polygon::axis_rect(Point::new(3.0, 4.0), 10.0, 2.0);
+        let obb = Obb::of_points(r.vertices()).unwrap();
+        assert!((obb.length() - 10.0).abs() < 1e-9);
+        assert!((obb.width() - 2.0).abs() < 1e-9);
+        assert!((obb.center.x - 3.0).abs() < 1e-9);
+        assert!((obb.center.y - 4.0).abs() < 1e-9);
+        assert!(obb.angle.abs() < 1e-9 || (obb.angle - std::f64::consts::PI).abs() < 1e-9);
+        assert!((obb.elongation() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_rect_obb_recovers_angle() {
+        let ang = 0.6;
+        let r = Polygon::oriented_rect(Point::new(0.0, 0.0), 20.0, 4.0, ang);
+        let obb = Obb::of_points(r.vertices()).unwrap();
+        assert!(axis_angle_diff(obb.angle, ang) < 1e-9);
+        assert!((obb.length() - 20.0).abs() < 1e-9);
+        assert!((obb.width() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obb_area_never_below_hull_area() {
+        let tri = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        ];
+        let obb = Obb::of_points(&tri).unwrap();
+        assert!(obb.area() >= 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Obb::of_points(&[]).is_none());
+        let single = Obb::of_points(&[Point::new(1.0, 1.0)]).unwrap();
+        assert_eq!(single.length(), 0.0);
+        let two = Obb::of_points(&[Point::new(0.0, 0.0), Point::new(0.0, 4.0)]).unwrap();
+        assert!((two.length() - 4.0).abs() < 1e-12);
+        assert_eq!(two.width(), 0.0);
+        assert!(two.elongation().is_infinite());
+    }
+
+    #[test]
+    fn corners_reconstruct_box() {
+        let r = Polygon::oriented_rect(Point::new(5.0, -2.0), 8.0, 2.0, 1.0);
+        let obb = Obb::of_points(r.vertices()).unwrap();
+        let poly = Polygon::new(obb.corners().to_vec());
+        assert!((poly.area() - obb.area()).abs() < 1e-9);
+        for &v in r.vertices() {
+            assert!(poly.distance_to_point(v) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn axis_angle_diff_folds() {
+        use std::f64::consts::PI;
+        assert!(axis_angle_diff(0.1, PI + 0.1) < 1e-12);
+        assert!((axis_angle_diff(0.0, PI / 2.0) - PI / 2.0).abs() < 1e-12);
+        assert!((axis_angle_diff(-0.2, 0.2) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,332 @@
+//! Points and vectors in the scene plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in 2-D ground coordinates (metres).
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting coordinate.
+    pub x: f64,
+    /// Northing coordinate.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        (*self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        (*self - other).norm_sq()
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Rotate about `pivot` by `angle` radians (counter-clockwise).
+    pub fn rotate_about(&self, pivot: Point, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        let d = *self - pivot;
+        Point::new(
+            pivot.x + d.x * c - d.y * s,
+            pivot.y + d.x * s + d.y * c,
+        )
+    }
+
+    /// True when every coordinate is finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vector {
+    /// Creates a vector.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector { x, y }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    #[inline]
+    pub fn cross(&self, other: Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction. Returns the zero vector unchanged.
+    pub fn normalized(&self) -> Vector {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            *self
+        } else {
+            Vector::new(self.x / n, self.y / n)
+        }
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    #[inline]
+    pub fn perp(&self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+
+    /// Angle of the vector in radians, in `(-π, π]`.
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Unit vector at `angle` radians.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Vector {
+        let (s, c) = angle.sin_cos();
+        Vector::new(c, s)
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Computes the orientation of the ordered point triple `(a, b, c)`.
+#[inline]
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let v = (b - a).cross(c - a);
+    if v > crate::EPSILON {
+        Orientation::Ccw
+    } else if v < -crate::EPSILON {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.midpoint(b), a.lerp(b, 0.5));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let left = Point::new(1.0, 1.0);
+        let right = Point::new(1.0, -1.0);
+        assert_eq!(orientation(a, b, left), Orientation::Ccw);
+        assert_eq!(orientation(a, b, right), Orientation::Cw);
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn rotate_about_quarter_turn() {
+        let p = Point::new(1.0, 0.0);
+        let r = p.rotate_about(Point::ORIGIN, std::f64::consts::FRAC_PI_2);
+        assert!((r.x - 0.0).abs() < 1e-12);
+        assert!((r.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perp_is_orthogonal() {
+        let v = Vector::new(3.0, 4.0);
+        assert_eq!(v.dot(v.perp()), 0.0);
+        assert_eq!(v.perp().norm(), v.norm());
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        let z = Vector::new(0.0, 0.0);
+        assert_eq!(z.normalized(), z);
+        let v = Vector::new(0.0, 2.5);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let v = Vector::new(1.0, 2.0);
+        let w = Vector::new(3.0, -1.0);
+        assert_eq!(v + w, Vector::new(4.0, 1.0));
+        assert_eq!(v - w, Vector::new(-2.0, 3.0));
+        assert_eq!(v * 2.0, Vector::new(2.0, 4.0));
+        assert_eq!(w / 2.0, Vector::new(1.5, -0.5));
+        assert_eq!(-v, Vector::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn from_angle_round_trips() {
+        for &a in &[0.0, 0.3, 1.2, -2.0, 3.0] {
+            let v = Vector::from_angle(a);
+            assert!((v.angle() - a).abs() < 1e-12, "angle {a}");
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Simple polygons and the spatial predicates SPAM's constraint rules use.
+
+use crate::bbox::Aabb;
+use crate::point::{Point, Vector};
+use crate::segment::Segment;
+
+/// A simple (non-self-intersecting) polygon given by its vertex ring.
+///
+/// Vertices may be in either winding order; constructors normalise to
+/// counter-clockwise. The polygon is closed implicitly (the last vertex
+/// connects back to the first).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    verts: Vec<Point>,
+    bbox: Aabb,
+}
+
+impl Polygon {
+    /// Builds a polygon from at least three vertices.
+    ///
+    /// # Panics
+    /// Panics when fewer than three vertices are supplied or any coordinate
+    /// is non-finite.
+    pub fn new(mut verts: Vec<Point>) -> Self {
+        assert!(verts.len() >= 3, "polygon needs >= 3 vertices");
+        assert!(
+            verts.iter().all(Point::is_finite),
+            "polygon vertices must be finite"
+        );
+        if signed_area(&verts) < 0.0 {
+            verts.reverse();
+        }
+        let bbox = Aabb::from_points(verts.iter().copied());
+        Polygon { verts, bbox }
+    }
+
+    /// Axis-aligned rectangle centred at `center`.
+    pub fn axis_rect(center: Point, width: f64, height: f64) -> Self {
+        let hw = width * 0.5;
+        let hh = height * 0.5;
+        Polygon::new(vec![
+            Point::new(center.x - hw, center.y - hh),
+            Point::new(center.x + hw, center.y - hh),
+            Point::new(center.x + hw, center.y + hh),
+            Point::new(center.x - hw, center.y + hh),
+        ])
+    }
+
+    /// Rectangle centred at `center`, rotated by `angle` radians.
+    pub fn oriented_rect(center: Point, length: f64, width: f64, angle: f64) -> Self {
+        let u = Vector::from_angle(angle) * (length * 0.5);
+        let v = Vector::from_angle(angle).perp() * (width * 0.5);
+        Polygon::new(vec![
+            center - u - v,
+            center + u - v,
+            center + u + v,
+            center - u + v,
+        ])
+    }
+
+    /// Regular n-gon approximation of a circle (used for tanks, clutter).
+    pub fn regular(center: Point, radius: f64, sides: usize) -> Self {
+        assert!(sides >= 3);
+        let verts = (0..sides)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / sides as f64;
+                center + Vector::from_angle(a) * radius
+            })
+            .collect();
+        Polygon::new(verts)
+    }
+
+    /// Vertex ring (counter-clockwise).
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.verts
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Always false: a polygon has at least three vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cached axis-aligned bounding box.
+    #[inline]
+    pub fn bbox(&self) -> Aabb {
+        self.bbox
+    }
+
+    /// Iterator over the polygon's edges.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.verts.len();
+        (0..n).map(move |i| Segment::new(self.verts[i], self.verts[(i + 1) % n]))
+    }
+
+    /// Polygon area (always non-negative).
+    pub fn area(&self) -> f64 {
+        signed_area(&self.verts).abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        let n = self.verts.len();
+        for i in 0..n {
+            let p = self.verts[i];
+            let q = self.verts[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        if a.abs() <= crate::EPSILON {
+            // Degenerate: fall back to the vertex mean.
+            let inv = 1.0 / n as f64;
+            let sx: f64 = self.verts.iter().map(|p| p.x).sum();
+            let sy: f64 = self.verts.iter().map(|p| p.y).sum();
+            return Point::new(sx * inv, sy * inv);
+        }
+        let f = 1.0 / (3.0 * a);
+        Point::new(cx * f, cy * f)
+    }
+
+    /// Point-in-polygon test (boundary counts as inside).
+    pub fn contains_point(&self, p: Point) -> bool {
+        if !self.bbox.contains_point(p) {
+            return false;
+        }
+        // Boundary first, then even-odd ray cast.
+        for e in self.edges() {
+            if e.contains_point(p) {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.verts.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let pi = self.verts[i];
+            let pj = self.verts[j];
+            if (pi.y > p.y) != (pj.y > p.y) {
+                let xint = pj.x + (p.y - pj.y) / (pi.y - pj.y) * (pi.x - pj.x);
+                if p.x < xint {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// True when the two polygons' interiors or boundaries meet.
+    pub fn intersects(&self, other: &Polygon) -> bool {
+        if !self.bbox.intersects(&other.bbox) {
+            return false;
+        }
+        // Any edge crossing?
+        for e in self.edges() {
+            for f in other.edges() {
+                if e.intersects(&f) {
+                    return true;
+                }
+            }
+        }
+        // Full containment (one inside the other, no edge crossing).
+        self.contains_point(other.verts[0]) || other.contains_point(self.verts[0])
+    }
+
+    /// True when `other` lies entirely inside this polygon.
+    pub fn contains_polygon(&self, other: &Polygon) -> bool {
+        if !self.bbox.intersects(&other.bbox) {
+            return false;
+        }
+        if !other.verts.iter().all(|&v| self.contains_point(v)) {
+            return false;
+        }
+        // No edge of `other` may cross out through an edge of `self`; a
+        // proper crossing exists iff some edge pair intersects at a point
+        // interior to both. Vertices on the boundary are fine, so test the
+        // midpoints of other's edges as well.
+        other.edges().all(|e| self.contains_point(e.midpoint()))
+    }
+
+    /// Minimum distance between the two polygons' boundaries
+    /// (0 when they intersect or one contains the other).
+    pub fn min_distance(&self, other: &Polygon) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for e in self.edges() {
+            for f in other.edges() {
+                let d = e.distance_to_segment(&f);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// True when the gap between the polygons is at most `gap`
+    /// (SPAM's *adjacency* constraint).
+    pub fn adjacent_to(&self, other: &Polygon, gap: f64) -> bool {
+        if !self.bbox.inflated(gap).intersects(&other.bbox) {
+            return false;
+        }
+        self.min_distance(other) <= gap
+    }
+
+    /// Distance from the polygon boundary to a point (0 when inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        if self.contains_point(p) {
+            return 0.0;
+        }
+        self.edges()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Translated copy.
+    pub fn translated(&self, v: Vector) -> Polygon {
+        Polygon::new(self.verts.iter().map(|&p| p + v).collect())
+    }
+
+    /// Copy rotated about `pivot` by `angle` radians.
+    pub fn rotated_about(&self, pivot: Point, angle: f64) -> Polygon {
+        Polygon::new(
+            self.verts
+                .iter()
+                .map(|&p| p.rotate_about(pivot, angle))
+                .collect(),
+        )
+    }
+}
+
+/// Signed area of a vertex ring: positive for counter-clockwise winding.
+pub fn signed_area(verts: &[Point]) -> f64 {
+    let n = verts.len();
+    let mut a = 0.0;
+    for i in 0..n {
+        let p = verts[i];
+        let q = verts[(i + 1) % n];
+        a += p.x * q.y - q.x * p.y;
+    }
+    a * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::axis_rect(Point::new(0.5, 0.5), 1.0, 1.0)
+    }
+
+    #[test]
+    fn winding_is_normalised_ccw() {
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert!(signed_area(cw.vertices()) > 0.0);
+    }
+
+    #[test]
+    fn rect_area_perimeter_centroid() {
+        let r = Polygon::axis_rect(Point::new(2.0, 3.0), 4.0, 2.0);
+        assert!((r.area() - 8.0).abs() < 1e-12);
+        assert!((r.perimeter() - 12.0).abs() < 1e-12);
+        let c = r.centroid();
+        assert!((c.x - 2.0).abs() < 1e-12 && (c.y - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oriented_rect_preserves_area() {
+        let r = Polygon::oriented_rect(Point::new(5.0, 5.0), 10.0, 2.0, 0.7);
+        assert!((r.area() - 20.0).abs() < 1e-9);
+        let c = r.centroid();
+        assert!((c.x - 5.0).abs() < 1e-9 && (c.y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_point_inside_outside_boundary() {
+        let sq = unit_square();
+        assert!(sq.contains_point(Point::new(0.5, 0.5)));
+        assert!(sq.contains_point(Point::new(0.0, 0.0))); // corner
+        assert!(sq.contains_point(Point::new(0.5, 0.0))); // edge
+        assert!(!sq.contains_point(Point::new(1.5, 0.5)));
+        assert!(!sq.contains_point(Point::new(-0.001, 0.5)));
+    }
+
+    #[test]
+    fn intersects_overlap_touch_disjoint_containment() {
+        let a = unit_square();
+        let b = a.translated(Vector::new(0.5, 0.5));
+        let c = a.translated(Vector::new(2.0, 0.0));
+        let tiny = Polygon::axis_rect(Point::new(0.5, 0.5), 0.1, 0.1);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&tiny)); // containment, no edge crossing
+        assert!(tiny.intersects(&a)); // symmetric
+        let touch = a.translated(Vector::new(1.0, 0.0));
+        assert!(a.intersects(&touch)); // shared edge
+    }
+
+    #[test]
+    fn contains_polygon_cases() {
+        let big = Polygon::axis_rect(Point::new(0.0, 0.0), 10.0, 10.0);
+        let small = Polygon::axis_rect(Point::new(1.0, 1.0), 2.0, 2.0);
+        let overlapping = Polygon::axis_rect(Point::new(5.0, 0.0), 4.0, 2.0);
+        assert!(big.contains_polygon(&small));
+        assert!(!small.contains_polygon(&big));
+        assert!(!big.contains_polygon(&overlapping));
+    }
+
+    #[test]
+    fn min_distance_matches_gap() {
+        let a = unit_square();
+        let b = a.translated(Vector::new(3.0, 0.0));
+        assert!((a.min_distance(&b) - 2.0).abs() < 1e-12);
+        assert_eq!(a.min_distance(&a.translated(Vector::new(0.5, 0.0))), 0.0);
+    }
+
+    #[test]
+    fn adjacency_respects_gap_threshold() {
+        let a = unit_square();
+        let b = a.translated(Vector::new(1.1, 0.0)); // 0.1 gap
+        assert!(a.adjacent_to(&b, 0.2));
+        assert!(!a.adjacent_to(&b, 0.05));
+        assert!(b.adjacent_to(&a, 0.2)); // symmetric
+    }
+
+    #[test]
+    fn distance_to_point_inside_is_zero() {
+        let sq = unit_square();
+        assert_eq!(sq.distance_to_point(Point::new(0.5, 0.5)), 0.0);
+        assert!((sq.distance_to_point(Point::new(2.0, 0.5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_area_and_perimeter() {
+        let r = Polygon::axis_rect(Point::new(0.0, 0.0), 3.0, 1.0);
+        let rr = r.rotated_about(Point::new(10.0, 10.0), 1.1);
+        assert!((r.area() - rr.area()).abs() < 1e-9);
+        assert!((r.perimeter() - rr.perimeter()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regular_polygon_approximates_circle() {
+        let c = Polygon::regular(Point::new(0.0, 0.0), 1.0, 64);
+        assert!((c.area() - std::f64::consts::PI).abs() < 0.01);
+        assert!(c.contains_point(Point::new(0.9, 0.0)));
+        assert!(!c.contains_point(Point::new(1.01, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3 vertices")]
+    fn too_few_vertices_panics() {
+        let _ = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Line segments: intersection and distance predicates.
+
+use crate::point::{orientation, Orientation, Point, Vector};
+
+/// A closed line segment between two points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Direction vector `b - a` (not normalised).
+    #[inline]
+    pub fn direction(&self) -> Vector {
+        self.b - self.a
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// True when `p` lies on this segment (within [`crate::EPSILON`]).
+    pub fn contains_point(&self, p: Point) -> bool {
+        if orientation(self.a, self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        let d = self.direction();
+        let t = (p - self.a).dot(d);
+        t >= -crate::EPSILON && t <= d.norm_sq() + crate::EPSILON
+    }
+
+    /// True when this segment intersects `other` (including endpoint touches
+    /// and collinear overlap).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(self.a, self.b, other.a);
+        let o2 = orientation(self.a, self.b, other.b);
+        let o3 = orientation(other.a, other.b, self.a);
+        let o4 = orientation(other.a, other.b, self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear {
+            return true;
+        }
+        // Collinear / endpoint special cases.
+        (o1 == Orientation::Collinear && self.contains_point(other.a))
+            || (o2 == Orientation::Collinear && self.contains_point(other.b))
+            || (o3 == Orientation::Collinear && other.contains_point(self.a))
+            || (o4 == Orientation::Collinear && other.contains_point(self.b))
+            || (o1 != o2 && o3 != o4)
+    }
+
+    /// The proper intersection point of the two segments' supporting lines,
+    /// if the segments cross at a single point. Returns `None` for parallel
+    /// or non-crossing segments.
+    pub fn intersection_point(&self, other: &Segment) -> Option<Point> {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        if denom.abs() <= crate::EPSILON {
+            return None; // parallel (possibly collinear)
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        let tol = 1e-12;
+        if (-tol..=1.0 + tol).contains(&t) && (-tol..=1.0 + tol).contains(&u) {
+            Some(self.a + r * t)
+        } else {
+            None
+        }
+    }
+
+    /// Closest point on the segment to `p`.
+    pub fn closest_point_to(&self, p: Point) -> Point {
+        let d = self.direction();
+        let len_sq = d.norm_sq();
+        if len_sq <= crate::EPSILON {
+            return self.a; // degenerate segment
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.a + d * t
+    }
+
+    /// Minimum distance from `p` to the segment.
+    #[inline]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point_to(p).distance(p)
+    }
+
+    /// Minimum distance between two segments (0 when they intersect).
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let d1 = self.distance_to_point(other.a);
+        let d2 = self.distance_to_point(other.b);
+        let d3 = other.distance_to_point(self.a);
+        let d4 = other.distance_to_point(self.b);
+        d1.min(d2).min(d3).min(d4)
+    }
+
+    /// Angle of the segment direction in radians, folded into `[0, π)` so
+    /// that direction reversal does not change the answer.
+    pub fn axis_angle(&self) -> f64 {
+        let mut a = self.direction().angle();
+        if a < 0.0 {
+            a += std::f64::consts::PI;
+        }
+        if a >= std::f64::consts::PI {
+            a -= std::f64::consts::PI;
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 10.0, 10.0);
+        let s2 = seg(0.0, 10.0, 10.0, 0.0);
+        assert!(s1.intersects(&s2));
+        let p = s1.intersection_point(&s2).unwrap();
+        assert!((p.x - 5.0).abs() < 1e-9 && (p.y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!s1.intersects(&s2));
+        assert!(s1.intersection_point(&s2).is_none());
+        assert!((s1.distance_to_segment(&s2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_at_endpoint_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(1.0, 1.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert_eq!(s1.distance_to_segment(&s2), 0.0);
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(s1.intersects(&s2));
+        // but the supporting lines are parallel, so no unique crossing point:
+        assert!(s1.intersection_point(&s2).is_none());
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!s1.intersects(&s2));
+        assert!((s1.distance_to_segment(&s2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point_to(Point::new(-5.0, 3.0)), Point::new(0.0, 0.0));
+        assert_eq!(s.closest_point_to(Point::new(15.0, 3.0)), Point::new(10.0, 0.0));
+        assert_eq!(s.closest_point_to(Point::new(4.0, 3.0)), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!((s.distance_to_point(Point::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(s.length(), 0.0);
+    }
+
+    #[test]
+    fn axis_angle_folds_direction() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(1.0, 1.0, 0.0, 0.0);
+        assert!((s1.axis_angle() - s2.axis_angle()).abs() < 1e-12);
+        assert!((s1.axis_angle() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_point_on_and_off() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        assert!(s.contains_point(Point::new(2.0, 0.0)));
+        assert!(s.contains_point(Point::new(0.0, 0.0)));
+        assert!(s.contains_point(Point::new(4.0, 0.0)));
+        assert!(!s.contains_point(Point::new(5.0, 0.0)));
+        assert!(!s.contains_point(Point::new(2.0, 0.1)));
+    }
+}

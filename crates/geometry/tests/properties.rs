@@ -1,0 +1,132 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use spam_geometry::{convex_hull, Aabb, Obb, Point, Polygon, Segment, ShapeDescriptors, Vector};
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Polygon> {
+    (pt(), 1.0..500.0f64, 1.0..500.0f64, 0.0..std::f64::consts::PI)
+        .prop_map(|(c, l, w, a)| Polygon::oriented_rect(c, l, w, a))
+}
+
+proptest! {
+    #[test]
+    fn segment_intersection_symmetric(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    #[test]
+    fn segment_distance_symmetric_and_consistent(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        let d12 = s1.distance_to_segment(&s2);
+        let d21 = s2.distance_to_segment(&s1);
+        prop_assert!((d12 - d21).abs() < 1e-9);
+        if s1.intersects(&s2) {
+            prop_assert_eq!(d12, 0.0);
+        } else {
+            prop_assert!(d12 > 0.0);
+        }
+    }
+
+    #[test]
+    fn hull_contains_inputs_and_is_convex(pts in prop::collection::vec(pt(), 3..60)) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            let poly = Polygon::new(h.clone());
+            for &p in &pts {
+                // Allow boundary tolerance.
+                prop_assert!(poly.contains_point(p) || poly.distance_to_point(p) < 1e-6);
+            }
+            // Convexity: every turn is counter-clockwise or collinear.
+            let n = h.len();
+            for i in 0..n {
+                let o = h[i];
+                let a = h[(i + 1) % n];
+                let b = h[(i + 2) % n];
+                prop_assert!((a - o).cross(b - o) >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_intersects_symmetric(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn polygon_min_distance_symmetric(a in rect(), b in rect()) {
+        let dab = a.min_distance(&b);
+        let dba = b.min_distance(&a);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(dab >= 0.0);
+    }
+
+    #[test]
+    fn polygon_distance_zero_iff_intersecting(a in rect(), b in rect()) {
+        let inter = a.intersects(&b);
+        let dist = a.min_distance(&b);
+        if inter {
+            prop_assert_eq!(dist, 0.0);
+        } else {
+            prop_assert!(dist > 0.0);
+        }
+    }
+
+    #[test]
+    fn translation_preserves_descriptors(r in rect(), dx in -100.0..100.0f64, dy in -100.0..100.0f64) {
+        let moved = r.translated(Vector::new(dx, dy));
+        let d0 = ShapeDescriptors::of_polygon(&r);
+        let d1 = ShapeDescriptors::of_polygon(&moved);
+        prop_assert!((d0.area - d1.area).abs() < 1e-6);
+        prop_assert!((d0.perimeter - d1.perimeter).abs() < 1e-6);
+        prop_assert!((d0.compactness - d1.compactness).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obb_covers_all_points(pts in prop::collection::vec(pt(), 1..40)) {
+        if let Some(obb) = Obb::of_points(&pts) {
+            if obb.width() > 1e-9 {
+                let cover = Polygon::new(obb.corners().to_vec());
+                for &p in &pts {
+                    prop_assert!(
+                        cover.contains_point(p) || cover.distance_to_point(p) < 1e-6,
+                        "obb must cover {:?}", p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_contains_polygon_vertices(r in rect()) {
+        let bb = r.bbox();
+        for &v in r.vertices() {
+            prop_assert!(bb.contains_point(v));
+        }
+        prop_assert!((bb.area() + 1e-6) >= r.area());
+    }
+
+    #[test]
+    fn aabb_union_is_commutative_and_covering(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let b1 = Aabb::from_corners(a, b);
+        let b2 = Aabb::from_corners(c, d);
+        let u = b1.union(&b2);
+        prop_assert_eq!(u, b2.union(&b1));
+        prop_assert!(u.contains_point(a) && u.contains_point(b));
+        prop_assert!(u.contains_point(c) && u.contains_point(d));
+    }
+
+    #[test]
+    fn adjacency_monotone_in_gap(a in rect(), b in rect(), g1 in 0.0..50.0f64, g2 in 0.0..50.0f64) {
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        if a.adjacent_to(&b, lo) {
+            prop_assert!(a.adjacent_to(&b, hi));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Machine descriptions: clusters of processors.
+
+/// One shared-memory machine ("Encore").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Total processors on the cluster.
+    pub processors: u32,
+    /// Processors occupied by the OS kernel / SVM server and unavailable to
+    /// task processes (§5.2 reserves one for the control process and one
+    /// for the operating system; §7 reports ≈2 per Encore under SVM).
+    pub reserved: u32,
+}
+
+impl ClusterConfig {
+    /// Processors usable by task processes.
+    pub fn usable(&self) -> u32 {
+        self.processors.saturating_sub(self.reserved)
+    }
+}
+
+/// A machine: one local cluster, optionally coupled to a remote cluster via
+/// shared virtual memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Machine {
+    /// The cluster holding the task queue and the initial working memory.
+    pub local: ClusterConfig,
+    /// The remote cluster reached through the network SVM (Figure 9's
+    /// second Encore), if any.
+    pub remote: Option<ClusterConfig>,
+}
+
+impl Machine {
+    /// The paper's base platform: one 16-processor Encore Multimax with one
+    /// processor for the control process and one for the OS, leaving 14 for
+    /// task/match processes (§5.2).
+    pub fn encore_multimax() -> Machine {
+        Machine {
+            local: ClusterConfig {
+                processors: 16,
+                reserved: 2,
+            },
+            remote: None,
+        }
+    }
+
+    /// The §7 platform: two 16-processor Encores under the shared-memory
+    /// server; the Mach kernel + SVM occupy about 2 processors on each, and
+    /// the paper could drive at most 13 + 9 = 22 task processes.
+    pub fn dual_encore_svm() -> Machine {
+        Machine {
+            local: ClusterConfig {
+                processors: 16,
+                reserved: 3,
+            },
+            remote: Some(ClusterConfig {
+                processors: 16,
+                reserved: 3,
+            }),
+        }
+    }
+
+    /// Total usable task processors.
+    pub fn usable(&self) -> u32 {
+        self.local.usable() + self.remote.map_or(0, |c| c.usable())
+    }
+
+    /// Whether worker index `w` (0-based, local cluster filled first) runs
+    /// on the remote cluster.
+    pub fn is_remote(&self, w: u32) -> bool {
+        w >= self.local.usable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encore_has_14_usable() {
+        let m = Machine::encore_multimax();
+        assert_eq!(m.usable(), 14);
+        assert!(!m.is_remote(13));
+    }
+
+    #[test]
+    fn dual_encore_worker_placement() {
+        let m = Machine::dual_encore_svm();
+        assert_eq!(m.usable(), 26);
+        assert!(!m.is_remote(12));
+        assert!(m.is_remote(13));
+        assert!(m.is_remote(21));
+    }
+
+    #[test]
+    fn reserved_saturates() {
+        let c = ClusterConfig {
+            processors: 2,
+            reserved: 5,
+        };
+        assert_eq!(c.usable(), 0);
+    }
+}

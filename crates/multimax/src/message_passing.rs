@@ -1,0 +1,205 @@
+//! A message-passing execution model (§9: "we are currently investigating
+//! implementations on message-passing computers", citing Acharya & Tambe's
+//! simulation study).
+//!
+//! On a message-passing machine there is no shared task queue: the control
+//! node *sends* tasks to workers, paying a per-message cost that covers the
+//! task element plus the working-memory slice the task needs (SPAM/PSM's
+//! WM distribution becomes physical data movement). Two distribution
+//! policies:
+//!
+//! * **static** — tasks are dealt round-robin up front; zero steals, but
+//!   imbalance is frozen in;
+//! * **demand-driven** — workers request work when idle; every task costs a
+//!   request/response round trip but the load balances like the shared
+//!   queue.
+
+use crate::task::Task;
+
+/// Message-passing machine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MpConfig {
+    /// Worker nodes.
+    pub nodes: u32,
+    /// One-way message latency, seconds (1990s interconnects: ~1 ms).
+    pub latency: f64,
+    /// Per-task payload transfer time, seconds (task WME + WM slice).
+    pub payload: f64,
+    /// Distribution policy.
+    pub policy: MpPolicy,
+}
+
+/// Task distribution policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpPolicy {
+    /// Round-robin dealt before execution starts.
+    Static,
+    /// Idle workers request the next task from the control node.
+    DemandDriven,
+}
+
+impl MpConfig {
+    /// A 1990-class message-passing machine (iPSC/2-style numbers).
+    pub fn classic(nodes: u32, policy: MpPolicy) -> MpConfig {
+        MpConfig {
+            nodes,
+            latency: 0.001,
+            payload: 0.010,
+            policy,
+        }
+    }
+}
+
+/// Result of a message-passing run.
+#[derive(Clone, Debug)]
+pub struct MpResult {
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Per-node busy time.
+    pub busy: Vec<f64>,
+}
+
+/// Simulates `tasks` on the message-passing machine.
+///
+/// # Panics
+/// Panics when `cfg.nodes` is 0.
+pub fn simulate_mp(cfg: &MpConfig, tasks: &[Task]) -> MpResult {
+    assert!(cfg.nodes >= 1);
+    let n = cfg.nodes as usize;
+    let mut busy = vec![0.0f64; n];
+    let mut messages = 0u64;
+    match cfg.policy {
+        MpPolicy::Static => {
+            // Control sends each task's payload up front (pipelined: the
+            // control node serialises the sends; workers start on first
+            // receipt). Each node then runs its share without interaction.
+            let mut send_done = vec![0.0f64; n];
+            let mut clock = 0.0;
+            let mut node_ready = vec![0.0f64; n];
+            for (i, t) in tasks.iter().enumerate() {
+                let w = i % n;
+                clock += cfg.payload; // control node serialises the sends
+                messages += 1;
+                let arrive = clock + cfg.latency;
+                node_ready[w] = node_ready[w].max(arrive);
+                node_ready[w] += t.service;
+                busy[w] += t.service;
+                send_done[w] = node_ready[w];
+            }
+            MpResult {
+                makespan: send_done.iter().copied().fold(0.0, f64::max),
+                messages,
+                busy,
+            }
+        }
+        MpPolicy::DemandDriven => {
+            // Workers request the next task when idle: each task costs a
+            // request + response (latency both ways + payload), with the
+            // control node serving one request at a time.
+            let mut node_free: Vec<f64> = vec![0.0; n];
+            let mut control_free = 0.0f64;
+            let mut makespan = 0.0f64;
+            for t in tasks {
+                // earliest-free worker asks next
+                let (w, &free) = node_free
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap();
+                let request_at = free + cfg.latency;
+                let served_at = request_at.max(control_free);
+                control_free = served_at + cfg.payload;
+                messages += 2;
+                let start = control_free + cfg.latency;
+                let finish = start + t.service;
+                node_free[w] = finish;
+                busy[w] += t.service;
+                makespan = makespan.max(finish);
+            }
+            MpResult {
+                makespan,
+                messages,
+                busy,
+            }
+        }
+    }
+}
+
+/// Speed-up curve on the message-passing machine.
+pub fn mp_speedup_curve(
+    tasks: &[Task],
+    policy: MpPolicy,
+    max_nodes: u32,
+) -> Vec<(u32, f64)> {
+    let base = simulate_mp(&MpConfig::classic(1, policy), tasks).makespan;
+    (1..=max_nodes)
+        .map(|n| {
+            let r = simulate_mp(&MpConfig::classic(n, policy), tasks);
+            (n, base / r.makespan)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TaskSet;
+
+    fn tasks() -> Vec<Task> {
+        TaskSet::lognormal(300, 4.0, 0.6, 17).tasks
+    }
+
+    #[test]
+    fn demand_driven_balances_better_than_static() {
+        let t = tasks();
+        let st = simulate_mp(&MpConfig::classic(14, MpPolicy::Static), &t);
+        let dd = simulate_mp(&MpConfig::classic(14, MpPolicy::DemandDriven), &t);
+        assert!(
+            dd.makespan < st.makespan,
+            "demand-driven {:.1} should beat static {:.1} under variance",
+            dd.makespan,
+            st.makespan
+        );
+        // But it costs twice the messages.
+        assert!(dd.messages > st.messages);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let t = tasks();
+        let expected: f64 = t.iter().map(|x| x.service).sum();
+        for policy in [MpPolicy::Static, MpPolicy::DemandDriven] {
+            let r = simulate_mp(&MpConfig::classic(8, policy), &t);
+            assert!((r.busy.iter().sum::<f64>() - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn near_linear_at_moderate_scale() {
+        let t = tasks();
+        let curve = mp_speedup_curve(&t, MpPolicy::DemandDriven, 14);
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        assert!(curve[13].1 > 10.0, "got {:.2}", curve[13].1);
+    }
+
+    #[test]
+    fn tiny_tasks_expose_message_costs() {
+        // Fine-grained tasks (Level-1 style) make the control node a
+        // bottleneck under demand-driven distribution.
+        let tiny: Vec<Task> = (0..2000).map(|i| Task::new(i, 0.02)).collect();
+        let curve = mp_speedup_curve(&tiny, MpPolicy::DemandDriven, 32);
+        let best = curve.iter().map(|c| c.1).fold(0.0f64, f64::max);
+        assert!(best < 8.0, "message costs must cap tiny tasks: {best:.1}");
+    }
+
+    #[test]
+    fn determinism() {
+        let t = tasks();
+        let a = simulate_mp(&MpConfig::classic(6, MpPolicy::DemandDriven), &t);
+        let b = simulate_mp(&MpConfig::classic(6, MpPolicy::DemandDriven), &t);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.messages, b.messages);
+    }
+}

@@ -1,0 +1,75 @@
+//! Derived metrics: speed-up curves and per-level decomposition statistics.
+
+use crate::sim::{simulate, SimConfig};
+use crate::workload::TaskSet;
+
+/// Statistics for one decomposition level (one row of Tables 5–7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelStats {
+    /// Mean task time (seconds).
+    pub mean: f64,
+    /// Standard deviation (seconds).
+    pub std_dev: f64,
+    /// Coefficient of variance.
+    pub cv: f64,
+    /// Number of tasks.
+    pub count: usize,
+}
+
+impl LevelStats {
+    /// Computes the row for a task set.
+    pub fn of(ts: &TaskSet) -> LevelStats {
+        LevelStats {
+            mean: ts.mean(),
+            std_dev: ts.std_dev(),
+            cv: ts.coeff_of_variance(),
+            count: ts.len(),
+        }
+    }
+}
+
+/// Computes the speed-up curve for 1..=`max_workers` task processes:
+/// `speedup(n) = makespan(baseline with 1 process) / makespan(n)`.
+///
+/// This is the paper's measurement (§5.2): the BASELINE version is the same
+/// system with a single task process, so queue and fork overheads appear in
+/// both numerator and denominator.
+pub fn speedup_curve<F>(mut config_for: F, tasks: &TaskSet, max_workers: u32) -> Vec<(u32, f64)>
+where
+    F: FnMut(u32) -> SimConfig,
+{
+    let base = simulate(&config_for(1), &tasks.tasks).makespan;
+    (1..=max_workers)
+        .map(|n| {
+            let r = simulate(&config_for(n), &tasks.tasks);
+            (n, base / r.makespan)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_stats_match_taskset() {
+        let ts = TaskSet::from_services(&[1.0, 3.0]);
+        let s = LevelStats::of(&ts);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.cv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_curve_starts_at_one_and_grows() {
+        let ts = TaskSet::lognormal(400, 5.0, 0.4, 3);
+        let curve = speedup_curve(SimConfig::encore, &ts, 14);
+        assert_eq!(curve.len(), 14);
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "speed-up should not regress");
+        }
+        // Near-linear at the paper's scale: > 11x on 14 processors.
+        assert!(curve[13].1 > 11.0, "got {}", curve[13].1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Task ordering policies.
+
+use crate::task::Task;
+
+/// Order in which the central queue serves tasks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Queue order as generated (the paper's system).
+    #[default]
+    Fifo,
+    /// Longest processing time first — the fix §6.2 proposes for the
+    /// tail-end effect ("use a separate task queue for the larger tasks and
+    /// process them at the beginning of the phase").
+    Lpt,
+    /// Shortest first (pessimal for tail effects; ablation).
+    Spt,
+}
+
+impl Schedule {
+    /// Applies the policy, returning the serving order.
+    pub fn order(&self, tasks: &[Task]) -> Vec<Task> {
+        let mut v = tasks.to_vec();
+        match self {
+            Schedule::Fifo => {}
+            Schedule::Lpt => {
+                v.sort_by(|a, b| b.service.partial_cmp(&a.service).unwrap().then(a.id.cmp(&b.id)))
+            }
+            Schedule::Spt => {
+                v.sort_by(|a, b| a.service.partial_cmp(&b.service).unwrap().then(a.id.cmp(&b.id)))
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks() -> Vec<Task> {
+        vec![Task::new(0, 5.0), Task::new(1, 50.0), Task::new(2, 1.0)]
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let o = Schedule::Fifo.order(&tasks());
+        assert_eq!(o.iter().map(|t| t.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lpt_puts_long_first() {
+        let o = Schedule::Lpt.order(&tasks());
+        assert_eq!(o.iter().map(|t| t.id).collect::<Vec<_>>(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn spt_puts_short_first() {
+        let o = Schedule::Spt.order(&tasks());
+        assert_eq!(o.iter().map(|t| t.id).collect::<Vec<_>>(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_id_deterministically() {
+        let t = vec![Task::new(3, 2.0), Task::new(1, 2.0), Task::new(2, 2.0)];
+        let o = Schedule::Lpt.order(&t);
+        assert_eq!(o.iter().map(|t| t.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

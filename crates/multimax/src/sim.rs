@@ -1,0 +1,351 @@
+//! The discrete-event simulation core.
+
+use crate::machine::Machine;
+use crate::schedule::Schedule;
+use crate::svm::SvmConfig;
+use crate::task::Task;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// The machine to run on.
+    pub machine: Machine,
+    /// Number of task processes (≤ `machine.usable()`).
+    pub task_processes: u32,
+    /// Time to dequeue one task while holding the queue lock (seconds).
+    /// §6.2: total task-management overhead "less than 25 seconds" for
+    /// ~300–1000 tasks, so per-dequeue is tens of milliseconds.
+    pub dequeue_overhead: f64,
+    /// One-time fork / initialisation cost per task process (seconds).
+    pub fork_overhead: f64,
+    /// Speed-up applied to each task's match component (dedicated match
+    /// processes; 1.0 = none).
+    pub match_speedup: f64,
+    /// Queue serving order.
+    pub schedule: Schedule,
+    /// SVM cost model, applied to workers on the remote cluster.
+    pub svm: SvmConfig,
+}
+
+impl SimConfig {
+    /// Config for `n` task processes on a lone Encore Multimax with the
+    /// paper's overhead scale.
+    pub fn encore(n: u32) -> SimConfig {
+        SimConfig {
+            machine: Machine::encore_multimax(),
+            task_processes: n,
+            dequeue_overhead: 0.025,
+            fork_overhead: 0.5,
+            match_speedup: 1.0,
+            schedule: Schedule::Fifo,
+            svm: SvmConfig::tuned(),
+        }
+    }
+
+    /// Config for `n` task processes across the dual-Encore SVM platform.
+    pub fn dual_encore(n: u32) -> SimConfig {
+        SimConfig {
+            machine: Machine::dual_encore_svm(),
+            ..SimConfig::encore(n)
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Wall-clock completion time of the last task (seconds).
+    pub makespan: f64,
+    /// Per-worker busy time (task execution only).
+    pub busy: Vec<f64>,
+    /// Per-worker count of executed tasks.
+    pub tasks_executed: Vec<u32>,
+    /// Total time spent waiting for the queue lock.
+    pub queue_wait: f64,
+    /// Total time spent in dequeue critical sections.
+    pub queue_service: f64,
+    /// Sum of task service times actually charged (incl. SVM overheads).
+    pub total_work: f64,
+    /// Completion time of each task, in serving order.
+    pub completions: Vec<(u32, f64)>,
+    /// Time at which each worker finished its last task (or its start-up,
+    /// when it never got one).
+    pub per_worker_finish: Vec<f64>,
+}
+
+impl SimResult {
+    /// Mean processor utilisation over the makespan.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.busy.is_empty() {
+            return 0.0;
+        }
+        self.busy.iter().sum::<f64>() / (self.makespan * self.busy.len() as f64)
+    }
+
+    /// The tail-end effect (§6.2): the fraction of the makespan during
+    /// which at least one processor was already permanently idle,
+    /// `(makespan − earliest worker finish) / makespan`.
+    pub fn tail_fraction(&self) -> f64 {
+        if self.makespan <= 0.0 || self.per_worker_finish.is_empty() {
+            return 0.0;
+        }
+        let earliest = self
+            .per_worker_finish
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        ((self.makespan - earliest) / self.makespan).max(0.0)
+    }
+}
+
+/// Runs the simulation: `cfg.task_processes` workers pull `tasks` from a
+/// central FIFO queue (after `cfg.schedule` reordering) until exhausted.
+///
+/// # Panics
+/// Panics when `task_processes` is 0 or exceeds the machine's usable
+/// processors.
+pub fn simulate(cfg: &SimConfig, tasks: &[Task]) -> SimResult {
+    let n = cfg.task_processes;
+    assert!(n >= 1, "need at least one task process");
+    assert!(
+        n <= cfg.machine.usable(),
+        "machine has only {} usable processors, asked for {n}",
+        cfg.machine.usable()
+    );
+
+    let ordered = cfg.schedule.order(tasks);
+
+    // Worker-available min-heap: (available_time, worker_index).
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+    let mut busy = vec![0.0f64; n as usize];
+    let mut counts = vec![0u32; n as usize];
+    let mut finishes = vec![0.0f64; n as usize];
+    for w in 0..n {
+        let mut t = cfg.fork_overhead;
+        if cfg.machine.is_remote(w) {
+            t += cfg.svm.warmup_overhead();
+        }
+        heap.push(Reverse((OrdF64(t), w)));
+        finishes[w as usize] = t;
+    }
+
+    let mut lock_free_at = 0.0f64;
+    let mut queue_wait = 0.0;
+    let mut queue_service = 0.0;
+    let mut total_work = 0.0;
+    let mut completions = Vec::with_capacity(ordered.len());
+    let mut makespan: f64 = 0.0;
+
+    for task in &ordered {
+        let Reverse((OrdF64(avail), w)) = heap.pop().expect("worker available");
+        // Acquire the queue lock (serialised).
+        let acquired = avail.max(lock_free_at);
+        queue_wait += acquired - avail;
+        lock_free_at = acquired + cfg.dequeue_overhead;
+        queue_service += cfg.dequeue_overhead;
+        // Execute.
+        let mut service = task.service_with_match_speedup(cfg.match_speedup);
+        if cfg.machine.is_remote(w) {
+            service += cfg.svm.per_task_overhead();
+        }
+        let finish = lock_free_at + service;
+        busy[w as usize] += service;
+        counts[w as usize] += 1;
+        finishes[w as usize] = finish;
+        total_work += service;
+        completions.push((task.id, finish));
+        makespan = makespan.max(finish);
+        heap.push(Reverse((OrdF64(finish), w)));
+    }
+
+    SimResult {
+        makespan,
+        busy,
+        tasks_executed: counts,
+        queue_wait,
+        queue_service,
+        total_work,
+        completions,
+        per_worker_finish: finishes,
+    }
+}
+
+/// Totally ordered f64 for the heap (times are finite by construction).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite time")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_tasks(n: u32, service: f64) -> Vec<Task> {
+        (0..n).map(|i| Task::new(i, service)).collect()
+    }
+
+    fn cheap_cfg(n: u32) -> SimConfig {
+        let mut c = SimConfig::encore(n);
+        c.dequeue_overhead = 0.0;
+        c.fork_overhead = 0.0;
+        c
+    }
+
+    #[test]
+    fn single_worker_executes_serially() {
+        let tasks = uniform_tasks(10, 2.0);
+        let r = simulate(&cheap_cfg(1), &tasks);
+        assert!((r.makespan - 20.0).abs() < 1e-9);
+        assert_eq!(r.tasks_executed, vec![10]);
+        assert!((r.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_tasks_scale_linearly() {
+        let tasks = uniform_tasks(140, 1.0);
+        let base = simulate(&cheap_cfg(1), &tasks).makespan;
+        for n in [2, 7, 14] {
+            let r = simulate(&cheap_cfg(n), &tasks);
+            let speedup = base / r.makespan;
+            assert!(
+                (speedup - n as f64).abs() < 1e-6,
+                "n={n}: speedup {speedup}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_giant_task_caps_speedup() {
+        let mut tasks = uniform_tasks(20, 1.0);
+        tasks.push(Task::new(99, 100.0));
+        let base = simulate(&cheap_cfg(1), &tasks).makespan;
+        let r = simulate(&cheap_cfg(14), &tasks);
+        // Makespan is dominated by the giant task.
+        assert!(r.makespan >= 100.0);
+        assert!(base / r.makespan < 1.2);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let tasks: Vec<Task> = (0..50).map(|i| Task::new(i, 0.5 + 0.1 * i as f64)).collect();
+        let expected: f64 = tasks.iter().map(|t| t.service).sum();
+        for n in [1, 3, 8] {
+            let r = simulate(&cheap_cfg(n), &tasks);
+            assert!((r.total_work - expected).abs() < 1e-9, "n={n}");
+            assert!((r.busy.iter().sum::<f64>() - expected).abs() < 1e-9);
+            assert_eq!(r.tasks_executed.iter().sum::<u32>(), 50);
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_workers() {
+        let tasks: Vec<Task> = (0..97)
+            .map(|i| Task::new(i, 1.0 + ((i * 7919) % 13) as f64 * 0.3))
+            .collect();
+        let mut prev = f64::INFINITY;
+        for n in 1..=14 {
+            let r = simulate(&cheap_cfg(n), &tasks);
+            assert!(
+                r.makespan <= prev + 1e-9,
+                "adding a worker must not slow FIFO list scheduling down here (n={n})"
+            );
+            prev = r.makespan;
+        }
+    }
+
+    #[test]
+    fn queue_lock_serialises() {
+        // With a huge dequeue overhead, workers serialise on the lock and
+        // extra workers stop helping.
+        let mut cfg = cheap_cfg(14);
+        cfg.dequeue_overhead = 1.0; // as long as the tasks themselves
+        let tasks = uniform_tasks(100, 1.0);
+        let r = simulate(&cfg, &tasks);
+        // Lower bound: 100 dequeues × 1 s serialised.
+        assert!(r.makespan >= 100.0);
+        assert!(r.queue_wait > 0.0);
+    }
+
+    #[test]
+    fn lpt_beats_fifo_with_tail_tasks() {
+        // Long tasks at the END of the queue create the §6.2 tail-end
+        // effect; LPT moves them first.
+        let mut tasks = uniform_tasks(60, 1.0);
+        tasks.push(Task::new(100, 20.0));
+        tasks.push(Task::new(101, 25.0));
+        let mut fifo = cheap_cfg(8);
+        fifo.schedule = Schedule::Fifo;
+        let mut lpt = cheap_cfg(8);
+        lpt.schedule = Schedule::Lpt;
+        let rf = simulate(&fifo, &tasks);
+        let rl = simulate(&lpt, &tasks);
+        assert!(
+            rl.makespan < rf.makespan,
+            "LPT {:.2} must beat FIFO {:.2}",
+            rl.makespan,
+            rf.makespan
+        );
+    }
+
+    #[test]
+    fn remote_workers_pay_svm_overhead() {
+        let tasks = uniform_tasks(260, 2.0);
+        let mut local_only = SimConfig::dual_encore(13);
+        local_only.dequeue_overhead = 0.0;
+        local_only.fork_overhead = 0.0;
+        let mut with_remote = SimConfig::dual_encore(20);
+        with_remote.dequeue_overhead = 0.0;
+        with_remote.fork_overhead = 0.0;
+
+        let base = simulate(&SimConfig { machine: Machine::dual_encore_svm(), ..cheap_cfg(1) }, &tasks).makespan;
+        let r13 = simulate(&local_only, &tasks);
+        let r20 = simulate(&with_remote, &tasks);
+        let s13 = base / r13.makespan;
+        let s20 = base / r20.makespan;
+        // More processors still help…
+        assert!(s20 > s13);
+        // …but less than their count: the translational loss of Figure 9.
+        assert!(s20 < 20.0 - 0.5, "got {s20}");
+    }
+
+    #[test]
+    fn match_speedup_shrinks_only_match_component() {
+        let tasks: Vec<Task> = (0..30).map(|i| Task::with_match(i, 4.0, 0.5)).collect();
+        let mut cfg = cheap_cfg(1);
+        cfg.match_speedup = 2.0;
+        let r = simulate(&cfg, &tasks);
+        assert!((r.makespan - 30.0 * 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "usable")]
+    fn too_many_workers_rejected() {
+        let _ = simulate(&cheap_cfg(15), &uniform_tasks(5, 1.0));
+    }
+
+    #[test]
+    fn determinism() {
+        let tasks: Vec<Task> = (0..40)
+            .map(|i| Task::new(i, ((i * 31) % 7) as f64 + 0.25))
+            .collect();
+        let a = simulate(&cheap_cfg(6), &tasks);
+        let b = simulate(&cheap_cfg(6), &tasks);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.busy, b.busy);
+        assert_eq!(a.completions, b.completions);
+    }
+}

@@ -1,0 +1,74 @@
+//! Tasks: independent units of work with known service demand.
+
+/// Identifier of a task within one task set.
+pub type TaskId = u32;
+
+/// One independent task (the paper's Level-2/Level-3 units: "apply multiple
+/// constraints to a single object", etc.).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Task {
+    /// Task id (position in the original queue order).
+    pub id: TaskId,
+    /// Service time in simulated seconds on one processor.
+    pub service: f64,
+    /// Fraction of `service` spent in the match phase (0..=1); used when a
+    /// task process has dedicated match processes attached.
+    pub match_fraction: f64,
+}
+
+impl Task {
+    /// Creates a task with no match component annotation.
+    pub fn new(id: TaskId, service: f64) -> Task {
+        assert!(service.is_finite() && service >= 0.0, "bad service time");
+        Task {
+            id,
+            service,
+            match_fraction: 0.0,
+        }
+    }
+
+    /// Creates a task with a match-fraction annotation.
+    pub fn with_match(id: TaskId, service: f64, match_fraction: f64) -> Task {
+        assert!((0.0..=1.0).contains(&match_fraction), "bad match fraction");
+        let mut t = Task::new(id, service);
+        t.match_fraction = match_fraction;
+        t
+    }
+
+    /// Effective service time when the executing task process has
+    /// `match_speedup ≥ 1` applied to its match component (dedicated match
+    /// processes). The non-match component is untouched — this is exactly
+    /// the Amdahl decomposition of §3.1.
+    pub fn service_with_match_speedup(&self, match_speedup: f64) -> f64 {
+        assert!(match_speedup >= 1.0);
+        let m = self.service * self.match_fraction;
+        let rest = self.service - m;
+        rest + m / match_speedup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_speedup_is_amdahl() {
+        let t = Task::with_match(0, 100.0, 0.5);
+        assert_eq!(t.service_with_match_speedup(1.0), 100.0);
+        assert!((t.service_with_match_speedup(2.0) - 75.0).abs() < 1e-12);
+        // Infinitely fast match halves the task, no more.
+        assert!((t.service_with_match_speedup(1e12) - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_match_fraction_ignores_speedup() {
+        let t = Task::new(1, 42.0);
+        assert_eq!(t.service_with_match_speedup(8.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad service")]
+    fn negative_service_rejected() {
+        let _ = Task::new(0, -1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Task sets: construction, synthesis, and the paper's per-level statistics.
+
+use crate::task::{Task, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of independent tasks forming one phase's queue.
+#[derive(Clone, Debug, Default)]
+pub struct TaskSet {
+    /// The tasks, in queue order.
+    pub tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Wraps an explicit task list.
+    pub fn new(tasks: Vec<Task>) -> TaskSet {
+        TaskSet { tasks }
+    }
+
+    /// Builds a task set from measured service times (the trace-driven
+    /// path: times come from real engine runs).
+    pub fn from_services(services: &[f64]) -> TaskSet {
+        TaskSet {
+            tasks: services
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Task::new(i as TaskId, s))
+                .collect(),
+        }
+    }
+
+    /// Synthesises `n` tasks with a lognormal service distribution of the
+    /// given `mean` and coefficient of variance `cv`, deterministically
+    /// seeded. Used to reproduce Tables 5–7 style workloads directly from
+    /// the published statistics when cross-checking the trace-driven path.
+    pub fn lognormal(n: usize, mean: f64, cv: f64, seed: u64) -> TaskSet {
+        assert!(mean > 0.0 && cv >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Lognormal parameters from mean m and cv c:
+        //   sigma² = ln(1 + c²),  mu = ln(m) − sigma²/2.
+        let sigma2 = (1.0 + cv * cv).ln();
+        let sigma = sigma2.sqrt();
+        let mu = mean.ln() - sigma2 / 2.0;
+        let tasks = (0..n)
+            .map(|i| {
+                // Box–Muller from two uniforms (keeps us off external
+                // distribution crates).
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                Task::new(i as TaskId, (mu + sigma * z).exp())
+            })
+            .collect();
+        TaskSet { tasks }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total service demand (the 1-processor execution time, overheads
+    /// aside).
+    pub fn total_service(&self) -> f64 {
+        self.tasks.iter().map(|t| t.service).sum()
+    }
+
+    /// Mean task service time.
+    pub fn mean(&self) -> f64 {
+        if self.tasks.is_empty() {
+            0.0
+        } else {
+            self.total_service() / self.tasks.len() as f64
+        }
+    }
+
+    /// Population standard deviation of service times.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.tasks.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .tasks
+            .iter()
+            .map(|t| (t.service - m) * (t.service - m))
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variance `σ / mean` — the granularity statistic the
+    /// paper's methodology tabulates per decomposition level (Tables 5–7).
+    pub fn coeff_of_variance(&self) -> f64 {
+        let m = self.mean();
+        if m <= 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Annotates every task with a match fraction.
+    pub fn with_match_fraction(mut self, f: f64) -> TaskSet {
+        for t in &mut self.tasks {
+            t.match_fraction = f;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_set() {
+        let ts = TaskSet::from_services(&[2.0, 4.0, 6.0]);
+        assert_eq!(ts.len(), 3);
+        assert!((ts.mean() - 4.0).abs() < 1e-12);
+        assert!((ts.total_service() - 12.0).abs() < 1e-12);
+        let expected_sd = ((4.0 + 0.0 + 4.0) / 3.0f64).sqrt();
+        assert!((ts.std_dev() - expected_sd).abs() < 1e-12);
+        assert!((ts.coeff_of_variance() - expected_sd / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_hits_target_statistics() {
+        let ts = TaskSet::lognormal(20_000, 5.0, 0.4, 42);
+        assert!((ts.mean() - 5.0).abs() / 5.0 < 0.03, "mean {}", ts.mean());
+        assert!(
+            (ts.coeff_of_variance() - 0.4).abs() < 0.05,
+            "cv {}",
+            ts.coeff_of_variance()
+        );
+        assert!(ts.tasks.iter().all(|t| t.service > 0.0));
+    }
+
+    #[test]
+    fn lognormal_is_deterministic() {
+        let a = TaskSet::lognormal(100, 3.0, 0.5, 7);
+        let b = TaskSet::lognormal(100, 3.0, 0.5, 7);
+        assert_eq!(a.tasks, b.tasks);
+        let c = TaskSet::lognormal(100, 3.0, 0.5, 8);
+        assert_ne!(a.tasks, c.tasks);
+    }
+
+    #[test]
+    fn empty_set_is_safe() {
+        let ts = TaskSet::default();
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.std_dev(), 0.0);
+        assert_eq!(ts.coeff_of_variance(), 0.0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn match_fraction_annotation() {
+        let ts = TaskSet::from_services(&[1.0, 2.0]).with_match_fraction(0.4);
+        assert!(ts.tasks.iter().all(|t| t.match_fraction == 0.4));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the discrete-event simulator.
+
+use multimax_sim::{
+    mp_speedup_curve, simulate, simulate_mp, MpConfig, MpPolicy, Schedule, SimConfig, Task,
+    TaskSet,
+};
+use proptest::prelude::*;
+
+fn tasks_strategy() -> impl Strategy<Value = Vec<Task>> {
+    prop::collection::vec(0.01f64..20.0, 1..120).prop_map(|services| {
+        services
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Task::new(i as u32, s))
+            .collect()
+    })
+}
+
+fn cheap(n: u32) -> SimConfig {
+    let mut c = SimConfig::encore(n);
+    c.dequeue_overhead = 0.0;
+    c.fork_overhead = 0.0;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn busy_time_is_conserved(tasks in tasks_strategy(), n in 1u32..14) {
+        let expected: f64 = tasks.iter().map(|t| t.service).sum();
+        let r = simulate(&cheap(n), &tasks);
+        prop_assert!((r.busy.iter().sum::<f64>() - expected).abs() < 1e-6);
+        prop_assert_eq!(r.tasks_executed.iter().sum::<u32>() as usize, tasks.len());
+        prop_assert_eq!(r.completions.len(), tasks.len());
+    }
+
+    #[test]
+    fn makespan_bounds_hold(tasks in tasks_strategy(), n in 1u32..14) {
+        let total: f64 = tasks.iter().map(|t| t.service).sum();
+        let longest = tasks.iter().map(|t| t.service).fold(0.0f64, f64::max);
+        let r = simulate(&cheap(n), &tasks);
+        // Classic bounds: max(total/n, longest) <= makespan <= total.
+        prop_assert!(r.makespan + 1e-9 >= total / n as f64);
+        prop_assert!(r.makespan + 1e-9 >= longest);
+        prop_assert!(r.makespan <= total + 1e-9);
+        // List scheduling's Graham bound: <= total/n + longest.
+        prop_assert!(r.makespan <= total / n as f64 + longest + 1e-9);
+    }
+
+    #[test]
+    fn speedup_never_exceeds_processors(tasks in tasks_strategy(), n in 1u32..14) {
+        let base = simulate(&cheap(1), &tasks).makespan;
+        let r = simulate(&cheap(n), &tasks);
+        prop_assert!(base / r.makespan <= n as f64 + 1e-9);
+    }
+
+    #[test]
+    fn lpt_beats_or_matches_fifo_and_spt_is_legal(tasks in tasks_strategy(), n in 2u32..14) {
+        let fifo = simulate(&cheap(n), &tasks).makespan;
+        let lpt = simulate(
+            &SimConfig { schedule: Schedule::Lpt, ..cheap(n) },
+            &tasks,
+        )
+        .makespan;
+        // LPT's 4/3 bound vs the FIFO list schedule: LPT can't be much
+        // worse than FIFO's own Graham bound.
+        let total: f64 = tasks.iter().map(|t| t.service).sum();
+        let longest = tasks.iter().map(|t| t.service).fold(0.0f64, f64::max);
+        prop_assert!(lpt <= total / n as f64 + longest + 1e-9);
+        // And in the common case it helps:
+        prop_assert!(lpt <= fifo * 1.35 + 1e-9);
+    }
+
+    #[test]
+    fn overheads_only_slow_things_down(tasks in tasks_strategy(), n in 1u32..14) {
+        let free = simulate(&cheap(n), &tasks).makespan;
+        let real = simulate(&SimConfig::encore(n), &tasks).makespan;
+        prop_assert!(real + 1e-9 >= free);
+    }
+
+    #[test]
+    fn mp_work_is_conserved(tasks in tasks_strategy(), n in 1u32..14) {
+        let expected: f64 = tasks.iter().map(|t| t.service).sum();
+        for policy in [MpPolicy::Static, MpPolicy::DemandDriven] {
+            let r = simulate_mp(&MpConfig::classic(n, policy), &tasks);
+            prop_assert!((r.busy.iter().sum::<f64>() - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mp_curves_start_at_one(tasks in tasks_strategy()) {
+        for policy in [MpPolicy::Static, MpPolicy::DemandDriven] {
+            let curve = mp_speedup_curve(&tasks, policy, 4);
+            prop_assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lognormal_tasksets_hit_target_mean(mean in 0.5f64..10.0, cv in 0.0f64..1.0, seed in 0u64..1000) {
+        let ts = TaskSet::lognormal(4000, mean, cv, seed);
+        prop_assert!((ts.mean() - mean).abs() / mean < 0.15,
+            "mean {} target {}", ts.mean(), mean);
+        prop_assert!(ts.tasks.iter().all(|t| t.service > 0.0));
+    }
+
+    #[test]
+    fn match_speedup_shrinks_service_monotonically(
+        service in 0.1f64..50.0,
+        mf in 0.0f64..1.0,
+        s1 in 1.0f64..8.0,
+        s2 in 1.0f64..8.0,
+    ) {
+        let t = Task::with_match(0, service, mf);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(t.service_with_match_speedup(hi) <= t.service_with_match_speedup(lo) + 1e-12);
+        prop_assert!(t.service_with_match_speedup(lo) <= service + 1e-12);
+        // Never below the non-match floor.
+        prop_assert!(t.service_with_match_speedup(1e9) + 1e-9 >= service * (1.0 - mf));
+    }
+}

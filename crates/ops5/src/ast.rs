@@ -1,0 +1,220 @@
+//! Abstract syntax of compiled OPS5 productions.
+//!
+//! The parser resolves attribute names to slot indices (via `literalize`
+//! declarations) and variable names to dense per-production ids, so the
+//! runtime never touches strings.
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// Dense per-production variable id.
+pub type VarId = u16;
+
+/// Slot index within a WME of some class.
+pub type SlotIdx = u16;
+
+/// A comparison predicate in a condition-element test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `=` (also the implicit predicate).
+    Eq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `<=>` — "same type".
+    SameType,
+}
+
+impl Predicate {
+    /// Evaluates the predicate on `(left, right)`.
+    ///
+    /// Ordering predicates are false when either side is non-numeric,
+    /// matching OPS5's behaviour of simply failing the test.
+    #[inline]
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Predicate::Eq => left.ops_eq(right),
+            Predicate::Ne => !left.ops_eq(right),
+            Predicate::Lt => matches!(left.ops_cmp(right), Some(Less)),
+            Predicate::Le => matches!(left.ops_cmp(right), Some(Less | Equal)),
+            Predicate::Gt => matches!(left.ops_cmp(right), Some(Greater)),
+            Predicate::Ge => matches!(left.ops_cmp(right), Some(Greater | Equal)),
+            Predicate::SameType => left.same_type(right),
+        }
+    }
+}
+
+/// The right-hand operand of a slot test.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TestArg {
+    /// A literal constant.
+    Const(Value),
+    /// A variable (bound elsewhere in the production).
+    Var(VarId),
+    /// `<< a b c >>` — equal to any of the listed constants.
+    Disjunction(Vec<Value>),
+}
+
+/// One test attached to a slot of a condition element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotTest {
+    /// Which slot of the WME the test reads.
+    pub slot: SlotIdx,
+    /// Comparison predicate.
+    pub predicate: Predicate,
+    /// Right-hand operand.
+    pub arg: TestArg,
+}
+
+/// A condition element (one pattern of the LHS).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CondElem {
+    /// True for `-(...)` (negated) condition elements.
+    pub negated: bool,
+    /// WME class the element matches.
+    pub class: Symbol,
+    /// All tests, in source order. Variable-binding occurrences are *not*
+    /// tests; they are listed in `bindings`.
+    pub tests: Vec<SlotTest>,
+    /// `(slot, var)` pairs where a variable's first (binding) occurrence
+    /// appears in this element. For negated elements these bind only within
+    /// the element itself.
+    pub bindings: Vec<(SlotIdx, VarId)>,
+}
+
+/// A value expression on the RHS.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A constant.
+    Const(Value),
+    /// A bound variable.
+    Var(VarId),
+    /// `(compute a op b op c ...)` — evaluated left to right, no precedence,
+    /// as in OPS5.
+    Compute(Box<Expr>, Vec<(ArithOp, Expr)>),
+    /// `(call fn args...)` in value position: the external function's
+    /// return value.
+    Call(Symbol, Vec<Expr>),
+    /// A quoted literal piece of text for `write`.
+    Text(String),
+}
+
+/// Arithmetic operators accepted inside `compute`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (float when either side is float; integer otherwise).
+    Div,
+    /// Modulus (`mod` / `\\`).
+    Mod,
+}
+
+/// An RHS action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// `(make class ^attr expr ...)`.
+    Make {
+        /// Class of the created WME.
+        class: Symbol,
+        /// Slot assignments.
+        sets: Vec<(SlotIdx, Expr)>,
+    },
+    /// `(modify k ^attr expr ...)` — re-creates the WME matched by the k-th
+    /// (1-based) condition element with the given slots changed.
+    Modify {
+        /// 1-based condition-element index.
+        ce: u16,
+        /// Slot assignments.
+        sets: Vec<(SlotIdx, Expr)>,
+    },
+    /// `(remove k)`.
+    Remove {
+        /// 1-based condition-element index.
+        ce: u16,
+    },
+    /// `(bind <x> expr)`.
+    Bind {
+        /// Variable to bind.
+        var: VarId,
+        /// Value expression.
+        expr: Expr,
+    },
+    /// `(write expr ...)`.
+    Write {
+        /// Pieces to print; the symbol `crlf` prints a newline.
+        parts: Vec<Expr>,
+    },
+    /// `(call fn args...)` in action position (return value discarded).
+    Call {
+        /// External function name.
+        name: Symbol,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `(halt)`.
+    Halt,
+}
+
+/// A compiled production.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Production {
+    /// Production name.
+    pub name: Symbol,
+    /// Condition elements, in source order. The first must be positive.
+    pub ces: Vec<CondElem>,
+    /// RHS actions, in source order.
+    pub actions: Vec<Action>,
+    /// Number of distinct variables (LHS + `bind`-introduced).
+    pub n_vars: u16,
+    /// Total number of tests — OPS5's specificity measure for conflict
+    /// resolution (bindings count as one test each, as in Forgy's manual).
+    pub specificity: u32,
+}
+
+impl Production {
+    /// Number of positive condition elements (the token length at the
+    /// terminal node).
+    pub fn n_positive(&self) -> usize {
+        self.ces.iter().filter(|c| !c.negated).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_eval_numeric() {
+        let a = Value::Int(3);
+        let b = Value::Float(4.0);
+        assert!(Predicate::Lt.eval(&a, &b));
+        assert!(Predicate::Le.eval(&a, &a));
+        assert!(Predicate::Ge.eval(&b, &a));
+        assert!(Predicate::Ne.eval(&a, &b));
+        assert!(!Predicate::Gt.eval(&a, &b));
+    }
+
+    #[test]
+    fn predicate_ordering_fails_on_symbols() {
+        let s = Value::symbol("apron");
+        let n = Value::Int(0);
+        assert!(!Predicate::Lt.eval(&s, &n));
+        assert!(!Predicate::Ge.eval(&s, &n));
+        assert!(Predicate::Ne.eval(&s, &n));
+        assert!(Predicate::SameType.eval(&Value::Int(1), &Value::Float(2.0)));
+        assert!(!Predicate::SameType.eval(&s, &n));
+    }
+}

@@ -1,0 +1,238 @@
+//! The conflict set and OPS5's conflict-resolution strategies.
+//!
+//! OPS5's recognize–act cycle requires a *resolve* step that picks one
+//! instantiation from the set of all satisfied productions. This global
+//! synchronisation is the first reason the paper gives for the limits of
+//! match parallelism (§3.1): match can be parallelised *within* a cycle, but
+//! resolution serialises the cycle boundary. SPAM/PSM escapes it by running
+//! many independent engines, each with its own conflict set.
+
+use crate::ast::Production;
+use crate::wme::{TimeTag, WmeId};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Conflict-resolution strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// LEX: refraction, then recency over all time tags, then specificity.
+    #[default]
+    Lex,
+    /// MEA: like LEX but the recency of the WME matching the *first*
+    /// condition element dominates (suits goal-directed programs).
+    Mea,
+}
+
+/// An instantiation: a production plus the WMEs matching its positive
+/// condition elements, in condition-element order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instantiation {
+    /// Index of the production in the program.
+    pub production: u32,
+    /// Matched WMEs (positive condition elements, in order).
+    pub wmes: Box<[WmeId]>,
+    /// Time tags of `wmes`, same order.
+    pub time_tags: Box<[TimeTag]>,
+    /// The production's specificity (number of LHS tests).
+    pub specificity: u32,
+}
+
+impl Instantiation {
+    /// Time tags sorted descending (the LEX comparison key).
+    fn sorted_tags(&self) -> Vec<TimeTag> {
+        let mut t: Vec<TimeTag> = self.time_tags.to_vec();
+        t.sort_unstable_by(|a, b| b.cmp(a));
+        t
+    }
+}
+
+/// The conflict set: all currently satisfied, unfired instantiations.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictSet {
+    entries: HashMap<(u32, Box<[WmeId]>), Instantiation>,
+}
+
+impl ConflictSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instantiations present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no instantiation is present (quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds an instantiation (idempotent for identical keys).
+    pub fn insert(&mut self, inst: Instantiation) {
+        self.entries
+            .insert((inst.production, inst.wmes.clone()), inst);
+    }
+
+    /// Removes an instantiation by key; returns true when present.
+    pub fn remove(&mut self, production: u32, wmes: &[WmeId]) -> bool {
+        self.entries.remove(&(production, wmes.into())).is_some()
+    }
+
+    /// Removes every instantiation whose match includes `wme`.
+    pub fn retract_wme(&mut self, wme: WmeId) {
+        self.entries.retain(|_, e| !e.wmes.contains(&wme));
+    }
+
+    /// Iterates over the instantiations (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Instantiation> {
+        self.entries.values()
+    }
+
+    /// Selects the dominant instantiation under `strategy` and removes it
+    /// from the set (OPS5 refraction). Returns `None` at quiescence.
+    pub fn select(&mut self, strategy: Strategy) -> Option<Instantiation> {
+        let best_key = self
+            .entries
+            .values()
+            .max_by(|a, b| compare(strategy, a, b))
+            .map(|i| (i.production, i.wmes.clone()))?;
+        self.entries.remove(&best_key)
+    }
+
+    /// Like [`select`](Self::select) but leaves the instantiation in place.
+    pub fn peek(&self, strategy: Strategy) -> Option<&Instantiation> {
+        self.entries.values().max_by(|a, b| compare(strategy, a, b))
+    }
+}
+
+/// Total order used for resolution; `Greater` means "dominates".
+fn compare(strategy: Strategy, a: &Instantiation, b: &Instantiation) -> Ordering {
+    if strategy == Strategy::Mea {
+        let fa = a.time_tags.first().copied().unwrap_or(0);
+        let fb = b.time_tags.first().copied().unwrap_or(0);
+        match fa.cmp(&fb) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    // LEX recency: compare sorted-descending tag lists lexicographically.
+    let ta = a.sorted_tags();
+    let tb = b.sorted_tags();
+    for (x, y) in ta.iter().zip(tb.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    match ta.len().cmp(&tb.len()) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    match a.specificity.cmp(&b.specificity) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    // Deterministic final tie-break: lower production index, then wmes.
+    match b.production.cmp(&a.production) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    b.wmes.cmp(&a.wmes)
+}
+
+/// Builds an instantiation given the matched WME ids + tags and production
+/// metadata (convenience for the matchers).
+pub fn make_instantiation(
+    production: u32,
+    prod: &Production,
+    wmes: Vec<WmeId>,
+    tags: Vec<TimeTag>,
+) -> Instantiation {
+    debug_assert_eq!(wmes.len(), prod.n_positive());
+    Instantiation {
+        production,
+        wmes: wmes.into_boxed_slice(),
+        time_tags: tags.into_boxed_slice(),
+        specificity: prod.specificity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(prod: u32, tags: &[TimeTag], spec: u32) -> Instantiation {
+        Instantiation {
+            production: prod,
+            wmes: tags.iter().map(|&t| WmeId(t as u32)).collect(),
+            time_tags: tags.into(),
+            specificity: spec,
+        }
+    }
+
+    #[test]
+    fn lex_prefers_recency() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[1, 2], 1));
+        cs.insert(inst(1, &[1, 5], 1));
+        let w = cs.select(Strategy::Lex).unwrap();
+        assert_eq!(w.production, 1);
+        assert_eq!(cs.len(), 1, "selection removes (refraction)");
+    }
+
+    #[test]
+    fn lex_ties_break_on_length_then_specificity() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[5], 1));
+        cs.insert(inst(1, &[5, 3], 1)); // longer with equal prefix wins
+        assert_eq!(cs.peek(Strategy::Lex).unwrap().production, 1);
+
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[5, 3], 1));
+        cs.insert(inst(1, &[5, 3], 9)); // higher specificity wins
+        assert_eq!(cs.peek(Strategy::Lex).unwrap().production, 1);
+    }
+
+    #[test]
+    fn mea_dominates_on_first_ce_tag() {
+        let a = inst(0, &[9, 1], 1); // first CE tag 9
+        let b = inst(1, &[2, 100], 1); // more recent overall, older first CE
+        let mut cs = ConflictSet::new();
+        cs.insert(a);
+        cs.insert(b);
+        assert_eq!(cs.peek(Strategy::Mea).unwrap().production, 0);
+        assert_eq!(cs.peek(Strategy::Lex).unwrap().production, 1);
+    }
+
+    #[test]
+    fn retract_wme_removes_matching_instantiations() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[1, 2], 1));
+        cs.insert(inst(1, &[3, 4], 1));
+        cs.retract_wme(WmeId(2));
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.peek(Strategy::Lex).unwrap().production, 1);
+    }
+
+    #[test]
+    fn selection_is_deterministic_under_full_ties() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(2, &[5, 3], 4));
+        cs.insert(inst(1, &[5, 3], 4));
+        // Lower production index dominates as the final tie-break.
+        assert_eq!(cs.select(Strategy::Lex).unwrap().production, 1);
+        assert_eq!(cs.select(Strategy::Lex).unwrap().production, 2);
+        assert!(cs.select(Strategy::Lex).is_none());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[1], 1));
+        cs.insert(inst(0, &[1], 1));
+        assert_eq!(cs.len(), 1);
+        assert!(cs.remove(0, &[WmeId(1)]));
+        assert!(!cs.remove(0, &[WmeId(1)]));
+    }
+}

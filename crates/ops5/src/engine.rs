@@ -1,0 +1,775 @@
+//! The OPS5 interpreter: working memory + Rete + recognize–act cycle.
+
+use crate::ast::{Action, Expr};
+use crate::conflict::{ConflictSet, Instantiation, Strategy};
+use crate::instrument::{cost, CycleStats, WorkCounters};
+use crate::matcher::{Matcher, NaiveMatcher};
+use crate::program::Program;
+use crate::rete::compile::{compile_production, CompiledProduction, VarSource};
+use crate::rete::{MatchEvent, Rete};
+use crate::rhs::eval_expr;
+use crate::symbol::{sym, Symbol};
+use crate::value::Value;
+use crate::wme::{TimeTag, WmStore, Wme, WmeId};
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Side effects collected from an external-function call.
+///
+/// SPAM's RHS runs geometric computations outside OPS5 (forked Lisp
+/// processes originally, C function calls in the ported baseline). External
+/// functions in this engine mirror that: they receive argument values and
+/// may report simulated cost, queue WMEs to create, produce output, or halt.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Work units the external computation consumed (task-related cost,
+    /// counted separately from match cost — the paper's key distinction).
+    pub cost: u64,
+    /// WMEs to create after the call returns: `(class, [(attr, value)])`.
+    pub makes: Vec<(Symbol, Vec<(Symbol, Value)>)>,
+    /// Text to append to the engine output.
+    pub output: String,
+    /// Halt the engine after this firing.
+    pub halt: bool,
+}
+
+/// An external (RHS) function.
+pub type ExternalFn = Arc<dyn Fn(&[Value], &mut Effects) -> Option<Value> + Send + Sync>;
+
+/// Outcome of a [`Engine::run`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// Number of productions fired.
+    pub firings: u64,
+    /// True when a `(halt)` was executed.
+    pub halted: bool,
+    /// True when the firing limit stopped the run.
+    pub limit_reached: bool,
+    /// Runtime error, if one stopped the run.
+    pub error: Option<String>,
+}
+
+impl RunOutcome {
+    /// True when the run ended because the conflict set emptied.
+    pub fn quiescent(&self) -> bool {
+        !self.halted && !self.limit_reached && self.error.is_none()
+    }
+}
+
+/// An OPS5 engine instance: one complete production system.
+///
+/// SPAM/PSM runs many of these concurrently — each task process owns a full
+/// engine with its own working memory, conflict set, and Rete state, sharing
+/// only the immutable compiled program (working-memory distribution, §5.1).
+pub struct Engine {
+    program: Arc<Program>,
+    compiled: Arc<Vec<CompiledProduction>>,
+    matcher: Box<dyn Matcher>,
+    wm: WmStore,
+    conflict: ConflictSet,
+    time: TimeTag,
+    /// Accumulated interpreter work (match work lives in the matcher; use
+    /// [`Engine::work`] for the merged view).
+    base_work: WorkCounters,
+    externals: HashMap<Symbol, ExternalFn>,
+    halted: bool,
+    /// Accumulated `write` output.
+    pub output: String,
+    cycle_log: Option<Vec<CycleStats>>,
+    /// Matcher-work snapshot at the start of the cycle being logged (WM
+    /// changes made outside the recognize–act loop — e.g. task set-up —
+    /// charge to the next cycle, as they would run on the match processes).
+    log_snapshot: WorkCounters,
+    gensym: u64,
+    strategy: Strategy,
+}
+
+impl Engine {
+    /// Compiles `program` into sharable chain specifications.
+    pub fn compile(program: &Program) -> Result<Arc<Vec<CompiledProduction>>> {
+        let compiled: Vec<CompiledProduction> = program
+            .productions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| compile_production(i as u32, p))
+            .collect::<Result<_>>()?;
+        Ok(Arc::new(compiled))
+    }
+
+    /// Creates an engine for `program`.
+    ///
+    /// # Panics
+    /// Panics if the program fails to compile (the parser rejects all such
+    /// programs already, so this only fires on hand-built ASTs).
+    pub fn new(program: Arc<Program>) -> Engine {
+        let compiled = Self::compile(&program).expect("program compiles");
+        Self::with_compiled(program, compiled)
+    }
+
+    /// Creates an engine sharing pre-compiled chains (cheap: used to spawn
+    /// the hundreds of task-process engines in a SPAM/PSM run).
+    pub fn with_compiled(program: Arc<Program>, compiled: Arc<Vec<CompiledProduction>>) -> Engine {
+        let rete = Rete::from_compiled(&compiled, &program);
+        Self::with_matcher(program, compiled, Box::new(rete))
+    }
+
+    /// Creates an engine around an arbitrary match backend (how ParaOPS5's
+    /// threaded parallel matcher plugs in).
+    pub fn with_matcher(
+        program: Arc<Program>,
+        compiled: Arc<Vec<CompiledProduction>>,
+        matcher: Box<dyn Matcher>,
+    ) -> Engine {
+        let strategy = program.strategy;
+        Engine {
+            program,
+            compiled,
+            matcher,
+            wm: WmStore::new(),
+            conflict: ConflictSet::new(),
+            time: 0,
+            base_work: WorkCounters::default(),
+            externals: HashMap::new(),
+            halted: false,
+            output: String::new(),
+            cycle_log: None,
+            log_snapshot: WorkCounters::default(),
+            gensym: 0,
+            strategy,
+        }
+    }
+
+    /// Creates an engine using the naive (non-Rete) matcher — the
+    /// unoptimised-baseline configuration standing in for the original Lisp
+    /// OPS5 of §6 ("approximately a 10-20 fold speed-up over the original
+    /// Lisp-based implementation").
+    pub fn new_naive(program: Arc<Program>) -> Engine {
+        let compiled = Self::compile(&program).expect("program compiles");
+        let naive = NaiveMatcher::new(Arc::clone(&program), Arc::clone(&compiled));
+        Self::with_matcher(program, compiled, Box::new(naive))
+    }
+
+    /// The program this engine runs.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The shared compiled chains (pass to [`Engine::with_compiled`]).
+    pub fn compiled(&self) -> Arc<Vec<CompiledProduction>> {
+        Arc::clone(&self.compiled)
+    }
+
+    /// Registers an external function callable from the RHS.
+    pub fn register_external(&mut self, name: &str, f: ExternalFn) {
+        self.externals.insert(sym(name), f);
+    }
+
+    /// Overrides the program's conflict-resolution strategy.
+    pub fn set_strategy(&mut self, s: Strategy) {
+        self.strategy = s;
+    }
+
+    /// Starts recording per-cycle statistics. Match work done between this
+    /// call and the first cycle (initial WM loading) is charged to the
+    /// first cycle.
+    pub fn enable_cycle_log(&mut self) {
+        self.cycle_log = Some(Vec::new());
+        self.log_snapshot = self.matcher.work();
+        self.matcher.take_chunks();
+    }
+
+    /// Takes the recorded per-cycle statistics (logging stays enabled).
+    pub fn take_cycle_log(&mut self) -> Vec<CycleStats> {
+        match &mut self.cycle_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Merged work counters (interpreter + match).
+    pub fn work(&self) -> WorkCounters {
+        let mut w = self.base_work;
+        w.add(&self.matcher.work());
+        w
+    }
+
+    /// Working-memory view.
+    pub fn wm(&self) -> &WmStore {
+        &self.wm
+    }
+
+    /// Current conflict-set size.
+    pub fn conflict_len(&self) -> usize {
+        self.conflict.len()
+    }
+
+    /// True when a `(halt)` has been executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Creates a WME by class and attribute names.
+    pub fn make_wme(&mut self, class: &str, sets: &[(&str, Value)]) -> Result<WmeId> {
+        let class_sym = sym(class);
+        let n = self
+            .program
+            .n_slots(class_sym)
+            .ok_or_else(|| Error::Runtime(format!("make: unknown class '{class}'")))?;
+        let mut fields = vec![Value::Nil; n];
+        for (attr, v) in sets {
+            let slot = self
+                .program
+                .slot_of(class_sym, sym(attr))
+                .ok_or_else(|| {
+                    Error::Runtime(format!("class '{class}' has no attribute '{attr}'"))
+                })?;
+            fields[slot as usize] = *v;
+        }
+        Ok(self.insert_fields(class_sym, fields))
+    }
+
+    /// Inserts a WME from raw slot values (working-memory distribution path:
+    /// the PSM control process copies WMEs into task engines this way).
+    /// A fresh local time tag is assigned.
+    pub fn insert_fields(&mut self, class: Symbol, fields: Vec<Value>) -> WmeId {
+        self.time += 1;
+        let wme = Wme {
+            class,
+            fields: fields.into_boxed_slice(),
+            time_tag: self.time,
+        };
+        let id = self.wm.add(wme);
+        self.base_work.wme_adds += 1;
+        self.matcher.add_wme(id, &self.wm);
+        self.sync_conflict();
+        id
+    }
+
+    /// Removes a WME by id (no-op on dead ids).
+    pub fn remove_wme_id(&mut self, id: WmeId) {
+        if self.wm.get(id).is_none() {
+            return;
+        }
+        self.matcher.remove_wme(id, &self.wm);
+        self.wm.remove(id);
+        self.base_work.wme_removes += 1;
+        self.sync_conflict();
+    }
+
+    fn sync_conflict(&mut self) {
+        for e in self.matcher.drain_events(&self.wm) {
+            match e {
+                MatchEvent::Insert(i) => self.conflict.insert(i),
+                MatchEvent::Retract { production, wmes } => {
+                    self.conflict.remove(production, &wmes);
+                }
+            }
+        }
+    }
+
+    /// Runs the recognize–act cycle for at most `limit` firings.
+    pub fn run(&mut self, limit: u64) -> RunOutcome {
+        let mut firings = 0;
+        while firings < limit {
+            match self.step() {
+                Ok(Some(_)) => firings += 1,
+                Ok(None) => {
+                    return RunOutcome {
+                        firings,
+                        halted: self.halted,
+                        limit_reached: false,
+                        error: None,
+                    }
+                }
+                Err(e) => {
+                    return RunOutcome {
+                        firings,
+                        halted: self.halted,
+                        limit_reached: false,
+                        error: Some(e.to_string()),
+                    }
+                }
+            }
+        }
+        RunOutcome {
+            firings,
+            halted: self.halted,
+            limit_reached: true,
+            error: None,
+        }
+    }
+
+    /// Executes one recognize–act cycle. Returns the fired production index,
+    /// or `None` at quiescence / after halt.
+    pub fn step(&mut self) -> Result<Option<u32>> {
+        if self.halted {
+            return Ok(None);
+        }
+        // Resolve.
+        let match_before = if self.cycle_log.is_some() {
+            self.log_snapshot
+        } else {
+            self.matcher.work()
+        };
+        self.base_work.resolve_units +=
+            (self.conflict.len() as u64 + 1) * cost::RESOLVE_ENTRY;
+        let Some(inst) = self.conflict.select(self.strategy) else {
+            return Ok(None);
+        };
+        let prod_idx = inst.production;
+        let act_before = self.base_work;
+        // Act.
+        self.fire(&inst)?;
+        self.base_work.firings += 1;
+        if self.cycle_log.is_some() {
+            self.log_snapshot = self.matcher.work();
+        }
+        if let Some(log) = &mut self.cycle_log {
+            let match_delta = self.log_snapshot.since(&match_before);
+            let act_delta = self.base_work.since(&act_before);
+            let chunks = self.matcher.take_chunks();
+            log.push(CycleStats {
+                production: prod_idx,
+                match_units: match_delta.match_units,
+                match_chunks: chunks,
+                resolve_units: (self.conflict.len() as u64 + 1) * cost::RESOLVE_ENTRY,
+                act_units: act_delta.act_units,
+                external_units: act_delta.external_units,
+            });
+        }
+        Ok(Some(prod_idx))
+    }
+
+    /// Executes the RHS of `inst`.
+    fn fire(&mut self, inst: &Instantiation) -> Result<()> {
+        let cp = Arc::clone(&self.compiled);
+        let cp = &cp[inst.production as usize];
+        let prod = &Arc::clone(&self.program).productions[inst.production as usize];
+
+        // Extract variable bindings from the matched WMEs.
+        let mut vals = vec![Value::Nil; prod.n_vars as usize];
+        for (vid, src) in cp.var_sources.iter().enumerate() {
+            if let VarSource::Lhs { level, slot } = src {
+                let pos = cp
+                    .positive_levels
+                    .iter()
+                    .position(|l| l == level)
+                    .expect("binding level is positive");
+                if let Some(w) = self.wm.get(inst.wmes[pos]) {
+                    vals[vid] = w.get(*slot as usize);
+                }
+            }
+        }
+
+        for action in &prod.actions {
+            self.base_work.rhs_actions += 1;
+            self.base_work.act_units += cost::RHS_ACTION;
+            match action {
+                Action::Make { class, sets } => {
+                    let n = self
+                        .program
+                        .n_slots(*class)
+                        .expect("make class checked at parse time");
+                    let mut fields = vec![Value::Nil; n];
+                    for (slot, e) in sets {
+                        fields[*slot as usize] = self.eval(e, &vals)?;
+                    }
+                    self.insert_fields(*class, fields);
+                }
+                Action::Modify { ce, sets } => {
+                    let pos = cp.ce_to_positive[(*ce - 1) as usize]
+                        .expect("modify target is positive") as usize;
+                    let id = inst.wmes[pos];
+                    // OPS5 modify = remove + make with changed slots.
+                    let Some(old) = self.wm.get(id) else {
+                        // Already removed earlier in this RHS; OPS5 would
+                        // signal an error — we skip, deterministically.
+                        continue;
+                    };
+                    let class = old.class;
+                    let mut fields: Vec<Value> = old.fields.to_vec();
+                    // Evaluate first (expressions may read the old values
+                    // via variables), then swap.
+                    let mut newvals = Vec::with_capacity(sets.len());
+                    for (slot, e) in sets {
+                        newvals.push((*slot, self.eval(e, &vals)?));
+                    }
+                    for (slot, v) in newvals {
+                        fields[slot as usize] = v;
+                    }
+                    self.remove_wme_id(id);
+                    self.insert_fields(class, fields);
+                }
+                Action::Remove { ce } => {
+                    let pos = cp.ce_to_positive[(*ce - 1) as usize]
+                        .expect("remove target is positive") as usize;
+                    self.remove_wme_id(inst.wmes[pos]);
+                }
+                Action::Bind { var, expr } => {
+                    let v = self.eval(expr, &vals)?;
+                    vals[*var as usize] = v;
+                }
+                Action::Write { parts } => {
+                    let crlf = sym("crlf");
+                    let mut first = true;
+                    let mut line = String::new();
+                    for p in parts {
+                        let v = self.eval(p, &vals)?;
+                        if v.as_sym() == Some(crlf) {
+                            line.push('\n');
+                            first = true;
+                            continue;
+                        }
+                        if !first {
+                            line.push(' ');
+                        }
+                        line.push_str(&v.to_string());
+                        first = false;
+                    }
+                    self.output.push_str(&line);
+                }
+                Action::Call { name, args } => {
+                    let mut argv = Vec::with_capacity(args.len());
+                    for a in args {
+                        argv.push(self.eval(a, &vals)?);
+                    }
+                    self.call_external(*name, &argv)?;
+                }
+                Action::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates an RHS expression, dispatching `(call ...)` sub-expressions
+    /// to the external registry.
+    fn eval(&mut self, expr: &Expr, vals: &[Value]) -> Result<Value> {
+        self.base_work.act_units += cost::RHS_EXPR;
+        match expr {
+            Expr::Call(name, args) => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, vals)?);
+                }
+                self.call_external(*name, &argv)
+            }
+            Expr::Compute(first, rest) => {
+                let mut acc = self.eval(first, vals)?;
+                for (op, e) in rest {
+                    let rhs = self.eval(e, vals)?;
+                    acc = crate::rhs::arith(*op, acc, rhs)?;
+                }
+                Ok(acc)
+            }
+            other => {
+                let mut nocall = |n: Symbol, _: &[Value]| -> Result<Value> {
+                    Err(Error::Runtime(format!("unexpected call {n}")))
+                };
+                let mut work = 0;
+                let v = eval_expr(other, vals, &mut nocall, &mut work);
+                self.base_work.act_units += work;
+                v
+            }
+        }
+    }
+
+    fn call_external(&mut self, name: Symbol, args: &[Value]) -> Result<Value> {
+        // Builtin: genatom — a fresh unique symbol.
+        if name == sym("genatom") {
+            self.gensym += 1;
+            return Ok(Value::Sym(sym(&format!("g#{}", self.gensym))));
+        }
+        let Some(f) = self.externals.get(&name).cloned() else {
+            return Err(Error::Runtime(format!("unknown external function '{name}'")));
+        };
+        let mut eff = Effects::default();
+        let ret = f(args, &mut eff);
+        self.base_work.external_units += eff.cost;
+        if !eff.output.is_empty() {
+            self.output.push_str(&eff.output);
+        }
+        for (class, sets) in eff.makes {
+            let n = self.program.n_slots(class).ok_or_else(|| {
+                Error::Runtime(format!("external make: unknown class '{class}'"))
+            })?;
+            let mut fields = vec![Value::Nil; n];
+            for (attr, v) in sets {
+                let slot = self.program.slot_of(class, attr).ok_or_else(|| {
+                    Error::Runtime(format!("external make: no attribute '{attr}' on '{class}'"))
+                })?;
+                fields[slot as usize] = v;
+            }
+            self.insert_fields(class, fields);
+        }
+        if eff.halt {
+            self.halted = true;
+        }
+        Ok(ret.unwrap_or(Value::Nil))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(src: &str) -> Engine {
+        Engine::new(Arc::new(Program::parse(src).unwrap()))
+    }
+
+    #[test]
+    fn counter_runs_to_quiescence() {
+        let mut e = engine(
+            "(literalize count n)
+             (p up (count ^n { <n> <= 3 }) --> (modify 1 ^n (compute <n> + 1)))",
+        );
+        e.make_wme("count", &[("n", 0.into())]).unwrap();
+        let out = e.run(100);
+        assert_eq!(out.firings, 4);
+        assert!(out.quiescent());
+        let (_, w) = e.wm().iter().next().unwrap();
+        assert_eq!(w.get(0), Value::Int(4));
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        let mut e = engine(
+            "(literalize tick n)
+             (p stop (tick ^n 2) --> (halt))
+             (p up (tick ^n <n>) --> (modify 1 ^n (compute <n> + 1)))",
+        );
+        e.make_wme("tick", &[("n", 0.into())]).unwrap();
+        let out = e.run(100);
+        assert!(out.halted);
+        // n reaches 2, `stop` wins on specificity... both match at n=2;
+        // `stop` has specificity 1 (const test) vs `up` 1 (binding) — tie
+        // broken by recency (same wme) then production order. `stop` is
+        // production 0 → wins the final tie-break.
+        assert!(out.firings >= 3);
+    }
+
+    #[test]
+    fn make_and_remove_track_wm() {
+        let mut e = engine(
+            "(literalize seed n)
+             (literalize out n)
+             (p expand (seed ^n <n>) --> (make out ^n <n>) (remove 1))",
+        );
+        e.make_wme("seed", &[("n", 7.into())]).unwrap();
+        let out = e.run(10);
+        assert_eq!(out.firings, 1);
+        let classes: Vec<String> = e.wm().iter().map(|(_, w)| w.class.to_string()).collect();
+        assert_eq!(classes, vec!["out"]);
+    }
+
+    #[test]
+    fn write_produces_output() {
+        let mut e = engine(
+            "(literalize msg text)
+             (p say (msg ^text <t>) --> (write |hello| <t> (crlf)) (remove 1))",
+        );
+        e.make_wme("msg", &[("text", Value::symbol("world"))]).unwrap();
+        e.run(10);
+        assert_eq!(e.output, "hello world\n");
+    }
+
+    #[test]
+    fn external_function_called_with_args() {
+        let mut e = engine(
+            "(literalize region id)
+             (literalize fragment region kind)
+             (p classify (region ^id <r>)
+                -->
+                (make fragment ^region <r> ^kind (call classify-region <r>))
+                (remove 1))",
+        );
+        e.register_external(
+            "classify-region",
+            Arc::new(|args, eff| {
+                eff.cost = 1000;
+                let id = args[0].as_int().unwrap();
+                Some(if id % 2 == 0 {
+                    Value::symbol("runway")
+                } else {
+                    Value::symbol("taxiway")
+                })
+            }),
+        );
+        e.make_wme("region", &[("id", 4.into())]).unwrap();
+        e.make_wme("region", &[("id", 5.into())]).unwrap();
+        let out = e.run(10);
+        assert_eq!(out.firings, 2);
+        assert_eq!(e.work().external_units, 2000);
+        let kinds: Vec<String> = e
+            .wm()
+            .iter()
+            .map(|(_, w)| w.get(1).to_string())
+            .collect();
+        assert!(kinds.contains(&"runway".to_string()));
+        assert!(kinds.contains(&"taxiway".to_string()));
+    }
+
+    #[test]
+    fn external_effects_make_wmes() {
+        let mut e = engine(
+            "(literalize trigger x)
+             (literalize result v)
+             (p go (trigger) --> (call emit) (remove 1))",
+        );
+        e.register_external(
+            "emit",
+            Arc::new(|_, eff| {
+                eff.makes
+                    .push((sym("result"), vec![(sym("v"), Value::Int(42))]));
+                None
+            }),
+        );
+        e.make_wme("trigger", &[]).unwrap();
+        e.run(10);
+        let (_, w) = e.wm().iter().next().unwrap();
+        assert_eq!(w.class, sym("result"));
+        assert_eq!(w.get(0), Value::Int(42));
+    }
+
+    #[test]
+    fn unknown_external_is_a_run_error() {
+        let mut e = engine(
+            "(literalize t x)
+             (p go (t) --> (call no-such-fn))",
+        );
+        e.make_wme("t", &[]).unwrap();
+        let out = e.run(10);
+        assert!(out.error.is_some());
+        assert!(out.error.unwrap().contains("no-such-fn"));
+    }
+
+    #[test]
+    fn bind_and_genatom() {
+        let mut e = engine(
+            "(literalize t x)
+             (literalize named id copy)
+             (p go (t ^x <x>)
+                -->
+                (bind <g>)
+                (make named ^id <g> ^copy <x>)
+                (remove 1))",
+        );
+        e.make_wme("t", &[("x", 3.into())]).unwrap();
+        e.run(10);
+        let (_, w) = e.wm().iter().next().unwrap();
+        assert!(w.get(0).as_sym().is_some(), "gensym bound");
+        assert_eq!(w.get(1), Value::Int(3));
+    }
+
+    #[test]
+    fn negation_driven_loop_terminates() {
+        // Fires once per region lacking a fragment; creating the fragment
+        // retracts the instantiation.
+        let mut e = engine(
+            "(literalize region id)
+             (literalize fragment region)
+             (p cover (region ^id <r>) -(fragment ^region <r>)
+                -->
+                (make fragment ^region <r>))",
+        );
+        for i in 0..5 {
+            e.make_wme("region", &[("id", i.into())]).unwrap();
+        }
+        let out = e.run(100);
+        assert_eq!(out.firings, 5);
+        assert!(out.quiescent());
+        assert_eq!(e.wm().len(), 10);
+    }
+
+    #[test]
+    fn refraction_prevents_refiring() {
+        // A production whose RHS does not change its own match must fire
+        // exactly once per instantiation, not loop.
+        let mut e = engine(
+            "(literalize a x)
+             (literalize log n)
+             (p note (a ^x <x>) --> (make log ^n <x>))",
+        );
+        e.make_wme("a", &[("x", 1.into())]).unwrap();
+        let out = e.run(100);
+        assert_eq!(out.firings, 1);
+    }
+
+    #[test]
+    fn lex_prefers_recent_wmes() {
+        let mut e = engine(
+            "(literalize a x)
+             (literalize pick x)
+             (p choose (a ^x <x>) --> (make pick ^x <x>) (remove 1))",
+        );
+        e.make_wme("a", &[("x", 1.into())]).unwrap();
+        e.make_wme("a", &[("x", 2.into())]).unwrap();
+        e.step().unwrap();
+        // The more recent (x=2) fires first under LEX.
+        let picks: Vec<Value> = e
+            .wm()
+            .iter()
+            .filter(|(_, w)| w.class == sym("pick"))
+            .map(|(_, w)| w.get(0))
+            .collect();
+        assert_eq!(picks, vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn cycle_log_records_work() {
+        let mut e = engine(
+            "(literalize count n)
+             (p up (count ^n { <n> <= 2 }) --> (modify 1 ^n (compute <n> + 1)))",
+        );
+        e.enable_cycle_log();
+        e.make_wme("count", &[("n", 0.into())]).unwrap();
+        e.run(100);
+        let log = e.take_cycle_log();
+        assert_eq!(log.len(), 3);
+        assert!(log.iter().all(|c| c.match_units > 0));
+        assert!(log.iter().all(|c| c.match_chunks > 0));
+        assert!(log.iter().all(|c| c.act_units > 0));
+    }
+
+    #[test]
+    fn work_counters_accumulate() {
+        let mut e = engine(
+            "(literalize count n)
+             (p up (count ^n { <n> <= 9 }) --> (modify 1 ^n (compute <n> + 1)))",
+        );
+        e.make_wme("count", &[("n", 0.into())]).unwrap();
+        e.run(100);
+        let w = e.work();
+        assert_eq!(w.firings, 10);
+        assert!(w.match_units > 0);
+        assert!(w.act_units > 0);
+        assert!(w.resolve_units > 0);
+        assert!(w.total_units() > 0);
+        assert!(w.match_fraction() > 0.0 && w.match_fraction() < 1.0);
+    }
+
+    #[test]
+    fn shared_compiled_engines_are_independent() {
+        let program = Arc::new(
+            Program::parse(
+                "(literalize a x)
+                 (literalize b x)
+                 (p copy (a ^x <x>) --> (make b ^x <x>) (remove 1))",
+            )
+            .unwrap(),
+        );
+        let compiled = Engine::compile(&program).unwrap();
+        let mut e1 = Engine::with_compiled(Arc::clone(&program), Arc::clone(&compiled));
+        let mut e2 = Engine::with_compiled(Arc::clone(&program), compiled);
+        e1.make_wme("a", &[("x", 1.into())]).unwrap();
+        e2.make_wme("a", &[("x", 2.into())]).unwrap();
+        assert_eq!(e1.run(10).firings, 1);
+        assert_eq!(e2.run(10).firings, 1);
+        let v1 = e1.wm().iter().next().unwrap().1.get(0);
+        let v2 = e2.wm().iter().next().unwrap().1.get(0);
+        assert_eq!(v1, Value::Int(1));
+        assert_eq!(v2, Value::Int(2));
+    }
+}

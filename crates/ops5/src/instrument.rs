@@ -1,0 +1,179 @@
+//! Deterministic work accounting.
+//!
+//! The paper's measurements (Tables 1–3, 5–8) are CPU times on a VAX/785 or
+//! an Encore Multimax NS32332 (~1.5 MIPS). We cannot re-run that hardware,
+//! so the engine counts *work units* instead: every Rete node activation,
+//! every RHS action, and every external (geometric) computation adds a
+//! deterministic cost. A calibration constant then converts work units to
+//! simulated seconds on a paper-era processor. The multiprocessor simulator
+//! consumes these per-task costs, which is exactly the role the control
+//! process's timing played in the original measurement set-up (§5.2).
+
+/// Work counters, in abstract work units (1 unit ≈ one NS32332 instruction).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkCounters {
+    /// Match-phase work: alpha tests, join tests, token operations.
+    pub match_units: u64,
+    /// Conflict-resolution work.
+    pub resolve_units: u64,
+    /// RHS work performed inside the interpreter (make/modify/remove/...).
+    pub act_units: u64,
+    /// Work reported by external (geometry) functions.
+    pub external_units: u64,
+    /// Productions fired.
+    pub firings: u64,
+    /// RHS actions executed.
+    pub rhs_actions: u64,
+    /// WMEs added (incl. by modify).
+    pub wme_adds: u64,
+    /// WMEs removed (incl. by modify).
+    pub wme_removes: u64,
+}
+
+impl WorkCounters {
+    /// Total work units.
+    pub fn total_units(&self) -> u64 {
+        self.match_units + self.resolve_units + self.act_units + self.external_units
+    }
+
+    /// Fraction of the work spent in match (the paper's key workload
+    /// statistic: >90 % for classic OPS5 programs, 30–50 % for SPAM's LCC,
+    /// ~60 % for RTF).
+    pub fn match_fraction(&self) -> f64 {
+        let t = self.total_units();
+        if t == 0 {
+            0.0
+        } else {
+            self.match_units as f64 / t as f64
+        }
+    }
+
+    /// Converts work units to simulated seconds on a `mips`-MIPS processor.
+    pub fn seconds_at(&self, mips: f64) -> f64 {
+        self.total_units() as f64 / (mips * 1e6)
+    }
+
+    /// Adds another counter set.
+    pub fn add(&mut self, other: &WorkCounters) {
+        self.match_units += other.match_units;
+        self.resolve_units += other.resolve_units;
+        self.act_units += other.act_units;
+        self.external_units += other.external_units;
+        self.firings += other.firings;
+        self.rhs_actions += other.rhs_actions;
+        self.wme_adds += other.wme_adds;
+        self.wme_removes += other.wme_removes;
+    }
+
+    /// The difference `self - start` (for measuring a span of execution).
+    pub fn since(&self, start: &WorkCounters) -> WorkCounters {
+        WorkCounters {
+            match_units: self.match_units - start.match_units,
+            resolve_units: self.resolve_units - start.resolve_units,
+            act_units: self.act_units - start.act_units,
+            external_units: self.external_units - start.external_units,
+            firings: self.firings - start.firings,
+            rhs_actions: self.rhs_actions - start.rhs_actions,
+            wme_adds: self.wme_adds - start.wme_adds,
+            wme_removes: self.wme_removes - start.wme_removes,
+        }
+    }
+}
+
+/// Per-cycle statistics, recorded when cycle logging is enabled.
+///
+/// The ParaOPS5 cost model uses the `match_units` / `match_chunks` pair: a
+/// cycle's match work can be spread over at most `match_chunks` parallel
+/// match processes (each chunk is one node activation, ParaOPS5's ~100
+/// instruction subtask granularity).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CycleStats {
+    /// Index of the production fired this cycle.
+    pub production: u32,
+    /// Match work triggered by this cycle's WM changes.
+    pub match_units: u64,
+    /// Number of independently schedulable match subtasks.
+    pub match_chunks: u32,
+    /// Resolve work.
+    pub resolve_units: u64,
+    /// Interpreter RHS work.
+    pub act_units: u64,
+    /// External (task-related) work.
+    pub external_units: u64,
+}
+
+impl CycleStats {
+    /// Total units of the cycle.
+    pub fn total_units(&self) -> u64 {
+        self.match_units + self.resolve_units + self.act_units + self.external_units
+    }
+}
+
+/// Default cost-model constants (work units per event).
+///
+/// The absolute values matter only through ratios; they are chosen so that
+/// the engine reproduces the paper's headline workload shape: SPAM LCC tasks
+/// spend 30–50 % of their work in match, RTF ~60 %, and classic
+/// match-intensive OPS5 programs >90 %.
+pub mod cost {
+    /// Cost of one alpha-network constant test.
+    pub const ALPHA_TEST: u64 = 4;
+    /// Cost of inserting/removing a WME in an alpha memory.
+    pub const ALPHA_MEM_OP: u64 = 6;
+    /// Cost of one beta join test.
+    pub const JOIN_TEST: u64 = 8;
+    /// Cost of creating or deleting a token.
+    pub const TOKEN_OP: u64 = 20;
+    /// Cost of a conflict-set insertion or removal.
+    pub const CONFLICT_OP: u64 = 30;
+    /// Base cost of scanning one conflict-set entry during resolution.
+    pub const RESOLVE_ENTRY: u64 = 10;
+    /// Base cost of one RHS action (make/remove/modify bookkeeping).
+    pub const RHS_ACTION: u64 = 60;
+    /// Cost of evaluating one RHS expression node.
+    pub const RHS_EXPR: u64 = 6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let w = WorkCounters {
+            match_units: 300,
+            resolve_units: 100,
+            act_units: 200,
+            external_units: 400,
+            ..Default::default()
+        };
+        assert_eq!(w.total_units(), 1000);
+        assert!((w.match_fraction() - 0.3).abs() < 1e-12);
+        assert!((w.seconds_at(1.5) - 1000.0 / 1.5e6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_counters_are_safe() {
+        let w = WorkCounters::default();
+        assert_eq!(w.match_fraction(), 0.0);
+        assert_eq!(w.total_units(), 0);
+    }
+
+    #[test]
+    fn add_and_since_are_inverse() {
+        let mut a = WorkCounters {
+            match_units: 10,
+            firings: 1,
+            ..Default::default()
+        };
+        let b = WorkCounters {
+            match_units: 5,
+            act_units: 7,
+            firings: 2,
+            ..Default::default()
+        };
+        let snapshot = a;
+        a.add(&b);
+        assert_eq!(a.since(&snapshot), b);
+    }
+}

@@ -1,0 +1,406 @@
+//! Tokeniser for OPS5 source text.
+
+use crate::{Error, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `<<` (disjunction open).
+    LDisj,
+    /// `>>` (disjunction close).
+    RDisj,
+    /// `-->`.
+    Arrow,
+    /// Standalone `-` (condition-element negation / compute operator).
+    Minus,
+    /// `^attr` — attribute selector.
+    Attr(String),
+    /// `<x>` — variable reference.
+    Var(String),
+    /// A predicate operator: `=`, `<>`, `<`, `<=`, `>`, `>=`, `<=>`.
+    Pred(&'static str),
+    /// A bare symbol / identifier (including `+`, `*`, `//`, `mod` which the
+    /// parser interprets contextually inside `compute`).
+    Sym(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `|quoted text|`.
+    Text(String),
+}
+
+/// A token plus its 1-based source line (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+fn is_sym_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | '?' | '!' | '*' | '+' | '/' | '$' | '&' | ':' | '#' | '%')
+}
+
+fn is_sym_start(c: char) -> bool {
+    is_sym_char(c) && !c.is_ascii_digit()
+}
+
+/// Tokenises OPS5 source. Comments run from `;` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                // comment to end of line
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                push!(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(Token::RParen);
+            }
+            '{' => {
+                chars.next();
+                push!(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(Token::RBrace);
+            }
+            '^' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_sym_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(Error::Parse(format!("line {line}: '^' without attribute name")));
+                }
+                push!(Token::Attr(name));
+            }
+            '|' => {
+                chars.next();
+                let mut text = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '|' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    text.push(c);
+                }
+                if !closed {
+                    return Err(Error::Parse(format!("line {line}: unterminated |text|")));
+                }
+                push!(Token::Text(text));
+            }
+            '=' => {
+                chars.next();
+                push!(Token::Pred("="));
+            }
+            '>' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        push!(Token::RDisj);
+                    }
+                    Some('=') => {
+                        chars.next();
+                        push!(Token::Pred(">="));
+                    }
+                    _ => push!(Token::Pred(">")),
+                }
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('<') => {
+                        chars.next();
+                        push!(Token::LDisj);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        push!(Token::Pred("<>"));
+                    }
+                    Some('=') => {
+                        chars.next();
+                        if chars.peek() == Some(&'>') {
+                            chars.next();
+                            push!(Token::Pred("<=>"));
+                        } else {
+                            push!(Token::Pred("<="));
+                        }
+                    }
+                    Some(&c2) if is_sym_start(c2) || c2.is_ascii_digit() => {
+                        // variable <name>
+                        let mut name = String::new();
+                        while let Some(&c3) = chars.peek() {
+                            if is_sym_char(c3) {
+                                name.push(c3);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        if chars.peek() == Some(&'>') {
+                            chars.next();
+                            push!(Token::Var(name));
+                        } else {
+                            return Err(Error::Parse(format!(
+                                "line {line}: unterminated variable '<{name}'"
+                            )));
+                        }
+                    }
+                    _ => push!(Token::Pred("<")),
+                }
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('-') => {
+                        chars.next();
+                        if chars.peek() == Some(&'>') {
+                            chars.next();
+                            push!(Token::Arrow);
+                        } else {
+                            return Err(Error::Parse(format!("line {line}: expected '-->'")));
+                        }
+                    }
+                    Some(&d) if d.is_ascii_digit() || d == '.' => {
+                        let num = lex_number(&mut chars, true, line)?;
+                        push!(num);
+                    }
+                    _ => push!(Token::Minus),
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let num = lex_number(&mut chars, false, line)?;
+                push!(num);
+            }
+            '\\' => {
+                // `\\` is OPS5's modulus operator; lex as the symbol "mod".
+                chars.next();
+                if chars.peek() == Some(&'\\') {
+                    chars.next();
+                }
+                push!(Token::Sym("mod".to_owned()));
+            }
+            c if is_sym_start(c) => {
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if is_sym_char(c2) {
+                        name.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Token::Sym(name));
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "line {line}: unexpected character '{other}'"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number<I: Iterator<Item = char>>(
+    chars: &mut std::iter::Peekable<I>,
+    negative: bool,
+    line: u32,
+) -> Result<Token> {
+    let mut s = String::new();
+    if negative {
+        s.push('-');
+    }
+    let mut is_float = false;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            s.push(c);
+            chars.next();
+        } else if c == '.' {
+            // A trailing '.' not followed by a digit ends the number.
+            is_float = true;
+            s.push(c);
+            chars.next();
+        } else if (c == 'e' || c == 'E') && !s.is_empty() {
+            is_float = true;
+            s.push(c);
+            chars.next();
+            if let Some(&sign) = chars.peek() {
+                if sign == '+' || sign == '-' {
+                    s.push(sign);
+                    chars.next();
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    if is_float {
+        s.parse::<f64>()
+            .map(Token::Float)
+            .map_err(|_| Error::Parse(format!("line {line}: bad float literal '{s}'")))
+    } else {
+        s.parse::<i64>()
+            .map(Token::Int)
+            .map_err(|_| Error::Parse(format!("line {line}: bad integer literal '{s}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_production_shape() {
+        let t = toks("(p r1 (a ^x 1) --> (make b))");
+        assert_eq!(
+            t,
+            vec![
+                Token::LParen,
+                Token::Sym("p".into()),
+                Token::Sym("r1".into()),
+                Token::LParen,
+                Token::Sym("a".into()),
+                Token::Attr("x".into()),
+                Token::Int(1),
+                Token::RParen,
+                Token::Arrow,
+                Token::LParen,
+                Token::Sym("make".into()),
+                Token::Sym("b".into()),
+                Token::RParen,
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_vs_predicates() {
+        assert_eq!(toks("<x>"), vec![Token::Var("x".into())]);
+        assert_eq!(toks("<="), vec![Token::Pred("<=")]);
+        assert_eq!(toks("<=>"), vec![Token::Pred("<=>")]);
+        assert_eq!(toks("<>"), vec![Token::Pred("<>")]);
+        assert_eq!(toks("<"), vec![Token::Pred("<")]);
+        assert_eq!(toks(">="), vec![Token::Pred(">=")]);
+        assert_eq!(toks("<< a b >>"), vec![
+            Token::LDisj,
+            Token::Sym("a".into()),
+            Token::Sym("b".into()),
+            Token::RDisj
+        ]);
+        assert_eq!(toks("<r1>"), vec![Token::Var("r1".into())]);
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("-42"), vec![Token::Int(-42)]);
+        assert_eq!(toks("3.5"), vec![Token::Float(3.5)]);
+        assert_eq!(toks("-3.5"), vec![Token::Float(-3.5)]);
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("- 5"), vec![Token::Minus, Token::Int(5)]);
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(toks("-->"), vec![Token::Arrow]);
+        assert_eq!(
+            toks("-(goal)"),
+            vec![
+                Token::Minus,
+                Token::LParen,
+                Token::Sym("goal".into()),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("(a) ; this is a comment\n(b)");
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn quoted_text() {
+        assert_eq!(
+            toks("|hello world|"),
+            vec![Token::Text("hello world".into())]
+        );
+        assert!(lex("|unterminated").is_err());
+    }
+
+    #[test]
+    fn symbols_with_hyphens() {
+        assert_eq!(
+            toks("terminal-building"),
+            vec![Token::Sym("terminal-building".into())]
+        );
+    }
+
+    #[test]
+    fn error_positions_carry_line_numbers() {
+        let err = lex("(a)\n(b ^)").unwrap_err();
+        match err {
+            Error::Parse(m) => assert!(m.contains("line 2"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modulus_lexes_as_mod() {
+        assert_eq!(toks("\\\\"), vec![Token::Sym("mod".into())]);
+    }
+}

@@ -1,0 +1,206 @@
+//! The alpha network: constant tests and alpha memories.
+//!
+//! Alpha memories are shared: two condition elements with the same class and
+//! the same constant-test set (across any productions) feed from one memory,
+//! as in Forgy's original network-sharing optimisation.
+
+use super::compile::{eval_alpha, AlphaTest};
+use crate::instrument::cost;
+use crate::symbol::Symbol;
+use crate::wme::{Wme, WmeId};
+use std::collections::HashMap;
+
+/// Identifier of an alpha memory.
+pub type AlphaMemId = u32;
+
+/// A `(chain, level)` successor of an alpha memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Successor {
+    /// Production-chain index.
+    pub chain: u32,
+    /// Node level within the chain.
+    pub level: u16,
+}
+
+/// One alpha memory: a constant-test pattern plus the set of WMEs passing it.
+#[derive(Clone, Debug)]
+pub struct AlphaMemory {
+    /// Class filter.
+    pub class: Symbol,
+    /// Constant tests (all must pass).
+    pub tests: Vec<AlphaTest>,
+    /// WMEs currently in the memory.
+    pub wmes: Vec<WmeId>,
+    /// Beta nodes fed by this memory.
+    pub successors: Vec<Successor>,
+}
+
+/// The alpha network.
+#[derive(Clone, Debug, Default)]
+pub struct AlphaNetwork {
+    mems: Vec<AlphaMemory>,
+    by_class: HashMap<Symbol, Vec<AlphaMemId>>,
+}
+
+impl AlphaNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of alpha memories.
+    pub fn len(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// True when the network has no memories.
+    pub fn is_empty(&self) -> bool {
+        self.mems.is_empty()
+    }
+
+    /// Borrow a memory.
+    pub fn mem(&self, id: AlphaMemId) -> &AlphaMemory {
+        &self.mems[id as usize]
+    }
+
+    /// Finds or creates the memory for `(class, tests)` and registers
+    /// `successor`. Returns the memory id.
+    pub fn get_or_create(
+        &mut self,
+        class: Symbol,
+        tests: &[AlphaTest],
+        successor: Successor,
+    ) -> AlphaMemId {
+        let ids = self.by_class.entry(class).or_default();
+        for &id in ids.iter() {
+            if self.mems[id as usize].tests == tests {
+                self.mems[id as usize].successors.push(successor);
+                return id;
+            }
+        }
+        let id = self.mems.len() as AlphaMemId;
+        self.mems.push(AlphaMemory {
+            class,
+            tests: tests.to_vec(),
+            wmes: Vec::new(),
+            successors: vec![successor],
+        });
+        ids.push(id);
+        id
+    }
+
+    /// Classifies a new WME into its memories, returning the activated
+    /// memory ids and accumulating the match cost in `work_units`.
+    pub fn classify_add(&mut self, id: WmeId, wme: &Wme, work_units: &mut u64) -> Vec<AlphaMemId> {
+        let mut hit = Vec::new();
+        if let Some(ids) = self.by_class.get(&wme.class) {
+            for &m in ids {
+                let mem = &mut self.mems[m as usize];
+                let mut pass = true;
+                for t in &mem.tests {
+                    *work_units += cost::ALPHA_TEST;
+                    if !eval_alpha(t, &wme.fields) {
+                        pass = false;
+                        break;
+                    }
+                }
+                if pass {
+                    *work_units += cost::ALPHA_MEM_OP;
+                    mem.wmes.push(id);
+                    hit.push(m);
+                }
+            }
+        }
+        hit
+    }
+
+    /// Removes a WME from every memory containing it, returning the memory
+    /// ids it was removed from.
+    pub fn classify_remove(
+        &mut self,
+        id: WmeId,
+        wme: &Wme,
+        work_units: &mut u64,
+    ) -> Vec<AlphaMemId> {
+        let mut hit = Vec::new();
+        if let Some(ids) = self.by_class.get(&wme.class) {
+            for &m in ids {
+                let mem = &mut self.mems[m as usize];
+                if let Some(pos) = mem.wmes.iter().position(|&w| w == id) {
+                    *work_units += cost::ALPHA_MEM_OP;
+                    mem.wmes.swap_remove(pos);
+                    hit.push(m);
+                }
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Predicate;
+    use crate::rete::compile::AlphaArg;
+    use crate::symbol::sym;
+    use crate::value::Value;
+
+    fn test_gt(slot: u16, v: i64) -> AlphaTest {
+        AlphaTest {
+            slot,
+            predicate: Predicate::Gt,
+            arg: AlphaArg::Const(Value::Int(v)),
+        }
+    }
+
+    #[test]
+    fn memory_sharing_by_pattern() {
+        let mut net = AlphaNetwork::new();
+        let c = sym("region");
+        let s1 = Successor { chain: 0, level: 0 };
+        let s2 = Successor { chain: 1, level: 2 };
+        let a = net.get_or_create(c, &[test_gt(0, 5)], s1);
+        let b = net.get_or_create(c, &[test_gt(0, 5)], s2);
+        assert_eq!(a, b, "identical patterns share a memory");
+        assert_eq!(net.mem(a).successors.len(), 2);
+        let d = net.get_or_create(c, &[test_gt(0, 6)], s1);
+        assert_ne!(a, d);
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn classify_add_and_remove() {
+        let mut net = AlphaNetwork::new();
+        let c = sym("region");
+        let succ = Successor { chain: 0, level: 0 };
+        let big = net.get_or_create(c, &[test_gt(0, 100)], succ);
+        let any = net.get_or_create(c, &[], succ);
+
+        let mut w = Wme::new(c, 1, 1);
+        w.set(0, Value::Int(500));
+        let mut units = 0;
+        let hit = net.classify_add(WmeId(0), &w, &mut units);
+        assert_eq!(hit, vec![big, any]);
+        assert!(units > 0);
+
+        let mut small = Wme::new(c, 1, 2);
+        small.set(0, Value::Int(5));
+        let hit = net.classify_add(WmeId(1), &small, &mut units);
+        assert_eq!(hit, vec![any]);
+
+        let removed = net.classify_remove(WmeId(0), &w, &mut units);
+        assert_eq!(removed, vec![big, any]);
+        assert_eq!(net.mem(big).wmes.len(), 0);
+        assert_eq!(net.mem(any).wmes, vec![WmeId(1)]);
+    }
+
+    #[test]
+    fn wrong_class_never_matches() {
+        let mut net = AlphaNetwork::new();
+        let succ = Successor { chain: 0, level: 0 };
+        net.get_or_create(sym("region"), &[], succ);
+        let w = Wme::new(sym("fragment"), 1, 1);
+        let mut units = 0;
+        assert!(net.classify_add(WmeId(0), &w, &mut units).is_empty());
+    }
+}

@@ -1,0 +1,673 @@
+//! The beta network: incremental token maintenance.
+//!
+//! The implementation follows the token-tree formulation (Doorenbos 1995) of
+//! Forgy's Rete: each production compiles to a linear chain of join /
+//! negative nodes; tokens form a tree rooted at a per-chain dummy; WME
+//! removal deletes token subtrees through a WME→token index; negative nodes
+//! keep, per token, the list of WMEs currently blocking it.
+//!
+//! Every activation (alpha classification, right/left activation of a node)
+//! is counted as one *match chunk* — the unit of parallelism ParaOPS5
+//! schedules across dedicated match processes (§3.1 of the paper: "subtasks
+//! execute only about 100 instructions").
+
+use super::alpha::{AlphaMemId, AlphaNetwork, Successor};
+use super::compile::{compile_production, CompiledProduction, JoinTest};
+use crate::conflict::Instantiation;
+use crate::instrument::{cost, WorkCounters};
+use crate::program::Program;
+use crate::wme::{WmStore, WmeId};
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const DUMMY: u32 = u32::MAX;
+
+/// An event produced by the match: the conflict set changed.
+#[derive(Clone, Debug)]
+pub enum MatchEvent {
+    /// A production instantiation became satisfied.
+    Insert(Instantiation),
+    /// A previously satisfied instantiation is no longer satisfied.
+    Retract {
+        /// Production index.
+        production: u32,
+        /// The WMEs of the retracted instantiation.
+        wmes: Box<[WmeId]>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct TokenData {
+    parent: u32,
+    wme: Option<WmeId>,
+    chain: u32,
+    level: u16,
+    children: Vec<u32>,
+    /// For tokens resident at a negative node: WMEs currently blocking.
+    neg_results: Vec<WmeId>,
+    emitted: bool,
+    alive: bool,
+}
+
+#[derive(Clone, Debug)]
+struct NodeState {
+    negated: bool,
+    alpha_mem: AlphaMemId,
+    join_tests: Vec<JoinTest>,
+    /// Tokens resident at this node (for negative nodes, including blocked).
+    tokens: Vec<u32>,
+}
+
+#[derive(Clone, Debug)]
+struct Chain {
+    prod: u32,
+    specificity: u32,
+    nodes: Vec<NodeState>,
+}
+
+/// The Rete network of one engine instance.
+#[derive(Clone, Debug)]
+pub struct Rete {
+    alpha: AlphaNetwork,
+    chains: Vec<Chain>,
+    tokens: Vec<TokenData>,
+    free: Vec<u32>,
+    wme_tokens: HashMap<WmeId, Vec<u32>>,
+    events: Vec<MatchEvent>,
+    /// Accumulated match work.
+    pub work: WorkCounters,
+    chunks: u32,
+}
+
+impl Rete {
+    /// Builds a network for `program`, compiling every production.
+    pub fn new(program: &Program) -> Result<Rete> {
+        let compiled: Vec<CompiledProduction> = program
+            .productions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| compile_production(i as u32, p))
+            .collect::<Result<_>>()?;
+        Ok(Self::from_compiled(&Arc::new(compiled), program))
+    }
+
+    /// Builds a network from pre-compiled chains (shared across the many
+    /// task-process engines of a SPAM/PSM run).
+    pub fn from_compiled(compiled: &Arc<Vec<CompiledProduction>>, program: &Program) -> Rete {
+        let mut rete = Rete {
+            alpha: AlphaNetwork::new(),
+            chains: Vec::with_capacity(compiled.len()),
+            tokens: Vec::new(),
+            free: Vec::new(),
+            wme_tokens: HashMap::new(),
+            events: Vec::new(),
+            work: WorkCounters::default(),
+            chunks: 0,
+        };
+        for spec in compiled.iter() {
+            let chain_id = rete.chains.len() as u32;
+            let mut nodes = Vec::with_capacity(spec.nodes.len());
+            for (k, n) in spec.nodes.iter().enumerate() {
+                let am = rete.alpha.get_or_create(
+                    n.class,
+                    &n.alpha_tests,
+                    Successor {
+                        chain: chain_id,
+                        level: k as u16,
+                    },
+                );
+                nodes.push(NodeState {
+                    negated: n.negated,
+                    alpha_mem: am,
+                    join_tests: n.join_tests.clone(),
+                    tokens: Vec::new(),
+                });
+            }
+            rete.chains.push(Chain {
+                prod: spec.prod,
+                specificity: program.productions[spec.prod as usize].specificity,
+                nodes,
+            });
+        }
+        rete
+    }
+
+    /// Number of alpha memories (shared constant-test patterns).
+    pub fn alpha_memories(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Drains the pending conflict-set events.
+    pub fn drain_events(&mut self) -> Vec<MatchEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of independently schedulable match activations since the last
+    /// call (feeds the ParaOPS5 match-parallelism cost model).
+    pub fn take_chunks(&mut self) -> u32 {
+        std::mem::take(&mut self.chunks)
+    }
+
+    /// Processes a WME addition. `id` must already be live in `wm`.
+    pub fn add_wme(&mut self, id: WmeId, wm: &WmStore) {
+        let wme = wm.get(id).expect("add_wme: wme must be live");
+        self.chunks += 1;
+        let mems = self
+            .alpha
+            .classify_add(id, wme, &mut self.work.match_units);
+        for m in mems {
+            let succs = self.alpha.mem(m).successors.clone();
+            for s in succs {
+                self.right_activate_add(s.chain, s.level, id, wm);
+            }
+        }
+    }
+
+    /// Processes a WME removal. Must be called while `id` is still live in
+    /// `wm` (the engine removes it from the store afterwards).
+    pub fn remove_wme(&mut self, id: WmeId, wm: &WmStore) {
+        let wme = wm.get(id).expect("remove_wme: wme must still be live");
+        self.chunks += 1;
+        let mems = self
+            .alpha
+            .classify_remove(id, wme, &mut self.work.match_units);
+        // Negative nodes first: unblock tokens whose blocker disappeared.
+        for m in mems {
+            let succs = self.alpha.mem(m).successors.clone();
+            for s in succs {
+                let node = &self.chains[s.chain as usize].nodes[s.level as usize];
+                if !node.negated {
+                    continue;
+                }
+                self.chunks += 1;
+                let toks = node.tokens.clone();
+                for t in toks {
+                    if !self.tokens[t as usize].alive {
+                        continue;
+                    }
+                    let nr = &mut self.tokens[t as usize].neg_results;
+                    if let Some(pos) = nr.iter().position(|&w| w == id) {
+                        nr.swap_remove(pos);
+                        self.work.match_units += cost::TOKEN_OP;
+                        if self.tokens[t as usize].neg_results.is_empty() {
+                            self.propagate(s.chain, s.level, t, wm);
+                        }
+                    }
+                }
+            }
+        }
+        // Then delete every token whose own WME is the removed one.
+        if let Some(toks) = self.wme_tokens.remove(&id) {
+            for t in toks {
+                self.delete_token(t);
+            }
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn right_activate_add(&mut self, c: u32, k: u16, w: WmeId, wm: &WmStore) {
+        self.chunks += 1;
+        let node = &self.chains[c as usize].nodes[k as usize];
+        let negated = node.negated;
+        let tests = node.join_tests.clone();
+        if negated {
+            let toks = node.tokens.clone();
+            for t in toks {
+                if !self.tokens[t as usize].alive {
+                    continue;
+                }
+                let anc = self.ancestors(t);
+                self.work.match_units += tests.len() as u64 * cost::JOIN_TEST;
+                if eval_tests(&tests, &anc, w, wm) {
+                    self.tokens[t as usize].neg_results.push(w);
+                    if self.tokens[t as usize].neg_results.len() == 1 {
+                        self.block_token(t);
+                    }
+                }
+            }
+        } else if k == 0 {
+            debug_assert!(tests.is_empty(), "first node has no join tests");
+            self.new_token(c, 0, DUMMY, Some(w), wm);
+        } else {
+            let parent_node = &self.chains[c as usize].nodes[(k - 1) as usize];
+            let parent_negated = parent_node.negated;
+            let parents = parent_node.tokens.clone();
+            for t in parents {
+                if !self.tokens[t as usize].alive {
+                    continue;
+                }
+                if parent_negated && !self.tokens[t as usize].neg_results.is_empty() {
+                    continue; // blocked parents have no output
+                }
+                let anc = self.ancestors(t);
+                self.work.match_units += tests.len() as u64 * cost::JOIN_TEST;
+                if eval_tests(&tests, &anc, w, wm) {
+                    self.new_token(c, k, t, Some(w), wm);
+                }
+            }
+        }
+    }
+
+    /// Creates a token at `(c, k)` and, when it is active (positive, or
+    /// negative with no blockers), propagates it down the chain.
+    fn new_token(&mut self, c: u32, k: u16, parent: u32, wme: Option<WmeId>, wm: &WmStore) {
+        let id = self.alloc_token(c, k, parent, wme);
+        self.work.match_units += cost::TOKEN_OP;
+        self.chains[c as usize].nodes[k as usize].tokens.push(id);
+        if let Some(w) = wme {
+            self.wme_tokens.entry(w).or_default().push(id);
+        }
+        if parent != DUMMY {
+            self.tokens[parent as usize].children.push(id);
+        }
+        if self.chains[c as usize].nodes[k as usize].negated {
+            // Compute the initial blocker set.
+            let node = &self.chains[c as usize].nodes[k as usize];
+            let tests = node.join_tests.clone();
+            let cands = self.alpha.mem(node.alpha_mem).wmes.clone();
+            let anc = self.ancestors(id);
+            self.work.match_units += (cands.len() * tests.len().max(1)) as u64 * cost::JOIN_TEST;
+            let mut blockers = Vec::new();
+            for w in cands {
+                if eval_tests(&tests, &anc, w, wm) {
+                    blockers.push(w);
+                }
+            }
+            let blocked = !blockers.is_empty();
+            self.tokens[id as usize].neg_results = blockers;
+            if blocked {
+                return;
+            }
+        }
+        self.propagate(c, k, id, wm);
+    }
+
+    /// Token `t` is active at `(c, k)`: emit or feed the next node.
+    fn propagate(&mut self, c: u32, k: u16, t: u32, wm: &WmStore) {
+        let last = (self.chains[c as usize].nodes.len() - 1) as u16;
+        if k == last {
+            self.emit_insert(c, t, wm);
+            return;
+        }
+        let next = k + 1;
+        self.chunks += 1;
+        let node = &self.chains[c as usize].nodes[next as usize];
+        if node.negated {
+            self.new_token(c, next, t, None, wm);
+        } else {
+            let tests = node.join_tests.clone();
+            let cands = self.alpha.mem(node.alpha_mem).wmes.clone();
+            let anc = self.ancestors(t);
+            for w in cands {
+                self.work.match_units += tests.len() as u64 * cost::JOIN_TEST;
+                if eval_tests(&tests, &anc, w, wm) {
+                    self.new_token(c, next, t, Some(w), wm);
+                }
+            }
+        }
+    }
+
+    /// A negative token became blocked: delete its descendants and retract
+    /// its instantiation if it reached the terminal.
+    fn block_token(&mut self, t: u32) {
+        let children = std::mem::take(&mut self.tokens[t as usize].children);
+        for ch in children {
+            self.delete_token(ch);
+        }
+        if self.tokens[t as usize].emitted {
+            self.tokens[t as usize].emitted = false;
+            self.emit_retract(t);
+        }
+    }
+
+    fn delete_token(&mut self, t: u32) {
+        if !self.tokens[t as usize].alive {
+            return;
+        }
+        self.tokens[t as usize].alive = false;
+        let children = std::mem::take(&mut self.tokens[t as usize].children);
+        for ch in children {
+            self.delete_token(ch);
+        }
+        if self.tokens[t as usize].emitted {
+            self.tokens[t as usize].emitted = false;
+            self.emit_retract(t);
+        }
+        let (c, k) = (self.tokens[t as usize].chain, self.tokens[t as usize].level);
+        let toks = &mut self.chains[c as usize].nodes[k as usize].tokens;
+        if let Some(pos) = toks.iter().position(|&x| x == t) {
+            toks.swap_remove(pos);
+        }
+        if let Some(w) = self.tokens[t as usize].wme {
+            if let Some(v) = self.wme_tokens.get_mut(&w) {
+                if let Some(pos) = v.iter().position(|&x| x == t) {
+                    v.swap_remove(pos);
+                }
+            }
+        }
+        let p = self.tokens[t as usize].parent;
+        if p != DUMMY && self.tokens[p as usize].alive {
+            let pc = &mut self.tokens[p as usize].children;
+            if let Some(pos) = pc.iter().position(|&x| x == t) {
+                pc.swap_remove(pos);
+            }
+        }
+        self.work.match_units += cost::TOKEN_OP;
+        self.free.push(t);
+    }
+
+    fn alloc_token(&mut self, c: u32, k: u16, parent: u32, wme: Option<WmeId>) -> u32 {
+        let td = TokenData {
+            parent,
+            wme,
+            chain: c,
+            level: k,
+            children: Vec::new(),
+            neg_results: Vec::new(),
+            emitted: false,
+            alive: true,
+        };
+        if let Some(id) = self.free.pop() {
+            self.tokens[id as usize] = td;
+            id
+        } else {
+            self.tokens.push(td);
+            (self.tokens.len() - 1) as u32
+        }
+    }
+
+    /// WME ids of the token's chain, indexed by node level (`None` at
+    /// negative-node levels).
+    fn ancestors(&self, t: u32) -> Vec<Option<WmeId>> {
+        let mut anc = vec![None; self.tokens[t as usize].level as usize + 1];
+        let mut cur = t;
+        loop {
+            let td = &self.tokens[cur as usize];
+            anc[td.level as usize] = td.wme;
+            if td.parent == DUMMY {
+                break;
+            }
+            cur = td.parent;
+        }
+        anc
+    }
+
+    fn instantiation_of(&self, c: u32, t: u32, wm: &WmStore) -> Instantiation {
+        let anc = self.ancestors(t);
+        let wmes: Vec<WmeId> = anc.into_iter().flatten().collect();
+        let time_tags: Vec<u64> = wmes.iter().map(|&w| wm.time_tag(w)).collect();
+        let chain = &self.chains[c as usize];
+        Instantiation {
+            production: chain.prod,
+            wmes: wmes.into_boxed_slice(),
+            time_tags: time_tags.into_boxed_slice(),
+            specificity: chain.specificity,
+        }
+    }
+
+    fn emit_insert(&mut self, c: u32, t: u32, wm: &WmStore) {
+        self.work.match_units += cost::CONFLICT_OP;
+        self.tokens[t as usize].emitted = true;
+        let inst = self.instantiation_of(c, t, wm);
+        self.events.push(MatchEvent::Insert(inst));
+    }
+
+    fn emit_retract(&mut self, t: u32) {
+        self.work.match_units += cost::CONFLICT_OP;
+        let anc = self.ancestors(t);
+        let wmes: Vec<WmeId> = anc.into_iter().flatten().collect();
+        let c = self.tokens[t as usize].chain;
+        self.events.push(MatchEvent::Retract {
+            production: self.chains[c as usize].prod,
+            wmes: wmes.into_boxed_slice(),
+        });
+    }
+}
+
+fn eval_tests(tests: &[JoinTest], anc: &[Option<WmeId>], w: WmeId, wm: &WmStore) -> bool {
+    let Some(wme) = wm.get(w) else { return false };
+    for t in tests {
+        let their = anc.get(t.their_level as usize).copied().flatten();
+        let Some(their_wme) = their.and_then(|id| wm.get(id)) else {
+            return false;
+        };
+        let left = wme.get(t.my_slot as usize);
+        let right = their_wme.get(t.their_slot as usize);
+        if !t.predicate.eval(&left, &right) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+    use crate::value::Value;
+    use crate::wme::Wme;
+
+    /// Test fixture: program + store + rete, with WMEs added through both.
+    struct Fix {
+        rete: Rete,
+        wm: WmStore,
+        tag: u64,
+        program: Program,
+    }
+
+    impl Fix {
+        fn new(src: &str) -> Fix {
+            let program = Program::parse(src).unwrap();
+            let rete = Rete::new(&program).unwrap();
+            Fix {
+                rete,
+                wm: WmStore::new(),
+                tag: 0,
+                program,
+            }
+        }
+
+        fn add(&mut self, class: &str, fields: &[(usize, Value)]) -> WmeId {
+            self.tag += 1;
+            let n = self.program.n_slots(sym(class)).unwrap();
+            let mut w = Wme::new(sym(class), n, self.tag);
+            for &(i, v) in fields {
+                w.set(i, v);
+            }
+            let id = self.wm.add(w);
+            self.rete.add_wme(id, &self.wm);
+            id
+        }
+
+        fn remove(&mut self, id: WmeId) {
+            self.rete.remove_wme(id, &self.wm);
+            self.wm.remove(id);
+        }
+
+        /// Net conflict-set size after applying all events.
+        fn apply_events(&mut self, cs: &mut crate::conflict::ConflictSet) {
+            for e in self.rete.drain_events() {
+                match e {
+                    MatchEvent::Insert(i) => cs.insert(i),
+                    MatchEvent::Retract { production, wmes } => {
+                        cs.remove(production, &wmes);
+                    }
+                }
+            }
+        }
+    }
+
+    const TWO_CE: &str = "
+        (literalize a x)
+        (literalize b y)
+        (p join (a ^x <v>) (b ^y <v>) --> (halt))
+    ";
+
+    #[test]
+    fn join_on_shared_variable() {
+        let mut f = Fix::new(TWO_CE);
+        let mut cs = crate::conflict::ConflictSet::new();
+        f.add("a", &[(0, Value::Int(1))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 0);
+        f.add("b", &[(0, Value::Int(1))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1);
+        f.add("b", &[(0, Value::Int(2))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1, "non-matching b adds nothing");
+        f.add("a", &[(0, Value::Int(2))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn removal_retracts_instantiations() {
+        let mut f = Fix::new(TWO_CE);
+        let mut cs = crate::conflict::ConflictSet::new();
+        let a = f.add("a", &[(0, Value::Int(1))]);
+        let _b = f.add("b", &[(0, Value::Int(1))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1);
+        f.remove(a);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 0);
+    }
+
+    const NEGATED: &str = "
+        (literalize goal status)
+        (literalize blocker tag)
+        (p fire-unless-blocked (goal ^status open) -(blocker) --> (halt))
+    ";
+
+    #[test]
+    fn negation_blocks_and_unblocks() {
+        let mut f = Fix::new(NEGATED);
+        let mut cs = crate::conflict::ConflictSet::new();
+        f.add("goal", &[(0, Value::symbol("open"))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1, "no blocker yet");
+
+        let blk = f.add("blocker", &[]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 0, "blocker retracts the instantiation");
+
+        f.remove(blk);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1, "removing the blocker re-satisfies");
+    }
+
+    #[test]
+    fn negation_with_join_variable() {
+        let src = "
+            (literalize region id)
+            (literalize fragment region)
+            (p unclaimed (region ^id <r>) -(fragment ^region <r>) --> (halt))
+        ";
+        let mut f = Fix::new(src);
+        let mut cs = crate::conflict::ConflictSet::new();
+        f.add("region", &[(0, Value::Int(1))]);
+        f.add("region", &[(0, Value::Int(2))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 2);
+
+        let fr = f.add("fragment", &[(0, Value::Int(1))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1, "only region 1 is claimed");
+
+        f.remove(fr);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn wme_matching_multiple_ces_of_same_production() {
+        let src = "
+            (literalize a x)
+            (p pair (a ^x <v>) (a ^x <v>) --> (halt))
+        ";
+        let mut f = Fix::new(src);
+        let mut cs = crate::conflict::ConflictSet::new();
+        let w = f.add("a", &[(0, Value::Int(7))]);
+        f.apply_events(&mut cs);
+        // The single WME matches both CEs → one instantiation (w, w).
+        assert_eq!(cs.len(), 1);
+        f.remove(w);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 0);
+    }
+
+    #[test]
+    fn predicate_join_tests() {
+        let src = "
+            (literalize a x)
+            (literalize b y)
+            (p bigger (a ^x <v>) (b ^y > <v>) --> (halt))
+        ";
+        let mut f = Fix::new(src);
+        let mut cs = crate::conflict::ConflictSet::new();
+        f.add("a", &[(0, Value::Int(10))]);
+        f.add("b", &[(0, Value::Int(5))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 0);
+        f.add("b", &[(0, Value::Int(15))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn alpha_memory_sharing_across_productions() {
+        let src = "
+            (literalize a x)
+            (p p1 (a ^x 1) --> (halt))
+            (p p2 (a ^x 1) --> (halt))
+            (p p3 (a ^x 2) --> (halt))
+        ";
+        let f = Fix::new(src);
+        // p1/p2 share one memory; p3 has its own.
+        assert_eq!(f.rete.alpha_memories(), 2);
+    }
+
+    #[test]
+    fn chunks_are_counted() {
+        let mut f = Fix::new(TWO_CE);
+        assert_eq!(f.rete.take_chunks(), 0);
+        f.add("a", &[(0, Value::Int(1))]);
+        assert!(f.rete.take_chunks() > 0);
+        assert_eq!(f.rete.take_chunks(), 0, "take resets");
+    }
+
+    #[test]
+    fn three_way_join_ordering_independent() {
+        let src = "
+            (literalize a x)
+            (literalize b y)
+            (literalize c z)
+            (p tri (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))
+        ";
+        // Add in all 6 orders; always exactly one instantiation.
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for order in orders {
+            let mut f = Fix::new(src);
+            let mut cs = crate::conflict::ConflictSet::new();
+            for &which in &order {
+                match which {
+                    0 => f.add("a", &[(0, Value::Int(4))]),
+                    1 => f.add("b", &[(0, Value::Int(4))]),
+                    _ => f.add("c", &[(0, Value::Int(4))]),
+                };
+            }
+            f.apply_events(&mut cs);
+            assert_eq!(cs.len(), 1, "order {order:?}");
+        }
+    }
+}

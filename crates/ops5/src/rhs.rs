@@ -1,0 +1,169 @@
+//! Right-hand-side expression evaluation.
+
+use crate::ast::{ArithOp, Expr};
+use crate::instrument::cost;
+use crate::symbol::Symbol;
+use crate::value::Value;
+use crate::{Error, Result};
+
+/// Callback used to evaluate `(call f ...)` in value position.
+pub type CallEval<'a> = dyn FnMut(Symbol, &[Value]) -> Result<Value> + 'a;
+
+/// Evaluates an RHS expression.
+///
+/// `vals` holds the current variable bindings (LHS bindings plus any `bind`
+/// results so far); `call` evaluates external functions; `work` accumulates
+/// interpreter cost.
+pub fn eval_expr(
+    expr: &Expr,
+    vals: &[Value],
+    call: &mut CallEval,
+    work: &mut u64,
+) -> Result<Value> {
+    *work += cost::RHS_EXPR;
+    match expr {
+        Expr::Const(v) => Ok(*v),
+        Expr::Text(t) => Ok(Value::symbol(t)),
+        Expr::Var(v) => Ok(vals.get(*v as usize).copied().unwrap_or(Value::Nil)),
+        Expr::Compute(first, rest) => {
+            let mut acc = eval_expr(first, vals, call, work)?;
+            for (op, e) in rest {
+                let rhs = eval_expr(e, vals, call, work)?;
+                acc = arith(*op, acc, rhs)?;
+            }
+            Ok(acc)
+        }
+        Expr::Call(name, args) => {
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval_expr(a, vals, call, work)?);
+            }
+            call(*name, &argv)
+        }
+    }
+}
+
+/// One arithmetic step of `compute` (left-to-right, no precedence, as in
+/// OPS5). Integer pairs stay integral; any float operand promotes to float.
+pub fn arith(op: ArithOp, a: Value, b: Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let r = match op {
+                ArithOp::Add => x.checked_add(y),
+                ArithOp::Sub => x.checked_sub(y),
+                ArithOp::Mul => x.checked_mul(y),
+                ArithOp::Div => {
+                    if y == 0 {
+                        return Err(Error::Runtime("compute: division by zero".into()));
+                    }
+                    x.checked_div(y)
+                }
+                ArithOp::Mod => {
+                    if y == 0 {
+                        return Err(Error::Runtime("compute: modulus by zero".into()));
+                    }
+                    x.checked_rem(y)
+                }
+            };
+            r.map(Value::Int)
+                .ok_or_else(|| Error::Runtime("compute: integer overflow".into()))
+        }
+        _ => {
+            let (x, y) = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(Error::Runtime(format!(
+                        "compute: non-numeric operand ({a} {op:?} {b})"
+                    )))
+                }
+            };
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Err(Error::Runtime("compute: division by zero".into()));
+                    }
+                    x / y
+                }
+                ArithOp::Mod => {
+                    if y == 0.0 {
+                        return Err(Error::Runtime("compute: modulus by zero".into()));
+                    }
+                    x % y
+                }
+            };
+            Ok(Value::Float(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn no_call(name: Symbol, _: &[Value]) -> Result<Value> {
+        Err(Error::Runtime(format!("unexpected call to {name}")))
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        assert_eq!(arith(ArithOp::Add, 2.into(), 3.into()).unwrap(), 5.into());
+        assert_eq!(arith(ArithOp::Div, 7.into(), 2.into()).unwrap(), 3.into());
+        assert_eq!(arith(ArithOp::Mod, 7.into(), 4.into()).unwrap(), 3.into());
+        assert_eq!(
+            arith(ArithOp::Mul, 2.5.into(), 2.into()).unwrap(),
+            Value::Float(5.0)
+        );
+        assert!(arith(ArithOp::Div, 1.into(), 0.into()).is_err());
+        assert!(arith(ArithOp::Add, Value::symbol("x"), 1.into()).is_err());
+    }
+
+    #[test]
+    fn compute_is_left_to_right() {
+        // (compute 2 + 3 * 4) = (2+3)*4 = 20 in OPS5, not 14.
+        let e = Expr::Compute(
+            Box::new(Expr::Const(2.into())),
+            vec![
+                (ArithOp::Add, Expr::Const(3.into())),
+                (ArithOp::Mul, Expr::Const(4.into())),
+            ],
+        );
+        let mut w = 0;
+        let v = eval_expr(&e, &[], &mut no_call, &mut w).unwrap();
+        assert_eq!(v, Value::Int(20));
+        assert!(w > 0);
+    }
+
+    #[test]
+    fn variables_resolve_from_bindings() {
+        let e = Expr::Var(1);
+        let vals = [Value::Nil, Value::Int(9)];
+        let mut w = 0;
+        assert_eq!(
+            eval_expr(&e, &vals, &mut no_call, &mut w).unwrap(),
+            Value::Int(9)
+        );
+    }
+
+    #[test]
+    fn call_routes_to_callback() {
+        let e = Expr::Call(sym("area-of"), vec![Expr::Const(4.into())]);
+        let mut w = 0;
+        let mut cb = |name: Symbol, args: &[Value]| -> Result<Value> {
+            assert_eq!(name, sym("area-of"));
+            Ok(Value::Int(args[0].as_int().unwrap() * 10))
+        };
+        assert_eq!(
+            eval_expr(&e, &[], &mut cb, &mut w).unwrap(),
+            Value::Int(40)
+        );
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_panic() {
+        assert!(arith(ArithOp::Mul, i64::MAX.into(), 2.into()).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! OPS5 attribute values.
+
+use crate::symbol::{sym, Symbol};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A value stored in a working-memory-element slot.
+///
+/// OPS5 values are symbols or numbers; unset slots hold `nil`. Numeric
+/// comparison mixes integers and floats (`3 = 3.0`), while symbols compare
+/// only with symbols.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Value {
+    /// The distinguished "unset" value.
+    #[default]
+    Nil,
+    /// An interned symbolic atom.
+    Sym(Symbol),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Value {
+    /// Interns a string as a symbol value.
+    pub fn symbol(name: &str) -> Value {
+        Value::Sym(sym(name))
+    }
+
+    /// True when this is `nil`.
+    #[inline]
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Numeric view (ints widen to float); `None` for symbols / nil.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for anything but `Int`.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Symbol view.
+    #[inline]
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// OPS5 equality: symbols by id, numbers numerically (`3 = 3.0`),
+    /// `nil` only equals `nil`.
+    #[inline]
+    pub fn ops_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// OPS5 ordering for `< <= > >=`: defined only between two numbers.
+    #[inline]
+    pub fn ops_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            _ => None,
+        }
+    }
+
+    /// OPS5 `<=>` ("same type") test.
+    #[inline]
+    pub fn same_type(&self, other: &Value) -> bool {
+        matches!(
+            (self, other),
+            (Value::Nil, Value::Nil)
+                | (Value::Sym(_), Value::Sym(_))
+                | (Value::Int(_), Value::Int(_))
+                | (Value::Float(_), Value::Float(_))
+                | (Value::Int(_), Value::Float(_))
+                | (Value::Float(_), Value::Int(_))
+        )
+    }
+
+    /// A stable hash key for use in alpha-memory indexing. Numbers hash by
+    /// their `f64` bit pattern of the widened value so `3` and `3.0` collide
+    /// (as `ops_eq` demands).
+    #[inline]
+    pub fn hash_key(&self) -> u64 {
+        match self {
+            Value::Nil => 0x6e696c,
+            Value::Sym(s) => 0x8000_0000_0000_0000 | s.0 as u64,
+            v => v.as_f64().map(|f| f.to_bits()).unwrap_or(1),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Value {
+        Value::Sym(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::symbol(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_equality_mixes_int_float() {
+        assert!(Value::Int(3).ops_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).ops_eq(&Value::Float(3.5)));
+        assert!(Value::Float(2.5).ops_eq(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn symbols_never_equal_numbers() {
+        assert!(!Value::symbol("3").ops_eq(&Value::Int(3)));
+        assert!(!Value::Nil.ops_eq(&Value::Int(0)));
+        assert!(Value::Nil.ops_eq(&Value::Nil));
+    }
+
+    #[test]
+    fn ordering_only_for_numbers() {
+        assert_eq!(
+            Value::Int(1).ops_cmp(&Value::Float(2.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::symbol("a").ops_cmp(&Value::symbol("b")), None);
+        assert_eq!(Value::Nil.ops_cmp(&Value::Int(0)), None);
+    }
+
+    #[test]
+    fn same_type_matrix() {
+        assert!(Value::Int(1).same_type(&Value::Float(1.5)));
+        assert!(Value::symbol("a").same_type(&Value::symbol("b")));
+        assert!(!Value::symbol("a").same_type(&Value::Int(1)));
+        assert!(Value::Nil.same_type(&Value::Nil));
+        assert!(!Value::Nil.same_type(&Value::symbol("nil-ish")));
+    }
+
+    #[test]
+    fn hash_key_consistent_with_ops_eq() {
+        assert_eq!(Value::Int(3).hash_key(), Value::Float(3.0).hash_key());
+        assert_ne!(Value::Int(3).hash_key(), Value::Int(4).hash_key());
+        assert_ne!(Value::symbol("x").hash_key(), Value::Nil.hash_key());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Nil.to_string(), "nil");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::symbol("apron").to_string(), "apron");
+    }
+}

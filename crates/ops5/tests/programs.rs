@@ -1,0 +1,134 @@
+//! End-to-end runs of the shipped `.ops` demo programs: the engine as a
+//! complete rule-language implementation, driven from source files.
+
+use ops5::{sym, Engine, Program, Value};
+use std::sync::Arc;
+
+fn load(name: &str) -> String {
+    let path = format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(path).expect("program file")
+}
+
+/// Strips `(startup ...)` and returns the make bodies (mirrors ops5run).
+fn startup_makes(src: &str) -> (String, Vec<Vec<(String, Value)>>) {
+    let mut program = String::new();
+    let mut makes = Vec::new();
+    let mut rest = src;
+    while let Some(pos) = rest.find("(startup") {
+        program.push_str(&rest[..pos]);
+        let bytes = &rest.as_bytes()[pos..];
+        let mut depth = 0usize;
+        let mut end = rest.len();
+        for (i, &b) in bytes.iter().enumerate() {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = pos + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for form in rest[pos..end].split("(make").skip(1) {
+            let body = form.split(')').next().unwrap_or("");
+            let toks: Vec<&str> = body.split_whitespace().collect();
+            let mut sets: Vec<(String, Value)> = vec![("__class".into(), Value::symbol(toks[0]))];
+            let mut i = 1;
+            while i + 1 < toks.len() {
+                let attr = toks[i].trim_start_matches('^').to_string();
+                let raw = toks[i + 1];
+                let v = raw
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .unwrap_or_else(|_| Value::symbol(raw));
+                sets.push((attr, v));
+                i += 2;
+            }
+            makes.push(sets);
+        }
+        rest = &rest[end..];
+    }
+    program.push_str(rest);
+    (program, makes)
+}
+
+fn run_program(name: &str, limit: u64) -> Engine {
+    let src = load(name);
+    let (psrc, makes) = startup_makes(&src);
+    let program = Arc::new(Program::parse(&psrc).unwrap());
+    let mut e = Engine::new(program);
+    for m in makes {
+        let class = m[0].1.as_sym().unwrap().name();
+        let sets: Vec<(&str, Value)> = m[1..].iter().map(|(a, v)| (a.as_str(), *v)).collect();
+        e.make_wme(&class, &sets).unwrap();
+    }
+    let out = e.run(limit);
+    assert!(out.error.is_none(), "{name}: {:?}", out.error);
+    e
+}
+
+#[test]
+fn fibonacci_program_computes_fib_20() {
+    let e = run_program("fibonacci.ops", 1000);
+    assert!(e.halted());
+    assert!(e.output.contains("6765"), "output: {}", e.output);
+}
+
+#[test]
+fn monkey_program_reaches_the_bananas() {
+    let e = run_program("monkey.ops", 100);
+    assert!(e.halted());
+    assert!(e.output.contains("grabs the bananas"));
+    // Exactly the four planned steps, in order.
+    let lines: Vec<&str> = e.output.lines().collect();
+    assert_eq!(lines.len(), 4);
+    assert!(lines[0].contains("walks"));
+    assert!(lines[3].contains("grabs"));
+}
+
+#[test]
+fn sort_program_emits_ascending_positions() {
+    let e = run_program("sort.ops", 1000);
+    let out_class = sym("out");
+    let mut outs: Vec<(i64, i64)> = e
+        .wm()
+        .iter()
+        .filter(|(_, w)| w.class == out_class)
+        .map(|(_, w)| (w.get(0).as_int().unwrap(), w.get(1).as_int().unwrap()))
+        .collect();
+    outs.sort();
+    let values: Vec<i64> = outs.iter().map(|&(_, v)| v).collect();
+    assert_eq!(values, vec![1, 3, 3, 5, 7, 9]);
+}
+
+#[test]
+fn ancestors_program_closes_transitively() {
+    let e = run_program("ancestors.ops", 1000);
+    let anc = sym("ancestor");
+    let facts: Vec<(String, String)> = e
+        .wm()
+        .iter()
+        .filter(|(_, w)| w.class == anc)
+        .map(|(_, w)| (w.get(0).to_string(), w.get(1).to_string()))
+        .collect();
+    // marie -> pierre -> jeanne -> luc; paul -> jeanne -> luc.
+    assert_eq!(facts.len(), 4 + 3 + 1, "facts: {facts:?}"); // 4 base + closure
+    for want in [
+        ("marie", "pierre"),
+        ("marie", "jeanne"),
+        ("marie", "luc"),
+        ("pierre", "jeanne"),
+        ("pierre", "luc"),
+        ("jeanne", "luc"),
+        ("paul", "jeanne"),
+        ("paul", "luc"),
+    ] {
+        assert!(
+            facts.iter().any(|(a, b)| a == want.0 && b == want.1),
+            "missing ancestor fact {want:?} in {facts:?}"
+        );
+    }
+}

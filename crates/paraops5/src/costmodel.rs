@@ -1,0 +1,205 @@
+//! The match-parallelism cost model.
+//!
+//! ParaOPS5 parallelises the match *within* one recognize–act cycle: the
+//! node activations triggered by that cycle's WM changes are scheduled onto
+//! dedicated match processes (~100-instruction subtasks). Two ceilings
+//! limit the achievable speed-up (§3.1):
+//!
+//! 1. **Amdahl**: resolve + act + task-related (external) work is serial,
+//!    so total speed-up ≤ `1 / (1 − match_fraction)`;
+//! 2. **Limited match effort per cycle**: a cycle with `c` activations can
+//!    use at most `c` processes.
+//!
+//! Our engine's cycle log records both quantities per cycle
+//! ([`ops5::instrument::CycleStats`]); this module turns a log into
+//! speed-up curves — Figures 3, 7 and the match axis of Table 9.
+
+use ops5::instrument::CycleStats;
+
+/// Cost-model parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Scheduling overhead per activation chunk, in work units (ParaOPS5's
+    /// task-queue push/pop per subtask).
+    pub per_chunk_overhead: u64,
+    /// Per-cycle synchronisation cost of the resolve barrier across `p`
+    /// match processes, in work units per process.
+    pub barrier_per_process: u64,
+    /// Minimum work per schedulable chunk: activations smaller than this
+    /// batch together before being handed to a match process (ParaOPS5's
+    /// scheduler granularity). Caps the useful chunk count at
+    /// `match_units / chunk_units`.
+    pub chunk_units: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_chunk_overhead: 10,
+            barrier_per_process: 8,
+            chunk_units: 50,
+        }
+    }
+}
+
+/// Number of schedulable chunks a cycle really offers under `model`.
+fn effective_chunks(stats: &CycleStats, model: &CostModel) -> f64 {
+    let by_count = stats.match_chunks.max(1) as u64;
+    let by_work = (stats.match_units / model.chunk_units.max(1)).max(1);
+    by_count.min(by_work) as f64
+}
+
+/// Simulated duration of one cycle with `p` dedicated match processes, in
+/// work units.
+pub fn cycle_time_units(stats: &CycleStats, p: u32, model: &CostModel) -> f64 {
+    let serial = (stats.resolve_units + stats.act_units + stats.external_units) as f64;
+    if p <= 1 {
+        return serial + stats.match_units as f64;
+    }
+    let chunks = effective_chunks(stats, model);
+    let eff = (p as f64).min(chunks);
+    // Chunks are roughly equal-sized activation batches; work divides
+    // across the effective processes, each chunk paying a scheduling
+    // overhead, and the cycle ends with a barrier across all p processes.
+    let chunk_overhead = model.per_chunk_overhead as f64 * (chunks / eff).ceil();
+    let par_match = stats.match_units as f64 / eff + chunk_overhead;
+    serial + par_match + model.barrier_per_process as f64 * p as f64
+}
+
+/// Speed-up from `p` dedicated match processes over the sequential match,
+/// for a whole run's cycle log.
+pub fn match_speedup(log: &[CycleStats], p: u32, model: &CostModel) -> f64 {
+    let base: f64 = log.iter().map(|c| cycle_time_units(c, 1, model)).sum();
+    let par: f64 = log.iter().map(|c| cycle_time_units(c, p, model)).sum();
+    if par <= 0.0 {
+        1.0
+    } else {
+        base / par
+    }
+}
+
+/// Speed-up curve for 0..=`max_p` dedicated match processes. Following the
+/// paper's graphs, 0 dedicated processes is the baseline (the task process
+/// matches by itself) and plots as speed-up 1.0.
+pub fn match_speedup_curve(log: &[CycleStats], max_p: u32, model: &CostModel) -> Vec<(u32, f64)> {
+    (0..=max_p)
+        .map(|p| (p, if p == 0 { 1.0 } else { match_speedup(log, p, model) }))
+        .collect()
+}
+
+/// Time of one cycle's *match component* alone under `p` match processes
+/// (work units); the serial parts of the cycle are excluded.
+pub fn match_component_time(stats: &CycleStats, p: u32, model: &CostModel) -> f64 {
+    if p <= 1 {
+        return stats.match_units as f64;
+    }
+    let chunks = effective_chunks(stats, model);
+    let eff = (p as f64).min(chunks);
+    let chunk_overhead = model.per_chunk_overhead as f64 * (chunks / eff).ceil();
+    stats.match_units as f64 / eff + chunk_overhead + model.barrier_per_process as f64 * p as f64
+}
+
+/// Speed-up of the match component alone from `p` dedicated match
+/// processes (the factor fed to the Amdahl task-time combination in the
+/// Table 9 grid).
+pub fn match_component_speedup(log: &[CycleStats], p: u32, model: &CostModel) -> f64 {
+    let base: f64 = log.iter().map(|c| c.match_units as f64).sum();
+    let par: f64 = log.iter().map(|c| match_component_time(c, p, model)).sum();
+    if par <= 0.0 {
+        1.0
+    } else {
+        (base / par).max(1.0)
+    }
+}
+
+/// The Amdahl asymptote `total / (total − match)` — the dotted line of
+/// Figure 7.
+pub fn amdahl_limit(log: &[CycleStats]) -> f64 {
+    let total: f64 = log.iter().map(|c| c.total_units() as f64).sum();
+    let non_match: f64 = total - log.iter().map(|c| c.match_units as f64).sum::<f64>();
+    if non_match <= 0.0 {
+        f64::INFINITY
+    } else {
+        total / non_match
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(match_units: u64, chunks: u32, rest: u64) -> CycleStats {
+        CycleStats {
+            production: 0,
+            match_units,
+            match_chunks: chunks,
+            resolve_units: rest / 2,
+            act_units: rest - rest / 2,
+            external_units: 0,
+        }
+    }
+
+    const FREE: CostModel = CostModel {
+        per_chunk_overhead: 0,
+        barrier_per_process: 0,
+        chunk_units: 1,
+    };
+
+    #[test]
+    fn amdahl_limit_from_match_fraction() {
+        // 50% match → limit 2.
+        let log = vec![cycle(500, 100, 500)];
+        assert!((amdahl_limit(&log) - 2.0).abs() < 1e-12);
+        // 90% match → limit 10.
+        let log = vec![cycle(900, 100, 100)];
+        assert!((amdahl_limit(&log) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_never_exceeds_amdahl() {
+        let log: Vec<CycleStats> = (0..50).map(|i| cycle(400 + i, 30, 600 - i)).collect();
+        let limit = amdahl_limit(&log);
+        for p in 1..=14 {
+            let s = match_speedup(&log, p, &CostModel::default());
+            assert!(s <= limit + 1e-9, "p={p}: {s} vs {limit}");
+        }
+    }
+
+    #[test]
+    fn chunk_limit_caps_speedup() {
+        // Only 2 chunks per cycle: even infinite processes halve the match.
+        let log = vec![cycle(1000, 2, 0)];
+        let s = match_speedup(&log, 14, &FREE);
+        assert!((s - 2.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn curve_is_monotone_with_free_overheads() {
+        let log: Vec<CycleStats> = (0..20).map(|i| cycle(500, 25, 100 + i)).collect();
+        let curve = match_speedup_curve(&log, 14, &FREE);
+        assert_eq!(curve.len(), 15);
+        assert_eq!(curve[0], (0, 1.0));
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn overheads_make_speedup_peak_and_decline() {
+        // With real barrier costs, large p eventually hurts — the paper's
+        // curves peak at ≤6 match processes.
+        let log: Vec<CycleStats> = (0..20).map(|_| cycle(300, 8, 300)).collect();
+        let model = CostModel {
+            per_chunk_overhead: 10,
+            barrier_per_process: 30,
+            chunk_units: 1,
+        };
+        let curve = match_speedup_curve(&log, 14, &model);
+        let peak = curve
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(peak.0 >= 1 && peak.0 <= 8, "peak at {}", peak.0);
+        assert!(curve[14].1 < peak.1, "declines past the peak");
+    }
+}

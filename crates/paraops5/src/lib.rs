@@ -1,0 +1,35 @@
+//! # paraops5
+//!
+//! Match parallelism for the OPS5 engine, after the ParaOPS5 system the
+//! paper builds on (§3.1; Gupta, Tambe, Kalp, Forgy, Newell 1988/89).
+//!
+//! Three complementary pieces:
+//!
+//! * [`threaded`] — a real threaded parallel matcher: the production set is
+//!   partitioned across dedicated match worker threads, each owning a full
+//!   Rete over its partition and a replica of working memory. WME deltas
+//!   broadcast to all workers, which match concurrently; a flush barrier
+//!   collects conflict-set events before each resolve — the synchronisation
+//!   ParaOPS5 also requires once per recognize–act cycle. It plugs into the
+//!   engine through the [`ops5::matcher::Matcher`] trait and is verified to
+//!   be event-for-event equivalent to the sequential Rete.
+//! * [`costmodel`] — the measured-trace cost model used to sweep processor
+//!   counts beyond the host machine: each cycle's match work can be spread
+//!   over at most `match_chunks` ~100-instruction activations (the ParaOPS5
+//!   subtask granularity our Rete counts), so the speed-up from `p` match
+//!   processes saturates both by Amdahl's law (the non-match fraction, §3.1)
+//!   and by the per-cycle activation supply.
+//! * [`suites`] — three synthetic OPS5 programs standing in for the Rubik,
+//!   Weaver and Tourney systems of Figure 3 (high / high / low per-cycle
+//!   match parallelism respectively), used to regenerate that figure.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod costmodel;
+pub mod suites;
+pub mod threaded;
+
+pub use costmodel::{amdahl_limit, cycle_time_units, match_speedup, match_speedup_curve, CostModel};
+pub use suites::{rubik, suite_engine, tourney, weaver, Suite};
+pub use threaded::ThreadedMatcher;

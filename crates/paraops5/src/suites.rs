@@ -1,0 +1,153 @@
+//! Stand-ins for the match-parallelism benchmark systems of Figure 3.
+//!
+//! The paper reproduces ParaOPS5 speed-up curves for three OPS5 systems on
+//! the Encore Multimax: **Rubik** and **Weaver** (good speed-ups) and
+//! **Tourney** (quite low). The decisive workload property is the *match
+//! parallelism per cycle*: how many independent node activations each
+//! working-memory change triggers, and how large the match share of the
+//! cycle is ("the speed-ups are a function of the characteristics of the
+//! productions in the production system").
+//!
+//! The original rule bases are not available; these generated programs
+//! reproduce the property itself. Each cycle, a driver production replaces
+//! a *probe* WME; `width` "analysis" productions partially match every
+//! probe against a table of `patterns` (which never complete, so the driver
+//! alone fires). `width` and `patterns` set the per-cycle activation count
+//! and the match fraction:
+//!
+//! * [`rubik`] — wide (48 productions), match-dominated → near-linear;
+//! * [`weaver`] — medium (16 productions) → good but lower;
+//! * [`tourney`] — narrow (4 productions), act-dominated → saturates ≈2.
+
+use ops5::{Engine, Program, Value};
+use std::sync::Arc;
+
+/// A generated benchmark program plus its initial working memory.
+pub struct Suite {
+    /// Display name.
+    pub name: &'static str,
+    /// OPS5 source text.
+    pub source: String,
+    /// Cycles the driver runs for.
+    pub firings: u64,
+    width: usize,
+    patterns: usize,
+}
+
+fn generate(name: &'static str, width: usize, patterns: usize, firings: u64) -> Suite {
+    let mut src = String::new();
+    src.push_str("(literalize control step)\n");
+    src.push_str("(literalize probe id v)\n");
+    src.push_str("(literalize pattern pa pb)\n");
+    src.push_str(&format!(
+        "(p tick (control ^step {{ <s> < {firings} }}) (probe ^id <i>)
+            -->
+            (modify 1 ^step (compute <s> + 1))
+            (remove 2)
+            (make probe ^id (compute <i> + 1) ^v (compute <s> + 1)))\n"
+    ));
+    for n in 0..width {
+        src.push_str(&format!(
+            "(p analyse-{n} (probe ^v <x>) (pattern ^pa {n} ^pb <x>) --> (halt))\n"
+        ));
+    }
+    Suite {
+        name,
+        source: src,
+        firings,
+        width,
+        patterns,
+    }
+}
+
+/// The Rubik stand-in: 48 wide, match-dominated.
+pub fn rubik() -> Suite {
+    generate("rubik", 48, 40, 200)
+}
+
+/// The Weaver stand-in: 16 wide.
+pub fn weaver() -> Suite {
+    generate("weaver", 16, 24, 200)
+}
+
+/// The Tourney stand-in: 4 wide, act-dominated.
+pub fn tourney() -> Suite {
+    generate("tourney", 4, 12, 200)
+}
+
+/// Builds a ready-to-run engine for a suite (initial WM loaded, cycle log
+/// enabled). `engine.run(suite.firings + 1)` then executes the workload.
+pub fn suite_engine(suite: &Suite) -> Engine {
+    let program = Arc::new(Program::parse(&suite.source).expect("suite parses"));
+    let mut e = Engine::new(program);
+    e.enable_cycle_log();
+    e.make_wme("control", &[("step", 0.into())]).unwrap();
+    e.make_wme("probe", &[("id", 0.into()), ("v", 0.into())])
+        .unwrap();
+    for n in 0..suite.width {
+        for k in 0..suite.patterns {
+            // `pb` never equals any probe `v` (probes are ≥ 0), so the
+            // analysis productions only ever match partially.
+            e.make_wme(
+                "pattern",
+                &[("pa", (n as i64).into()), ("pb", Value::Int(-1 - k as i64))],
+            )
+            .unwrap();
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::{amdahl_limit, match_speedup, CostModel};
+
+    fn run(suite: &Suite) -> Vec<ops5::CycleStats> {
+        let mut e = suite_engine(suite);
+        let out = e.run(suite.firings + 10);
+        assert!(out.quiescent(), "{}: {out:?}", suite.name);
+        assert_eq!(out.firings, suite.firings, "{}", suite.name);
+        e.take_cycle_log()
+    }
+
+    #[test]
+    fn suites_run_the_expected_cycles() {
+        for s in [rubik(), weaver(), tourney()] {
+            let log = run(&s);
+            assert_eq!(log.len() as u64, s.firings);
+        }
+    }
+
+    #[test]
+    fn rubik_is_wide_and_match_dominated() {
+        let log = run(&rubik());
+        let mean_chunks: f64 =
+            log.iter().map(|c| c.match_chunks as f64).sum::<f64>() / log.len() as f64;
+        assert!(mean_chunks > 40.0, "mean chunks {mean_chunks}");
+        assert!(amdahl_limit(&log) > 5.0);
+    }
+
+    #[test]
+    fn tourney_is_narrow() {
+        let log = run(&tourney());
+        let mean_chunks: f64 =
+            log.iter().map(|c| c.match_chunks as f64).sum::<f64>() / log.len() as f64;
+        assert!(mean_chunks < 30.0, "mean chunks {mean_chunks}");
+        assert!(amdahl_limit(&log) < 5.0, "limit {}", amdahl_limit(&log));
+    }
+
+    #[test]
+    fn figure_3_ordering_holds() {
+        let model = CostModel::default();
+        let s_rubik = match_speedup(&run(&rubik()), 11, &model);
+        let s_weaver = match_speedup(&run(&weaver()), 11, &model);
+        let s_tourney = match_speedup(&run(&tourney()), 11, &model);
+        assert!(
+            s_rubik > s_weaver && s_weaver > s_tourney,
+            "rubik {s_rubik:.2} > weaver {s_weaver:.2} > tourney {s_tourney:.2}"
+        );
+        assert!(s_rubik > 4.0, "rubik should speed up well: {s_rubik:.2}");
+        assert!(s_tourney < 3.0, "tourney stays low: {s_tourney:.2}");
+    }
+}

@@ -1,0 +1,264 @@
+//! The threaded parallel matcher.
+//!
+//! Production-partitioned match parallelism: `n` dedicated match workers
+//! each own a Rete network over a disjoint subset of the productions plus a
+//! private working-memory replica. Every WME delta is broadcast; workers
+//! match concurrently; [`ThreadedMatcher::drain_events`] is the per-cycle
+//! barrier that collects their conflict-set events (ParaOPS5 likewise
+//! synchronises at the resolve phase — the first limit on match parallelism
+//! the paper names in §3.1).
+//!
+//! Working-memory ids stay aligned across replicas because every replica
+//! sees the same add/remove stream and [`ops5::wme::WmStore`] assigns dense
+//! sequential ids.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ops5::instrument::WorkCounters;
+use ops5::matcher::Matcher;
+use ops5::rete::compile::CompiledProduction;
+use ops5::rete::{MatchEvent, Rete};
+use ops5::wme::{WmStore, Wme, WmeId};
+use ops5::Program;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Req {
+    Add(WmeId, Wme),
+    Remove(WmeId),
+    Flush,
+}
+
+struct Resp {
+    events: Vec<MatchEvent>,
+    work: WorkCounters,
+    chunks: u32,
+}
+
+/// A parallel match backend over `n` dedicated match worker threads.
+pub struct ThreadedMatcher {
+    txs: Vec<Sender<Req>>,
+    rxs: Vec<Receiver<Resp>>,
+    handles: Vec<JoinHandle<()>>,
+    work: WorkCounters,
+    chunks: u32,
+}
+
+impl ThreadedMatcher {
+    /// Spawns `n_workers` match workers for `program`, partitioning the
+    /// productions round-robin.
+    ///
+    /// # Panics
+    /// Panics when `n_workers` is zero.
+    pub fn new(
+        program: &Arc<Program>,
+        compiled: &Arc<Vec<CompiledProduction>>,
+        n_workers: usize,
+    ) -> ThreadedMatcher {
+        assert!(n_workers >= 1, "need at least one match worker");
+        let mut txs = Vec::with_capacity(n_workers);
+        let mut rxs = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let subset: Arc<Vec<CompiledProduction>> = Arc::new(
+                compiled
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % n_workers == w)
+                    .map(|(_, c)| c.clone())
+                    .collect(),
+            );
+            let (req_tx, req_rx) = unbounded::<Req>();
+            let (resp_tx, resp_rx) = unbounded::<Resp>();
+            let prog = Arc::clone(program);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(req_rx, resp_tx, prog, subset);
+            }));
+            txs.push(req_tx);
+            rxs.push(resp_rx);
+        }
+        ThreadedMatcher {
+            txs,
+            rxs,
+            handles,
+            work: WorkCounters::default(),
+            chunks: 0,
+        }
+    }
+
+    /// Number of match workers.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn flush(&mut self) -> Vec<MatchEvent> {
+        for tx in &self.txs {
+            tx.send(Req::Flush).expect("match worker alive");
+        }
+        let mut events = Vec::new();
+        let mut total = WorkCounters::default();
+        for rx in &self.rxs {
+            let resp = rx.recv().expect("match worker alive");
+            events.extend(resp.events);
+            total.add(&resp.work);
+            self.chunks += resp.chunks;
+        }
+        self.work = total;
+        events
+    }
+}
+
+impl Matcher for ThreadedMatcher {
+    fn add_wme(&mut self, id: WmeId, wm: &WmStore) {
+        let wme = wm.get(id).expect("live wme").clone();
+        for tx in &self.txs {
+            tx.send(Req::Add(id, wme.clone())).expect("match worker alive");
+        }
+    }
+
+    fn remove_wme(&mut self, id: WmeId, _wm: &WmStore) {
+        for tx in &self.txs {
+            tx.send(Req::Remove(id)).expect("match worker alive");
+        }
+    }
+
+    fn drain_events(&mut self, _wm: &WmStore) -> Vec<MatchEvent> {
+        self.flush()
+    }
+
+    fn take_chunks(&mut self) -> u32 {
+        std::mem::take(&mut self.chunks)
+    }
+
+    fn work(&self) -> WorkCounters {
+        self.work
+    }
+}
+
+impl Drop for ThreadedMatcher {
+    fn drop(&mut self) {
+        self.txs.clear(); // hang up; workers exit their recv loops
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Req>,
+    tx: Sender<Resp>,
+    program: Arc<Program>,
+    subset: Arc<Vec<CompiledProduction>>,
+) {
+    let mut rete = Rete::from_compiled(&subset, &program);
+    let mut wm = WmStore::new();
+    while let Ok(req) = rx.recv() {
+        match req {
+            Req::Add(id, wme) => {
+                let got = wm.add(wme);
+                debug_assert_eq!(got, id, "replica ids must align");
+                rete.add_wme(id, &wm);
+            }
+            Req::Remove(id) => {
+                if wm.get(id).is_some() {
+                    rete.remove_wme(id, &wm);
+                    wm.remove(id);
+                }
+            }
+            Req::Flush => {
+                let resp = Resp {
+                    events: rete.drain_events(),
+                    work: rete.work,
+                    chunks: rete.take_chunks(),
+                };
+                if tx.send(resp).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ops5::{Engine, Value};
+
+    const SRC: &str = "
+        (literalize region id kind)
+        (literalize fragment region kind counted)
+        (literalize summary n)
+        (p classify-linear (region ^id <r> ^kind linear) -(fragment ^region <r>)
+           -->
+           (make fragment ^region <r> ^kind runway))
+        (p classify-compact (region ^id <r> ^kind compact) -(fragment ^region <r>)
+           -->
+           (make fragment ^region <r> ^kind building))
+        (p count (fragment ^region <r> ^kind <k> ^counted nil) (summary ^n <n>)
+           -->
+           (modify 2 ^n (compute <n> + 1))
+           (modify 1 ^counted yes))
+    ";
+
+    fn run_with(n_workers: Option<usize>) -> (u64, Vec<String>) {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let mut e = match n_workers {
+            None => Engine::with_compiled(Arc::clone(&program), compiled),
+            Some(n) => {
+                let m = ThreadedMatcher::new(&program, &compiled, n);
+                Engine::with_matcher(Arc::clone(&program), compiled, Box::new(m))
+            }
+        };
+        e.make_wme("summary", &[("n", 0.into())]).unwrap();
+        for i in 0..12 {
+            let kind = if i % 3 == 0 { "compact" } else { "linear" };
+            e.make_wme("region", &[("id", i.into()), ("kind", Value::symbol(kind))])
+                .unwrap();
+        }
+        let out = e.run(10_000);
+        assert!(out.quiescent(), "{out:?}");
+        let mut wm: Vec<String> = e.wm().iter().map(|(_, w)| w.to_string()).collect();
+        wm.sort();
+        (out.firings, wm)
+    }
+
+    #[test]
+    fn parallel_match_equals_sequential() {
+        let (seq_firings, seq_wm) = run_with(None);
+        for n in [1, 2, 3, 5, 8] {
+            let (par_firings, par_wm) = run_with(Some(n));
+            assert_eq!(par_firings, seq_firings, "workers={n}");
+            assert_eq!(par_wm, seq_wm, "workers={n}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_productions_is_fine() {
+        let (f, _) = run_with(Some(16));
+        assert!(f > 0);
+    }
+
+    #[test]
+    fn work_counters_aggregate_across_workers() {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let m = ThreadedMatcher::new(&program, &compiled, 3);
+        let mut e = Engine::with_matcher(Arc::clone(&program), compiled, Box::new(m));
+        e.make_wme("summary", &[("n", 0.into())]).unwrap();
+        e.make_wme(
+            "region",
+            &[("id", 1.into()), ("kind", Value::symbol("linear"))],
+        )
+        .unwrap();
+        e.run(100);
+        assert!(e.work().match_units > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_workers_rejected() {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let _ = ThreadedMatcher::new(&program, &compiled, 0);
+    }
+}

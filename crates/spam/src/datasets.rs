@@ -1,0 +1,199 @@
+//! The three airport datasets and the paper's published reference numbers.
+//!
+//! Scene presets are calibrated so the *task structure* — hypothesis
+//! counts, Level 2/3 task counts, coefficient of variance — lands in the
+//! ranges of Tables 5–8. The `paper` block carries the published values so
+//! the bench binaries can print paper-vs-measured side by side.
+//! `None` marks cells unreadable in the source scan.
+
+use crate::generate::AirportSpec;
+
+/// Published per-level statistics row: `(mean s, std dev s, CV, tasks)`.
+pub type LevelRow = (f64, f64, f64, usize);
+
+/// Published Table 8 row: `(total s, tasks, avg s, prods fired, RHS actions)`.
+pub type BaselineRow = (f64, usize, f64, u64, u64);
+
+/// Reference numbers from the paper for one airport.
+#[derive(Clone, Debug)]
+pub struct PaperStats {
+    /// Tables 1–3: CPU hours per phase `[RTF, LCC, FA, MODEL]`.
+    pub phase_hours: Option<[f64; 4]>,
+    /// Tables 1–3: production firings per phase.
+    pub phase_firings: Option<[u64; 4]>,
+    /// Tables 1–3: hypotheses after RTF.
+    pub hypotheses_rtf: Option<u32>,
+    /// Tables 1–3: functional areas.
+    pub hypotheses_fa: Option<u32>,
+    /// Tables 5–7 rows `[L4, L3, L2, L1]` (from the Lisp-instrumented
+    /// subset of the data).
+    pub level_stats: Option<[LevelRow; 4]>,
+    /// Table 8 row for Level 3.
+    pub baseline_l3: Option<BaselineRow>,
+    /// Table 8 row for Level 2.
+    pub baseline_l2: Option<BaselineRow>,
+    /// Figure 7: match-parallelism asymptotic limit (LCC, Level 3) and the
+    /// best achieved speed-up.
+    pub match_limit_l3: Option<(f64, f64)>,
+    /// Figure 8: RTF match-parallelism asymptotic limit.
+    pub rtf_match_limit: Option<f64>,
+}
+
+/// One airport dataset: generation spec + published reference values.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Generation parameters.
+    pub spec: AirportSpec,
+    /// The paper's numbers.
+    pub paper: PaperStats,
+}
+
+/// San Francisco International (log #63) — the largest dataset.
+pub fn sf() -> Dataset {
+    Dataset {
+        spec: AirportSpec {
+            name: "SF",
+            seed: 0x5f_0001,
+            runways: 4,
+            crossing: false,
+            runway_split: 2,
+            taxiways_per_runway: 2,
+            connectors_per_runway: 4,
+            terminals: 8,
+            aprons: 3,
+            roads: 5,
+            lots: 5,
+            hangars: 6,
+            tanks: 8,
+            grass: 28,
+            tarmac: 12,
+            clutter: 120,
+        },
+        paper: PaperStats {
+            phase_hours: Some([1.5, 144.5, 7.3, 0.71]),
+            phase_firings: Some([11_274, 185_950, 10_447, 3_085]),
+            hypotheses_rtf: Some(466),
+            hypotheses_fa: Some(44),
+            // Table 5 is unreadable in the scan; the paper says SF sits
+            // between DC and MOFF in CV terms — left as None.
+            level_stats: None,
+            baseline_l3: Some((1433.0, 283, 5.07, 33_475, 42_383)),
+            baseline_l2: Some((1423.0, 941, 1.51, 32_251, 41_159)),
+            match_limit_l3: Some((1.95, 1.71)),
+            rtf_match_limit: Some(2.31),
+        },
+    }
+}
+
+/// Washington National (log #405) — the smallest dataset, with a crossing
+/// runway layout.
+pub fn dc() -> Dataset {
+    Dataset {
+        spec: AirportSpec {
+            name: "DC",
+            seed: 0xdc_0002,
+            runways: 3,
+            crossing: true,
+            runway_split: 1,
+            taxiways_per_runway: 1,
+            connectors_per_runway: 3,
+            terminals: 4,
+            aprons: 2,
+            roads: 3,
+            lots: 3,
+            hangars: 3,
+            tanks: 4,
+            grass: 12,
+            tarmac: 6,
+            clutter: 75,
+        },
+        paper: PaperStats {
+            // Table 2's numeric cells are unreadable in the source scan.
+            phase_hours: None,
+            phase_firings: None,
+            hypotheses_rtf: None,
+            hypotheses_fa: None,
+            level_stats: Some([
+                (1308.66, 641.72, 0.490, 9),
+                (78.51, 30.48, 0.388, 150),
+                (24.04, 9.51, 0.396, 490),
+                (0.430, 0.0677, 0.157, 27_399),
+            ]),
+            baseline_l3: Some((988.0, 151, 6.55, 20_059, 31_205)),
+            baseline_l2: Some((956.0, 490, 1.95, 19_418, 30_564)),
+            match_limit_l3: Some((1.36, 1.28)),
+            rtf_match_limit: Some(2.25),
+        },
+    }
+}
+
+/// NASA Ames Moffett Field (log #415) — the mid-sized dataset.
+pub fn moff() -> Dataset {
+    Dataset {
+        spec: AirportSpec {
+            name: "MOFF",
+            seed: 0x0f_0003,
+            runways: 2,
+            crossing: false,
+            runway_split: 2,
+            taxiways_per_runway: 2,
+            connectors_per_runway: 4,
+            terminals: 5,
+            aprons: 2,
+            roads: 4,
+            lots: 4,
+            hangars: 5,
+            tanks: 6,
+            grass: 18,
+            tarmac: 8,
+            clutter: 105,
+        },
+        paper: PaperStats {
+            phase_hours: Some([0.25, 4.12, 2.33, 0.33]),
+            phase_firings: Some([4_713, 36_949, 1_503, 3_774]),
+            hypotheses_rtf: Some(199),
+            hypotheses_fa: Some(21),
+            level_stats: Some([
+                (165.60, 121.20, 0.732, 9),
+                (20.07, 8.02, 0.399, 74),
+                (5.57, 2.43, 0.436, 268),
+                (0.349, 0.0455, 0.130, 4_274),
+            ]),
+            baseline_l3: Some((991.0, 209, 4.74, 22_203, 23_637)),
+            baseline_l2: Some((973.0, 700, 1.39, 21_294, 22_728)),
+            match_limit_l3: Some((1.54, 1.45)),
+            rtf_match_limit: Some(2.27),
+        },
+    }
+}
+
+/// All three datasets, in the paper's order.
+pub fn all() -> Vec<Dataset> {
+    vec![sf(), dc(), moff()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_seeds_and_names() {
+        let ds = all();
+        assert_eq!(ds.len(), 3);
+        assert_ne!(ds[0].spec.seed, ds[1].spec.seed);
+        assert_ne!(ds[1].spec.seed, ds[2].spec.seed);
+        assert_eq!(ds[0].spec.name, "SF");
+        assert_eq!(ds[1].spec.name, "DC");
+        assert_eq!(ds[2].spec.name, "MOFF");
+    }
+
+    #[test]
+    fn paper_level_counts_are_the_published_ones() {
+        let d = dc();
+        let rows = d.paper.level_stats.unwrap();
+        assert_eq!(rows[1].3, 150); // L3 tasks
+        assert_eq!(rows[2].3, 490); // L2 tasks
+        let m = moff();
+        assert_eq!(m.paper.level_stats.unwrap()[3].3, 4_274);
+    }
+}

@@ -1,0 +1,587 @@
+//! Synthetic airport-scene generation.
+//!
+//! **Substitution note (see DESIGN.md §5).** The paper's inputs are hand-
+//! segmented aerial images of San Francisco International, Washington
+//! National, and NASA Ames Moffett Field. Those segmentations are not
+//! available, so this module synthesises airport scenes with the structural
+//! properties the system exercises: runways (possibly split into collinear
+//! pieces by the segmenter), parallel taxiways with crossing connectors, a
+//! terminal area (apron + buildings + access roads + parking), hangars,
+//! fuel tanks, grass infill, and clutter. Geometry is jittered and rotated
+//! so nothing is axis-aligned or exact.
+// Clutter orientations draw from 0..3.14 — an arbitrary angle cap, not an
+// approximation of π (changing it would shift the calibrated RNG streams).
+#![allow(clippy::approx_constant)]
+
+use crate::fragments::FragmentKind;
+use crate::scene::{Region, Scene};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spam_geometry::{Point, Polygon, Vector};
+
+/// Generation parameters for one airport dataset.
+#[derive(Clone, Debug)]
+pub struct AirportSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// RNG seed (scenes are fully deterministic).
+    pub seed: u64,
+    /// Number of runways.
+    pub runways: usize,
+    /// Whether one runway crosses the others (Washington National style).
+    pub crossing: bool,
+    /// Collinear pieces the segmenter breaks each runway into.
+    pub runway_split: usize,
+    /// Parallel taxiways per runway.
+    pub taxiways_per_runway: usize,
+    /// Runway–taxiway connector stubs per runway.
+    pub connectors_per_runway: usize,
+    /// Terminal buildings.
+    pub terminals: usize,
+    /// Parking aprons.
+    pub aprons: usize,
+    /// Access roads.
+    pub roads: usize,
+    /// Vehicle parking lots.
+    pub lots: usize,
+    /// Hangars.
+    pub hangars: usize,
+    /// Fuel tanks.
+    pub tanks: usize,
+    /// Grass patches along the movement area.
+    pub grass: usize,
+    /// Tarmac patches.
+    pub tarmac: usize,
+    /// Spurious clutter regions.
+    pub clutter: usize,
+}
+
+struct Builder {
+    rng: StdRng,
+    regions: Vec<Region>,
+    rotation: f64,
+    pivot: Point,
+    jitter_amp: f64,
+}
+
+impl Builder {
+    fn push(&mut self, poly: Polygon, intensity: f64, truth: Option<FragmentKind>) {
+        let id = self.regions.len() as u32;
+        let rotated = poly.rotated_about(self.pivot, self.rotation);
+        let jittered = self.jitter(&rotated);
+        let noise: f64 = self.rng.gen_range(-12.0..12.0);
+        self.regions.push(Region::new(
+            id,
+            jittered,
+            (intensity + noise).clamp(0.0, 255.0),
+            truth,
+        ));
+    }
+
+    fn jitter(&mut self, poly: &Polygon) -> Polygon {
+        let amp = self.jitter_amp;
+        let verts = poly
+            .vertices()
+            .iter()
+            .map(|&p| {
+                p + Vector::new(
+                    self.rng.gen_range(-amp..amp),
+                    self.rng.gen_range(-amp..amp),
+                )
+            })
+            .collect();
+        Polygon::new(verts)
+    }
+}
+
+/// Generates a deterministic synthetic airport scene.
+pub fn generate_scene(spec: &AirportSpec) -> Scene {
+    let mut b = Builder {
+        rng: StdRng::seed_from_u64(spec.seed),
+        regions: Vec::new(),
+        rotation: 0.0,
+        pivot: Point::new(3000.0, 3000.0),
+        jitter_amp: 1.5,
+    };
+    b.rotation = b.rng.gen_range(0.0..std::f64::consts::PI);
+
+    let mut runway_axes: Vec<(Point, f64, f64)> = Vec::new(); // (centre, length, spacing index)
+
+    // --- Runways: parallel strips, optionally one crossing.
+    for r in 0..spec.runways {
+        let crossing = spec.crossing && r == spec.runways - 1 && spec.runways > 1;
+        let length = b.rng.gen_range(2400.0..3400.0);
+        let width = b.rng.gen_range(45.0..60.0);
+        let y = 1500.0 + r as f64 * b.rng.gen_range(700.0..1000.0);
+        let centre = Point::new(3000.0, y);
+        let angle = if crossing { 1.0 } else { 0.0 };
+        runway_axes.push((centre, length, angle));
+        // Split into collinear pieces with small segmentation gaps.
+        let pieces = spec.runway_split.max(1);
+        let gap = 18.0;
+        let piece_len = (length - gap * (pieces as f64 - 1.0)) / pieces as f64;
+        for p in 0..pieces {
+            let offset = -length / 2.0 + piece_len / 2.0 + p as f64 * (piece_len + gap);
+            let c = centre + Vector::from_angle(angle) * offset;
+            b.push(
+                Polygon::oriented_rect(c, piece_len, width, angle),
+                85.0,
+                Some(FragmentKind::Runway),
+            );
+        }
+
+        // --- Parallel taxiways for this runway.
+        for t in 0..spec.taxiways_per_runway {
+            let side = if t % 2 == 0 { 1.0 } else { -1.0 };
+            let offset = side * (150.0 + 60.0 * (t / 2) as f64);
+            let tc = centre + Vector::from_angle(angle).perp() * offset;
+            let tlen = length * b.rng.gen_range(0.7..0.9);
+            let twidth = b.rng.gen_range(20.0..30.0);
+            b.push(
+                Polygon::oriented_rect(tc, tlen, twidth, angle),
+                95.0,
+                Some(FragmentKind::Taxiway),
+            );
+
+            // Connector stubs crossing both the taxiway and the runway.
+            if t == 0 {
+                for k in 0..spec.connectors_per_runway {
+                    let along = -length * 0.35
+                        + (k as f64 / spec.connectors_per_runway.max(1) as f64) * length * 0.7;
+                    let cc = centre
+                        + Vector::from_angle(angle) * along
+                        + Vector::from_angle(angle).perp() * (offset / 2.0);
+                    b.push(
+                        Polygon::oriented_rect(
+                            cc,
+                            offset.abs() + 80.0,
+                            18.0,
+                            angle + std::f64::consts::FRAC_PI_2,
+                        ),
+                        95.0,
+                        Some(FragmentKind::Taxiway),
+                    );
+                }
+            }
+        }
+
+        // --- Grass infill strips between runway and first taxiway.
+        let grass_per_runway = spec.grass / spec.runways.max(1);
+        for g in 0..grass_per_runway {
+            let along = -length * 0.4
+                + (g as f64 / grass_per_runway.max(1) as f64) * length * 0.8;
+            let gc = centre
+                + Vector::from_angle(angle) * along
+                + Vector::from_angle(angle).perp() * 85.0;
+            let (gl, gw) = (b.rng.gen_range(120.0..260.0), b.rng.gen_range(40.0..70.0));
+            b.push(
+                Polygon::oriented_rect(gc, gl, gw, angle),
+                135.0,
+                Some(FragmentKind::GrassyArea),
+            );
+        }
+
+        // --- Tarmac patches along the runway edge.
+        let tarmac_per_runway = spec.tarmac / spec.runways.max(1);
+        for m in 0..tarmac_per_runway {
+            let along = -length * 0.3
+                + (m as f64 / tarmac_per_runway.max(1) as f64) * length * 0.6;
+            let mc = centre
+                + Vector::from_angle(angle) * along
+                - Vector::from_angle(angle).perp() * (width / 2.0 + 35.0);
+            let (ml, mw) = (b.rng.gen_range(80.0..160.0), b.rng.gen_range(50.0..70.0));
+            b.push(
+                Polygon::oriented_rect(mc, ml, mw, angle),
+                100.0,
+                Some(FragmentKind::Tarmac),
+            );
+        }
+    }
+
+    // --- Terminal area anchored near the first runway's taxiway side.
+    let terminal_base = Point::new(1500.0, 900.0);
+    for a in 0..spec.aprons {
+        let ac = terminal_base + Vector::new(a as f64 * 520.0, 0.0);
+        b.push(
+            Polygon::oriented_rect(ac, 450.0, 260.0, 0.0),
+            105.0,
+            Some(FragmentKind::ParkingApron),
+        );
+    }
+    for t in 0..spec.terminals {
+        let apron_idx = t % spec.aprons.max(1);
+        let tc = terminal_base
+            + Vector::new(
+                apron_idx as f64 * 520.0 - 140.0 + (t / spec.aprons.max(1)) as f64 * 150.0,
+                -200.0,
+            );
+        b.push(
+            Polygon::oriented_rect(tc, 130.0, 60.0, 0.0),
+            200.0,
+            Some(FragmentKind::TerminalBuilding),
+        );
+    }
+    for r in 0..spec.roads {
+        let rc = terminal_base + Vector::new(r as f64 * 260.0 - 200.0, -380.0);
+        b.push(
+            Polygon::oriented_rect(rc, 550.0, 12.0, if r % 2 == 0 { 0.0 } else { 0.5 }),
+            90.0,
+            Some(FragmentKind::AccessRoad),
+        );
+    }
+    for l in 0..spec.lots {
+        let lc = terminal_base + Vector::new(l as f64 * 300.0 - 150.0, -480.0);
+        b.push(
+            Polygon::oriented_rect(lc, 160.0, 90.0, 0.0),
+            110.0,
+            Some(FragmentKind::ParkingLot),
+        );
+    }
+
+    // --- Hangars near taxiways, away from the terminal.
+    for h in 0..spec.hangars {
+        let hc = Point::new(4400.0 + (h % 3) as f64 * 160.0, 1200.0 + (h / 3) as f64 * 200.0);
+        b.push(
+            Polygon::oriented_rect(hc, 90.0, 70.0, 0.3),
+            190.0,
+            Some(FragmentKind::Hangar),
+        );
+    }
+
+    // --- Fuel-tank farm near a tarmac patch, far from terminals.
+    for t in 0..spec.tanks {
+        let tc = Point::new(4900.0 + (t % 4) as f64 * 70.0, 2200.0 + (t / 4) as f64 * 70.0);
+        let radius = b.rng.gen_range(12.0..20.0);
+        b.push(
+            Polygon::regular(tc, radius, 8),
+            205.0,
+            Some(FragmentKind::FuelTank),
+        );
+    }
+    // A tarmac patch by the tank farm so the `fuel-tank near tarmac`
+    // constraint can succeed.
+    if spec.tanks > 0 {
+        b.push(
+            Polygon::oriented_rect(Point::new(4980.0, 2060.0), 220.0, 90.0, 0.0),
+            100.0,
+            Some(FragmentKind::Tarmac),
+        );
+    }
+
+    // --- Clutter: spurious segmentation regions everywhere.
+    for _ in 0..spec.clutter {
+        let c = Point::new(
+            b.rng.gen_range(300.0..5700.0),
+            b.rng.gen_range(300.0..5700.0),
+        );
+        let shape = b.rng.gen_range(0..3);
+        let poly = match shape {
+            0 => {
+                let (l, w, a) = (
+                    b.rng.gen_range(15.0..120.0),
+                    b.rng.gen_range(10.0..80.0),
+                    b.rng.gen_range(0.0..3.14),
+                );
+                Polygon::oriented_rect(c, l, w, a)
+            }
+            1 => {
+                let r = b.rng.gen_range(8.0..40.0);
+                Polygon::regular(c, r, 6)
+            }
+            _ => {
+                let (l, w, a) = (
+                    b.rng.gen_range(100.0..420.0),
+                    b.rng.gen_range(6.0..16.0),
+                    b.rng.gen_range(0.0..3.14),
+                );
+                Polygon::oriented_rect(c, l, w, a)
+            }
+        };
+        let intensity = b.rng.gen_range(60.0..220.0);
+        b.push(poly, intensity, None);
+    }
+
+    Scene::new(spec.name, b.regions)
+}
+
+/// Generation parameters for a suburban housing development — the paper's
+/// second task area.
+#[derive(Clone, Debug)]
+pub struct SuburbSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// RNG seed.
+    pub seed: u64,
+    /// East–west streets.
+    pub streets: usize,
+    /// North–south cross streets.
+    pub cross_streets: usize,
+    /// Houses per street side.
+    pub houses_per_block: usize,
+    /// Percentage of houses with a detached garage.
+    pub garage_pct: u32,
+    /// Percentage of houses with a pool.
+    pub pool_pct: u32,
+    /// Clutter regions (trees, shadows, cars).
+    pub clutter: usize,
+}
+
+impl SuburbSpec {
+    /// The demo development used by the suburban example and tests.
+    pub fn demo() -> SuburbSpec {
+        SuburbSpec {
+            name: "SUBURB",
+            seed: 0x5b_0007,
+            streets: 3,
+            cross_streets: 2,
+            houses_per_block: 6,
+            garage_pct: 60,
+            pool_pct: 25,
+            clutter: 60,
+        }
+    }
+}
+
+/// Generates a deterministic suburban housing-development scene.
+///
+/// Layout: a grid of streets; along each street, rows of lots with a house,
+/// a yard, a driveway connecting house to street, and optionally a garage
+/// and a pool; clutter (tree crowns, cars, shadows) everywhere.
+pub fn generate_suburb(spec: &SuburbSpec) -> Scene {
+    let mut b = Builder {
+        rng: StdRng::seed_from_u64(spec.seed),
+        regions: Vec::new(),
+        rotation: 0.0,
+        pivot: Point::new(450.0, 450.0),
+        jitter_amp: 0.35,
+    };
+    b.rotation = b.rng.gen_range(0.0..std::f64::consts::PI);
+
+    let street_gap = 180.0;
+    let lot_w = 45.0;
+
+    // Streets (east-west) and cross streets (north-south).
+    for s in 0..spec.streets {
+        let y = 120.0 + s as f64 * street_gap;
+        b.push(
+            Polygon::oriented_rect(Point::new(450.0, y), 880.0, 9.0, 0.0),
+            95.0,
+            Some(FragmentKind::Street),
+        );
+    }
+    for s in 0..spec.cross_streets {
+        let x = 180.0 + s as f64 * 350.0;
+        b.push(
+            Polygon::oriented_rect(
+                Point::new(x, 300.0),
+                560.0,
+                9.0,
+                std::f64::consts::FRAC_PI_2,
+            ),
+            95.0,
+            Some(FragmentKind::Street),
+        );
+    }
+
+    // Lots along each street, both sides.
+    for s in 0..spec.streets {
+        let street_y = 120.0 + s as f64 * street_gap;
+        for side in [-1.0f64, 1.0] {
+            for h in 0..spec.houses_per_block {
+                let x = 90.0 + h as f64 * (lot_w + 18.0) + if side > 0.0 { 9.0 } else { 0.0 };
+                let house_c = Point::new(x, street_y + side * 38.0);
+                // House roof.
+                b.push(
+                    Polygon::oriented_rect(house_c, 16.0, 10.0, 0.0),
+                    195.0,
+                    Some(FragmentKind::House),
+                );
+                // Driveway from the street edge to the house.
+                let drive_c = Point::new(x + 12.0, street_y + side * 19.0);
+                b.push(
+                    Polygon::oriented_rect(drive_c, 30.0, 3.5, std::f64::consts::FRAC_PI_2),
+                    110.0,
+                    Some(FragmentKind::Driveway),
+                );
+                // Yard behind the house.
+                let yard_c = Point::new(x, street_y + side * 62.0);
+                b.push(
+                    Polygon::oriented_rect(yard_c, 34.0, 30.0, 0.0),
+                    132.0,
+                    Some(FragmentKind::Yard),
+                );
+                // Optional garage by the driveway end.
+                if (b.rng.gen_range(0..100u32)) < spec.garage_pct {
+                    let gar_c = Point::new(x + 12.0, street_y + side * 33.0);
+                    b.push(
+                        Polygon::oriented_rect(gar_c, 7.0, 6.0, 0.0),
+                        190.0,
+                        Some(FragmentKind::Garage),
+                    );
+                }
+                // Optional pool in the yard.
+                if (b.rng.gen_range(0..100u32)) < spec.pool_pct {
+                    let pool_c = Point::new(x - 8.0, street_y + side * 60.0);
+                    b.push(
+                        Polygon::regular(pool_c, 4.0, 8),
+                        55.0,
+                        Some(FragmentKind::SwimmingPool),
+                    );
+                }
+            }
+        }
+    }
+
+    // Clutter: tree crowns, parked cars, shadows.
+    for _ in 0..spec.clutter {
+        let c = Point::new(b.rng.gen_range(30.0..870.0), b.rng.gen_range(30.0..620.0));
+        let kind = b.rng.gen_range(0..3);
+        let poly = match kind {
+            0 => {
+                let r = b.rng.gen_range(2.0..7.0);
+                Polygon::regular(c, r, 7) // tree crown
+            }
+            1 => {
+                let a = b.rng.gen_range(0.0..3.14);
+                Polygon::oriented_rect(c, 4.5, 2.0, a) // car
+            }
+            _ => {
+                let (l, w, a) = (
+                    b.rng.gen_range(5.0..25.0),
+                    b.rng.gen_range(3.0..14.0),
+                    b.rng.gen_range(0.0..3.14),
+                );
+                Polygon::oriented_rect(c, l, w, a) // shadow / misc
+            }
+        };
+        let intensity = b.rng.gen_range(35.0..210.0);
+        b.push(poly, intensity, None);
+    }
+
+    let mut scene = Scene::new(spec.name, b.regions);
+    scene.domain = crate::scene::SceneDomain::Suburban;
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = datasets::sf().spec;
+        let a = generate_scene(&spec);
+        let b = generate_scene(&spec);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.regions.iter().zip(&b.regions) {
+            assert_eq!(ra.polygon, rb.polygon);
+            assert_eq!(ra.intensity, rb.intensity);
+            assert_eq!(ra.truth, rb.truth);
+        }
+    }
+
+    #[test]
+    fn scene_contains_all_airport_classes() {
+        use crate::fragments::ALL_KINDS;
+        let scene = generate_scene(&datasets::sf().spec);
+        for k in ALL_KINDS.iter().take(10) {
+            assert!(
+                scene.regions.iter().any(|r| r.truth == Some(*k)),
+                "SF scene should contain a {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn runways_are_elongated_and_split() {
+        let spec = datasets::sf().spec;
+        let scene = generate_scene(&spec);
+        let runways: Vec<_> = scene
+            .regions
+            .iter()
+            .filter(|r| r.truth == Some(FragmentKind::Runway))
+            .collect();
+        assert_eq!(runways.len(), spec.runways * spec.runway_split);
+        for r in &runways {
+            assert!(
+                r.descriptors.elongation > 8.0,
+                "runway pieces stay elongated: {}",
+                r.descriptors.elongation
+            );
+        }
+    }
+
+    #[test]
+    fn connectors_intersect_their_runway() {
+        let scene = generate_scene(&datasets::dc().spec);
+        // At least one taxiway region must intersect at least one runway
+        // region (the `runway intersects taxiway` constraint needs this).
+        let mut found = false;
+        for a in &scene.regions {
+            if a.truth != Some(FragmentKind::Runway) {
+                continue;
+            }
+            for bid in scene.neighbours(a.id, 0.0) {
+                let b = scene.region(bid);
+                if b.truth == Some(FragmentKind::Taxiway) && a.polygon.intersects(&b.polygon) {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no runway–taxiway intersection in the scene");
+    }
+
+    #[test]
+    fn suburb_scene_has_the_domain_and_classes() {
+        let scene = generate_suburb(&SuburbSpec::demo());
+        assert_eq!(scene.domain, crate::scene::SceneDomain::Suburban);
+        for k in [
+            FragmentKind::House,
+            FragmentKind::Street,
+            FragmentKind::Driveway,
+            FragmentKind::Yard,
+            FragmentKind::Garage,
+            FragmentKind::SwimmingPool,
+        ] {
+            assert!(
+                scene.regions.iter().any(|r| r.truth == Some(k)),
+                "suburb should contain a {k}"
+            );
+        }
+        // Houses really sit by their driveways.
+        let mut adjacent_found = false;
+        for a in &scene.regions {
+            if a.truth != Some(FragmentKind::House) {
+                continue;
+            }
+            for bid in scene.neighbours(a.id, 10.0) {
+                let b = scene.region(bid);
+                if b.truth == Some(FragmentKind::Driveway)
+                    && a.polygon.adjacent_to(&b.polygon, 8.0)
+                {
+                    adjacent_found = true;
+                }
+            }
+        }
+        assert!(adjacent_found, "no house adjacent to a driveway");
+    }
+
+    #[test]
+    fn suburb_generation_is_deterministic() {
+        let a = generate_suburb(&SuburbSpec::demo());
+        let b = generate_suburb(&SuburbSpec::demo());
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.regions.iter().zip(&b.regions) {
+            assert_eq!(ra.polygon, rb.polygon);
+        }
+    }
+
+    #[test]
+    fn dataset_sizes_are_ordered() {
+        let sf = generate_scene(&datasets::sf().spec).len();
+        let dc = generate_scene(&datasets::dc().spec).len();
+        let moff = generate_scene(&datasets::moff().spec).len();
+        assert!(sf > moff && moff > dc, "SF({sf}) > MOFF({moff}) > DC({dc})");
+    }
+}

@@ -1,0 +1,553 @@
+//! The LCC (local-consistency check) phase: constraint satisfaction over
+//! fragment hypotheses, decomposed into the paper's task levels (Figure 4).
+//!
+//! * **Level 4** — one task applies all constraints to one *class* of
+//!   objects;
+//! * **Level 3** — one task applies all constraints to one object;
+//! * **Level 2** — one task applies one constraint to one object;
+//! * **Level 1** — one task checks one constraint *component* (one
+//!   candidate pair).
+//!
+//! Every task is an independent OPS5 program: its working memory holds the
+//! subject fragment(s), the candidate partners from the spatial
+//! neighbourhood, the applicable constraint records, and the task element
+//! itself (working-memory distribution, §5.1). Results (consistency records
+//! and support increments) never cross task boundaries, which is what makes
+//! the decomposition safe to run asynchronously.
+
+use crate::constraints::{constraints_for, Constraint, Relation, CONSTRAINTS};
+use crate::externals::{register, ExternalCtx};
+use crate::fragments::{FragmentHypothesis, FragmentKind, ALL_KINDS};
+use crate::rules::SpamProgram;
+use crate::scene::Scene;
+use ops5::{sym, CycleStats, Value, WorkCounters};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Candidate-search radius (metres): partners beyond this bounding-box
+/// distance never enter a task's working memory. (The per-relation guard in
+/// the external predicate is tighter still.)
+pub const NEIGHBOURHOOD_RADIUS: f64 = 700.0;
+
+/// The candidate radius for partners of kind `object` seen from a subject
+/// of kind `subject`: the widest reach among the applicable constraints
+/// ([`crate::externals::relation_radius`]), or `None` when no constraint
+/// relates the two kinds (such partners never enter the task's working
+/// memory).
+pub fn kind_radius(subject: FragmentKind, object: FragmentKind) -> Option<f64> {
+    constraints_for(subject)
+        .filter(|c| c.object == object)
+        .map(crate::externals::relation_radius)
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+/// A decomposition level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// All constraints × one class.
+    L4,
+    /// All constraints × one object.
+    L3,
+    /// One constraint × one object.
+    L2,
+    /// One constraint component (one candidate pair).
+    L1,
+}
+
+impl Level {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::L4 => "Level 4",
+            Level::L3 => "Level 3",
+            Level::L2 => "Level 2",
+            Level::L1 => "Level 1",
+        }
+    }
+}
+
+/// One independent LCC task.
+#[derive(Clone, Debug)]
+pub enum LccUnit {
+    /// Level 4: every fragment of one kind.
+    Class(FragmentKind),
+    /// Level 3: one fragment.
+    Object(u32),
+    /// Level 2: one fragment × one constraint.
+    ObjectConstraint(u32, u32),
+    /// Level 1: one candidate pair under one constraint.
+    Pair {
+        /// Subject fragment.
+        frag: u32,
+        /// Constraint id.
+        constraint: u32,
+        /// Partner fragment.
+        other: u32,
+    },
+}
+
+/// A successful constraint application.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConsistentRec {
+    /// Subject fragment.
+    pub a: u32,
+    /// Partner fragment.
+    pub b: u32,
+    /// Relation that held.
+    pub rel: Relation,
+    /// Support weight.
+    pub weight: i64,
+}
+
+/// Result of executing one LCC task.
+#[derive(Clone, Debug)]
+pub struct LccUnitResult {
+    /// Consistency records produced.
+    pub consistents: Vec<ConsistentRec>,
+    /// `(fragment, support)` totals accumulated within the task.
+    pub supports: Vec<(u32, i64)>,
+    /// Work performed.
+    pub work: WorkCounters,
+    /// Productions fired.
+    pub firings: u64,
+    /// RHS actions executed.
+    pub rhs_actions: u64,
+    /// Per-cycle log.
+    pub cycle_log: Vec<CycleStats>,
+}
+
+/// Result of a whole LCC phase run at one decomposition level.
+#[derive(Clone, Debug)]
+pub struct LccPhaseResult {
+    /// The decomposition level used.
+    pub level: Level,
+    /// Fragments with accumulated support.
+    pub fragments: Vec<FragmentHypothesis>,
+    /// All consistency records.
+    pub consistents: Vec<ConsistentRec>,
+    /// Per-task results, in queue order.
+    pub units: Vec<LccUnitResult>,
+    /// Total work.
+    pub work: WorkCounters,
+    /// Total firings.
+    pub firings: u64,
+}
+
+/// Fragment ids in the spatial neighbourhood of `f` (excluding `f`):
+/// partners whose kind is related to `f.kind` by some constraint and whose
+/// bounding box lies within that constraint family's reach.
+pub fn neighbourhood(
+    scene: &Scene,
+    fragments: &[FragmentHypothesis],
+    f: &FragmentHypothesis,
+) -> Vec<u32> {
+    let bb = scene.region(f.region).polygon.bbox();
+    let near_regions: BTreeSet<u32> = scene
+        .neighbours(f.region, NEIGHBOURHOOD_RADIUS)
+        .into_iter()
+        .collect();
+    fragments
+        .iter()
+        .filter(|g| g.id != f.id && (near_regions.contains(&g.region) || g.region == f.region))
+        .filter(|g| {
+            kind_radius(f.kind, g.kind).is_some()
+                && scene.region(g.region).polygon.bbox().distance_to(&bb)
+                    <= NEIGHBOURHOOD_RADIUS
+        })
+        .map(|g| g.id)
+        .collect()
+}
+
+/// Decomposes the phase into tasks at `level` (the task queue, in order).
+pub fn decompose(
+    scene: &Scene,
+    fragments: &[FragmentHypothesis],
+    level: Level,
+) -> Vec<LccUnit> {
+    match level {
+        Level::L4 => ALL_KINDS
+            .iter()
+            .filter(|k| fragments.iter().any(|f| f.kind == **k))
+            .map(|&k| LccUnit::Class(k))
+            .collect(),
+        Level::L3 => fragments.iter().map(|f| LccUnit::Object(f.id)).collect(),
+        Level::L2 => fragments
+            .iter()
+            .flat_map(|f| {
+                constraints_for(f.kind).map(move |c| LccUnit::ObjectConstraint(f.id, c.id))
+            })
+            .collect(),
+        Level::L1 => {
+            let mut out = Vec::new();
+            for f in fragments {
+                let nbh = neighbourhood(scene, fragments, f);
+                for c in constraints_for(f.kind) {
+                    for &g in &nbh {
+                        if fragments[g as usize].kind == c.object {
+                            out.push(LccUnit::Pair {
+                                frag: f.id,
+                                constraint: c.id,
+                                other: g,
+                            });
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+fn constraint_fields(c: &Constraint) -> Vec<(&'static str, Value)> {
+    vec![
+        ("id", Value::Int(c.id as i64)),
+        ("subject", c.subject.value()),
+        ("object", c.object.value()),
+        ("rel", Value::symbol(c.relation.name())),
+        ("param", Value::Float(c.param)),
+        ("weight", Value::Int(c.weight)),
+    ]
+}
+
+fn fragment_fields(f: &FragmentHypothesis) -> Vec<(&'static str, Value)> {
+    vec![
+        ("id", Value::Int(f.id as i64)),
+        ("region", Value::Int(f.region as i64)),
+        ("kind", f.kind.value()),
+        ("conf", Value::Float(f.confidence)),
+        ("support", Value::Int(0)),
+        ("status", Value::symbol("hypothesised")),
+    ]
+}
+
+/// Loads one task's working memory into an engine (working-memory
+/// distribution, §5.1): the subject fragment(s), their spatial
+/// neighbourhoods, the applicable constraint records, and the task element
+/// itself. The `control` element must already be present.
+pub fn load_unit_wm(
+    e: &mut ops5::Engine,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    unit: &LccUnit,
+) {
+    // Subjects of this task + the constraint ids it may apply.
+    let subjects: Vec<u32> = match unit {
+        LccUnit::Class(k) => fragments.iter().filter(|f| f.kind == *k).map(|f| f.id).collect(),
+        LccUnit::Object(f) => vec![*f],
+        LccUnit::ObjectConstraint(f, _) => vec![*f],
+        LccUnit::Pair { frag, .. } => vec![*frag],
+    };
+
+    // Working-memory distribution: subjects + their spatial neighbourhoods.
+    let mut wm_frags: BTreeSet<u32> = subjects.iter().copied().collect();
+    match unit {
+        LccUnit::Pair { other, .. } => {
+            wm_frags.insert(*other);
+        }
+        _ => {
+            for &s in &subjects {
+                wm_frags.extend(neighbourhood(scene, fragments, &fragments[s as usize]));
+            }
+        }
+    }
+    for &fid in &wm_frags {
+        e.make_wme("fragment", &fragment_fields(&fragments[fid as usize]))
+            .expect("fragment");
+    }
+
+    // Spatial windows: the control process precomputes which partners lie
+    // in each subject's neighbourhood ("near" elements), so pair generation
+    // stays local no matter how many subjects share the task's WM (this is
+    // what bounds the Level-4 class tasks).
+    match unit {
+        LccUnit::Pair { frag, other, .. } => {
+            e.make_wme(
+                "near",
+                &[
+                    ("a", Value::Int(*frag as i64)),
+                    ("b", Value::Int(*other as i64)),
+                    ("kind", fragments[*other as usize].kind.value()),
+                ],
+            )
+            .expect("near");
+        }
+        _ => {
+            for &s in &subjects {
+                for g in neighbourhood(scene, fragments, &fragments[s as usize]) {
+                    e.make_wme(
+                        "near",
+                        &[
+                            ("a", Value::Int(s as i64)),
+                            ("b", Value::Int(g as i64)),
+                            ("kind", fragments[g as usize].kind.value()),
+                        ],
+                    )
+                    .expect("near");
+                }
+            }
+        }
+    }
+
+    // Task elements + constraint records, per level.
+    match unit {
+        LccUnit::Class(_) | LccUnit::Object(_) => {
+            for c in CONSTRAINTS {
+                e.make_wme("constraint", &constraint_fields(c)).expect("constraint");
+            }
+            for &s in &subjects {
+                e.make_wme(
+                    "lcc-task",
+                    &[
+                        ("id", Value::Int(s as i64)),
+                        ("frag", Value::Int(s as i64)),
+                        ("kind", fragments[s as usize].kind.value()),
+                        ("status", Value::symbol("pending")),
+                    ],
+                )
+                .expect("lcc-task");
+            }
+        }
+        LccUnit::ObjectConstraint(f, c) => {
+            let con = &CONSTRAINTS[*c as usize];
+            e.make_wme("constraint", &constraint_fields(con)).expect("constraint");
+            e.make_wme(
+                "lcc-check",
+                &[
+                    ("id", Value::Int(((*f as i64) << 8) | *c as i64)),
+                    ("task", Value::Int(-1)),
+                    ("frag", Value::Int(*f as i64)),
+                    ("constraint", Value::Int(*c as i64)),
+                    ("status", Value::symbol("pending")),
+                ],
+            )
+            .expect("lcc-check");
+        }
+        LccUnit::Pair {
+            frag,
+            constraint,
+            other,
+        } => {
+            e.make_wme(
+                "lcc-pair",
+                &[
+                    ("check", Value::Int(-1)),
+                    ("frag", Value::Int(*frag as i64)),
+                    ("other", Value::Int(*other as i64)),
+                    ("constraint", Value::Int(*constraint as i64)),
+                    ("status", Value::symbol("pending")),
+                ],
+            )
+            .expect("lcc-pair");
+        }
+    }
+}
+
+/// Executes one LCC task in a fresh, independent engine.
+pub fn run_lcc_unit(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    unit: &LccUnit,
+) -> LccUnitResult {
+    let mut e = sp.engine();
+    register(
+        &mut e,
+        ExternalCtx {
+            scene: Arc::clone(scene),
+            fragments: Arc::clone(fragments),
+            id_base: 1 << 30,
+        },
+    );
+    e.enable_cycle_log();
+    e.make_wme("control", &[("phase", Value::symbol("lcc")), ("status", Value::symbol("running"))])
+        .expect("control");
+    load_unit_wm(&mut e, scene, fragments, unit);
+
+    let out = e.run(1_000_000);
+    debug_assert!(out.quiescent(), "LCC task must reach quiescence: {out:?}");
+
+    // Harvest consistency records and supports.
+    let program = e.program();
+    let cons_class = sym("consistent");
+    let slot = |class: &str, attr: &str| {
+        program.slot_of(sym(class), sym(attr)).expect("slot") as usize
+    };
+    let (ca, cb, crel, cw) = (
+        slot("consistent", "a"),
+        slot("consistent", "b"),
+        slot("consistent", "rel"),
+        slot("consistent", "weight"),
+    );
+    let consistents: Vec<ConsistentRec> = e
+        .wm()
+        .iter()
+        .filter(|(_, w)| w.class == cons_class)
+        .map(|(_, w)| ConsistentRec {
+            a: w.get(ca).as_int().unwrap_or(0) as u32,
+            b: w.get(cb).as_int().unwrap_or(0) as u32,
+            rel: w
+                .get(crel)
+                .as_sym()
+                .and_then(|s| Relation::from_name(&s.name()))
+                .unwrap_or(Relation::Near),
+            weight: w.get(cw).as_int().unwrap_or(0),
+        })
+        .collect();
+
+    let frag_class = sym("fragment");
+    let (fid, fsup) = (slot("fragment", "id"), slot("fragment", "support"));
+    let supports: Vec<(u32, i64)> = e
+        .wm()
+        .iter()
+        .filter(|(_, w)| w.class == frag_class)
+        .filter_map(|(_, w)| {
+            let s = w.get(fsup).as_int()?;
+            if s > 0 {
+                Some((w.get(fid).as_int()? as u32, s))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let work = e.work();
+    LccUnitResult {
+        consistents,
+        supports,
+        rhs_actions: work.rhs_actions,
+        work,
+        firings: out.firings,
+        cycle_log: e.take_cycle_log(),
+    }
+}
+
+/// Runs the whole LCC phase at `level`, sequentially (the Table 8 BASELINE
+/// configuration: one task process draining the queue).
+pub fn run_lcc(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+) -> LccPhaseResult {
+    let units = decompose(scene, fragments, level);
+    let mut results = Vec::with_capacity(units.len());
+    let mut work = WorkCounters::default();
+    let mut firings = 0;
+    let mut consistents = Vec::new();
+    let mut supports = vec![0i64; fragments.len()];
+    for u in &units {
+        let r = run_lcc_unit(sp, scene, fragments, u);
+        work.add(&r.work);
+        firings += r.firings;
+        consistents.extend(r.consistents.iter().copied());
+        for &(f, s) in &r.supports {
+            supports[f as usize] += s;
+        }
+        results.push(r);
+    }
+    let mut updated: Vec<FragmentHypothesis> = fragments.as_ref().clone();
+    for f in &mut updated {
+        f.support = supports[f.id as usize];
+    }
+    LccPhaseResult {
+        level,
+        fragments: updated,
+        consistents,
+        units: results,
+        work,
+        firings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::generate::generate_scene;
+    use crate::rtf::run_rtf;
+
+    fn setup() -> (SpamProgram, Arc<Scene>, Arc<Vec<FragmentHypothesis>>) {
+        let sp = SpamProgram::build();
+        let scene = Arc::new(generate_scene(&datasets::dc().spec));
+        let rtf = run_rtf(&sp, &scene);
+        (sp, scene, Arc::new(rtf.fragments))
+    }
+
+    #[test]
+    fn decomposition_counts_nest() {
+        let (_, scene, frags) = setup();
+        let l4 = decompose(&scene, &frags, Level::L4).len();
+        let l3 = decompose(&scene, &frags, Level::L3).len();
+        let l2 = decompose(&scene, &frags, Level::L2).len();
+        let l1 = decompose(&scene, &frags, Level::L1).len();
+        assert!(l4 <= 10, "at most one task per class: {l4}");
+        assert_eq!(l3, frags.len());
+        assert!(l2 > l3, "L2 ({l2}) refines L3 ({l3})");
+        assert!(l1 > l2, "L1 ({l1}) refines L2 ({l1})");
+    }
+
+    #[test]
+    fn single_object_task_produces_consistencies() {
+        let (sp, scene, frags) = setup();
+        // Pick a runway fragment — the scene guarantees taxiway crossings.
+        let runway = frags
+            .iter()
+            .find(|f| f.kind == FragmentKind::Runway)
+            .expect("a runway hypothesis");
+        let r = run_lcc_unit(&sp, &scene, &frags, &LccUnit::Object(runway.id));
+        assert!(r.firings >= 3, "tasks fire at least a few productions");
+        assert!(
+            !r.consistents.is_empty(),
+            "a real runway should find consistent partners"
+        );
+        assert!(r.consistents.iter().all(|c| c.a == runway.id));
+        assert!(r.work.external_units > 0, "geometry ran outside the match");
+    }
+
+    #[test]
+    fn levels_agree_on_consistency_set() {
+        let (sp, scene, frags) = setup();
+        let norm = |mut v: Vec<ConsistentRec>| {
+            v.sort_by_key(|c| (c.a, c.b, c.rel.name()));
+            v
+        };
+        let l3 = run_lcc(&sp, &scene, &frags, Level::L3);
+        let l2 = run_lcc(&sp, &scene, &frags, Level::L2);
+        assert_eq!(
+            norm(l3.consistents.clone()),
+            norm(l2.consistents.clone()),
+            "Level 3 and Level 2 must compute identical consistency sets"
+        );
+        let l1 = run_lcc(&sp, &scene, &frags, Level::L1);
+        assert_eq!(norm(l3.consistents.clone()), norm(l1.consistents));
+        let l4 = run_lcc(&sp, &scene, &frags, Level::L4);
+        assert_eq!(norm(l3.consistents), norm(l4.consistents));
+    }
+
+    #[test]
+    fn supports_match_consistency_weights() {
+        let (sp, scene, frags) = setup();
+        let r = run_lcc(&sp, &scene, &frags, Level::L3);
+        for f in &r.fragments {
+            let expected: i64 = r
+                .consistents
+                .iter()
+                .filter(|c| c.a == f.id)
+                .map(|c| c.weight)
+                .sum();
+            assert_eq!(f.support, expected, "fragment {}", f.id);
+        }
+    }
+
+    #[test]
+    fn lcc_match_fraction_in_paper_band() {
+        // §1: "SPAM spends only about 30-50% of its time [in match]".
+        let (sp, scene, frags) = setup();
+        let r = run_lcc(&sp, &scene, &frags, Level::L3);
+        let f = r.work.match_fraction();
+        assert!(
+            (0.25..0.60).contains(&f),
+            "LCC match fraction {f:.2} outside the calibrated band"
+        );
+    }
+}

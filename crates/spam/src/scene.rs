@@ -1,0 +1,154 @@
+//! The scene model: segmented regions and their spatial index.
+
+use crate::fragments::FragmentKind;
+use spam_geometry::{Aabb, GridIndex, Polygon, ShapeDescriptors};
+
+/// One region of the input segmentation.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Region id (dense, 0-based).
+    pub id: u32,
+    /// Region outline in ground coordinates (metres).
+    pub polygon: Polygon,
+    /// Shape descriptors (computed once at scene construction).
+    pub descriptors: ShapeDescriptors,
+    /// Mean image intensity in `[0, 255]` (synthetic: dark tarmac, bright
+    /// buildings, mid grass).
+    pub intensity: f64,
+    /// Ground truth from the generator (`None` for clutter). Used only for
+    /// evaluation, never by the interpretation rules.
+    pub truth: Option<FragmentKind>,
+}
+
+/// The scene type (§2.2: "Knowledge about the type of scene — airport,
+/// suburban housing development, urban city — aids in low-level and
+/// intermediate level image analysis"). Gates which classification
+/// prototypes load into RTF working memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SceneDomain {
+    /// Airport scene analysis (the paper's primary task area).
+    Airport,
+    /// Suburban house scene analysis (the second task area).
+    Suburban,
+}
+
+/// A segmented aerial scene.
+#[derive(Debug)]
+pub struct Scene {
+    /// Scene name (e.g. "SF").
+    pub name: String,
+    /// Scene type.
+    pub domain: SceneDomain,
+    /// All regions, indexed by id.
+    pub regions: Vec<Region>,
+    /// Scene bounds.
+    pub bounds: Aabb,
+    grid: GridIndex,
+}
+
+impl Scene {
+    /// Builds a scene from regions (computes bounds and the spatial index).
+    pub fn new(name: impl Into<String>, regions: Vec<Region>) -> Scene {
+        let mut bounds = Aabb::EMPTY;
+        for r in &regions {
+            bounds = bounds.union(&r.polygon.bbox());
+        }
+        let mut grid = GridIndex::new(bounds, (regions.len() * 2).max(64));
+        for r in &regions {
+            let got = grid.insert(r.polygon.bbox());
+            debug_assert_eq!(got, r.id, "grid ids must match region ids");
+        }
+        Scene {
+            name: name.into(),
+            domain: SceneDomain::Airport,
+            regions,
+            bounds,
+            grid,
+        }
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the scene has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Borrow a region by id.
+    pub fn region(&self, id: u32) -> &Region {
+        &self.regions[id as usize]
+    }
+
+    /// Region ids whose bounding boxes come within `gap` metres of region
+    /// `id`'s box (excluding `id` itself) — the candidate set for pairwise
+    /// constraint checks.
+    pub fn neighbours(&self, id: u32, gap: f64) -> Vec<u32> {
+        let bb = self.regions[id as usize].polygon.bbox();
+        self.grid
+            .query_within(&bb, gap)
+            .into_iter()
+            .filter(|&n| n != id)
+            .collect()
+    }
+
+    /// Total scene area covered by regions (m²).
+    pub fn covered_area(&self) -> f64 {
+        self.regions.iter().map(|r| r.polygon.area()).sum()
+    }
+}
+
+impl Region {
+    /// Builds a region, computing its descriptors.
+    pub fn new(id: u32, polygon: Polygon, intensity: f64, truth: Option<FragmentKind>) -> Region {
+        let descriptors = ShapeDescriptors::of_polygon(&polygon);
+        Region {
+            id,
+            polygon,
+            descriptors,
+            intensity,
+            truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spam_geometry::Point;
+
+    fn rect_region(id: u32, cx: f64, cy: f64, w: f64, h: f64) -> Region {
+        Region::new(
+            id,
+            Polygon::axis_rect(Point::new(cx, cy), w, h),
+            128.0,
+            None,
+        )
+    }
+
+    #[test]
+    fn scene_indexes_regions() {
+        let scene = Scene::new(
+            "t",
+            vec![
+                rect_region(0, 0.0, 0.0, 100.0, 100.0),
+                rect_region(1, 120.0, 0.0, 100.0, 100.0), // 20 m gap from 0
+                rect_region(2, 5000.0, 5000.0, 10.0, 10.0),
+            ],
+        );
+        assert_eq!(scene.len(), 3);
+        let n = scene.neighbours(0, 50.0);
+        assert_eq!(n, vec![1]);
+        assert!(scene.neighbours(2, 50.0).is_empty());
+        assert!(scene.covered_area() > 20_000.0);
+    }
+
+    #[test]
+    fn descriptors_are_populated() {
+        let r = rect_region(0, 0.0, 0.0, 2000.0, 50.0);
+        assert!(r.descriptors.elongation > 30.0);
+        assert!(r.descriptors.is_linear(10.0));
+    }
+}

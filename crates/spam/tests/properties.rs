@@ -1,0 +1,121 @@
+//! Property-based tests for the SPAM system.
+
+use proptest::prelude::*;
+use spam::constraints::{constraints_for, Relation, CONSTRAINTS};
+use spam::externals::{eval_relation, relation_radius};
+use spam::generate::AirportSpec;
+use spam::lcc::{decompose, Level};
+use spam_geometry::{Point, Polygon};
+
+fn rect() -> impl Strategy<Value = Polygon> {
+    (
+        -500.0..500.0f64,
+        -500.0..500.0f64,
+        5.0..400.0f64,
+        5.0..100.0f64,
+        0.0..std::f64::consts::PI,
+    )
+        .prop_map(|(x, y, l, w, a)| Polygon::oriented_rect(Point::new(x, y), l, w, a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The per-relation locality radius is sound: beyond it, positive
+    /// relations can never hold (far-from is excluded — it holds trivially
+    /// out there, which is why the guard rejects it as uninformative).
+    #[test]
+    fn relation_radius_is_a_sound_reject(a in rect(), b in rect()) {
+        for c in CONSTRAINTS {
+            if c.relation == Relation::FarFrom {
+                continue;
+            }
+            let d = a.bbox().distance_to(&b.bbox());
+            if d > relation_radius(c) {
+                let (holds, _) = eval_relation(c.relation, c.param, &a, &b);
+                prop_assert!(
+                    !holds,
+                    "{:?} param {} held at bbox distance {d:.1} (> radius {:.1})",
+                    c.relation, c.param, relation_radius(c)
+                );
+            }
+        }
+    }
+
+    /// Relations are deterministic and their reported cost is stable.
+    #[test]
+    fn eval_relation_is_deterministic(a in rect(), b in rect()) {
+        for c in CONSTRAINTS.iter().take(12) {
+            let r1 = eval_relation(c.relation, c.param, &a, &b);
+            let r2 = eval_relation(c.relation, c.param, &a, &b);
+            prop_assert_eq!(r1, r2);
+            prop_assert!(r1.1 > 0);
+        }
+    }
+
+    /// Scene generation never produces degenerate regions, for any seed.
+    #[test]
+    fn generator_is_robust_across_seeds(seed in 0u64..5000) {
+        let spec = AirportSpec { seed, ..spam::datasets::dc().spec };
+        let scene = spam::generate_scene(&spec);
+        prop_assert!(scene.len() > 50);
+        for r in &scene.regions {
+            prop_assert!(r.polygon.area() > 0.5, "region {} area {}", r.id, r.polygon.area());
+            prop_assert!(r.intensity >= 0.0 && r.intensity <= 255.0);
+            prop_assert!(r.descriptors.elongation >= 1.0);
+            prop_assert!(r.descriptors.compactness > 0.0 && r.descriptors.compactness <= 1.0);
+        }
+    }
+}
+
+/// Decomposition invariants hold on a real scene at every level (not a
+/// proptest — generation + RTF dominate the cost, one case suffices and is
+/// fully deterministic).
+#[test]
+fn decomposition_partitions_the_work() {
+    let sp = spam::rules::SpamProgram::build();
+    let scene = std::sync::Arc::new(spam::generate_scene(&spam::datasets::dc().spec));
+    let rtf = spam::rtf::run_rtf(&sp, &scene);
+    let frags = rtf.fragments;
+
+    // L3: exactly one task per fragment, ids distinct.
+    let l3 = decompose(&scene, &frags, Level::L3);
+    assert_eq!(l3.len(), frags.len());
+
+    // L2: exactly Σ constraints_for(kind) tasks, and the (frag, constraint)
+    // pairs are unique.
+    let l2 = decompose(&scene, &frags, Level::L2);
+    let expected: usize = frags.iter().map(|f| constraints_for(f.kind).count()).sum();
+    assert_eq!(l2.len(), expected);
+    let mut pairs: Vec<(u32, u32)> = l2
+        .iter()
+        .map(|u| match u {
+            spam::lcc::LccUnit::ObjectConstraint(f, c) => (*f, *c),
+            other => panic!("unexpected unit {other:?}"),
+        })
+        .collect();
+    pairs.sort_unstable();
+    let n = pairs.len();
+    pairs.dedup();
+    assert_eq!(pairs.len(), n, "L2 units must be unique");
+
+    // L1: every pair unit's constraint subject matches the fragment's kind
+    // and the partner's kind matches the constraint object.
+    let l1 = decompose(&scene, &frags, Level::L1);
+    assert!(l1.len() > l2.len());
+    for u in &l1 {
+        if let spam::lcc::LccUnit::Pair { frag, constraint, other } = u {
+            let c = &CONSTRAINTS[*constraint as usize];
+            assert_eq!(frags[*frag as usize].kind, c.subject);
+            assert_eq!(frags[*other as usize].kind, c.object);
+            assert_ne!(frag, other);
+        } else {
+            panic!("unexpected unit {u:?}");
+        }
+    }
+
+    // L4: one task per kind present, covering all fragments.
+    let l4 = decompose(&scene, &frags, Level::L4);
+    let kinds: std::collections::BTreeSet<_> = frags.iter().map(|f| f.kind).collect();
+    assert_eq!(l4.len(), kinds.len());
+}

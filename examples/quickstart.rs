@@ -1,0 +1,102 @@
+//! Quickstart: write an OPS5 program, run it, inspect the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The program below is a miniature of SPAM's flavour of rule programming:
+//! classify items, check a consistency constraint between them, and
+//! accumulate support — all through the recognize–act cycle.
+
+use ops5::{Engine, Program, Value};
+use std::sync::Arc;
+
+const SOURCE: &str = r#"
+(literalize item   id length width kind)
+(literalize pair   a b checked)
+(literalize report text n)
+
+; Classification: long thin items are "strips".
+(p classify-strip
+   (item ^id <i> ^length > 100.0 ^width < 20.0 ^kind nil)
+   -->
+   (modify 1 ^kind strip))
+
+; Everything else becomes a "blob" once classification has a chance.
+(p classify-blob
+   (item ^id <i> ^length <= 100.0 ^kind nil)
+   -->
+   (modify 1 ^kind blob))
+
+; Consistency: every pair of distinct strips is worth recording.
+(p pair-strips
+   (item ^id <a> ^kind strip)
+   (item ^id { <b> > <a> } ^kind strip)
+   -(pair ^a <a> ^b <b>)
+   -->
+   (make pair ^a <a> ^b <b> ^checked yes))
+
+; Summarise when nothing is left to classify.
+(p summarise
+   (item ^kind strip)
+   -(item ^kind nil)
+   -(report)
+   -->
+   (make report ^text |strip pairs found| ^n 0))
+
+(p count-pairs
+   (report ^n <n>)
+   (pair ^checked yes)
+   -->
+   (modify 2 ^checked counted)
+   (modify 1 ^n (compute <n> + 1)))
+"#;
+
+fn main() {
+    let program = Arc::new(Program::parse(SOURCE).expect("program parses"));
+    println!(
+        "parsed {} productions over {} classes",
+        program.productions.len(),
+        program.classes().count()
+    );
+
+    let mut engine = Engine::new(Arc::clone(&program));
+    for (id, len, wid) in [
+        (1, 250.0, 12.0), // strip
+        (2, 300.0, 8.0),  // strip
+        (3, 40.0, 35.0),  // blob
+        (4, 180.0, 15.0), // strip
+        (5, 90.0, 90.0),  // blob
+    ] {
+        engine
+            .make_wme(
+                "item",
+                &[
+                    ("id", Value::Int(id)),
+                    ("length", Value::Float(len)),
+                    ("width", Value::Float(wid)),
+                ],
+            )
+            .expect("item class exists");
+    }
+
+    let outcome = engine.run(1_000);
+    println!(
+        "run: {} firings, quiescent: {}",
+        outcome.firings,
+        outcome.quiescent()
+    );
+
+    println!("\nfinal working memory:");
+    for (_, wme) in engine.wm().iter() {
+        println!("  {wme}");
+    }
+
+    let work = engine.work();
+    println!(
+        "\nwork profile: {} total units, {:.0}% in match \
+         (classic OPS5 programs sit above 90%; SPAM's phases run 30-60%)",
+        work.total_units(),
+        100.0 * work.match_fraction()
+    );
+}

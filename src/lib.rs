@@ -1,0 +1,23 @@
+//! # tlp-repro
+//!
+//! Umbrella crate for the reproduction of *"The Effectiveness of Task-Level
+//! Parallelism for High-Level Vision"* (Harvey, Kalp, Tambe, McKeown,
+//! Newell; PPoPP 1990). Re-exports the component crates:
+//!
+//! * [`ops5`] — the OPS5 production-system engine with a Rete matcher;
+//! * [`paraops5`] — ParaOPS5-style match parallelism;
+//! * [`spam`] — the SPAM aerial-image interpretation system;
+//! * [`psm`] — the SPAM/PSM task-level-parallelism framework (the paper's
+//!   primary contribution);
+//! * [`geometry`] — the 2-D computational-geometry substrate;
+//! * [`multimax`] — the Encore-Multimax / shared-virtual-memory simulator.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory and the experiment index.
+
+pub use multimax_sim as multimax;
+pub use ops5;
+pub use paraops5;
+pub use spam;
+pub use spam_geometry as geometry;
+pub use spam_psm as psm;
