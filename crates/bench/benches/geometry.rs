@@ -26,7 +26,10 @@ fn bench_geometry(c: &mut Criterion) {
     let cloud: Vec<Point> = (0..200)
         .map(|i| {
             let a = i as f64 * 0.7;
-            Point::new(1000.0 * a.sin() * (i as f64), 997.0 * a.cos() * (i as f64 % 17.0))
+            Point::new(
+                1000.0 * a.sin() * (i as f64),
+                997.0 * a.cos() * (i as f64 % 17.0),
+            )
         })
         .collect();
     g.bench_function("convex_hull_200", |b| b.iter(|| convex_hull(&cloud).len()));
@@ -37,10 +40,8 @@ fn bench_geometry(c: &mut Criterion) {
 
     g.bench_function("grid_build_and_query_500", |b| {
         b.iter(|| {
-            let bounds = spam_geometry::Aabb::from_corners(
-                Point::new(0.0, 0.0),
-                Point::new(6000.0, 6000.0),
-            );
+            let bounds =
+                spam_geometry::Aabb::from_corners(Point::new(0.0, 0.0), Point::new(6000.0, 6000.0));
             let mut grid = GridIndex::new(bounds, 1024);
             for i in 0..500u32 {
                 let x = (i as f64 * 97.0) % 5800.0;

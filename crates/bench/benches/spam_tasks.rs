@@ -2,7 +2,7 @@
 //! tasks at the chosen decomposition grains, and the decomposition itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spam::lcc::{decompose, run_lcc_unit, Level, LccUnit};
+use spam::lcc::{decompose, run_lcc_unit, LccUnit, Level};
 use spam::rtf::{run_rtf, run_rtf_task};
 use spam::rules::SpamProgram;
 use std::sync::Arc;
@@ -35,10 +35,7 @@ fn bench_spam(c: &mut Criterion) {
         .expect("runway hypothesis")
         .id;
     g.bench_function("lcc_unit_level3_runway", |b| {
-        b.iter(|| {
-            run_lcc_unit(&sp, &scene, &fragments, &LccUnit::Object(runway))
-                .firings
-        })
+        b.iter(|| run_lcc_unit(&sp, &scene, &fragments, &LccUnit::Object(runway)).firings)
     });
 
     g.bench_function("lcc_unit_level1_pair", |b| {

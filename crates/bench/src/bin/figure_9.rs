@@ -39,7 +39,10 @@ fn main() {
         ..SimConfig::encore(1)
     };
 
-    println!("{:>5} {:>10} {:>10} {:>12}", "procs", "pure TLP", "SVM", "remote procs");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12}",
+        "procs", "pure TLP", "SVM", "remote procs"
+    );
     let mut last_local = 0.0;
     let mut first_remote = 0.0;
     let mut pure_pts = Vec::new();

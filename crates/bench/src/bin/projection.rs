@@ -17,7 +17,10 @@ use tlp_bench::{header, Prepared};
 fn big_machine(n: u32, schedule: Schedule) -> SimConfig {
     SimConfig {
         machine: Machine {
-            local: ClusterConfig { processors: 140, reserved: 2 },
+            local: ClusterConfig {
+                processors: 140,
+                reserved: 2,
+            },
             remote: None,
         },
         task_processes: n,
@@ -130,11 +133,17 @@ fn main() {
         }
         println!(
             "... + distributed task queues (8): peak {best:.1}x{}{}",
-            hit50.map(|n| format!("; 50x at {n} task procs")).unwrap_or_default(),
+            hit50
+                .map(|n| format!("; 50x at {n} task procs"))
+                .unwrap_or_default(),
             hit100.map(|n| format!("; 100x at {n}")).unwrap_or_default(),
         );
         println!("  {}", tlp_bench::curve_line(&curve));
-        chart_series.push(series("L2 LPT + match x2 + dist. queues", curve_points(&curve), 5));
+        chart_series.push(series(
+            "L2 LPT + match x2 + dist. queues",
+            curve_points(&curve),
+            5,
+        ));
     }
 
     let chart = Chart {

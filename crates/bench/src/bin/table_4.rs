@@ -34,8 +34,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "SPAM/PSM (this reproduction): explicit, asynchronous, working-memory distributed —"
-    );
+    println!("SPAM/PSM (this reproduction): explicit, asynchronous, working-memory distributed —");
     println!("verified by the spam-psm test-suite (parallel ≡ sequential results).");
 }

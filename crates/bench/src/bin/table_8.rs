@@ -37,7 +37,13 @@ fn main() {
                     pf.to_string(),
                     ra.to_string(),
                 ),
-                None => ("n/a".into(), "n/a".into(), "n/a".into(), "n/a".into(), "n/a".into()),
+                None => (
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                ),
             };
             println!(
                 "{:<14} | {:>9.0} {:>6} {:>8.2} {:>8} {:>8} | {:>9} {:>6} {:>8} {:>8} {:>8}",

@@ -22,7 +22,10 @@ fn main() {
                 _ => "3 (NASA Ames Moffett Field, log #415)",
             }
         ));
-        println!("{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}", "", "RTF", "LCC", "FA", "MODEL", "Total");
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "", "RTF", "LCC", "FA", "MODEL", "Total"
+        );
 
         let hours: Vec<f64> = r.stats.iter().map(|s| s.seconds / 3600.0).collect();
         println!(

@@ -84,14 +84,22 @@ impl Chart {
                 y + 4.0
             );
         }
-        // X ticks at integers (curves are processor counts).
-        let step = if xmax > 16.0 { 2.0 } else { 1.0 };
+        // X ticks: integers for processor-count curves, fifths of the range
+        // for fractional axes (e.g. fault rates).
+        let step = if xmax > 16.0 {
+            2.0
+        } else if xmax > 1.5 {
+            1.0
+        } else {
+            xmax / 5.0
+        };
+        let decimals = if step < 1.0 { 1 } else { 0 };
         let mut x = 0.0;
         while x <= xmax + 1e-9 {
             let xp = px(x);
             let _ = write!(
                 s,
-                r#"<text x="{xp:.1}" y="{:.1}" font-size="11" text-anchor="middle">{x:.0}</text>"#,
+                r#"<text x="{xp:.1}" y="{:.1}" font-size="11" text-anchor="middle">{x:.decimals$}</text>"#,
                 H - MB + 16.0
             );
             x += step;
@@ -132,9 +140,19 @@ impl Chart {
             }
             let mut d = String::new();
             for (i, &(x, y)) in sr.points.iter().enumerate() {
-                let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, px(x), py(y));
+                let _ = write!(
+                    d,
+                    "{}{:.1},{:.1} ",
+                    if i == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                );
             }
-            let dash = if sr.dashed { r#" stroke-dasharray="6,4""# } else { "" };
+            let dash = if sr.dashed {
+                r#" stroke-dasharray="6,4""#
+            } else {
+                ""
+            };
             let _ = write!(
                 s,
                 r#"<path d="{d}" fill="none" stroke="{}" stroke-width="2"{dash}/>"#,
@@ -162,7 +180,11 @@ impl Chart {
                 ML + 12.0,
                 ML + 40.0,
                 sr.color,
-                if sr.dashed { r#" stroke-dasharray="6,4""# } else { "" }
+                if sr.dashed {
+                    r#" stroke-dasharray="6,4""#
+                } else {
+                    ""
+                }
             );
             let _ = write!(
                 s,
@@ -188,7 +210,9 @@ impl Chart {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Convenience: a solid series with the palette colour `i`.

@@ -96,7 +96,10 @@ fn run_one(
     );
     e.make_wme(
         "control",
-        &[("phase", Value::symbol("lcc")), ("status", Value::symbol("running"))],
+        &[
+            ("phase", Value::symbol("lcc")),
+            ("status", Value::symbol("running")),
+        ],
     )
     .expect("control");
     spam::lcc::load_unit_wm(&mut e, scene, fragments, unit);

@@ -2,12 +2,18 @@
 //!
 //! ```sh
 //! spamctl [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
-//!         [--topdown] [--sweep] [--quiet]
+//!         [--retries K] [--deadline-ms MS] [--fault-seed S]
+//!         [--task-panic-rate P] [--topdown] [--sweep] [--quiet]
 //! ```
 //!
 //! * default: run the full pipeline and print the interpretation summary;
 //! * `--level` selects the LCC decomposition level (default 3);
 //! * `--workers N` runs LCC with N real task-process threads (SPAM/PSM);
+//! * `--retries K` allows K supervised retries per LCC task;
+//! * `--deadline-ms MS` sets a soft per-task deadline;
+//! * `--fault-seed S` + `--task-panic-rate P` inject deterministic task
+//!   panics (demonstrates fault isolation — the run completes partially
+//!   and prints the task report);
 //! * `--topdown` follows FA predictions back into LCC (§2.2 re-entry);
 //! * `--sweep` prints the simulated Encore speed-up curve for the run.
 
@@ -21,11 +27,17 @@ use spam::scene::Scene;
 use spam::topdown::run_topdown;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+use tlp_fault::{FaultPlan, SupervisorConfig};
 
 struct Opts {
     dataset: String,
     level: Level,
     workers: usize,
+    retries: u32,
+    deadline_ms: Option<u64>,
+    fault_seed: u64,
+    task_panic_rate: f64,
     topdown: bool,
     sweep: bool,
     quiet: bool,
@@ -36,6 +48,10 @@ fn parse_args() -> Result<Opts, String> {
         dataset: "moff".into(),
         level: Level::L3,
         workers: 1,
+        retries: 0,
+        deadline_ms: None,
+        fault_seed: 0,
+        task_panic_rate: 0.0,
         topdown: false,
         sweep: false,
         quiet: false,
@@ -63,13 +79,46 @@ fn parse_args() -> Result<Opts, String> {
                     return Err("--workers must be >= 1".into());
                 }
             }
+            "--retries" => {
+                o.retries = args
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries: {e}"))?;
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    args.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                );
+            }
+            "--fault-seed" => {
+                o.fault_seed = args
+                    .next()
+                    .ok_or("--fault-seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-seed: {e}"))?;
+            }
+            "--task-panic-rate" => {
+                o.task_panic_rate = args
+                    .next()
+                    .ok_or("--task-panic-rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --task-panic-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&o.task_panic_rate) {
+                    return Err("--task-panic-rate must be in [0, 1]".into());
+                }
+            }
             "--topdown" => o.topdown = true,
             "--sweep" => o.sweep = true,
             "--quiet" => o.quiet = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: spamctl [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
-                     [--topdown] [--sweep] [--quiet]"
+                     [--retries K] [--deadline-ms MS] [--fault-seed S] \
+                     [--task-panic-rate P] [--topdown] [--sweep] [--quiet]"
                         .into(),
                 )
             }
@@ -108,11 +157,33 @@ fn main() -> ExitCode {
     );
 
     let rtf = run_rtf(&sp, &scene);
-    println!("RTF    : {} hypotheses, {} firings", rtf.fragments.len(), rtf.firings);
+    println!(
+        "RTF    : {} hypotheses, {} firings",
+        rtf.fragments.len(),
+        rtf.firings
+    );
     let fragments = Arc::new(rtf.fragments.clone());
 
-    let lcc = if o.workers > 1 {
-        spam_psm_parallel(&sp, &scene, &fragments, o.level, o.workers)
+    let supervised =
+        o.workers > 1 || o.retries > 0 || o.deadline_ms.is_some() || o.task_panic_rate > 0.0;
+    let lcc = if supervised {
+        let mut cfg = SupervisorConfig::default().with_retries(o.retries);
+        if let Some(ms) = o.deadline_ms {
+            cfg = cfg.with_deadline(Duration::from_millis(ms));
+        }
+        let mut plan = FaultPlan::seeded(o.fault_seed);
+        if o.task_panic_rate > 0.0 {
+            plan = plan.with_task_panic_rate(o.task_panic_rate);
+        }
+        match spam_psm::tlp::run_parallel_lcc_supervised(
+            &sp, &scene, &fragments, o.level, o.workers, &cfg, &plan,
+        ) {
+            Ok(lcc) => lcc,
+            Err(e) => {
+                eprintln!("LCC supervision error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         spam::lcc::run_lcc(&sp, &scene, &fragments, o.level)
     };
@@ -123,6 +194,9 @@ fn main() -> ExitCode {
         lcc.firings,
         lcc.work.seconds_at(MIPS)
     );
+    if supervised {
+        print!("{}", lcc.report);
+    }
     let mut fragments = Arc::new(lcc.fragments.clone());
     let mut consistents = lcc.consistents.clone();
 
@@ -180,14 +254,4 @@ fn main() -> ExitCode {
         println!();
     }
     ExitCode::SUCCESS
-}
-
-fn spam_psm_parallel(
-    sp: &SpamProgram,
-    scene: &Arc<Scene>,
-    fragments: &Arc<Vec<spam::fragments::FragmentHypothesis>>,
-    level: Level,
-    workers: usize,
-) -> spam::lcc::LccPhaseResult {
-    spam_psm::tlp::run_parallel_lcc(sp, scene, fragments, level, workers)
 }

@@ -37,11 +37,16 @@
 pub mod baseline;
 pub mod combined;
 pub mod measure;
+pub mod supervise;
 pub mod taxonomy;
 pub mod tlp;
 pub mod trace;
 
 pub use combined::{combined_grid, CombinedCell};
 pub use measure::{level_rows, table8_row, LevelRowMeasured, Table8Row};
-pub use tlp::{run_parallel_lcc, run_parallel_rtf, simulated_tlp_curve, synchronous_makespan};
+pub use supervise::supervise;
+pub use tlp::{
+    run_parallel_lcc, run_parallel_lcc_supervised, run_parallel_rtf, run_parallel_rtf_supervised,
+    simulated_tlp_curve, synchronous_makespan, RtfParallelResult,
+};
 pub use trace::{lcc_trace, rtf_trace, PhaseTrace};

@@ -8,8 +8,8 @@
 
 use crate::trace::lcc_trace;
 use multimax_sim::LevelStats;
-use spam::lcc::{run_lcc, Level};
 use spam::fragments::FragmentHypothesis;
+use spam::lcc::{run_lcc, Level};
 use spam::phases::MIPS;
 use spam::rules::SpamProgram;
 use spam::scene::Scene;
@@ -87,7 +87,12 @@ pub fn table8_row(
 /// negative impact on processor utilization ... with higher ratios, the
 /// impact is less pronounced." Measures utilisation as a function of the
 /// ratio for a given coefficient of variance (synthetic workload, mean 1 s).
-pub fn utilization_by_ratio(cv: f64, ratios: &[f64], processors: u32, seed: u64) -> Vec<(f64, f64)> {
+pub fn utilization_by_ratio(
+    cv: f64,
+    ratios: &[f64],
+    processors: u32,
+    seed: u64,
+) -> Vec<(f64, f64)> {
     use multimax_sim::{simulate, SimConfig, TaskSet};
     const REPS: u64 = 24; // average out workload-draw noise, deterministically
     ratios
@@ -152,14 +157,25 @@ mod tests {
                 "utilisation should not fall as the ratio grows: {curve:?}"
             );
         }
-        assert!(curve[0].1 < 0.85, "ratio 1 wastes processors: {:.2}", curve[0].1);
-        assert!(curve[5].1 > 0.95, "ratio 50 nearly saturates: {:.2}", curve[5].1);
+        assert!(
+            curve[0].1 < 0.85,
+            "ratio 1 wastes processors: {:.2}",
+            curve[0].1
+        );
+        assert!(
+            curve[5].1 > 0.95,
+            "ratio 50 nearly saturates: {:.2}",
+            curve[5].1
+        );
 
         // And higher variance hurts more at low ratios (the synchronous-vs-
         // asynchronous argument's quantitative core).
         let calm = utilization_by_ratio(0.1, &[1.5], 14, 11)[0].1;
         let wild = utilization_by_ratio(1.2, &[1.5], 14, 11)[0].1;
-        assert!(wild < calm, "variance must cost utilisation: {wild:.2} vs {calm:.2}");
+        assert!(
+            wild < calm,
+            "variance must cost utilisation: {wild:.2} vs {calm:.2}"
+        );
     }
 
     #[test]

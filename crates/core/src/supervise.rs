@@ -1,0 +1,395 @@
+//! Supervised task execution for the PSM thread pool.
+//!
+//! The paper's runs simply died when a task process did: one rogue rule or
+//! one bad WME took down the whole phase. This module is the control
+//! process acting as a *supervisor* (§5.1's control process, hardened):
+//!
+//! * every task attempt runs under [`std::panic::catch_unwind`], so a
+//!   panicking task is isolated — the phase completes with the results of
+//!   the surviving tasks;
+//! * a task failure is retried up to [`SupervisorConfig::max_retries`]
+//!   times with linear backoff; tasks that exhaust their budget go to the
+//!   dead-letter list in the [`TaskReport`];
+//! * an optional *soft* deadline is enforced post-hoc: task threads cannot
+//!   be preempted, so an attempt that returns after the deadline has its
+//!   result discarded and is treated as a failure;
+//! * deterministic fault injection: a [`FaultPlan`] can fate specific
+//!   `(task, attempt)` pairs to panic, making the whole retry machinery
+//!   reproducible under test.
+//!
+//! The runner keeps the seed architecture: the calling thread is the
+//! control process; `n` worker threads drain a shared closeable queue;
+//! results stream back over a channel. Retry decisions are made by the
+//! control process, which pushes the repeat attempt back onto the queue.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, Once};
+use std::time::{Duration, Instant};
+use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskOutcome, TaskReport, TaskStatus};
+
+/// Name prefix of supervised worker threads; the quiet panic hook uses it
+/// to keep injected/caught panics out of test output.
+const WORKER_NAME: &str = "psm-task";
+
+/// Installs (once) a panic hook that suppresses default printing for
+/// panics on supervised worker threads — those panics are caught and
+/// reported through the [`TaskReport`], so the default stderr dump is
+/// noise. Other threads keep the previous hook behaviour.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let suppress = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_NAME));
+            if !suppress {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// A closeable multi-producer work queue of `(task, attempt)` jobs.
+struct JobQueue {
+    state: Mutex<(VecDeque<(usize, u32)>, bool)>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new(n_tasks: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(((0..n_tasks).map(|i| (i, 0)).collect(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: (usize, u32)) {
+        let mut st = self.state.lock().unwrap();
+        st.0.push_back(job);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and empty.
+    fn pop(&self) -> Option<(usize, u32)> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.0.pop_front() {
+                return Some(job);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+struct AttemptMsg<T> {
+    task: usize,
+    attempt: u32,
+    result: Result<T, String>,
+    elapsed: Duration,
+}
+
+/// Why the last attempt of a task failed (drives the final dead-letter
+/// status).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FailKind {
+    Panic,
+    Deadline,
+}
+
+/// Runs `labels.len()` tasks on `n_workers` supervised worker threads.
+///
+/// Returns one `Option<T>` slot per task (in task order; `None` marks a
+/// dead-lettered task) plus the [`TaskReport`]. Fails fast with
+/// [`SuperviseError::NoWorkers`] when `n_workers` is zero.
+///
+/// `task` must be pure with respect to retries: attempt `k+1` re-runs the
+/// same closure with the same index. The spam phase runners satisfy this
+/// by building a fresh engine per attempt from shared immutable inputs
+/// (that is also what makes `AssertUnwindSafe` sound here — a poisoned
+/// half-updated state cannot leak across attempts).
+pub fn supervise<T: Send>(
+    n_workers: usize,
+    labels: Vec<String>,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    task: impl Fn(usize) -> T + Sync,
+) -> Result<(Vec<Option<T>>, TaskReport), SuperviseError> {
+    if n_workers == 0 {
+        return Err(SuperviseError::NoWorkers);
+    }
+    install_quiet_hook();
+    let n_tasks = labels.len();
+    let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+    let mut outcomes: Vec<TaskOutcome> = labels
+        .into_iter()
+        .enumerate()
+        .map(|(task, label)| TaskOutcome {
+            task,
+            label,
+            status: TaskStatus::Ok,
+            attempts: 0,
+            elapsed: Duration::ZERO,
+            error: None,
+        })
+        .collect();
+    if n_tasks == 0 {
+        return Ok((slots, TaskReport { outcomes }));
+    }
+
+    let queue = JobQueue::new(n_tasks);
+    let (tx, rx) = mpsc::channel::<AttemptMsg<T>>();
+    let mut last_fail: Vec<Option<FailKind>> = vec![None; n_tasks];
+    let mut remaining = n_tasks;
+
+    std::thread::scope(|s| {
+        for w in 0..n_workers.min(n_tasks) {
+            let tx = tx.clone();
+            let queue = &queue;
+            let task = &task;
+            std::thread::Builder::new()
+                .name(format!("{WORKER_NAME}-{w}"))
+                .spawn_scoped(s, move || {
+                    while let Some((i, attempt)) = queue.pop() {
+                        if attempt > 0 {
+                            // Linear backoff before a retry attempt.
+                            std::thread::sleep(cfg.backoff * attempt);
+                        }
+                        let start = Instant::now();
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if plan.task_panics(i, attempt) {
+                                panic!("injected fault: task {i} attempt {attempt}");
+                            }
+                            task(i)
+                        }))
+                        .map_err(payload_to_string);
+                        let msg = AttemptMsg {
+                            task: i,
+                            attempt,
+                            result,
+                            elapsed: start.elapsed(),
+                        };
+                        if tx.send(msg).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn supervised worker");
+        }
+        drop(tx);
+
+        // Control process: collect attempts, decide retries, fill slots.
+        while remaining > 0 {
+            let msg = rx.recv().expect("workers alive while tasks outstanding");
+            let i = msg.task;
+            let o = &mut outcomes[i];
+            o.attempts = msg.attempt + 1;
+            o.elapsed = msg.elapsed;
+            let failure = match msg.result {
+                Err(err) => {
+                    last_fail[i] = Some(FailKind::Panic);
+                    Some(err)
+                }
+                Ok(value) => match cfg.deadline {
+                    Some(d) if msg.elapsed > d => {
+                        last_fail[i] = Some(FailKind::Deadline);
+                        Some(format!(
+                            "deadline exceeded: {:.1?} > {:.1?}; result discarded",
+                            msg.elapsed, d
+                        ))
+                    }
+                    _ => {
+                        slots[i] = Some(value);
+                        o.status = if msg.attempt == 0 {
+                            TaskStatus::Ok
+                        } else {
+                            TaskStatus::Retried(msg.attempt)
+                        };
+                        o.error = None;
+                        remaining -= 1;
+                        None
+                    }
+                },
+            };
+            if let Some(err) = failure {
+                o.error = Some(err);
+                if msg.attempt < cfg.max_retries {
+                    queue.push((i, msg.attempt + 1));
+                } else {
+                    o.status = match last_fail[i] {
+                        Some(FailKind::Deadline) => TaskStatus::TimedOut,
+                        _ => TaskStatus::Panicked,
+                    };
+                    remaining -= 1;
+                }
+            }
+        }
+        queue.close();
+    });
+
+    Ok((slots, TaskReport { outcomes }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn all_tasks_succeed_cleanly() {
+        let (slots, report) = supervise(
+            4,
+            labels(10),
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            |i| i * 2,
+        )
+        .unwrap();
+        assert!(report.is_clean());
+        assert_eq!(
+            slots.into_iter().map(Option::unwrap).collect::<Vec<_>>(),
+            (0..10).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let (slots, report) = supervise(
+            3,
+            labels(0),
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            |i| i,
+        )
+        .unwrap();
+        assert!(slots.is_empty());
+        assert!(report.outcomes.is_empty());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let (slots, report) = supervise(
+            16,
+            labels(3),
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            |i| i,
+        )
+        .unwrap();
+        assert_eq!(slots.iter().flatten().count(), 3);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let r = supervise(
+            0,
+            labels(3),
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            |i| i,
+        );
+        assert_eq!(r.err(), Some(SuperviseError::NoWorkers));
+    }
+
+    #[test]
+    fn panicking_task_is_dead_lettered_and_others_complete() {
+        let plan = FaultPlan::none().with_task_panic(3, u32::MAX);
+        let (slots, report) =
+            supervise(2, labels(8), &SupervisorConfig::default(), &plan, |i| i).unwrap();
+        assert_eq!(slots.iter().flatten().count(), 7);
+        assert!(slots[3].is_none());
+        assert_eq!(report.succeeded(), 7);
+        let dead = report.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].task, 3);
+        assert_eq!(dead[0].status, TaskStatus::Panicked);
+        assert!(dead[0].error.as_deref().unwrap().contains("injected fault"));
+    }
+
+    #[test]
+    fn retry_recovers_a_single_fault() {
+        // Task 5 panics only on attempt 0; one retry must fully recover.
+        let plan = FaultPlan::none().with_task_panic(5, 1);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1));
+        let (slots, report) = supervise(3, labels(8), &cfg, &plan, |i| i).unwrap();
+        assert_eq!(slots.iter().flatten().count(), 8);
+        assert_eq!(report.outcomes[5].status, TaskStatus::Retried(1));
+        assert_eq!(report.outcomes[5].attempts, 2);
+        assert_eq!(report.total_retries(), 1);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let plan = FaultPlan::none().with_task_panic(0, u32::MAX);
+        let cfg = SupervisorConfig::default()
+            .with_retries(2)
+            .with_backoff(Duration::from_millis(1));
+        let (slots, report) = supervise(2, labels(2), &cfg, &plan, |i| i).unwrap();
+        assert!(slots[0].is_none());
+        assert_eq!(report.outcomes[0].status, TaskStatus::Panicked);
+        assert_eq!(report.outcomes[0].attempts, 3); // initial + 2 retries
+    }
+
+    #[test]
+    fn soft_deadline_times_out_slow_tasks() {
+        let cfg = SupervisorConfig::default().with_deadline(Duration::from_millis(20));
+        let (slots, report) = supervise(2, labels(4), &cfg, &FaultPlan::none(), |i| {
+            if i == 2 {
+                std::thread::sleep(Duration::from_millis(80));
+            }
+            i
+        })
+        .unwrap();
+        assert!(slots[2].is_none(), "late result must be discarded");
+        assert_eq!(report.outcomes[2].status, TaskStatus::TimedOut);
+        assert_eq!(slots.iter().flatten().count(), 3);
+    }
+
+    #[test]
+    fn rate_driven_faults_are_deterministic() {
+        let plan = FaultPlan::seeded(99).with_task_panic_rate(0.4);
+        let cfg = SupervisorConfig::default()
+            .with_retries(2)
+            .with_backoff(Duration::from_millis(1));
+        let run = || {
+            let (slots, report) = supervise(4, labels(20), &cfg, &plan, |i| i).unwrap();
+            let ok: Vec<usize> = slots.into_iter().flatten().collect();
+            let statuses: Vec<TaskStatus> =
+                report.outcomes.iter().map(|o| o.status.clone()).collect();
+            (ok, statuses)
+        };
+        let (ok_a, st_a) = run();
+        let (ok_b, st_b) = run();
+        assert_eq!(ok_a, ok_b, "survivors must be plan-determined");
+        assert_eq!(st_a, st_b, "statuses must be plan-determined");
+        assert!(st_a.iter().any(|s| !matches!(s, TaskStatus::Ok)));
+    }
+}

@@ -11,58 +11,70 @@
 //!   Encore Multimax at 1..=14 task processes (Figure 6 / Figure 8),
 //!   since the container running this reproduction has a single core.
 
+use crate::supervise::supervise;
 use crate::trace::PhaseTrace;
-use crossbeam::channel::unbounded;
 use multimax_sim::{simulate, Schedule, SimConfig};
+use ops5::WorkCounters;
 use spam::fragments::FragmentHypothesis;
 use spam::lcc::{decompose, run_lcc_unit, ConsistentRec, LccPhaseResult, Level};
 use spam::rules::SpamProgram;
 use spam::scene::Scene;
-use ops5::WorkCounters;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskReport};
+
+/// Result of a supervised parallel RTF phase: the merged fragments plus the
+/// per-batch supervision outcomes.
+#[derive(Clone, Debug)]
+pub struct RtfParallelResult {
+    /// Merged fragments, renumbered densely in batch order (dead-lettered
+    /// batches contribute nothing).
+    pub fragments: Vec<FragmentHypothesis>,
+    /// Per-batch supervision outcomes.
+    pub report: TaskReport,
+}
 
 /// Runs the LCC phase with `n_workers` real task-process threads pulling
 /// from a shared central queue (asynchronous firing: no coordination beyond
-/// the queue itself).
+/// the queue itself). Unsupervised policy: no deadline, no retries, no
+/// fault injection — but a panicking task is still isolated and reported
+/// rather than tearing the phase down.
 pub fn run_parallel_lcc(
     sp: &SpamProgram,
     scene: &Arc<Scene>,
     fragments: &Arc<Vec<FragmentHypothesis>>,
     level: Level,
     n_workers: usize,
-) -> LccPhaseResult {
-    assert!(n_workers >= 1);
+) -> Result<LccPhaseResult, SuperviseError> {
+    run_parallel_lcc_supervised(
+        sp,
+        scene,
+        fragments,
+        level,
+        n_workers,
+        &SupervisorConfig::default(),
+        &FaultPlan::none(),
+    )
+}
+
+/// [`run_parallel_lcc`] under an explicit supervision policy and fault
+/// plan. The phase completes with partial results: units whose every
+/// attempt failed are dead-lettered in the returned report and contribute
+/// no consistency records or support.
+pub fn run_parallel_lcc_supervised(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    n_workers: usize,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> Result<LccPhaseResult, SuperviseError> {
     let units = decompose(scene, fragments, level);
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = unbounded();
-
-    std::thread::scope(|s| {
-        for _ in 0..n_workers {
-            let tx = tx.clone();
-            let next = &next;
-            let units = &units;
-            s.spawn(move || loop {
-                // The central task queue (§5.1): an atomic cursor stands in
-                // for the lock-protected dequeue.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= units.len() {
-                    break;
-                }
-                let r = run_lcc_unit(sp, scene, fragments, &units[i]);
-                tx.send((i, r)).expect("control process alive");
-            });
-        }
-        drop(tx);
-    });
-
-    // Control process: collect and re-order results deterministically.
-    let mut slots: Vec<Option<spam::lcc::LccUnitResult>> = (0..units.len()).map(|_| None).collect();
-    for (i, r) in rx.iter() {
-        slots[i] = Some(r);
-    }
-    let results: Vec<spam::lcc::LccUnitResult> =
-        slots.into_iter().map(|s| s.expect("every task ran")).collect();
+    let labels: Vec<String> = units.iter().map(|u| u.label()).collect();
+    let (slots, report) = supervise(n_workers, labels, cfg, plan, |i| {
+        run_lcc_unit(sp, scene, fragments, &units[i])
+    })?;
+    let results: Vec<spam::lcc::LccUnitResult> = slots.into_iter().flatten().collect();
 
     let mut work = WorkCounters::default();
     let mut firings = 0;
@@ -80,14 +92,15 @@ pub fn run_parallel_lcc(
     for f in &mut updated {
         f.support = supports[f.id as usize];
     }
-    LccPhaseResult {
+    Ok(LccPhaseResult {
         level,
         fragments: updated,
         consistents,
         units: results,
         work,
         firings,
-    }
+        report,
+    })
 }
 
 /// Runs the RTF phase with `n_workers` real task-process threads over
@@ -99,38 +112,44 @@ pub fn run_parallel_rtf(
     scene: &Arc<Scene>,
     batches: &[Vec<u32>],
     n_workers: usize,
-) -> Vec<spam::fragments::FragmentHypothesis> {
-    assert!(n_workers >= 1);
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = unbounded();
-    std::thread::scope(|s| {
-        for _ in 0..n_workers {
-            let tx = tx.clone();
-            let next = &next;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= batches.len() {
-                    break;
-                }
-                let r = spam::rtf::run_rtf_task(sp, scene, &batches[i], (i as i64) << 20);
-                tx.send((i, r.fragments)).expect("control process alive");
-            });
-        }
-        drop(tx);
-    });
-    let mut slots: Vec<Option<Vec<spam::fragments::FragmentHypothesis>>> =
-        (0..batches.len()).map(|_| None).collect();
-    for (i, f) in rx.iter() {
-        slots[i] = Some(f);
-    }
+) -> Result<RtfParallelResult, SuperviseError> {
+    run_parallel_rtf_supervised(
+        sp,
+        scene,
+        batches,
+        n_workers,
+        &SupervisorConfig::default(),
+        &FaultPlan::none(),
+    )
+}
+
+/// [`run_parallel_rtf`] under an explicit supervision policy and fault
+/// plan.
+pub fn run_parallel_rtf_supervised(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    batches: &[Vec<u32>],
+    n_workers: usize,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> Result<RtfParallelResult, SuperviseError> {
+    let labels: Vec<String> = (0..batches.len())
+        .map(|i| format!("rtf batch {i} ({} regions)", batches[i].len()))
+        .collect();
+    let (slots, report) = supervise(n_workers, labels, cfg, plan, |i| {
+        spam::rtf::run_rtf_task(sp, scene, &batches[i], (i as i64) << 20).fragments
+    })?;
     let mut merged = Vec::new();
-    for s in slots {
-        for mut f in s.expect("every batch ran") {
+    for s in slots.into_iter().flatten() {
+        for mut f in s {
             f.id = merged.len() as u32;
             merged.push(f);
         }
     }
-    merged
+    Ok(RtfParallelResult {
+        fragments: merged,
+        report,
+    })
 }
 
 /// Simulated task-level-parallelism speed-up curve for a measured trace,
@@ -204,7 +223,8 @@ mod tests {
         let (sp, scene, frags) = setup();
         let seq = run_lcc(&sp, &scene, &frags, Level::L3);
         for n in [1, 2, 4] {
-            let par = run_parallel_lcc(&sp, &scene, &frags, Level::L3, n);
+            let par = run_parallel_lcc(&sp, &scene, &frags, Level::L3, n).unwrap();
+            assert!(par.report.is_clean(), "workers={n}");
             assert_eq!(par.firings, seq.firings, "workers={n}");
             assert_eq!(
                 canonical(&par.consistents),
@@ -254,9 +274,90 @@ mod tests {
         let batches = spam::rtf::rtf_task_batches(&scene, 9);
         let (seq, _) = spam::rtf::run_rtf_tasks(&sp, &scene, &batches);
         for n in [1, 3] {
-            let par = run_parallel_rtf(&sp, &scene, &batches, n);
-            assert_eq!(seq, par, "workers={n}");
+            let par = run_parallel_rtf(&sp, &scene, &batches, n).unwrap();
+            assert!(par.report.is_clean(), "workers={n}");
+            assert_eq!(seq, par.fragments, "workers={n}");
         }
+    }
+
+    #[test]
+    fn zero_workers_rejected_without_panicking() {
+        let (sp, scene, frags) = setup();
+        let err = match run_parallel_lcc(&sp, &scene, &frags, Level::L3, 0) {
+            Ok(_) => panic!("zero workers must be a typed error"),
+            Err(e) => e,
+        };
+        assert_eq!(err, tlp_fault::SuperviseError::NoWorkers);
+        let batches = spam::rtf::rtf_task_batches(&scene, 9);
+        assert_eq!(
+            run_parallel_rtf(&sp, &scene, &batches, 0).err(),
+            Some(tlp_fault::SuperviseError::NoWorkers)
+        );
+    }
+
+    /// Acceptance scenario: inject a panic into one LCC task of N; the
+    /// phase completes with N-1 unit results and the report names the
+    /// failed task.
+    #[test]
+    fn panicking_unit_yields_partial_phase_with_named_dead_letter() {
+        let (sp, scene, frags) = setup();
+        let seq = run_lcc(&sp, &scene, &frags, Level::L3);
+        let n_units = seq.units.len();
+        assert!(n_units > 2, "need a few units for the scenario");
+        let victim = 1usize;
+        let plan = FaultPlan::none().with_task_panic(victim, u32::MAX);
+        let par = run_parallel_lcc_supervised(
+            &sp,
+            &scene,
+            &frags,
+            Level::L3,
+            3,
+            &SupervisorConfig::default(),
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(par.units.len(), n_units - 1, "partial results expected");
+        let dead = par.report.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].task, victim);
+        assert_eq!(dead[0].label, seq.report.outcomes[victim].label);
+        assert!(dead[0].error.as_deref().unwrap().contains("injected fault"));
+        // The surviving units carry less (or equal) total support/firings.
+        assert!(par.firings < seq.firings);
+    }
+
+    /// Acceptance scenario: the same single-task fault with one retry
+    /// allowed recovers completely — the phase equals the sequential run —
+    /// and is deterministic under the fixed plan.
+    #[test]
+    fn retry_recovers_injected_fault_deterministically() {
+        let (sp, scene, frags) = setup();
+        let seq = run_lcc(&sp, &scene, &frags, Level::L3);
+        let plan = FaultPlan::seeded(42).with_task_panic(1, 1);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(std::time::Duration::from_millis(1));
+        let run =
+            || run_parallel_lcc_supervised(&sp, &scene, &frags, Level::L3, 3, &cfg, &plan).unwrap();
+        let a = run();
+        assert_eq!(a.firings, seq.firings);
+        assert_eq!(canonical(&a.consistents), canonical(&seq.consistents));
+        assert_eq!(a.report.dead_letters().len(), 0);
+        assert_eq!(a.report.total_retries(), 1);
+        assert_eq!(
+            a.report.outcomes[1].status,
+            tlp_fault::TaskStatus::Retried(1)
+        );
+        let b = run();
+        let statuses = |r: &LccPhaseResult| {
+            r.report
+                .outcomes
+                .iter()
+                .map(|o| (o.task, o.status.clone(), o.attempts))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(statuses(&a), statuses(&b), "fixed plan must replay");
+        assert_eq!(canonical(&a.consistents), canonical(&b.consistents));
     }
 
     #[test]

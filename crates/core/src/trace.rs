@@ -29,13 +29,15 @@ pub fn lcc_trace(phase: &LccPhaseResult) -> PhaseTrace {
         .units
         .iter()
         .enumerate()
-        .map(|(i, u)| {
-            Task::with_match(i as u32, u.work.seconds_at(MIPS), u.work.match_fraction())
-        })
+        .map(|(i, u)| Task::with_match(i as u32, u.work.seconds_at(MIPS), u.work.match_fraction()))
         .collect();
     PhaseTrace {
         tasks: TaskSet::new(tasks),
-        cycle_log: phase.units.iter().flat_map(|u| u.cycle_log.clone()).collect(),
+        cycle_log: phase
+            .units
+            .iter()
+            .flat_map(|u| u.cycle_log.clone())
+            .collect(),
         firings: phase.firings,
         rhs_actions: phase.units.iter().map(|u| u.rhs_actions).sum(),
     }
@@ -46,9 +48,7 @@ pub fn rtf_trace(results: &[RtfResult]) -> PhaseTrace {
     let tasks = results
         .iter()
         .enumerate()
-        .map(|(i, r)| {
-            Task::with_match(i as u32, r.work.seconds_at(MIPS), r.work.match_fraction())
-        })
+        .map(|(i, r)| Task::with_match(i as u32, r.work.seconds_at(MIPS), r.work.match_fraction()))
         .collect();
     PhaseTrace {
         tasks: TaskSet::new(tasks),

@@ -1,0 +1,539 @@
+//! Failure model for the SPAM/PSM reproduction.
+//!
+//! The paper's machines (Encore Multimax, VAX clusters) lost processors,
+//! dropped messages, and suffered page-fault storms; the original SPAM/PSM
+//! runs simply died. This crate provides the pieces that let both the real
+//! task-process thread pool (`spam-psm`, `paraops5`) and the Multimax
+//! simulator (`multimax-sim`) run *under* injected faults and report what
+//! happened instead of panicking:
+//!
+//! - [`FaultPlan`]: a seeded, deterministic description of which faults
+//!   fire. Every decision is a pure hash of `(seed, domain, a, b)` — a
+//!   function of the *identity* of the task/worker/message, never of
+//!   thread interleaving — so two runs under the same plan inject exactly
+//!   the same faults.
+//! - [`TaskReport`] / [`TaskOutcome`] / [`TaskStatus`]: per-task result of
+//!   a supervised phase (ok, retried, timed out, panicked, dead-lettered).
+//! - [`SupervisorConfig`]: deadline, bounded retry, and backoff policy.
+//! - [`SuperviseError`]: typed configuration errors (e.g. zero workers)
+//!   replacing `assert!` panics.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Namespaces for hash-based fault decisions. Distinct domains guarantee
+/// that, e.g., the draw deciding whether task 3 panics is independent of
+/// the draw deciding whether message 3 is lost.
+#[derive(Clone, Copy, Debug)]
+enum Domain {
+    TaskPanic = 1,
+    WorkerDeath = 2,
+    Straggler = 3,
+    MessageLoss = 4,
+    PageStorm = 5,
+}
+
+/// SplitMix64 finalizer — good avalanche, cheap, stable across platforms.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic plan of which faults fire during a run.
+///
+/// A plan combines *explicit* faults (this task panics on its first two
+/// attempts, this worker dies after its third flush) with *rate-driven*
+/// faults (each task panics with probability `task_panic_rate`). Both are
+/// pure functions of the plan and the fault site's identity, so a plan
+/// replays identically regardless of scheduling.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Explicit panics: task index -> number of leading attempts that panic.
+    panic_attempts: BTreeMap<usize, u32>,
+    /// Explicit worker deaths: worker index -> dies after this many flushes
+    /// (death takes effect while serving flush number `after` counted from 1).
+    worker_deaths: BTreeMap<usize, u64>,
+    /// Probability that a given (task, attempt) panics.
+    task_panic_rate: f64,
+    /// Probability that a given worker dies (at a hash-chosen flush).
+    worker_death_rate: f64,
+    /// Probability that a task is a straggler.
+    straggler_rate: f64,
+    /// Service-time multiplier applied to stragglers.
+    straggler_factor: f64,
+    /// Probability that a given message transmission is lost.
+    message_loss_rate: f64,
+    /// Probability that a task suffers a page-fault storm.
+    page_storm_rate: f64,
+    /// Multiplier on per-task page-fault count during a storm.
+    page_storm_factor: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing. `FaultPlan::default()` is the same.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A fault-free plan carrying a seed, ready for rate builders.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            straggler_factor: 4.0,
+            page_storm_factor: 8.0,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Returns the plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if this plan can never inject a fault.
+    pub fn is_benign(&self) -> bool {
+        self.panic_attempts.is_empty()
+            && self.worker_deaths.is_empty()
+            && self.task_panic_rate == 0.0
+            && self.worker_death_rate == 0.0
+            && self.straggler_rate == 0.0
+            && self.message_loss_rate == 0.0
+            && self.page_storm_rate == 0.0
+    }
+
+    /// Explicitly panic `task` on its first `attempts` attempts. With
+    /// `attempts = 1` and one retry allowed, the retry succeeds.
+    pub fn with_task_panic(mut self, task: usize, attempts: u32) -> Self {
+        self.panic_attempts.insert(task, attempts);
+        self
+    }
+
+    /// Explicitly kill `worker` after it has served `after_flushes`
+    /// flush barriers (counted from 1; 0 kills it before any flush).
+    pub fn with_worker_death(mut self, worker: usize, after_flushes: u64) -> Self {
+        self.worker_deaths.insert(worker, after_flushes);
+        self
+    }
+
+    /// Each (task, attempt) panics with probability `rate`.
+    pub fn with_task_panic_rate(mut self, rate: f64) -> Self {
+        self.task_panic_rate = check_rate(rate);
+        self
+    }
+
+    /// Each worker dies with probability `rate`, at a hash-chosen flush
+    /// in `1..=8`.
+    pub fn with_worker_death_rate(mut self, rate: f64) -> Self {
+        self.worker_death_rate = check_rate(rate);
+        self
+    }
+
+    /// Each task straggles (service time multiplied by `factor`) with
+    /// probability `rate`.
+    pub fn with_stragglers(mut self, rate: f64, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.straggler_rate = check_rate(rate);
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Each message transmission is lost (and must be retransmitted) with
+    /// probability `rate`.
+    pub fn with_message_loss(mut self, rate: f64) -> Self {
+        self.message_loss_rate = check_rate(rate);
+        self
+    }
+
+    /// Each task suffers a page-fault storm (fault count multiplied by
+    /// `factor`) with probability `rate`.
+    pub fn with_page_storms(mut self, rate: f64, factor: f64) -> Self {
+        assert!(factor >= 1.0, "page storm factor must be >= 1");
+        self.page_storm_rate = check_rate(rate);
+        self.page_storm_factor = factor;
+        self
+    }
+
+    /// One deterministic draw in `[0, 1)` for a fault site.
+    fn draw(&self, domain: Domain, a: u64, b: u64) -> f64 {
+        let h = mix(self
+            .seed
+            .wrapping_add(mix((domain as u64) << 56 ^ a))
+            .wrapping_add(mix(b.wrapping_mul(0x9e37_79b9_7f4a_7c15))));
+        // 53 uniform mantissa bits, same construction rand uses for f64.
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Does this (task, attempt) panic? Deterministic in its arguments.
+    pub fn task_panics(&self, task: usize, attempt: u32) -> bool {
+        if let Some(&n) = self.panic_attempts.get(&task) {
+            if attempt < n {
+                return true;
+            }
+        }
+        self.task_panic_rate > 0.0
+            && self.draw(Domain::TaskPanic, task as u64, attempt as u64) < self.task_panic_rate
+    }
+
+    /// If `worker` is fated to die, the number of flush barriers it serves
+    /// first (counted from 1; `Some(0)` means it dies immediately).
+    pub fn worker_death(&self, worker: usize) -> Option<u64> {
+        if let Some(&after) = self.worker_deaths.get(&worker) {
+            return Some(after);
+        }
+        if self.worker_death_rate > 0.0
+            && self.draw(Domain::WorkerDeath, worker as u64, 0) < self.worker_death_rate
+        {
+            // Hash-chosen death point in 1..=8 so rate-driven deaths land
+            // mid-run rather than all at startup.
+            let h = mix(self.seed ^ mix(0xdead ^ worker as u64));
+            return Some(1 + h % 8);
+        }
+        None
+    }
+
+    /// Service-time multiplier for `task`: 1.0, or the straggler factor.
+    pub fn service_factor(&self, task: usize) -> f64 {
+        if self.straggler_rate > 0.0
+            && self.draw(Domain::Straggler, task as u64, 0) < self.straggler_rate
+        {
+            self.straggler_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Is transmission number `attempt` of message `msg` lost?
+    pub fn message_lost(&self, msg: u64, attempt: u32) -> bool {
+        self.message_loss_rate > 0.0
+            && self.draw(Domain::MessageLoss, msg, attempt as u64) < self.message_loss_rate
+    }
+
+    /// Page-fault multiplier for `task`: 1.0, or the storm factor.
+    pub fn page_fault_factor(&self, task: usize) -> f64 {
+        if self.page_storm_rate > 0.0
+            && self.draw(Domain::PageStorm, task as u64, 0) < self.page_storm_rate
+        {
+            self.page_storm_factor
+        } else {
+            1.0
+        }
+    }
+}
+
+fn check_rate(rate: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&rate) && rate.is_finite(),
+        "fault rate must be in [0, 1], got {rate}"
+    );
+    rate
+}
+
+/// Supervision policy for a parallel phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Soft per-task deadline. Tasks cannot be preempted (they run on
+    /// ordinary threads), so a deadline is detected *after* the task
+    /// returns; an over-deadline result is discarded and the task retried
+    /// or dead-lettered.
+    pub deadline: Option<Duration>,
+    /// Retries allowed per task after its first attempt fails.
+    pub max_retries: u32,
+    /// Base backoff before a retry; attempt `k` waits `k * backoff`.
+    pub backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            deadline: None,
+            max_retries: 0,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Policy allowing `max_retries` retries per task.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Policy with a soft per-task deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Policy with a given base backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// Final status of one supervised task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Succeeded on the first attempt.
+    Ok,
+    /// Succeeded after this many retries.
+    Retried(u32),
+    /// All attempts exceeded the deadline; dead-lettered.
+    TimedOut,
+    /// All attempts panicked; dead-lettered.
+    Panicked,
+}
+
+impl TaskStatus {
+    /// Did the task ultimately produce a result?
+    pub fn succeeded(&self) -> bool {
+        matches!(self, TaskStatus::Ok | TaskStatus::Retried(_))
+    }
+}
+
+impl fmt::Display for TaskStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskStatus::Ok => write!(f, "ok"),
+            TaskStatus::Retried(n) => write!(f, "ok after {n} retr{}", plural_y(*n)),
+            TaskStatus::TimedOut => write!(f, "timed out"),
+            TaskStatus::Panicked => write!(f, "panicked"),
+        }
+    }
+}
+
+fn plural_y(n: u32) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+/// What happened to one task of a supervised phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskOutcome {
+    /// Task index within the phase (submission order).
+    pub task: usize,
+    /// Human-readable task label (e.g. the LCC unit description).
+    pub label: String,
+    /// Final status.
+    pub status: TaskStatus,
+    /// Total attempts made (>= 1).
+    pub attempts: u32,
+    /// Wall-clock time of the last attempt.
+    pub elapsed: Duration,
+    /// Panic payload or deadline diagnostic from the last failed attempt.
+    pub error: Option<String>,
+}
+
+/// Per-task accounting for a supervised parallel phase: which tasks
+/// succeeded, which needed retries, and which were dead-lettered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskReport {
+    /// One outcome per task, in task-index order.
+    pub outcomes: Vec<TaskOutcome>,
+}
+
+impl TaskReport {
+    /// A report marking `labels` tasks as cleanly succeeded (used by the
+    /// sequential path, which cannot fail partially).
+    pub fn all_ok<S: Into<String>, I: IntoIterator<Item = S>>(labels: I) -> TaskReport {
+        TaskReport {
+            outcomes: labels
+                .into_iter()
+                .enumerate()
+                .map(|(task, label)| TaskOutcome {
+                    task,
+                    label: label.into(),
+                    status: TaskStatus::Ok,
+                    attempts: 1,
+                    elapsed: Duration::ZERO,
+                    error: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Tasks that ultimately produced a result.
+    pub fn succeeded(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status.succeeded())
+            .count()
+    }
+
+    /// Dead-lettered tasks: every attempt failed.
+    pub fn dead_letters(&self) -> Vec<&TaskOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.status.succeeded())
+            .collect()
+    }
+
+    /// Total retry attempts across all tasks.
+    pub fn total_retries(&self) -> u32 {
+        self.outcomes.iter().map(|o| o.attempts - 1).sum()
+    }
+
+    /// True when every task succeeded on its first attempt.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| o.status == TaskStatus::Ok && o.attempts == 1)
+    }
+}
+
+impl fmt::Display for TaskReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dead = self.dead_letters().len();
+        writeln!(
+            f,
+            "task report: {}/{} ok, {} retr{}, {} dead-letter{}",
+            self.succeeded(),
+            self.outcomes.len(),
+            self.total_retries(),
+            plural_y(self.total_retries()),
+            dead,
+            if dead == 1 { "" } else { "s" },
+        )?;
+        for o in &self.outcomes {
+            if o.status == TaskStatus::Ok && o.attempts == 1 {
+                continue;
+            }
+            write!(f, "  task {} [{}]: {}", o.task, o.label, o.status)?;
+            if let Some(err) = &o.error {
+                write!(f, " ({err})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Configuration errors from supervised execution, replacing `assert!`
+/// panics on bad arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SuperviseError {
+    /// A worker pool needs at least one worker.
+    NoWorkers,
+}
+
+impl fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperviseError::NoWorkers => write!(f, "need at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = FaultPlan::seeded(42)
+            .with_task_panic_rate(0.3)
+            .with_stragglers(0.2, 5.0)
+            .with_message_loss(0.1)
+            .with_page_storms(0.15, 6.0)
+            .with_worker_death_rate(0.25);
+        let b = a.clone();
+        for t in 0..200 {
+            assert_eq!(a.task_panics(t, 0), b.task_panics(t, 0));
+            assert_eq!(a.task_panics(t, 1), b.task_panics(t, 1));
+            assert_eq!(a.service_factor(t), b.service_factor(t));
+            assert_eq!(a.page_fault_factor(t), b.page_fault_factor(t));
+            assert_eq!(a.worker_death(t), b.worker_death(t));
+            assert_eq!(a.message_lost(t as u64, 0), b.message_lost(t as u64, 0));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::seeded(7).with_task_panic_rate(0.3);
+        let hits = (0..10_000).filter(|&t| plan.task_panics(t, 0)).count();
+        assert!(
+            (2500..3500).contains(&hits),
+            "got {hits} panics at rate 0.3"
+        );
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        // The same (task) identity must not force correlated decisions
+        // across fault kinds.
+        let plan = FaultPlan::seeded(9)
+            .with_task_panic_rate(0.5)
+            .with_stragglers(0.5, 2.0);
+        let both = (0..1000)
+            .filter(|&t| plan.task_panics(t, 0) && plan.service_factor(t) > 1.0)
+            .count();
+        assert!((150..350).contains(&both), "correlated domains: {both}");
+    }
+
+    #[test]
+    fn explicit_faults_override_rates() {
+        let plan = FaultPlan::seeded(3).with_task_panic(5, 2);
+        assert!(plan.task_panics(5, 0));
+        assert!(plan.task_panics(5, 1));
+        assert!(!plan.task_panics(5, 2));
+        assert!(!plan.task_panics(4, 0));
+        assert_eq!(plan.worker_death(0), None);
+        let plan = plan.with_worker_death(1, 3);
+        assert_eq!(plan.worker_death(1), Some(3));
+    }
+
+    #[test]
+    fn benign_plans_inject_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_benign());
+        for t in 0..100 {
+            assert!(!plan.task_panics(t, 0));
+            assert_eq!(plan.service_factor(t), 1.0);
+            assert_eq!(plan.page_fault_factor(t), 1.0);
+            assert_eq!(plan.worker_death(t), None);
+            assert!(!plan.message_lost(t as u64, 0));
+        }
+        assert!(!FaultPlan::seeded(1).with_message_loss(0.5).is_benign());
+    }
+
+    #[test]
+    fn report_accounting() {
+        let mut report = TaskReport::all_ok(["a", "b", "c"]);
+        assert!(report.is_clean());
+        assert_eq!(report.succeeded(), 3);
+        report.outcomes[1].status = TaskStatus::Retried(2);
+        report.outcomes[1].attempts = 3;
+        report.outcomes[2].status = TaskStatus::Panicked;
+        report.outcomes[2].attempts = 2;
+        report.outcomes[2].error = Some("boom".into());
+        assert!(!report.is_clean());
+        assert_eq!(report.succeeded(), 2);
+        assert_eq!(report.total_retries(), 3);
+        assert_eq!(report.dead_letters().len(), 1);
+        let text = report.to_string();
+        assert!(text.contains("2/3 ok"), "{text}");
+        assert!(text.contains("task 2 [c]: panicked (boom)"), "{text}");
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(TaskStatus::Retried(1).to_string(), "ok after 1 retry");
+        assert_eq!(TaskStatus::Retried(2).to_string(), "ok after 2 retries");
+        assert_eq!(
+            SuperviseError::NoWorkers.to_string(),
+            "need at least one worker"
+        );
+    }
+}

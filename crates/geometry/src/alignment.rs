@@ -103,7 +103,12 @@ mod tests {
     #[test]
     fn crossing_regions_fail_angle_test() {
         let a = obb_of(Point::new(0.0, 0.0), 1000.0, 40.0, 0.0);
-        let b = obb_of(Point::new(0.0, 0.0), 1000.0, 40.0, std::f64::consts::FRAC_PI_3);
+        let b = obb_of(
+            Point::new(0.0, 0.0),
+            1000.0,
+            40.0,
+            std::f64::consts::FRAC_PI_3,
+        );
         let r = collinearity(&a, &b);
         assert!((r.angle_diff - std::f64::consts::FRAC_PI_3).abs() < 1e-9);
         assert!(!aligned(&a, &b, 0.2, 50.0, 100.0));

@@ -125,8 +125,12 @@ impl Aabb {
 
     /// Minimum distance between two boxes (0 when they overlap).
     pub fn distance_to(&self, other: &Aabb) -> f64 {
-        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
-        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 }

@@ -164,7 +164,9 @@ mod tests {
         // Deterministic LCG-driven boxes; grid query must equal brute force.
         let mut s: u64 = 42;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 20) % 1000) as f64
         };
         let mut g = GridIndex::new(world(), 256);

@@ -103,9 +103,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut s: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 16) & 0xFFFF) as f64 / 655.36;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 16) & 0xFFFF) as f64 / 655.36;
             pts.push(Point::new(x, y));
         }

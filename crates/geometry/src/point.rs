@@ -74,10 +74,7 @@ impl Point {
     pub fn rotate_about(&self, pivot: Point, angle: f64) -> Point {
         let (s, c) = angle.sin_cos();
         let d = *self - pivot;
-        Point::new(
-            pivot.x + d.x * c - d.y * s,
-            pivot.y + d.x * s + d.y * c,
-        )
+        Point::new(pivot.x + d.x * c - d.y * s, pivot.y + d.x * s + d.y * c)
     }
 
     /// True when every coordinate is finite.

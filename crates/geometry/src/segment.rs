@@ -183,9 +183,18 @@ mod tests {
     #[test]
     fn closest_point_clamps_to_endpoints() {
         let s = seg(0.0, 0.0, 10.0, 0.0);
-        assert_eq!(s.closest_point_to(Point::new(-5.0, 3.0)), Point::new(0.0, 0.0));
-        assert_eq!(s.closest_point_to(Point::new(15.0, 3.0)), Point::new(10.0, 0.0));
-        assert_eq!(s.closest_point_to(Point::new(4.0, 3.0)), Point::new(4.0, 0.0));
+        assert_eq!(
+            s.closest_point_to(Point::new(-5.0, 3.0)),
+            Point::new(0.0, 0.0)
+        );
+        assert_eq!(
+            s.closest_point_to(Point::new(15.0, 3.0)),
+            Point::new(10.0, 0.0)
+        );
+        assert_eq!(
+            s.closest_point_to(Point::new(4.0, 3.0)),
+            Point::new(4.0, 0.0)
+        );
     }
 
     #[test]

@@ -8,7 +8,12 @@ fn pt() -> impl Strategy<Value = Point> {
 }
 
 fn rect() -> impl Strategy<Value = Polygon> {
-    (pt(), 1.0..500.0f64, 1.0..500.0f64, 0.0..std::f64::consts::PI)
+    (
+        pt(),
+        1.0..500.0f64,
+        1.0..500.0f64,
+        0.0..std::f64::consts::PI,
+    )
         .prop_map(|(c, l, w, a)| Polygon::oriented_rect(c, l, w, a))
 }
 

@@ -15,6 +15,7 @@
 //!   queue.
 
 use crate::task::Task;
+use tlp_fault::FaultPlan;
 
 /// Message-passing machine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +26,9 @@ pub struct MpConfig {
     pub latency: f64,
     /// Per-task payload transfer time, seconds (task WME + WM slice).
     pub payload: f64,
+    /// Sender timeout before a lost message is retransmitted, seconds.
+    /// Only exercised when a [`FaultPlan`] injects message loss.
+    pub retry_timeout: f64,
     /// Distribution policy.
     pub policy: MpPolicy,
 }
@@ -45,6 +49,7 @@ impl MpConfig {
             nodes,
             latency: 0.001,
             payload: 0.010,
+            retry_timeout: 0.004,
             policy,
         }
     }
@@ -55,10 +60,12 @@ impl MpConfig {
 pub struct MpResult {
     /// Completion time of the last task.
     pub makespan: f64,
-    /// Total messages exchanged.
+    /// Total messages exchanged (including retransmissions).
     pub messages: u64,
     /// Per-node busy time.
     pub busy: Vec<f64>,
+    /// Transmissions repeated because the original was lost.
+    pub retransmissions: u64,
 }
 
 /// Simulates `tasks` on the message-passing machine.
@@ -66,10 +73,27 @@ pub struct MpResult {
 /// # Panics
 /// Panics when `cfg.nodes` is 0.
 pub fn simulate_mp(cfg: &MpConfig, tasks: &[Task]) -> MpResult {
+    simulate_mp_with_faults(cfg, tasks, &FaultPlan::none())
+}
+
+/// Simulates `tasks` on the message-passing machine under injected message
+/// loss.
+///
+/// Each transmission of message `m` (attempt `a`) is lost when
+/// [`FaultPlan::message_lost`]`(m, a)` says so; the sender notices after
+/// `cfg.retry_timeout` and retransmits, paying the transfer cost again.
+/// Task-payload sends use message id `2·task`, demand-driven request
+/// messages use `2·task + 1`, so the two draws are independent. With a
+/// benign plan this is exactly [`simulate_mp`].
+///
+/// # Panics
+/// Panics when `cfg.nodes` is 0.
+pub fn simulate_mp_with_faults(cfg: &MpConfig, tasks: &[Task], plan: &FaultPlan) -> MpResult {
     assert!(cfg.nodes >= 1);
     let n = cfg.nodes as usize;
     let mut busy = vec![0.0f64; n];
     let mut messages = 0u64;
+    let mut retransmissions = 0u64;
     match cfg.policy {
         MpPolicy::Static => {
             // Control sends each task's payload up front (pipelined: the
@@ -80,6 +104,15 @@ pub fn simulate_mp(cfg: &MpConfig, tasks: &[Task]) -> MpResult {
             let mut node_ready = vec![0.0f64; n];
             for (i, t) in tasks.iter().enumerate() {
                 let w = i % n;
+                let mut attempt = 0u32;
+                while plan.message_lost(2 * i as u64, attempt) {
+                    // Lost in flight: the control node paid the transfer,
+                    // waits out the timeout, and sends again.
+                    clock += cfg.payload + cfg.retry_timeout;
+                    messages += 1;
+                    retransmissions += 1;
+                    attempt += 1;
+                }
                 clock += cfg.payload; // control node serialises the sends
                 messages += 1;
                 let arrive = clock + cfg.latency;
@@ -92,6 +125,7 @@ pub fn simulate_mp(cfg: &MpConfig, tasks: &[Task]) -> MpResult {
                 makespan: send_done.iter().copied().fold(0.0, f64::max),
                 messages,
                 busy,
+                retransmissions,
             }
         }
         MpPolicy::DemandDriven => {
@@ -101,17 +135,34 @@ pub fn simulate_mp(cfg: &MpConfig, tasks: &[Task]) -> MpResult {
             let mut node_free: Vec<f64> = vec![0.0; n];
             let mut control_free = 0.0f64;
             let mut makespan = 0.0f64;
-            for t in tasks {
+            for (i, t) in tasks.iter().enumerate() {
                 // earliest-free worker asks next
                 let (w, &free) = node_free
                     .iter()
                     .enumerate()
                     .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                     .unwrap();
-                let request_at = free + cfg.latency;
+                let mut request_at = free + cfg.latency;
+                let mut attempt = 0u32;
+                while plan.message_lost(2 * i as u64 + 1, attempt) {
+                    // Request lost: the worker re-requests after a timeout.
+                    request_at += cfg.retry_timeout + cfg.latency;
+                    messages += 1;
+                    retransmissions += 1;
+                    attempt += 1;
+                }
                 let served_at = request_at.max(control_free);
                 control_free = served_at + cfg.payload;
                 messages += 2;
+                let mut attempt = 0u32;
+                while plan.message_lost(2 * i as u64, attempt) {
+                    // Payload lost: the control node resends after a
+                    // timeout, staying busy for the repeated transfer.
+                    control_free += cfg.retry_timeout + cfg.payload;
+                    messages += 1;
+                    retransmissions += 1;
+                    attempt += 1;
+                }
                 let start = control_free + cfg.latency;
                 let finish = start + t.service;
                 node_free[w] = finish;
@@ -122,17 +173,14 @@ pub fn simulate_mp(cfg: &MpConfig, tasks: &[Task]) -> MpResult {
                 makespan,
                 messages,
                 busy,
+                retransmissions,
             }
         }
     }
 }
 
 /// Speed-up curve on the message-passing machine.
-pub fn mp_speedup_curve(
-    tasks: &[Task],
-    policy: MpPolicy,
-    max_nodes: u32,
-) -> Vec<(u32, f64)> {
+pub fn mp_speedup_curve(tasks: &[Task], policy: MpPolicy, max_nodes: u32) -> Vec<(u32, f64)> {
     let base = simulate_mp(&MpConfig::classic(1, policy), tasks).makespan;
     (1..=max_nodes)
         .map(|n| {
@@ -201,5 +249,61 @@ mod tests {
         let b = simulate_mp(&MpConfig::classic(6, MpPolicy::DemandDriven), &t);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn benign_plan_is_exactly_the_plain_run() {
+        let t = tasks();
+        for policy in [MpPolicy::Static, MpPolicy::DemandDriven] {
+            let cfg = MpConfig::classic(8, policy);
+            let plain = simulate_mp(&cfg, &t);
+            let benign = simulate_mp_with_faults(&cfg, &t, &FaultPlan::none());
+            assert_eq!(plain.makespan, benign.makespan);
+            assert_eq!(plain.messages, benign.messages);
+            assert_eq!(plain.busy, benign.busy);
+            assert_eq!(benign.retransmissions, 0);
+        }
+    }
+
+    #[test]
+    fn message_loss_costs_time_and_messages() {
+        let t = tasks();
+        let plan = FaultPlan::seeded(11).with_message_loss(0.2);
+        for policy in [MpPolicy::Static, MpPolicy::DemandDriven] {
+            let cfg = MpConfig::classic(8, policy);
+            let clean = simulate_mp(&cfg, &t);
+            let lossy = simulate_mp_with_faults(&cfg, &t, &plan);
+            assert!(
+                lossy.retransmissions > 0,
+                "{policy:?}: no losses at rate 0.2"
+            );
+            assert!(
+                lossy.makespan > clean.makespan,
+                "{policy:?}: retransmissions must cost wall-clock time"
+            );
+            assert_eq!(
+                lossy.messages,
+                clean.messages + lossy.retransmissions,
+                "{policy:?}: every retransmission is one extra message"
+            );
+            // Loss changes only delivery times, never the work done.
+            let work: f64 = t.iter().map(|x| x.service).sum();
+            assert!((lossy.busy.iter().sum::<f64>() - work).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn message_loss_is_deterministic_under_a_fixed_seed() {
+        let t = tasks();
+        let cfg = MpConfig::classic(6, MpPolicy::DemandDriven);
+        let plan = FaultPlan::seeded(99).with_message_loss(0.15);
+        let a = simulate_mp_with_faults(&cfg, &t, &plan);
+        let b = simulate_mp_with_faults(&cfg, &t, &plan);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.retransmissions, b.retransmissions);
+        // A different seed draws a different loss pattern.
+        let c = simulate_mp_with_faults(&cfg, &t, &FaultPlan::seeded(100).with_message_loss(0.15));
+        assert_ne!(a.retransmissions, c.retransmissions);
     }
 }

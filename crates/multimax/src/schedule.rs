@@ -22,12 +22,18 @@ impl Schedule {
         let mut v = tasks.to_vec();
         match self {
             Schedule::Fifo => {}
-            Schedule::Lpt => {
-                v.sort_by(|a, b| b.service.partial_cmp(&a.service).unwrap().then(a.id.cmp(&b.id)))
-            }
-            Schedule::Spt => {
-                v.sort_by(|a, b| a.service.partial_cmp(&b.service).unwrap().then(a.id.cmp(&b.id)))
-            }
+            Schedule::Lpt => v.sort_by(|a, b| {
+                b.service
+                    .partial_cmp(&a.service)
+                    .unwrap()
+                    .then(a.id.cmp(&b.id))
+            }),
+            Schedule::Spt => v.sort_by(|a, b| {
+                a.service
+                    .partial_cmp(&b.service)
+                    .unwrap()
+                    .then(a.id.cmp(&b.id))
+            }),
         }
         v
     }

@@ -1,11 +1,18 @@
 //! The discrete-event simulation core.
+//!
+//! Fault injection: [`simulate_with_faults`] runs the same event loop under
+//! a seeded [`FaultPlan`] — processor deaths (the in-flight task is requeued
+//! after a detection delay), stragglers (service-time multipliers), and
+//! page-fault storms on remote SVM workers. A benign plan reproduces
+//! [`simulate`] bit-for-bit.
 
 use crate::machine::Machine;
 use crate::schedule::Schedule;
 use crate::svm::SvmConfig;
 use crate::task::Task;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use tlp_fault::FaultPlan;
 
 /// Simulation configuration.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +34,10 @@ pub struct SimConfig {
     pub schedule: Schedule,
     /// SVM cost model, applied to workers on the remote cluster.
     pub svm: SvmConfig,
+    /// Time for the control process to notice a dead task process and
+    /// requeue its in-flight task (heartbeat timeout scale, seconds). Only
+    /// exercised when a [`FaultPlan`] injects processor deaths.
+    pub death_detection: f64,
 }
 
 impl SimConfig {
@@ -41,6 +52,7 @@ impl SimConfig {
             match_speedup: 1.0,
             schedule: Schedule::Fifo,
             svm: SvmConfig::tuned(),
+            death_detection: 1.0,
         }
     }
 
@@ -73,6 +85,12 @@ pub struct SimResult {
     /// Time at which each worker finished its last task (or its start-up,
     /// when it never got one).
     pub per_worker_finish: Vec<f64>,
+    /// Workers that died mid-run (fault injection; empty without faults).
+    pub failed_workers: Vec<u32>,
+    /// Task dispatches repeated because the executing worker died.
+    pub task_retries: u32,
+    /// Tasks never completed because every worker died first.
+    pub lost_tasks: u32,
 }
 
 impl SimResult {
@@ -107,6 +125,32 @@ impl SimResult {
 /// Panics when `task_processes` is 0 or exceeds the machine's usable
 /// processors.
 pub fn simulate(cfg: &SimConfig, tasks: &[Task]) -> SimResult {
+    simulate_with_faults(cfg, tasks, &FaultPlan::none())
+}
+
+/// Runs the simulation under an injected [`FaultPlan`].
+///
+/// Three fault kinds apply here, all pure functions of the plan and the
+/// fault site's identity (so same plan ⇒ same result, always):
+///
+/// * **processor death** — a worker fated `Some(k)` by
+///   [`FaultPlan::worker_death`] completes `k` tasks and dies while
+///   executing the next one. The control process notices after
+///   `cfg.death_detection` seconds and requeues the in-flight task at the
+///   head of the queue; the dead worker never serves again. If every
+///   worker dies, the remaining tasks are counted in
+///   [`SimResult::lost_tasks`].
+/// * **stragglers** — [`FaultPlan::service_factor`] multiplies the task's
+///   service time (keyed by task id).
+/// * **page-fault storms** — [`FaultPlan::page_fault_factor`] multiplies
+///   the per-task SVM fault count for workers on the remote cluster.
+///
+/// With a benign plan this is exactly [`simulate`].
+///
+/// # Panics
+/// Panics when `task_processes` is 0 or exceeds the machine's usable
+/// processors.
+pub fn simulate_with_faults(cfg: &SimConfig, tasks: &[Task], plan: &FaultPlan) -> SimResult {
     let n = cfg.task_processes;
     assert!(n >= 1, "need at least one task process");
     assert!(
@@ -115,7 +159,14 @@ pub fn simulate(cfg: &SimConfig, tasks: &[Task]) -> SimResult {
         cfg.machine.usable()
     );
 
-    let ordered = cfg.schedule.order(tasks);
+    // Pending queue: (task, earliest dispatch time). Requeued tasks carry
+    // the death-detection time; fresh tasks are ready immediately.
+    let mut pending: VecDeque<(Task, f64)> = cfg
+        .schedule
+        .order(tasks)
+        .into_iter()
+        .map(|t| (t, 0.0))
+        .collect();
 
     // Worker-available min-heap: (available_time, worker_index).
     let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
@@ -130,25 +181,49 @@ pub fn simulate(cfg: &SimConfig, tasks: &[Task]) -> SimResult {
         heap.push(Reverse((OrdF64(t), w)));
         finishes[w as usize] = t;
     }
+    let deaths: Vec<Option<u64>> = (0..n).map(|w| plan.worker_death(w as usize)).collect();
 
     let mut lock_free_at = 0.0f64;
     let mut queue_wait = 0.0;
     let mut queue_service = 0.0;
     let mut total_work = 0.0;
-    let mut completions = Vec::with_capacity(ordered.len());
+    let mut completions = Vec::with_capacity(pending.len());
     let mut makespan: f64 = 0.0;
+    let mut failed_workers = Vec::new();
+    let mut task_retries = 0u32;
+    let mut lost_tasks = 0u32;
 
-    for task in &ordered {
-        let Reverse((OrdF64(avail), w)) = heap.pop().expect("worker available");
+    while let Some((task, ready_at)) = pending.pop_front() {
+        let Some(Reverse((OrdF64(avail), w))) = heap.pop() else {
+            // Every worker is dead; nothing can serve the rest.
+            lost_tasks = 1 + pending.len() as u32;
+            break;
+        };
+        let avail = avail.max(ready_at);
         // Acquire the queue lock (serialised).
         let acquired = avail.max(lock_free_at);
         queue_wait += acquired - avail;
         lock_free_at = acquired + cfg.dequeue_overhead;
         queue_service += cfg.dequeue_overhead;
+        if deaths[w as usize] == Some(u64::from(counts[w as usize])) {
+            // The worker crashes executing this task: the control process
+            // notices after the detection timeout and puts the task back at
+            // the head of the queue. The worker is gone for good.
+            failed_workers.push(w);
+            task_retries += 1;
+            let detect = lock_free_at + cfg.death_detection;
+            finishes[w as usize] = lock_free_at;
+            makespan = makespan.max(detect);
+            pending.push_front((task, detect));
+            continue;
+        }
         // Execute.
-        let mut service = task.service_with_match_speedup(cfg.match_speedup);
+        let mut service = task.service_with_match_speedup(cfg.match_speedup)
+            * plan.service_factor(task.id as usize);
         if cfg.machine.is_remote(w) {
-            service += cfg.svm.per_task_overhead();
+            service += cfg
+                .svm
+                .per_task_overhead_with_storm(plan.page_fault_factor(task.id as usize));
         }
         let finish = lock_free_at + service;
         busy[w as usize] += service;
@@ -169,6 +244,9 @@ pub fn simulate(cfg: &SimConfig, tasks: &[Task]) -> SimResult {
         total_work,
         completions,
         per_worker_finish: finishes,
+        failed_workers,
+        task_retries,
+        lost_tasks,
     }
 }
 
@@ -241,7 +319,9 @@ mod tests {
 
     #[test]
     fn work_is_conserved() {
-        let tasks: Vec<Task> = (0..50).map(|i| Task::new(i, 0.5 + 0.1 * i as f64)).collect();
+        let tasks: Vec<Task> = (0..50)
+            .map(|i| Task::new(i, 0.5 + 0.1 * i as f64))
+            .collect();
         let expected: f64 = tasks.iter().map(|t| t.service).sum();
         for n in [1, 3, 8] {
             let r = simulate(&cheap_cfg(n), &tasks);
@@ -311,7 +391,14 @@ mod tests {
         with_remote.dequeue_overhead = 0.0;
         with_remote.fork_overhead = 0.0;
 
-        let base = simulate(&SimConfig { machine: Machine::dual_encore_svm(), ..cheap_cfg(1) }, &tasks).makespan;
+        let base = simulate(
+            &SimConfig {
+                machine: Machine::dual_encore_svm(),
+                ..cheap_cfg(1)
+            },
+            &tasks,
+        )
+        .makespan;
         let r13 = simulate(&local_only, &tasks);
         let r20 = simulate(&with_remote, &tasks);
         let s13 = base / r13.makespan;
@@ -347,5 +434,100 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.busy, b.busy);
         assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn benign_plan_is_exactly_the_plain_run() {
+        let tasks: Vec<Task> = (0..60)
+            .map(|i| Task::new(i, 0.3 + (i % 5) as f64))
+            .collect();
+        let cfg = SimConfig::dual_encore(16);
+        let plain = simulate(&cfg, &tasks);
+        let benign = simulate_with_faults(&cfg, &tasks, &FaultPlan::none());
+        assert_eq!(plain.makespan, benign.makespan);
+        assert_eq!(plain.busy, benign.busy);
+        assert_eq!(plain.completions, benign.completions);
+        assert!(benign.failed_workers.is_empty());
+        assert_eq!(benign.task_retries, 0);
+        assert_eq!(benign.lost_tasks, 0);
+    }
+
+    #[test]
+    fn worker_death_requeues_the_inflight_task() {
+        let tasks = uniform_tasks(30, 1.0);
+        // Worker 1 completes two tasks, then dies executing its third.
+        let plan = FaultPlan::none().with_worker_death(1, 2);
+        let r = simulate_with_faults(&cheap_cfg(3), &tasks, &plan);
+        assert_eq!(r.failed_workers, vec![1]);
+        assert_eq!(r.task_retries, 1);
+        assert_eq!(r.lost_tasks, 0);
+        assert_eq!(r.tasks_executed[1], 2);
+        // Every task still completes — on the survivors.
+        assert_eq!(r.tasks_executed.iter().sum::<u32>(), 30);
+        assert_eq!(r.completions.len(), 30);
+        // The detection delay plus the lost capacity cost wall-clock time.
+        let clean = simulate(&cheap_cfg(3), &tasks);
+        assert!(r.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn losing_every_worker_dead_letters_the_rest() {
+        let tasks = uniform_tasks(10, 1.0);
+        let plan = FaultPlan::none()
+            .with_worker_death(0, 1)
+            .with_worker_death(1, 0);
+        let r = simulate_with_faults(&cheap_cfg(2), &tasks, &plan);
+        assert_eq!(r.failed_workers.len(), 2);
+        // Worker 0 finished one task before the pool died; the rest are lost.
+        assert_eq!(r.tasks_executed.iter().sum::<u32>(), 1);
+        assert_eq!(r.lost_tasks, 9);
+        assert!(r.makespan.is_finite());
+    }
+
+    #[test]
+    fn stragglers_stretch_the_makespan_deterministically() {
+        let tasks = uniform_tasks(80, 1.0);
+        let plan = FaultPlan::seeded(5).with_stragglers(0.2, 6.0);
+        let clean = simulate(&cheap_cfg(8), &tasks);
+        let a = simulate_with_faults(&cheap_cfg(8), &tasks, &plan);
+        let b = simulate_with_faults(&cheap_cfg(8), &tasks, &plan);
+        assert!(a.makespan > clean.makespan);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.busy, b.busy);
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn page_storms_hit_only_remote_workers() {
+        let tasks = uniform_tasks(200, 2.0);
+        let storm = FaultPlan::seeded(3).with_page_storms(0.5, 8.0);
+        // All-local machine: storms have nothing to amplify.
+        let local = simulate_with_faults(&cheap_cfg(10), &tasks, &storm);
+        let clean_local = simulate(&cheap_cfg(10), &tasks);
+        assert_eq!(local.makespan, clean_local.makespan);
+        // Remote workers pay the amplified SVM fault cost.
+        let mut cfg = SimConfig::dual_encore(20);
+        cfg.dequeue_overhead = 0.0;
+        cfg.fork_overhead = 0.0;
+        let clean_remote = simulate(&cfg, &tasks);
+        let stormy = simulate_with_faults(&cfg, &tasks, &storm);
+        assert!(stormy.makespan > clean_remote.makespan);
+        assert!(stormy.total_work > clean_remote.total_work);
+    }
+
+    #[test]
+    fn rate_driven_deaths_replay_identically() {
+        let tasks: Vec<Task> = (0..120)
+            .map(|i| Task::new(i, 0.5 + (i % 7) as f64 * 0.4))
+            .collect();
+        let plan = FaultPlan::seeded(21).with_worker_death_rate(0.4);
+        let a = simulate_with_faults(&cheap_cfg(10), &tasks, &plan);
+        let b = simulate_with_faults(&cheap_cfg(10), &tasks, &plan);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.failed_workers, b.failed_workers);
+        assert_eq!(a.completions, b.completions);
+        assert!(!a.failed_workers.is_empty(), "rate 0.4 over 10 workers");
+        // Survivors absorb the whole queue.
+        assert_eq!(a.tasks_executed.iter().sum::<u32>() + a.lost_tasks, 120);
     }
 }

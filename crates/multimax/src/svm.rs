@@ -56,7 +56,22 @@ impl SvmConfig {
 
     /// Extra seconds a remote task process pays per task.
     pub fn per_task_overhead(&self) -> f64 {
-        self.fault_latency * self.faults_per_task * self.false_sharing * self.segment_shipping_factor
+        self.fault_latency
+            * self.faults_per_task
+            * self.false_sharing
+            * self.segment_shipping_factor
+    }
+
+    /// Per-task overhead under a page-fault storm: `storm_factor` (≥ 1)
+    /// multiplies the fault count a remote task takes (a burst of working-
+    /// set misses, e.g. after a remote worker's cache is invalidated).
+    /// `storm_factor = 1.0` is exactly [`Self::per_task_overhead`].
+    pub fn per_task_overhead_with_storm(&self, storm_factor: f64) -> f64 {
+        self.fault_latency
+            * self.faults_per_task
+            * storm_factor
+            * self.false_sharing
+            * self.segment_shipping_factor
     }
 
     /// One-time start-up cost of a remote task process.
@@ -74,6 +89,13 @@ mod tests {
         let s = SvmConfig::tuned();
         assert!(s.per_task_overhead() < 1.0);
         assert!(s.per_task_overhead() > 0.0);
+    }
+
+    #[test]
+    fn storm_scales_overhead_and_unity_is_exact() {
+        let s = SvmConfig::tuned();
+        assert_eq!(s.per_task_overhead_with_storm(1.0), s.per_task_overhead());
+        assert!((s.per_task_overhead_with_storm(8.0) - 8.0 * s.per_task_overhead()).abs() < 1e-12);
     }
 
     #[test]

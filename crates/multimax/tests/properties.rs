@@ -1,8 +1,7 @@
 //! Property-based tests of the discrete-event simulator.
 
 use multimax_sim::{
-    mp_speedup_curve, simulate, simulate_mp, MpConfig, MpPolicy, Schedule, SimConfig, Task,
-    TaskSet,
+    mp_speedup_curve, simulate, simulate_mp, MpConfig, MpPolicy, Schedule, SimConfig, Task, TaskSet,
 };
 use proptest::prelude::*;
 

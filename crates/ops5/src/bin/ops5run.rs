@@ -219,7 +219,11 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "-- {n_prods} productions, {firings} firings, {}",
-        if engine.halted() { "halted" } else { "quiescent" }
+        if engine.halted() {
+            "halted"
+        } else {
+            "quiescent"
+        }
     );
     if opts.show_wm {
         eprintln!("-- final working memory:");

@@ -218,12 +218,9 @@ impl Engine {
             .ok_or_else(|| Error::Runtime(format!("make: unknown class '{class}'")))?;
         let mut fields = vec![Value::Nil; n];
         for (attr, v) in sets {
-            let slot = self
-                .program
-                .slot_of(class_sym, sym(attr))
-                .ok_or_else(|| {
-                    Error::Runtime(format!("class '{class}' has no attribute '{attr}'"))
-                })?;
+            let slot = self.program.slot_of(class_sym, sym(attr)).ok_or_else(|| {
+                Error::Runtime(format!("class '{class}' has no attribute '{attr}'"))
+            })?;
             fields[slot as usize] = *v;
         }
         Ok(self.insert_fields(class_sym, fields))
@@ -306,14 +303,16 @@ impl Engine {
         if self.halted {
             return Ok(None);
         }
+        if let Some(err) = self.matcher.failure() {
+            return Err(Error::Runtime(format!("match backend failed: {err}")));
+        }
         // Resolve.
         let match_before = if self.cycle_log.is_some() {
             self.log_snapshot
         } else {
             self.matcher.work()
         };
-        self.base_work.resolve_units +=
-            (self.conflict.len() as u64 + 1) * cost::RESOLVE_ENTRY;
+        self.base_work.resolve_units += (self.conflict.len() as u64 + 1) * cost::RESOLVE_ENTRY;
         let Some(inst) = self.conflict.select(self.strategy) else {
             return Ok(None);
         };
@@ -483,7 +482,9 @@ impl Engine {
             return Ok(Value::Sym(sym(&format!("g#{}", self.gensym))));
         }
         let Some(f) = self.externals.get(&name).cloned() else {
-            return Err(Error::Runtime(format!("unknown external function '{name}'")));
+            return Err(Error::Runtime(format!(
+                "unknown external function '{name}'"
+            )));
         };
         let mut eff = Effects::default();
         let ret = f(args, &mut eff);
@@ -492,9 +493,10 @@ impl Engine {
             self.output.push_str(&eff.output);
         }
         for (class, sets) in eff.makes {
-            let n = self.program.n_slots(class).ok_or_else(|| {
-                Error::Runtime(format!("external make: unknown class '{class}'"))
-            })?;
+            let n = self
+                .program
+                .n_slots(class)
+                .ok_or_else(|| Error::Runtime(format!("external make: unknown class '{class}'")))?;
             let mut fields = vec![Value::Nil; n];
             for (attr, v) in sets {
                 let slot = self.program.slot_of(class, attr).ok_or_else(|| {
@@ -570,7 +572,8 @@ mod tests {
             "(literalize msg text)
              (p say (msg ^text <t>) --> (write |hello| <t> (crlf)) (remove 1))",
         );
-        e.make_wme("msg", &[("text", Value::symbol("world"))]).unwrap();
+        e.make_wme("msg", &[("text", Value::symbol("world"))])
+            .unwrap();
         e.run(10);
         assert_eq!(e.output, "hello world\n");
     }
@@ -602,11 +605,7 @@ mod tests {
         let out = e.run(10);
         assert_eq!(out.firings, 2);
         assert_eq!(e.work().external_units, 2000);
-        let kinds: Vec<String> = e
-            .wm()
-            .iter()
-            .map(|(_, w)| w.get(1).to_string())
-            .collect();
+        let kinds: Vec<String> = e.wm().iter().map(|(_, w)| w.get(1).to_string()).collect();
         assert!(kinds.contains(&"runway".to_string()));
         assert!(kinds.contains(&"taxiway".to_string()));
     }

@@ -48,7 +48,11 @@ pub struct Spanned {
 }
 
 fn is_sym_char(c: char) -> bool {
-    c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | '?' | '!' | '*' | '+' | '/' | '$' | '&' | ':' | '#' | '%')
+    c.is_alphanumeric()
+        || matches!(
+            c,
+            '-' | '_' | '.' | '?' | '!' | '*' | '+' | '/' | '$' | '&' | ':' | '#' | '%'
+        )
 }
 
 fn is_sym_start(c: char) -> bool {
@@ -113,7 +117,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     }
                 }
                 if name.is_empty() {
-                    return Err(Error::Parse(format!("line {line}: '^' without attribute name")));
+                    return Err(Error::Parse(format!(
+                        "line {line}: '^' without attribute name"
+                    )));
                 }
                 push!(Token::Attr(name));
             }
@@ -334,12 +340,15 @@ mod tests {
         assert_eq!(toks("<>"), vec![Token::Pred("<>")]);
         assert_eq!(toks("<"), vec![Token::Pred("<")]);
         assert_eq!(toks(">="), vec![Token::Pred(">=")]);
-        assert_eq!(toks("<< a b >>"), vec![
-            Token::LDisj,
-            Token::Sym("a".into()),
-            Token::Sym("b".into()),
-            Token::RDisj
-        ]);
+        assert_eq!(
+            toks("<< a b >>"),
+            vec![
+                Token::LDisj,
+                Token::Sym("a".into()),
+                Token::Sym("b".into()),
+                Token::RDisj
+            ]
+        );
         assert_eq!(toks("<r1>"), vec![Token::Var("r1".into())]);
     }
 

@@ -31,6 +31,13 @@ pub trait Matcher: Send {
     fn take_chunks(&mut self) -> u32;
     /// Accumulated match work.
     fn work(&self) -> WorkCounters;
+    /// A terminal failure inside the match backend (e.g. a parallel pool
+    /// that lost workers under a fail-fast policy). The engine checks this
+    /// each cycle and stops with `RunOutcome::error` instead of panicking.
+    /// In-process matchers never fail.
+    fn failure(&self) -> Option<String> {
+        None
+    }
 }
 
 impl Matcher for Rete {
@@ -90,7 +97,12 @@ impl Matcher for NaiveMatcher {
             return Vec::new();
         }
         self.dirty = false;
-        let matches = match_all(&self.program, &self.compiled, wm, &mut self.work.match_units);
+        let matches = match_all(
+            &self.program,
+            &self.compiled,
+            wm,
+            &mut self.work.match_units,
+        );
         let mut next: HashMap<(u32, Box<[WmeId]>), Instantiation> = HashMap::new();
         for i in matches {
             next.insert((i.production, i.wmes.clone()), i);

@@ -114,10 +114,10 @@ fn join_ok(tests: &[JoinTest], partial: &[Option<WmeId>], w: WmeId, wm: &WmStore
         let Some(their) = wm.get(their_id) else {
             return false;
         };
-        if !t
-            .predicate
-            .eval(&wme.get(t.my_slot as usize), &their.get(t.their_slot as usize))
-        {
+        if !t.predicate.eval(
+            &wme.get(t.my_slot as usize),
+            &their.get(t.their_slot as usize),
+        ) {
             return false;
         }
     }

@@ -51,9 +51,7 @@ pub fn parse_program(src: &str) -> Result<Program> {
                     program.strategy = match s.as_str() {
                         "lex" => Strategy::Lex,
                         "mea" => Strategy::Mea,
-                        other => {
-                            return Err(Error::Parse(format!("unknown strategy '{other}'")))
-                        }
+                        other => return Err(Error::Parse(format!("unknown strategy '{other}'"))),
                     };
                     c.expect_rparen()?;
                 }
@@ -234,7 +232,11 @@ fn parse_production(c: &mut Cursor, program: &Program) -> Result<Production> {
                     .map_err(|e| Error::Parse(format!("in production '{name}': {e}")))?;
                 ces.push(ce);
             }
-            _ => return Err(c.err(&format!("in production '{name}': expected condition element or '-->'"))),
+            _ => {
+                return Err(c.err(&format!(
+                    "in production '{name}': expected condition element or '-->'"
+                )))
+            }
         }
     }
     if ces.is_empty() {
@@ -275,7 +277,11 @@ fn parse_ce(c: &mut Cursor, ctx: &mut ProdCtx, negated: bool) -> Result<CondElem
     let cinfo = ctx
         .program
         .class(class)
-        .ok_or_else(|| Error::Semantic(format!("unknown class '{class_name}' (missing literalize?)")))?
+        .ok_or_else(|| {
+            Error::Semantic(format!(
+                "unknown class '{class_name}' (missing literalize?)"
+            ))
+        })?
         .clone();
 
     let mut tests = Vec::new();
@@ -288,16 +294,22 @@ fn parse_ce(c: &mut Cursor, ctx: &mut ProdCtx, negated: bool) -> Result<CondElem
             Token::Attr(a) => a.clone(),
             t => return Err(Error::Parse(format!("expected ^attribute, found {t:?}"))),
         };
-        let slot = cinfo
-            .slot_of(sym(&attr_name))
-            .ok_or_else(|| {
-                Error::Semantic(format!(
-                    "class '{class_name}' has no attribute '{attr_name}'"
-                ))
-            })?;
+        let slot = cinfo.slot_of(sym(&attr_name)).ok_or_else(|| {
+            Error::Semantic(format!(
+                "class '{class_name}' has no attribute '{attr_name}'"
+            ))
+        })?;
 
         // One value spec: scalar / { conjunction } / << disjunction >>.
-        parse_value_spec(c, ctx, slot, negated, &mut tests, &mut bindings, &mut local_bound)?;
+        parse_value_spec(
+            c,
+            ctx,
+            slot,
+            negated,
+            &mut tests,
+            &mut bindings,
+            &mut local_bound,
+        )?;
     }
     c.expect_rparen()?;
 
@@ -510,7 +522,11 @@ fn parse_action(c: &mut Cursor, ctx: &mut ProdCtx, ces: &[CondElem]) -> Result<V
         "bind" => {
             let vname = match c.next()? {
                 Token::Var(v) => v.clone(),
-                t => return Err(Error::Parse(format!("bind: expected variable, found {t:?}"))),
+                t => {
+                    return Err(Error::Parse(format!(
+                        "bind: expected variable, found {t:?}"
+                    )))
+                }
             };
             let vid = ctx.var_id(&vname);
             let expr = if c.peek_rparen() {
@@ -653,9 +669,7 @@ fn parse_expr(c: &mut Cursor, ctx: &mut ProdCtx) -> Result<Expr> {
                     c.expect_rparen()?;
                     Ok(Expr::Call(name, args))
                 }
-                other => Err(Error::Parse(format!(
-                    "unknown value form '({other} ...)'"
-                ))),
+                other => Err(Error::Parse(format!("unknown value form '({other} ...)'"))),
             }
         }
         t => Err(Error::Parse(format!("bad expression token {t:?}"))),
@@ -701,19 +715,15 @@ mod tests {
 
     #[test]
     fn unknown_attribute_is_an_error() {
-        let err = Program::parse(&format!(
-            "{DECLS} (p r1 (region ^bogus 1) --> (halt))"
-        ))
-        .unwrap_err();
+        let err =
+            Program::parse(&format!("{DECLS} (p r1 (region ^bogus 1) --> (halt))")).unwrap_err();
         let msg = format!("{err}");
         assert!(msg.contains("bogus"), "{msg}");
     }
 
     #[test]
     fn variable_rebinding_becomes_test() {
-        let p = parse_ok(
-            "(p r1 (region ^id <r>) (fragment ^region <r>) --> (remove 2))",
-        );
+        let p = parse_ok("(p r1 (region ^id <r>) (fragment ^region <r>) --> (remove 2))");
         let prod = &p.productions[0];
         assert_eq!(prod.ces[0].bindings.len(), 1);
         assert_eq!(prod.ces[1].bindings.len(), 0);
@@ -751,9 +761,7 @@ mod tests {
 
     #[test]
     fn negated_ce_local_variables() {
-        let p = parse_ok(
-            "(p r1 (region ^id <r>) -(fragment ^region <r> ^id <f>) --> (remove 1))",
-        );
+        let p = parse_ok("(p r1 (region ^id <r>) -(fragment ^region <r> ^id <f>) --> (remove 1))");
         let prod = &p.productions[0];
         assert!(prod.ces[1].negated);
         // <r> is a join test, <f> is a local binding.
@@ -810,7 +818,10 @@ mod tests {
     fn bind_without_expr_gensyms() {
         let p = parse_ok("(p r1 (region) --> (bind <g>) (make fragment ^id <g>))");
         match &p.productions[0].actions[0] {
-            Action::Bind { expr: Expr::Call(name, args), .. } => {
+            Action::Bind {
+                expr: Expr::Call(name, args),
+                ..
+            } => {
                 assert_eq!(*name, sym("genatom"));
                 assert!(args.is_empty());
             }

@@ -265,8 +265,7 @@ mod tests {
             .map(|prod| {
                 let mut ces: Vec<String> = Vec::new();
                 for ce in &prod.ces {
-                    let mut b: Vec<_> =
-                        ce.bindings.iter().map(|x| format!("{x:?}")).collect();
+                    let mut b: Vec<_> = ce.bindings.iter().map(|x| format!("{x:?}")).collect();
                     b.sort();
                     let mut t: Vec<_> = ce.tests.iter().map(|x| format!("{x:?}")).collect();
                     t.sort();
@@ -317,7 +316,10 @@ mod tests {
         assert_eq!(print_value(&Value::Float(25.0)), "25.0");
         assert_eq!(print_value(&Value::Int(-3)), "-3");
         assert_eq!(print_value(&Value::Nil), "nil");
-        assert_eq!(print_value(&Value::symbol("terminal-building")), "terminal-building");
+        assert_eq!(
+            print_value(&Value::symbol("terminal-building")),
+            "terminal-building"
+        );
         assert_eq!(print_value(&Value::symbol("two words")), "|two words|");
         assert_eq!(print_value(&Value::symbol("3rd")), "|3rd|");
     }

@@ -184,7 +184,10 @@ pub fn compile_production(prod: u32, p: &Production) -> Result<CompiledProductio
 /// Evaluates an alpha test against a WME's fields.
 #[inline]
 pub fn eval_alpha(test: &AlphaTest, fields: &[Value]) -> bool {
-    let left = fields.get(test.slot as usize).copied().unwrap_or(Value::Nil);
+    let left = fields
+        .get(test.slot as usize)
+        .copied()
+        .unwrap_or(Value::Nil);
     match &test.arg {
         AlphaArg::Const(v) => test.predicate.eval(&left, v),
         AlphaArg::Disj(vs) => vs.iter().any(|v| left.ops_eq(v)),
@@ -252,15 +255,25 @@ mod tests {
              (p r (a ^x <v> ^y <w>) --> (make a ^x <w>))",
         );
         assert_eq!(c.var_sources.len(), 2);
-        assert!(matches!(c.var_sources[0], VarSource::Lhs { level: 0, slot: 0 }));
-        assert!(matches!(c.var_sources[1], VarSource::Lhs { level: 0, slot: 1 }));
+        assert!(matches!(
+            c.var_sources[0],
+            VarSource::Lhs { level: 0, slot: 0 }
+        ));
+        assert!(matches!(
+            c.var_sources[1],
+            VarSource::Lhs { level: 0, slot: 1 }
+        ));
     }
 
     #[test]
     fn eval_alpha_const_disj_otherslot() {
         let fields = [Value::Int(5), Value::Int(5), Value::symbol("tarmac")];
         assert!(eval_alpha(
-            &AlphaTest { slot: 0, predicate: Predicate::Gt, arg: AlphaArg::Const(Value::Int(3)) },
+            &AlphaTest {
+                slot: 0,
+                predicate: Predicate::Gt,
+                arg: AlphaArg::Const(Value::Int(3))
+            },
             &fields
         ));
         assert!(eval_alpha(
@@ -272,11 +285,19 @@ mod tests {
             &fields
         ));
         assert!(eval_alpha(
-            &AlphaTest { slot: 0, predicate: Predicate::Eq, arg: AlphaArg::OtherSlot(1) },
+            &AlphaTest {
+                slot: 0,
+                predicate: Predicate::Eq,
+                arg: AlphaArg::OtherSlot(1)
+            },
             &fields
         ));
         assert!(!eval_alpha(
-            &AlphaTest { slot: 0, predicate: Predicate::Eq, arg: AlphaArg::OtherSlot(2) },
+            &AlphaTest {
+                slot: 0,
+                predicate: Predicate::Eq,
+                arg: AlphaArg::OtherSlot(2)
+            },
             &fields
         ));
         let _ = sym("tarmac");

@@ -153,9 +153,7 @@ impl Rete {
     pub fn add_wme(&mut self, id: WmeId, wm: &WmStore) {
         let wme = wm.get(id).expect("add_wme: wme must be live");
         self.chunks += 1;
-        let mems = self
-            .alpha
-            .classify_add(id, wme, &mut self.work.match_units);
+        let mems = self.alpha.classify_add(id, wme, &mut self.work.match_units);
         for m in mems {
             let succs = self.alpha.mem(m).successors.clone();
             for s in succs {

@@ -156,10 +156,7 @@ mod tests {
             assert_eq!(name, sym("area-of"));
             Ok(Value::Int(args[0].as_int().unwrap() * 10))
         };
-        assert_eq!(
-            eval_expr(&e, &[], &mut cb, &mut w).unwrap(),
-            Value::Int(40)
-        );
+        assert_eq!(eval_expr(&e, &[], &mut cb, &mut w).unwrap(), Value::Int(40));
     }
 
     #[test]

@@ -18,19 +18,27 @@ fn lex_vs_mea_pick_different_instantiations() {
     ";
     // LEX: newest step dominates regardless of goal age.
     let mut e = engine(src);
-    e.make_wme("goal", &[("name", Value::symbol("alpha"))]).unwrap();
-    e.make_wme("goal", &[("name", Value::symbol("beta"))]).unwrap();
+    e.make_wme("goal", &[("name", Value::symbol("alpha"))])
+        .unwrap();
+    e.make_wme("goal", &[("name", Value::symbol("beta"))])
+        .unwrap();
     e.make_wme("step", &[("n", 1.into())]).unwrap();
     e.step().unwrap();
-    assert!(e.output.contains("beta"), "LEX favours overall recency: {}", e.output);
+    assert!(
+        e.output.contains("beta"),
+        "LEX favours overall recency: {}",
+        e.output
+    );
 
     // MEA: first-CE tag dominates, same outcome here (beta is newer) —
     // build a case where they diverge: goal alpha newer but step older.
     let mut e = engine(src);
     e.set_strategy(Strategy::Mea);
-    e.make_wme("goal", &[("name", Value::symbol("old-goal"))]).unwrap();
+    e.make_wme("goal", &[("name", Value::symbol("old-goal"))])
+        .unwrap();
     e.make_wme("step", &[("n", 7.into())]).unwrap();
-    e.make_wme("goal", &[("name", Value::symbol("new-goal"))]).unwrap();
+    e.make_wme("goal", &[("name", Value::symbol("new-goal"))])
+        .unwrap();
     e.step().unwrap();
     assert!(
         e.output.contains("new-goal"),
@@ -103,13 +111,21 @@ fn chained_negations_express_priority() {
         (p fallback (input) -(input ^kind primary) -(out) --> (make out ^choice fallback))
     ";
     let mut e = engine(src);
-    e.make_wme("input", &[("kind", Value::symbol("secondary"))]).unwrap();
+    e.make_wme("input", &[("kind", Value::symbol("secondary"))])
+        .unwrap();
     e.run(10);
-    let choice = e.wm().iter().find(|(_, w)| w.class == ops5::sym("out")).unwrap().1.get(0);
+    let choice = e
+        .wm()
+        .iter()
+        .find(|(_, w)| w.class == ops5::sym("out"))
+        .unwrap()
+        .1
+        .get(0);
     assert_eq!(choice, Value::symbol("fallback"));
 
     let mut e = engine(src);
-    e.make_wme("input", &[("kind", Value::symbol("primary"))]).unwrap();
+    e.make_wme("input", &[("kind", Value::symbol("primary"))])
+        .unwrap();
     e.run(10);
     let choices: Vec<Value> = e
         .wm()
@@ -145,8 +161,10 @@ fn same_type_predicate_separates_symbols_from_numbers() {
         (p t (probe ^ref <r> ^v { <x> <=> <r> }) --> (make ok ^v <x>) (remove 1))
     ";
     let mut e = engine(src);
-    e.make_wme("probe", &[("v", 3.into()), ("ref", 10.5.into())]).unwrap(); // both numeric
-    e.make_wme("probe", &[("v", Value::symbol("a")), ("ref", 7.into())]).unwrap(); // mixed
+    e.make_wme("probe", &[("v", 3.into()), ("ref", 10.5.into())])
+        .unwrap(); // both numeric
+    e.make_wme("probe", &[("v", Value::symbol("a")), ("ref", 7.into())])
+        .unwrap(); // mixed
     let out = e.run(10);
     assert_eq!(out.firings, 1, "only the numeric pair is <=>-compatible");
 }
@@ -166,8 +184,10 @@ fn recency_chains_drive_depth_first_behaviour() {
            (remove 1))
     ";
     let mut e = engine(src);
-    e.make_wme("node", &[("id", 1.into()), ("depth", 0.into())]).unwrap();
-    e.make_wme("node", &[("id", 2.into()), ("depth", 0.into())]).unwrap();
+    e.make_wme("node", &[("id", 1.into()), ("depth", 0.into())])
+        .unwrap();
+    e.make_wme("node", &[("id", 2.into()), ("depth", 0.into())])
+        .unwrap();
     let out = e.run(100);
     assert!(out.quiescent());
     // Node 2 (newer) is expanded first, and its children before node 1.
@@ -179,7 +199,10 @@ fn recency_chains_drive_depth_first_behaviour() {
         .collect();
     assert_eq!(order.first(), Some(&2), "order: {order:?}");
     let pos = |v: i64| order.iter().position(|&x| x == v).unwrap();
-    assert!(pos(21) < pos(1), "2's children expand before node 1: {order:?}");
+    assert!(
+        pos(21) < pos(1),
+        "2's children expand before node 1: {order:?}"
+    );
 }
 
 #[test]

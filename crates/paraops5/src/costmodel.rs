@@ -83,7 +83,16 @@ pub fn match_speedup(log: &[CycleStats], p: u32, model: &CostModel) -> f64 {
 /// matches by itself) and plots as speed-up 1.0.
 pub fn match_speedup_curve(log: &[CycleStats], max_p: u32, model: &CostModel) -> Vec<(u32, f64)> {
     (0..=max_p)
-        .map(|p| (p, if p == 0 { 1.0 } else { match_speedup(log, p, model) }))
+        .map(|p| {
+            (
+                p,
+                if p == 0 {
+                    1.0
+                } else {
+                    match_speedup(log, p, model)
+                },
+            )
+        })
         .collect()
 }
 

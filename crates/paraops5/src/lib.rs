@@ -30,6 +30,8 @@ pub mod costmodel;
 pub mod suites;
 pub mod threaded;
 
-pub use costmodel::{amdahl_limit, cycle_time_units, match_speedup, match_speedup_curve, CostModel};
+pub use costmodel::{
+    amdahl_limit, cycle_time_units, match_speedup, match_speedup_curve, CostModel,
+};
 pub use suites::{rubik, suite_engine, tourney, weaver, Suite};
 pub use threaded::ThreadedMatcher;

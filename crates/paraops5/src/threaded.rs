@@ -11,19 +11,48 @@
 //! Working-memory ids stay aligned across replicas because every replica
 //! sees the same add/remove stream and [`ops5::wme::WmStore`] assigns dense
 //! sequential ids.
+//!
+//! # Failure model
+//!
+//! Workers are threads; threads die. The control side keeps a delta log of
+//! the full WME add/remove stream, detects dead workers at the flush
+//! barrier (the only point where an answer is required), and recovers per
+//! [`RecoveryPolicy`]:
+//!
+//! - **Respawn** (default): start a replacement worker for the same
+//!   production subset, replay the delta log to rebuild its replica, and
+//!   reconcile its match state against what the dead worker had already
+//!   delivered — the replayed Rete re-emits its entire match history, so
+//!   the control side folds events into per-worker *delivered* net state
+//!   and forwards only the difference (new inserts, missed retracts).
+//!   Anything else would re-deliver old instantiations and break
+//!   refraction.
+//! - **Degrade**: fold the dead worker's subset into an in-control inline
+//!   Rete (same replay + reconcile) and continue with fewer threads,
+//!   recording a warning.
+//! - **Fail**: stop matching and surface a typed failure through
+//!   [`ops5::matcher::Matcher::failure`]; the engine reports it in
+//!   `RunOutcome::error` instead of panicking.
+//!
+//! Deterministic worker deaths can be injected through a
+//! [`tlp_fault::FaultPlan`] for testing: a fated worker exits after serving
+//! its planned number of flush barriers.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use ops5::conflict::Instantiation;
 use ops5::instrument::WorkCounters;
 use ops5::matcher::Matcher;
 use ops5::rete::compile::CompiledProduction;
 use ops5::rete::{MatchEvent, Rete};
 use ops5::wme::{WmStore, Wme, WmeId};
 use ops5::Program;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use tlp_fault::{FaultPlan, SuperviseError};
 
 enum Req {
-    Add(WmeId, Wme),
+    Add(WmeId, Arc<Wme>),
     Remove(WmeId),
     Flush,
 }
@@ -34,30 +63,171 @@ struct Resp {
     chunks: u32,
 }
 
+/// What the pool does when it finds a match worker dead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Respawn a replacement worker and replay the WME stream to it.
+    #[default]
+    Respawn,
+    /// Fold the dead worker's productions into the control thread and
+    /// continue with fewer workers.
+    Degrade,
+    /// Stop matching and surface the failure to the engine.
+    Fail,
+}
+
+/// Construction options for [`ThreadedMatcher`].
+#[derive(Clone, Debug)]
+pub struct MatchPoolOptions {
+    /// Deterministic fault injection (worker deaths). Benign by default.
+    pub fault_plan: FaultPlan,
+    /// Recovery policy for dead workers.
+    pub recovery: RecoveryPolicy,
+    /// Respawn budget for the pool's lifetime; exhausted respawns degrade.
+    pub max_respawns: u32,
+}
+
+impl Default for MatchPoolOptions {
+    fn default() -> Self {
+        MatchPoolOptions {
+            fault_plan: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
+            max_respawns: 8,
+        }
+    }
+}
+
+/// What the pool survived: deaths detected, recoveries taken, warnings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchPoolReport {
+    /// Dead workers detected at flush barriers.
+    pub deaths: u32,
+    /// Replacement workers spawned.
+    pub respawns: u32,
+    /// Production subsets folded into the control thread.
+    pub degraded: u32,
+    /// Human-readable recovery log.
+    pub warnings: Vec<String>,
+}
+
+/// Net match state: the fold of a worker's delivered events.
+type NetState = HashMap<(u32, Box<[WmeId]>), Instantiation>;
+
+fn fold_events(net: &mut NetState, events: &[MatchEvent]) {
+    for e in events {
+        match e {
+            MatchEvent::Insert(inst) => {
+                net.insert((inst.production, inst.wmes.clone()), inst.clone());
+            }
+            MatchEvent::Retract { production, wmes } => {
+                net.remove(&(*production, wmes.clone()));
+            }
+        }
+    }
+}
+
+/// Events turning delivered state `have` into replayed state `want`:
+/// inserts for instantiations the replacement found that were never
+/// delivered, retracts for delivered instantiations the replacement no
+/// longer has.
+fn reconcile(have: &NetState, want: &NetState) -> Vec<MatchEvent> {
+    let mut out = Vec::new();
+    for (key, inst) in want {
+        if !have.contains_key(key) {
+            out.push(MatchEvent::Insert(inst.clone()));
+        }
+    }
+    for (production, wmes) in have.keys() {
+        if !want.contains_key(&(*production, wmes.clone())) {
+            out.push(MatchEvent::Retract {
+                production: *production,
+                wmes: wmes.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Live,
+    Dead,
+    Retired,
+}
+
+struct WorkerSlot {
+    tx: Sender<Req>,
+    rx: Receiver<Resp>,
+    handle: Option<JoinHandle<()>>,
+    subset: Arc<Vec<CompiledProduction>>,
+    /// Net fold of every event this slot has delivered to the engine.
+    delivered: NetState,
+    state: SlotState,
+}
+
+/// A production subset matched on the control thread after a degrade.
+struct InlineWorker {
+    rete: Rete,
+    wm: WmStore,
+}
+
+#[derive(Clone)]
+enum Delta {
+    Add(WmeId, Arc<Wme>),
+    Remove(WmeId),
+}
+
 /// A parallel match backend over `n` dedicated match worker threads.
 pub struct ThreadedMatcher {
-    txs: Vec<Sender<Req>>,
-    rxs: Vec<Receiver<Resp>>,
-    handles: Vec<JoinHandle<()>>,
+    program: Arc<Program>,
+    slots: Vec<WorkerSlot>,
+    inline: Vec<InlineWorker>,
+    /// Full WME delta history, for replaying to replacement workers.
+    log: Vec<Delta>,
+    opts: MatchPoolOptions,
+    /// Fault-plan identity handed to the next spawned worker.
+    next_fault_id: usize,
+    report: MatchPoolReport,
+    failure: Option<String>,
     work: WorkCounters,
     chunks: u32,
 }
 
 impl ThreadedMatcher {
     /// Spawns `n_workers` match workers for `program`, partitioning the
-    /// productions round-robin.
-    ///
-    /// # Panics
-    /// Panics when `n_workers` is zero.
+    /// productions round-robin. Returns [`SuperviseError::NoWorkers`] when
+    /// `n_workers` is zero.
     pub fn new(
         program: &Arc<Program>,
         compiled: &Arc<Vec<CompiledProduction>>,
         n_workers: usize,
-    ) -> ThreadedMatcher {
-        assert!(n_workers >= 1, "need at least one match worker");
-        let mut txs = Vec::with_capacity(n_workers);
-        let mut rxs = Vec::with_capacity(n_workers);
-        let mut handles = Vec::with_capacity(n_workers);
+    ) -> Result<ThreadedMatcher, SuperviseError> {
+        ThreadedMatcher::with_options(program, compiled, n_workers, MatchPoolOptions::default())
+    }
+
+    /// [`ThreadedMatcher::new`] with explicit fault-injection and recovery
+    /// options.
+    pub fn with_options(
+        program: &Arc<Program>,
+        compiled: &Arc<Vec<CompiledProduction>>,
+        n_workers: usize,
+        opts: MatchPoolOptions,
+    ) -> Result<ThreadedMatcher, SuperviseError> {
+        if n_workers == 0 {
+            return Err(SuperviseError::NoWorkers);
+        }
+        let mut pool = ThreadedMatcher {
+            program: Arc::clone(program),
+            slots: Vec::with_capacity(n_workers),
+            inline: Vec::new(),
+            log: Vec::new(),
+            opts,
+            next_fault_id: 0,
+            report: MatchPoolReport::default(),
+            failure: None,
+            work: WorkCounters::default(),
+            chunks: 0,
+        };
         for w in 0..n_workers {
             let subset: Arc<Vec<CompiledProduction>> = Arc::new(
                 compiled
@@ -67,58 +237,250 @@ impl ThreadedMatcher {
                     .map(|(_, c)| c.clone())
                     .collect(),
             );
-            let (req_tx, req_rx) = unbounded::<Req>();
-            let (resp_tx, resp_rx) = unbounded::<Resp>();
-            let prog = Arc::clone(program);
-            handles.push(std::thread::spawn(move || {
-                worker_loop(req_rx, resp_tx, prog, subset);
-            }));
-            txs.push(req_tx);
-            rxs.push(resp_rx);
+            let slot = pool.spawn_slot(subset);
+            pool.slots.push(slot);
         }
-        ThreadedMatcher {
-            txs,
-            rxs,
-            handles,
-            work: WorkCounters::default(),
-            chunks: 0,
+        Ok(pool)
+    }
+
+    fn spawn_slot(&mut self, subset: Arc<Vec<CompiledProduction>>) -> WorkerSlot {
+        let fault_id = self.next_fault_id;
+        self.next_fault_id += 1;
+        let death_after = self.opts.fault_plan.worker_death(fault_id);
+        let (req_tx, req_rx) = channel::<Req>();
+        let (resp_tx, resp_rx) = channel::<Resp>();
+        let prog = Arc::clone(&self.program);
+        let sub = Arc::clone(&subset);
+        let handle = std::thread::spawn(move || {
+            worker_loop(req_rx, resp_tx, prog, sub, death_after);
+        });
+        WorkerSlot {
+            tx: req_tx,
+            rx: resp_rx,
+            handle: Some(handle),
+            subset,
+            delivered: NetState::new(),
+            state: SlotState::Live,
         }
     }
 
-    /// Number of match workers.
+    /// Number of match workers still carrying productions (threads plus
+    /// control-inlined subsets).
     pub fn workers(&self) -> usize {
-        self.txs.len()
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Live)
+            .count()
+            + self.inline.len()
+    }
+
+    /// What the pool has survived so far.
+    pub fn report(&self) -> &MatchPoolReport {
+        &self.report
+    }
+
+    fn broadcast(&mut self, delta: Delta) {
+        self.log.push(delta.clone());
+        for slot in &mut self.slots {
+            if slot.state != SlotState::Live {
+                continue;
+            }
+            let req = match &delta {
+                Delta::Add(id, wme) => Req::Add(*id, Arc::clone(wme)),
+                Delta::Remove(id) => Req::Remove(*id),
+            };
+            if slot.tx.send(req).is_err() {
+                // Hung up; recovery happens at the flush barrier.
+                slot.state = SlotState::Dead;
+            }
+        }
+        for iw in &mut self.inline {
+            apply_delta(&mut iw.rete, &mut iw.wm, &delta);
+        }
+    }
+
+    /// Replays the delta log into a fresh Rete replica and returns the
+    /// replica plus its net match state.
+    fn replay_inline(&self, subset: &Arc<Vec<CompiledProduction>>) -> (InlineWorker, NetState) {
+        let mut iw = InlineWorker {
+            rete: Rete::from_compiled(subset, &self.program),
+            wm: WmStore::new(),
+        };
+        for delta in &self.log {
+            apply_delta(&mut iw.rete, &mut iw.wm, delta);
+        }
+        let mut net = NetState::new();
+        fold_events(&mut net, &iw.rete.drain_events());
+        (iw, net)
+    }
+
+    /// Replaces a dead worker with a fresh thread: replay the log, flush,
+    /// and return the replacement's net match state. `None` if the
+    /// replacement died during replay (a fault plan can fate it too).
+    fn respawn(&mut self, subset: Arc<Vec<CompiledProduction>>) -> Option<(WorkerSlot, NetState)> {
+        let slot = self.spawn_slot(Arc::clone(&subset));
+        for delta in &self.log {
+            let req = match delta {
+                Delta::Add(id, wme) => Req::Add(*id, Arc::clone(wme)),
+                Delta::Remove(id) => Req::Remove(*id),
+            };
+            if slot.tx.send(req).is_err() {
+                return None;
+            }
+        }
+        if slot.tx.send(Req::Flush).is_err() {
+            return None;
+        }
+        let resp = slot.rx.recv().ok()?;
+        let mut net = NetState::new();
+        fold_events(&mut net, &resp.events);
+        Some((slot, net))
+    }
+
+    /// Recovers one dead slot per the policy, returning the reconciliation
+    /// events to forward to the engine.
+    fn recover(&mut self, idx: usize) -> Vec<MatchEvent> {
+        self.report.deaths += 1;
+        let subset = Arc::clone(&self.slots[idx].subset);
+        let n_prods = subset.len();
+        let mut policy = self.opts.recovery;
+        if policy == RecoveryPolicy::Respawn && self.report.respawns >= self.opts.max_respawns {
+            self.report.warnings.push(format!(
+                "respawn budget ({}) exhausted; degrading",
+                self.opts.max_respawns
+            ));
+            policy = RecoveryPolicy::Degrade;
+        }
+        match policy {
+            RecoveryPolicy::Respawn => {
+                self.report.respawns += 1;
+                if let Some((slot, net)) = self.respawn(Arc::clone(&subset)) {
+                    self.report.warnings.push(format!(
+                        "worker {idx} died; respawned and replayed {} deltas ({n_prods} productions)",
+                        self.log.len()
+                    ));
+                    let events = reconcile(&self.slots[idx].delivered, &net);
+                    let old = std::mem::replace(&mut self.slots[idx], slot);
+                    drop(old.tx);
+                    if let Some(h) = { old.handle } {
+                        let _ = h.join();
+                    }
+                    self.slots[idx].delivered = net;
+                    events
+                } else {
+                    // The replacement died too (fated). Burn another respawn
+                    // next round — or degrade now to guarantee progress.
+                    self.report.warnings.push(format!(
+                        "worker {idx} replacement died during replay; degrading"
+                    ));
+                    self.degrade_slot(idx)
+                }
+            }
+            RecoveryPolicy::Degrade => self.degrade_slot(idx),
+            RecoveryPolicy::Fail => {
+                self.failure = Some(format!(
+                    "match worker {idx} died ({n_prods} productions unmatched); policy=Fail"
+                ));
+                self.report
+                    .warnings
+                    .push(format!("worker {idx} died; failing the match pool"));
+                self.retire_slot(idx);
+                Vec::new()
+            }
+        }
+    }
+
+    fn degrade_slot(&mut self, idx: usize) -> Vec<MatchEvent> {
+        self.report.degraded += 1;
+        let subset = Arc::clone(&self.slots[idx].subset);
+        let (iw, net) = self.replay_inline(&subset);
+        self.report.warnings.push(format!(
+            "worker {idx} died; {} productions folded into the control thread",
+            subset.len()
+        ));
+        let events = reconcile(&self.slots[idx].delivered, &net);
+        self.inline.push(iw);
+        self.retire_slot(idx);
+        events
+    }
+
+    fn retire_slot(&mut self, idx: usize) {
+        self.slots[idx].state = SlotState::Retired;
+        self.slots[idx].delivered = NetState::new();
+        if let Some(h) = self.slots[idx].handle.take() {
+            let _ = h.join();
+        }
     }
 
     fn flush(&mut self) -> Vec<MatchEvent> {
-        for tx in &self.txs {
-            tx.send(Req::Flush).expect("match worker alive");
+        if self.failure.is_some() {
+            return Vec::new();
+        }
+        for slot in &mut self.slots {
+            if slot.state == SlotState::Live && slot.tx.send(Req::Flush).is_err() {
+                slot.state = SlotState::Dead;
+            }
         }
         let mut events = Vec::new();
         let mut total = WorkCounters::default();
-        for rx in &self.rxs {
-            let resp = rx.recv().expect("match worker alive");
-            events.extend(resp.events);
-            total.add(&resp.work);
-            self.chunks += resp.chunks;
+        for slot in &mut self.slots {
+            if slot.state != SlotState::Live {
+                continue;
+            }
+            match slot.rx.recv() {
+                Ok(resp) => {
+                    fold_events(&mut slot.delivered, &resp.events);
+                    events.extend(resp.events);
+                    total.add(&resp.work);
+                    self.chunks += resp.chunks;
+                }
+                Err(_) => slot.state = SlotState::Dead,
+            }
+        }
+        // Dead-worker recovery, at the barrier where absence is provable.
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].state == SlotState::Dead {
+                let recovered = self.recover(idx);
+                events.extend(recovered);
+                if self.failure.is_some() {
+                    return Vec::new();
+                }
+            }
+        }
+        for iw in &mut self.inline {
+            events.extend(iw.rete.drain_events());
+            total.add(&iw.rete.work);
+            self.chunks += iw.rete.take_chunks();
         }
         self.work = total;
         events
     }
 }
 
+fn apply_delta(rete: &mut Rete, wm: &mut WmStore, delta: &Delta) {
+    match delta {
+        Delta::Add(id, wme) => {
+            let got = wm.add((**wme).clone());
+            debug_assert_eq!(got, *id, "replica ids must align");
+            rete.add_wme(*id, wm);
+        }
+        Delta::Remove(id) => {
+            if wm.get(*id).is_some() {
+                rete.remove_wme(*id, wm);
+                wm.remove(*id);
+            }
+        }
+    }
+}
+
 impl Matcher for ThreadedMatcher {
     fn add_wme(&mut self, id: WmeId, wm: &WmStore) {
-        let wme = wm.get(id).expect("live wme").clone();
-        for tx in &self.txs {
-            tx.send(Req::Add(id, wme.clone())).expect("match worker alive");
-        }
+        let wme = Arc::new(wm.get(id).expect("live wme").clone());
+        self.broadcast(Delta::Add(id, wme));
     }
 
     fn remove_wme(&mut self, id: WmeId, _wm: &WmStore) {
-        for tx in &self.txs {
-            tx.send(Req::Remove(id)).expect("match worker alive");
-        }
+        self.broadcast(Delta::Remove(id));
     }
 
     fn drain_events(&mut self, _wm: &WmStore) -> Vec<MatchEvent> {
@@ -132,13 +494,21 @@ impl Matcher for ThreadedMatcher {
     fn work(&self) -> WorkCounters {
         self.work
     }
+
+    fn failure(&self) -> Option<String> {
+        self.failure.clone()
+    }
 }
 
 impl Drop for ThreadedMatcher {
     fn drop(&mut self) {
-        self.txs.clear(); // hang up; workers exit their recv loops
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        for slot in &mut self.slots {
+            // Hang up; workers exit their recv loops.
+            let (dead_tx, _) = channel();
+            slot.tx = dead_tx;
+            if let Some(h) = slot.handle.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -148,13 +518,18 @@ fn worker_loop(
     tx: Sender<Resp>,
     program: Arc<Program>,
     subset: Arc<Vec<CompiledProduction>>,
+    death_after: Option<u64>,
 ) {
+    if death_after == Some(0) {
+        return; // fated to die before serving anything
+    }
     let mut rete = Rete::from_compiled(&subset, &program);
     let mut wm = WmStore::new();
+    let mut flushes_served = 0u64;
     while let Ok(req) = rx.recv() {
         match req {
             Req::Add(id, wme) => {
-                let got = wm.add(wme);
+                let got = wm.add((*wme).clone());
                 debug_assert_eq!(got, id, "replica ids must align");
                 rete.add_wme(id, &wm);
             }
@@ -172,6 +547,10 @@ fn worker_loop(
                 };
                 if tx.send(resp).is_err() {
                     break;
+                }
+                flushes_served += 1;
+                if death_after == Some(flushes_served) {
+                    return; // injected death: exit after serving this barrier
                 }
             }
         }
@@ -199,16 +578,7 @@ mod tests {
            (modify 1 ^counted yes))
     ";
 
-    fn run_with(n_workers: Option<usize>) -> (u64, Vec<String>) {
-        let program = Arc::new(Program::parse(SRC).unwrap());
-        let compiled = Engine::compile(&program).unwrap();
-        let mut e = match n_workers {
-            None => Engine::with_compiled(Arc::clone(&program), compiled),
-            Some(n) => {
-                let m = ThreadedMatcher::new(&program, &compiled, n);
-                Engine::with_matcher(Arc::clone(&program), compiled, Box::new(m))
-            }
-        };
+    fn drive(e: &mut Engine) -> (u64, Vec<String>) {
         e.make_wme("summary", &[("n", 0.into())]).unwrap();
         for i in 0..12 {
             let kind = if i % 3 == 0 { "compact" } else { "linear" };
@@ -220,6 +590,23 @@ mod tests {
         let mut wm: Vec<String> = e.wm().iter().map(|(_, w)| w.to_string()).collect();
         wm.sort();
         (out.firings, wm)
+    }
+
+    fn run_with(n_workers: Option<usize>) -> (u64, Vec<String>) {
+        run_with_options(n_workers, MatchPoolOptions::default())
+    }
+
+    fn run_with_options(n_workers: Option<usize>, opts: MatchPoolOptions) -> (u64, Vec<String>) {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let mut e = match n_workers {
+            None => Engine::with_compiled(Arc::clone(&program), compiled),
+            Some(n) => {
+                let m = ThreadedMatcher::with_options(&program, &compiled, n, opts).unwrap();
+                Engine::with_matcher(Arc::clone(&program), compiled, Box::new(m))
+            }
+        };
+        drive(&mut e)
     }
 
     #[test]
@@ -242,7 +629,7 @@ mod tests {
     fn work_counters_aggregate_across_workers() {
         let program = Arc::new(Program::parse(SRC).unwrap());
         let compiled = Engine::compile(&program).unwrap();
-        let m = ThreadedMatcher::new(&program, &compiled, 3);
+        let m = ThreadedMatcher::new(&program, &compiled, 3).unwrap();
         let mut e = Engine::with_matcher(Arc::clone(&program), compiled, Box::new(m));
         e.make_wme("summary", &[("n", 0.into())]).unwrap();
         e.make_wme(
@@ -255,10 +642,119 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
     fn zero_workers_rejected() {
         let program = Arc::new(Program::parse(SRC).unwrap());
         let compiled = Engine::compile(&program).unwrap();
-        let _ = ThreadedMatcher::new(&program, &compiled, 0);
+        let err = match ThreadedMatcher::new(&program, &compiled, 0) {
+            Ok(_) => panic!("zero workers must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err, SuperviseError::NoWorkers);
+    }
+
+    /// A worker killed mid-run is respawned, and the run converges to the
+    /// same result as the sequential engine.
+    #[test]
+    fn respawn_after_worker_death_matches_sequential() {
+        let (seq_firings, seq_wm) = run_with(None);
+        for die_after in [0u64, 1, 2, 4] {
+            let opts = MatchPoolOptions {
+                fault_plan: FaultPlan::seeded(11).with_worker_death(1, die_after),
+                recovery: RecoveryPolicy::Respawn,
+                ..MatchPoolOptions::default()
+            };
+            let (par_firings, par_wm) = run_with_options(Some(3), opts);
+            assert_eq!(par_firings, seq_firings, "die_after={die_after}");
+            assert_eq!(par_wm, seq_wm, "die_after={die_after}");
+        }
+    }
+
+    /// Degrade keeps the run correct with fewer worker threads.
+    #[test]
+    fn degrade_after_worker_death_matches_sequential() {
+        let (seq_firings, seq_wm) = run_with(None);
+        let opts = MatchPoolOptions {
+            fault_plan: FaultPlan::seeded(5).with_worker_death(0, 2),
+            recovery: RecoveryPolicy::Degrade,
+            ..MatchPoolOptions::default()
+        };
+        let (par_firings, par_wm) = run_with_options(Some(3), opts);
+        assert_eq!(par_firings, seq_firings);
+        assert_eq!(par_wm, seq_wm);
+    }
+
+    /// Even a worker whose replacement is also fated to die converges,
+    /// because the pool degrades after the failed respawn.
+    #[test]
+    fn repeated_deaths_eventually_degrade() {
+        let (seq_firings, seq_wm) = run_with(None);
+        let opts = MatchPoolOptions {
+            // Worker 1 dies after flush 1; its replacement (fault id 3)
+            // dies immediately during replay.
+            fault_plan: FaultPlan::seeded(13)
+                .with_worker_death(1, 1)
+                .with_worker_death(3, 0),
+            recovery: RecoveryPolicy::Respawn,
+            ..MatchPoolOptions::default()
+        };
+        let (par_firings, par_wm) = run_with_options(Some(3), opts);
+        assert_eq!(par_firings, seq_firings);
+        assert_eq!(par_wm, seq_wm);
+    }
+
+    /// Under the Fail policy the engine stops with a typed error instead of
+    /// panicking or silently dropping productions.
+    #[test]
+    fn fail_policy_surfaces_error_to_engine() {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let opts = MatchPoolOptions {
+            fault_plan: FaultPlan::seeded(3).with_worker_death(0, 1),
+            recovery: RecoveryPolicy::Fail,
+            ..MatchPoolOptions::default()
+        };
+        let m = ThreadedMatcher::with_options(&program, &compiled, 2, opts).unwrap();
+        let mut e = Engine::with_matcher(Arc::clone(&program), compiled, Box::new(m));
+        e.make_wme("summary", &[("n", 0.into())]).unwrap();
+        for i in 0..12 {
+            e.make_wme(
+                "region",
+                &[("id", i.into()), ("kind", Value::symbol("linear"))],
+            )
+            .unwrap();
+        }
+        let out = e.run(10_000);
+        let err = out.error.expect("fail policy must surface an error");
+        assert!(err.contains("died"), "{err}");
+    }
+
+    /// The pool's report records deaths and recoveries; driving the
+    /// matcher directly through the trait exercises the flush barrier.
+    #[test]
+    fn report_records_recoveries() {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let opts = MatchPoolOptions {
+            fault_plan: FaultPlan::seeded(7).with_worker_death(2, 1),
+            recovery: RecoveryPolicy::Respawn,
+            ..MatchPoolOptions::default()
+        };
+        let mut m = ThreadedMatcher::with_options(&program, &compiled, 3, opts).unwrap();
+        assert_eq!(m.workers(), 3);
+        let mut wm = WmStore::new();
+        let class = ops5::symbol::sym("region");
+        let n_slots = program.n_slots(class).unwrap();
+        // Feed a couple of deltas and flush twice: the fated worker serves
+        // flush 1 and dies; flush 2 detects and respawns it.
+        let id = wm.add(Wme::new(class, n_slots, 1));
+        m.add_wme(id, &wm);
+        let _ = m.drain_events(&wm);
+        let id2 = wm.add(Wme::new(class, n_slots, 2));
+        m.add_wme(id2, &wm);
+        let _ = m.drain_events(&wm);
+        assert_eq!(m.report().deaths, 1);
+        assert_eq!(m.report().respawns, 1);
+        assert!(!m.report().warnings.is_empty());
+        assert_eq!(m.workers(), 3);
     }
 }

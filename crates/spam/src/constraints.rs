@@ -112,13 +112,34 @@ pub const CONSTRAINTS: &[Constraint] = &[
     c(9, Taxiway, GrassyArea, Relation::AdjacentTo, 25.0, 1),
     c(10, Taxiway, Hangar, Relation::Near, 300.0, 1),
     // --- terminal area
-    c(11, TerminalBuilding, ParkingApron, Relation::AdjacentTo, 60.0, 3),
+    c(
+        11,
+        TerminalBuilding,
+        ParkingApron,
+        Relation::AdjacentTo,
+        60.0,
+        3,
+    ),
     c(12, TerminalBuilding, AccessRoad, Relation::Near, 250.0, 2),
     c(13, TerminalBuilding, ParkingLot, Relation::Near, 300.0, 1),
-    c(14, TerminalBuilding, TerminalBuilding, Relation::Near, 400.0, 1),
+    c(
+        14,
+        TerminalBuilding,
+        TerminalBuilding,
+        Relation::Near,
+        400.0,
+        1,
+    ),
     // --- aprons and tarmac
     c(15, ParkingApron, Taxiway, Relation::AdjacentTo, 40.0, 2),
-    c(16, ParkingApron, TerminalBuilding, Relation::AdjacentTo, 60.0, 3),
+    c(
+        16,
+        ParkingApron,
+        TerminalBuilding,
+        Relation::AdjacentTo,
+        60.0,
+        3,
+    ),
     c(17, ParkingApron, Hangar, Relation::AdjacentTo, 80.0, 1),
     c(18, Tarmac, Taxiway, Relation::AdjacentTo, 30.0, 1),
     c(19, Tarmac, Runway, Relation::AdjacentTo, 30.0, 1),

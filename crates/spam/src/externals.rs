@@ -108,8 +108,7 @@ pub fn register(engine: &mut Engine, ctx: ExternalCtx) {
             Arc::new(move |args, eff| {
                 let r = int(&args[0]);
                 if let Some(region) = scene.regions.get(r as usize) {
-                    eff.cost =
-                        cost::CALL + cost::MEASURE_PER_VERTEX * region.polygon.len() as u64;
+                    eff.cost = cost::CALL + cost::MEASURE_PER_VERTEX * region.polygon.len() as u64;
                 } else {
                     eff.cost = cost::CALL;
                 }
@@ -131,7 +130,9 @@ pub fn register(engine: &mut Engine, ctx: ExternalCtx) {
                         return Some(Value::Float(preset));
                     }
                 }
-                let kind = args[1].as_sym().and_then(|s| FragmentKind::from_name(&s.name()));
+                let kind = args[1]
+                    .as_sym()
+                    .and_then(|s| FragmentKind::from_name(&s.name()));
                 let Some(region) = scene.regions.get(r as usize) else {
                     return Some(Value::Float(0.0));
                 };
@@ -147,7 +148,8 @@ pub fn register(engine: &mut Engine, ctx: ExternalCtx) {
                     }
                     Some(FragmentKind::AccessRoad) => sigmoid((d.elongation - 10.0) / 8.0),
                     Some(FragmentKind::TerminalBuilding) => {
-                        sigmoid((region.intensity - 165.0) / 20.0) * sigmoid((d.area - 4000.0) / 2000.0)
+                        sigmoid((region.intensity - 165.0) / 20.0)
+                            * sigmoid((d.area - 4000.0) / 2000.0)
                     }
                     Some(FragmentKind::FuelTank) => sigmoid((d.compactness - 0.65) / 0.1),
                     _ => 0.6,
@@ -171,10 +173,8 @@ pub fn register(engine: &mut Engine, ctx: ExternalCtx) {
                     eff.cost = cost::CALL;
                     return Some(Value::symbol("no"));
                 };
-                let (Some(fa), Some(fb)) = (
-                    fragments.get(f as usize),
-                    fragments.get(g as usize),
-                ) else {
+                let (Some(fa), Some(fb)) = (fragments.get(f as usize), fragments.get(g as usize))
+                else {
                     eff.cost = cost::CALL;
                     return Some(Value::symbol("no"));
                 };
@@ -189,7 +189,8 @@ pub fn register(engine: &mut Engine, ctx: ExternalCtx) {
                     eff.cost = cost::CALL;
                     return Some(Value::symbol("no"));
                 }
-                let (holds, geom_cost) = eval_relation(constraint.relation, constraint.param, pa, pb);
+                let (holds, geom_cost) =
+                    eval_relation(constraint.relation, constraint.param, pa, pb);
                 eff.cost = cost::CALL + geom_cost;
                 if holds {
                     eff.makes.push((
@@ -330,8 +331,12 @@ mod tests {
     #[test]
     fn relations_evaluate_on_real_geometry() {
         let runway = Polygon::oriented_rect(Point::new(0.0, 0.0), 3000.0, 50.0, 0.0);
-        let connector =
-            Polygon::oriented_rect(Point::new(0.0, 80.0), 200.0, 18.0, std::f64::consts::FRAC_PI_2);
+        let connector = Polygon::oriented_rect(
+            Point::new(0.0, 80.0),
+            200.0,
+            18.0,
+            std::f64::consts::FRAC_PI_2,
+        );
         let taxi = Polygon::oriented_rect(Point::new(0.0, 180.0), 2500.0, 25.0, 0.0);
         let piece2 = Polygon::oriented_rect(Point::new(1750.0, 0.0), 300.0, 50.0, 0.0);
 

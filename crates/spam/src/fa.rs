@@ -60,7 +60,10 @@ pub fn run_fa(
     e.enable_cycle_log();
     e.make_wme(
         "control",
-        &[("phase", Value::symbol("fa")), ("status", Value::symbol("running"))],
+        &[
+            ("phase", Value::symbol("fa")),
+            ("status", Value::symbol("running")),
+        ],
     )
     .expect("control");
     for f in fragments.iter() {
@@ -169,7 +172,12 @@ mod tests {
         let rtf = run_rtf(&sp, &scene);
         let frags = Arc::new(rtf.fragments);
         let lcc = run_lcc(&sp, &scene, &frags, Level::L3);
-        let fa = run_fa(&sp, &scene, &Arc::new(lcc.fragments.clone()), &lcc.consistents);
+        let fa = run_fa(
+            &sp,
+            &scene,
+            &Arc::new(lcc.fragments.clone()),
+            &lcc.consistents,
+        );
         assert!(fa.firings > 0);
         assert!(
             !fa.areas.is_empty(),

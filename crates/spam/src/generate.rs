@@ -83,12 +83,7 @@ impl Builder {
         let verts = poly
             .vertices()
             .iter()
-            .map(|&p| {
-                p + Vector::new(
-                    self.rng.gen_range(-amp..amp),
-                    self.rng.gen_range(-amp..amp),
-                )
-            })
+            .map(|&p| p + Vector::new(self.rng.gen_range(-amp..amp), self.rng.gen_range(-amp..amp)))
             .collect();
         Polygon::new(verts)
     }
@@ -168,8 +163,7 @@ pub fn generate_scene(spec: &AirportSpec) -> Scene {
         // --- Grass infill strips between runway and first taxiway.
         let grass_per_runway = spec.grass / spec.runways.max(1);
         for g in 0..grass_per_runway {
-            let along = -length * 0.4
-                + (g as f64 / grass_per_runway.max(1) as f64) * length * 0.8;
+            let along = -length * 0.4 + (g as f64 / grass_per_runway.max(1) as f64) * length * 0.8;
             let gc = centre
                 + Vector::from_angle(angle) * along
                 + Vector::from_angle(angle).perp() * 85.0;
@@ -184,10 +178,8 @@ pub fn generate_scene(spec: &AirportSpec) -> Scene {
         // --- Tarmac patches along the runway edge.
         let tarmac_per_runway = spec.tarmac / spec.runways.max(1);
         for m in 0..tarmac_per_runway {
-            let along = -length * 0.3
-                + (m as f64 / tarmac_per_runway.max(1) as f64) * length * 0.6;
-            let mc = centre
-                + Vector::from_angle(angle) * along
+            let along = -length * 0.3 + (m as f64 / tarmac_per_runway.max(1) as f64) * length * 0.6;
+            let mc = centre + Vector::from_angle(angle) * along
                 - Vector::from_angle(angle).perp() * (width / 2.0 + 35.0);
             let (ml, mw) = (b.rng.gen_range(80.0..160.0), b.rng.gen_range(50.0..70.0));
             b.push(
@@ -240,7 +232,10 @@ pub fn generate_scene(spec: &AirportSpec) -> Scene {
 
     // --- Hangars near taxiways, away from the terminal.
     for h in 0..spec.hangars {
-        let hc = Point::new(4400.0 + (h % 3) as f64 * 160.0, 1200.0 + (h / 3) as f64 * 200.0);
+        let hc = Point::new(
+            4400.0 + (h % 3) as f64 * 160.0,
+            1200.0 + (h / 3) as f64 * 200.0,
+        );
         b.push(
             Polygon::oriented_rect(hc, 90.0, 70.0, 0.3),
             190.0,
@@ -250,7 +245,10 @@ pub fn generate_scene(spec: &AirportSpec) -> Scene {
 
     // --- Fuel-tank farm near a tarmac patch, far from terminals.
     for t in 0..spec.tanks {
-        let tc = Point::new(4900.0 + (t % 4) as f64 * 70.0, 2200.0 + (t / 4) as f64 * 70.0);
+        let tc = Point::new(
+            4900.0 + (t % 4) as f64 * 70.0,
+            2200.0 + (t / 4) as f64 * 70.0,
+        );
         let radius = b.rng.gen_range(12.0..20.0);
         b.push(
             Polygon::regular(tc, radius, 8),
@@ -557,8 +555,7 @@ mod tests {
             }
             for bid in scene.neighbours(a.id, 10.0) {
                 let b = scene.region(bid);
-                if b.truth == Some(FragmentKind::Driveway)
-                    && a.polygon.adjacent_to(&b.polygon, 8.0)
+                if b.truth == Some(FragmentKind::Driveway) && a.polygon.adjacent_to(&b.polygon, 8.0)
                 {
                     adjacent_found = true;
                 }

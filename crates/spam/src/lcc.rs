@@ -23,6 +23,7 @@ use crate::scene::Scene;
 use ops5::{sym, CycleStats, Value, WorkCounters};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use tlp_fault::TaskReport;
 
 /// Candidate-search radius (metres): partners beyond this bounding-box
 /// distance never enter a task's working memory. (The per-relation guard in
@@ -86,6 +87,22 @@ pub enum LccUnit {
     },
 }
 
+impl LccUnit {
+    /// Short human-readable task label, used in supervision reports.
+    pub fn label(&self) -> String {
+        match self {
+            LccUnit::Class(kind) => format!("class {kind:?}"),
+            LccUnit::Object(f) => format!("object {f}"),
+            LccUnit::ObjectConstraint(f, c) => format!("object {f} constraint {c}"),
+            LccUnit::Pair {
+                frag,
+                constraint,
+                other,
+            } => format!("pair {frag}-{other} constraint {constraint}"),
+        }
+    }
+}
+
 /// A successful constraint application.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ConsistentRec {
@@ -131,6 +148,10 @@ pub struct LccPhaseResult {
     pub work: WorkCounters,
     /// Total firings.
     pub firings: u64,
+    /// Per-task supervision outcomes. The sequential runner marks every
+    /// unit ok; the supervised parallel runner records retries, timeouts,
+    /// and dead-lettered tasks here.
+    pub report: TaskReport,
 }
 
 /// Fragment ids in the spatial neighbourhood of `f` (excluding `f`):
@@ -151,19 +172,14 @@ pub fn neighbourhood(
         .filter(|g| g.id != f.id && (near_regions.contains(&g.region) || g.region == f.region))
         .filter(|g| {
             kind_radius(f.kind, g.kind).is_some()
-                && scene.region(g.region).polygon.bbox().distance_to(&bb)
-                    <= NEIGHBOURHOOD_RADIUS
+                && scene.region(g.region).polygon.bbox().distance_to(&bb) <= NEIGHBOURHOOD_RADIUS
         })
         .map(|g| g.id)
         .collect()
 }
 
 /// Decomposes the phase into tasks at `level` (the task queue, in order).
-pub fn decompose(
-    scene: &Scene,
-    fragments: &[FragmentHypothesis],
-    level: Level,
-) -> Vec<LccUnit> {
+pub fn decompose(scene: &Scene, fragments: &[FragmentHypothesis], level: Level) -> Vec<LccUnit> {
     match level {
         Level::L4 => ALL_KINDS
             .iter()
@@ -232,7 +248,11 @@ pub fn load_unit_wm(
 ) {
     // Subjects of this task + the constraint ids it may apply.
     let subjects: Vec<u32> = match unit {
-        LccUnit::Class(k) => fragments.iter().filter(|f| f.kind == *k).map(|f| f.id).collect(),
+        LccUnit::Class(k) => fragments
+            .iter()
+            .filter(|f| f.kind == *k)
+            .map(|f| f.id)
+            .collect(),
         LccUnit::Object(f) => vec![*f],
         LccUnit::ObjectConstraint(f, _) => vec![*f],
         LccUnit::Pair { frag, .. } => vec![*frag],
@@ -292,7 +312,8 @@ pub fn load_unit_wm(
     match unit {
         LccUnit::Class(_) | LccUnit::Object(_) => {
             for c in CONSTRAINTS {
-                e.make_wme("constraint", &constraint_fields(c)).expect("constraint");
+                e.make_wme("constraint", &constraint_fields(c))
+                    .expect("constraint");
             }
             for &s in &subjects {
                 e.make_wme(
@@ -309,7 +330,8 @@ pub fn load_unit_wm(
         }
         LccUnit::ObjectConstraint(f, c) => {
             let con = &CONSTRAINTS[*c as usize];
-            e.make_wme("constraint", &constraint_fields(con)).expect("constraint");
+            e.make_wme("constraint", &constraint_fields(con))
+                .expect("constraint");
             e.make_wme(
                 "lcc-check",
                 &[
@@ -359,8 +381,14 @@ pub fn run_lcc_unit(
         },
     );
     e.enable_cycle_log();
-    e.make_wme("control", &[("phase", Value::symbol("lcc")), ("status", Value::symbol("running"))])
-        .expect("control");
+    e.make_wme(
+        "control",
+        &[
+            ("phase", Value::symbol("lcc")),
+            ("status", Value::symbol("running")),
+        ],
+    )
+    .expect("control");
     load_unit_wm(&mut e, scene, fragments, unit);
 
     let out = e.run(1_000_000);
@@ -369,9 +397,8 @@ pub fn run_lcc_unit(
     // Harvest consistency records and supports.
     let program = e.program();
     let cons_class = sym("consistent");
-    let slot = |class: &str, attr: &str| {
-        program.slot_of(sym(class), sym(attr)).expect("slot") as usize
-    };
+    let slot =
+        |class: &str, attr: &str| program.slot_of(sym(class), sym(attr)).expect("slot") as usize;
     let (ca, cb, crel, cw) = (
         slot("consistent", "a"),
         slot("consistent", "b"),
@@ -456,8 +483,20 @@ pub fn run_lcc(
         units: results,
         work,
         firings,
+        report: TaskReport::all_ok(units.iter().map(|u| u.label())),
     }
 }
+
+// The parallel runner executes LCC units under `std::panic::catch_unwind`;
+// that is only sound because a unit builds its entire engine from shared
+// *immutable* state. Keep these types unwind-safe.
+const _: () = {
+    const fn assert_ref_unwind_safe<T: std::panic::RefUnwindSafe>() {}
+    assert_ref_unwind_safe::<SpamProgram>();
+    assert_ref_unwind_safe::<Scene>();
+    assert_ref_unwind_safe::<FragmentHypothesis>();
+    assert_ref_unwind_safe::<LccUnit>();
+};
 
 #[cfg(test)]
 mod tests {

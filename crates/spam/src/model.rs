@@ -130,7 +130,10 @@ pub fn run_model(
     e.enable_cycle_log();
     e.make_wme(
         "control",
-        &[("phase", Value::symbol("model")), ("status", Value::symbol("running"))],
+        &[
+            ("phase", Value::symbol("model")),
+            ("status", Value::symbol("running")),
+        ],
     )
     .expect("control");
     for a in areas {
@@ -194,9 +197,24 @@ mod tests {
         let scene = Arc::new(crate::generate::generate_scene(&crate::datasets::dc().spec));
         let frags: Arc<Vec<FragmentHypothesis>> = Arc::new(vec![]);
         let areas = vec![
-            FunctionalArea { id: 1, kind: "runway-area".into(), seed: 0, members: 4 },
-            FunctionalArea { id: 2, kind: "terminal-area".into(), seed: 1, members: 3 },
-            FunctionalArea { id: 3, kind: "hangar-area".into(), seed: 2, members: 1 },
+            FunctionalArea {
+                id: 1,
+                kind: "runway-area".into(),
+                seed: 0,
+                members: 4,
+            },
+            FunctionalArea {
+                id: 2,
+                kind: "terminal-area".into(),
+                seed: 1,
+                members: 3,
+            },
+            FunctionalArea {
+                id: 3,
+                kind: "hangar-area".into(),
+                seed: 2,
+                members: 1,
+            },
         ];
         let m = run_model(&sp, &scene, &frags, &areas, &[]);
         assert_eq!(m.models, 1, "exactly one scene model");

@@ -49,7 +49,10 @@ fn fresh_engine(sp: &SpamProgram, scene: &Arc<Scene>, id_base: i64) -> Engine {
     e.enable_cycle_log();
     e.make_wme(
         "control",
-        &[("phase", Value::symbol("rtf")), ("status", Value::symbol("running"))],
+        &[
+            ("phase", Value::symbol("rtf")),
+            ("status", Value::symbol("running")),
+        ],
     )
     .expect("control class");
     // Classification prototypes (the class envelopes live in WM; the

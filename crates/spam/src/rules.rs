@@ -79,27 +79,178 @@ pub fn prototypes() -> Vec<(&'static str, Prototype)> {
         domain: Suburban,
     };
     vec![
-        ("runway", p("runway", [8.0, HI, 1500.0, HI, 28.0, 95.0, 0.0, HI, 0.0, HI, 0.0, 0.55], -1.0)),
-        ("taxiway", p("taxiway", [8.0, HI, 350.0, HI, 8.0, 48.0, 0.0, HI, 0.0, HI, 0.0, 0.0], -1.0)),
-        ("access-road", p("access-road", [10.0, HI, 180.0, HI, 0.0, 22.0, 0.0, HI, 0.0, HI, 0.0, 0.0], -1.0)),
-        ("terminal-building", p("terminal-building", [0.0, 3.5, 0.0, HI, 0.0, HI, 165.0, HI, 4000.0, HI, 0.45, 0.0], -1.0)),
-        ("hangar", p("hangar", [0.0, 3.0, 0.0, HI, 0.0, HI, 165.0, HI, 2000.0, 13000.0, 0.0, 0.0], -1.0)),
-        ("parking-apron", p("parking-apron", [0.0, 4.0, 0.0, HI, 0.0, HI, 55.0, 135.0, 40000.0, HI, 0.0, 0.0], -1.0)),
-        ("parking-lot", p("parking-lot", [0.0, 4.0, 0.0, HI, 0.0, HI, 75.0, 145.0, 5000.0, 40000.0, 0.0, 0.0], -1.0)),
-        ("grassy-area", p("grassy-area", [0.0, 8.0, 0.0, HI, 0.0, HI, 112.0, 162.0, 3000.0, HI, 0.0, 0.0], -1.0)),
-        ("tarmac", p("tarmac", [0.0, 7.0, 0.0, HI, 0.0, HI, 55.0, 125.0, 2500.0, 45000.0, 0.0, 0.0], -1.0)),
-        ("fuel-tank", p("fuel-tank", [0.0, HI, 0.0, HI, 0.0, HI, 165.0, HI, 0.0, 2500.0, 0.65, 0.0], -1.0)),
+        (
+            "runway",
+            p(
+                "runway",
+                [8.0, HI, 1500.0, HI, 28.0, 95.0, 0.0, HI, 0.0, HI, 0.0, 0.55],
+                -1.0,
+            ),
+        ),
+        (
+            "taxiway",
+            p(
+                "taxiway",
+                [8.0, HI, 350.0, HI, 8.0, 48.0, 0.0, HI, 0.0, HI, 0.0, 0.0],
+                -1.0,
+            ),
+        ),
+        (
+            "access-road",
+            p(
+                "access-road",
+                [10.0, HI, 180.0, HI, 0.0, 22.0, 0.0, HI, 0.0, HI, 0.0, 0.0],
+                -1.0,
+            ),
+        ),
+        (
+            "terminal-building",
+            p(
+                "terminal-building",
+                [0.0, 3.5, 0.0, HI, 0.0, HI, 165.0, HI, 4000.0, HI, 0.45, 0.0],
+                -1.0,
+            ),
+        ),
+        (
+            "hangar",
+            p(
+                "hangar",
+                [
+                    0.0, 3.0, 0.0, HI, 0.0, HI, 165.0, HI, 2000.0, 13000.0, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
+        (
+            "parking-apron",
+            p(
+                "parking-apron",
+                [
+                    0.0, 4.0, 0.0, HI, 0.0, HI, 55.0, 135.0, 40000.0, HI, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
+        (
+            "parking-lot",
+            p(
+                "parking-lot",
+                [
+                    0.0, 4.0, 0.0, HI, 0.0, HI, 75.0, 145.0, 5000.0, 40000.0, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
+        (
+            "grassy-area",
+            p(
+                "grassy-area",
+                [
+                    0.0, 8.0, 0.0, HI, 0.0, HI, 112.0, 162.0, 3000.0, HI, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
+        (
+            "tarmac",
+            p(
+                "tarmac",
+                [
+                    0.0, 7.0, 0.0, HI, 0.0, HI, 55.0, 125.0, 2500.0, 45000.0, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
+        (
+            "fuel-tank",
+            p(
+                "fuel-tank",
+                [0.0, HI, 0.0, HI, 0.0, HI, 165.0, HI, 0.0, 2500.0, 0.65, 0.0],
+                -1.0,
+            ),
+        ),
         // Weak secondary envelopes.
-        ("weak-taxiway", p("taxiway", [6.0, 8.0, 350.0, HI, 0.0, 48.0, 0.0, HI, 0.0, HI, 0.0, 0.0], 0.3)),
-        ("weak-road", p("access-road", [6.0, 10.0, 0.0, HI, 0.0, 15.0, 0.0, HI, 0.0, HI, 0.0, 0.0], 0.3)),
-        ("weak-tarmac", p("tarmac", [0.0, HI, 0.0, HI, 0.0, HI, 55.0, 125.0, 45000.0, HI, 0.0, 0.0], 0.3)),
+        (
+            "weak-taxiway",
+            p(
+                "taxiway",
+                [6.0, 8.0, 350.0, HI, 0.0, 48.0, 0.0, HI, 0.0, HI, 0.0, 0.0],
+                0.3,
+            ),
+        ),
+        (
+            "weak-road",
+            p(
+                "access-road",
+                [6.0, 10.0, 0.0, HI, 0.0, 15.0, 0.0, HI, 0.0, HI, 0.0, 0.0],
+                0.3,
+            ),
+        ),
+        (
+            "weak-tarmac",
+            p(
+                "tarmac",
+                [
+                    0.0, HI, 0.0, HI, 0.0, HI, 55.0, 125.0, 45000.0, HI, 0.0, 0.0,
+                ],
+                0.3,
+            ),
+        ),
         // --- suburban domain (different spatial scale: lots, not airfields)
-        ("house", q("house", [0.0, 3.0, 0.0, HI, 0.0, HI, 160.0, HI, 60.0, 500.0, 0.4, 0.0], -1.0)),
-        ("street", q("street", [10.0, HI, 120.0, HI, 5.0, 16.0, 60.0, 130.0, 0.0, HI, 0.0, 0.0], -1.0)),
-        ("driveway", q("driveway", [2.0, 12.0, 8.0, 60.0, 2.0, 7.0, 60.0, 140.0, 0.0, 420.0, 0.0, 0.0], -1.0)),
-        ("garage", q("garage", [0.0, 2.5, 0.0, HI, 0.0, HI, 160.0, HI, 15.0, 60.0, 0.5, 0.0], -1.0)),
-        ("swimming-pool", q("swimming-pool", [0.0, 2.0, 0.0, HI, 0.0, HI, 20.0, 75.0, 15.0, 90.0, 0.6, 0.0], -1.0)),
-        ("yard", q("yard", [0.0, 6.0, 0.0, HI, 0.0, HI, 105.0, 160.0, 100.0, 2500.0, 0.0, 0.0], -1.0)),
+        (
+            "house",
+            q(
+                "house",
+                [0.0, 3.0, 0.0, HI, 0.0, HI, 160.0, HI, 60.0, 500.0, 0.4, 0.0],
+                -1.0,
+            ),
+        ),
+        (
+            "street",
+            q(
+                "street",
+                [
+                    10.0, HI, 120.0, HI, 5.0, 16.0, 60.0, 130.0, 0.0, HI, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
+        (
+            "driveway",
+            q(
+                "driveway",
+                [
+                    2.0, 12.0, 8.0, 60.0, 2.0, 7.0, 60.0, 140.0, 0.0, 420.0, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
+        (
+            "garage",
+            q(
+                "garage",
+                [0.0, 2.5, 0.0, HI, 0.0, HI, 160.0, HI, 15.0, 60.0, 0.5, 0.0],
+                -1.0,
+            ),
+        ),
+        (
+            "swimming-pool",
+            q(
+                "swimming-pool",
+                [0.0, 2.0, 0.0, HI, 0.0, HI, 20.0, 75.0, 15.0, 90.0, 0.6, 0.0],
+                -1.0,
+            ),
+        ),
+        (
+            "yard",
+            q(
+                "yard",
+                [
+                    0.0, 6.0, 0.0, HI, 0.0, HI, 105.0, 160.0, 100.0, 2500.0, 0.0, 0.0,
+                ],
+                -1.0,
+            ),
+        ),
     ]
 }
 
@@ -446,10 +597,7 @@ mod tests {
         let p = Program::parse(&spam_source()).unwrap();
         for c in CONSTRAINTS {
             let name = format!("lcc-eval-c{}", c.id);
-            assert!(
-                p.production(ops5::sym(&name)).is_some(),
-                "missing {name}"
-            );
+            assert!(p.production(ops5::sym(&name)).is_some(), "missing {name}");
         }
     }
 

@@ -44,15 +44,11 @@ pub struct TopDownResult {
 fn loosely_fits(kind: FragmentKind, region: &crate::scene::Region) -> bool {
     let d = &region.descriptors;
     match kind {
-        FragmentKind::GrassyArea => {
-            (100.0..175.0).contains(&region.intensity) && d.area > 1200.0
-        }
+        FragmentKind::GrassyArea => (100.0..175.0).contains(&region.intensity) && d.area > 1200.0,
         FragmentKind::ParkingApron => {
             (50.0..145.0).contains(&region.intensity) && d.area > 15_000.0 && d.elongation < 6.0
         }
-        FragmentKind::Tarmac => {
-            (50.0..135.0).contains(&region.intensity) && d.area > 1_500.0
-        }
+        FragmentKind::Tarmac => (50.0..135.0).contains(&region.intensity) && d.area > 1_500.0,
         _ => false,
     }
 }
@@ -79,11 +75,7 @@ pub fn run_topdown(
         let Some(seed) = fragments.iter().find(|f| f.id == area.seed) else {
             continue;
         };
-        let window = scene
-            .region(seed.region)
-            .polygon
-            .bbox()
-            .inflated(300.0);
+        let window = scene.region(seed.region).polygon.bbox().inflated(300.0);
         for region in &scene.regions {
             if claimed.contains(&region.id) || taken.contains(&region.id) {
                 continue;
@@ -158,7 +150,12 @@ mod tests {
         let rtf = run_rtf(&sp, &scene);
         let frags = Arc::new(rtf.fragments);
         let lcc = run_lcc(&sp, &scene, &frags, Level::L3);
-        let fa = run_fa(&sp, &scene, &Arc::new(lcc.fragments.clone()), &lcc.consistents);
+        let fa = run_fa(
+            &sp,
+            &scene,
+            &Arc::new(lcc.fragments.clone()),
+            &lcc.consistents,
+        );
 
         // Use the FA rules' own prediction records.
         let predictions = fa.prediction_list.clone();

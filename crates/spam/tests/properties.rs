@@ -104,7 +104,12 @@ fn decomposition_partitions_the_work() {
     let l1 = decompose(&scene, &frags, Level::L1);
     assert!(l1.len() > l2.len());
     for u in &l1 {
-        if let spam::lcc::LccUnit::Pair { frag, constraint, other } = u {
+        if let spam::lcc::LccUnit::Pair {
+            frag,
+            constraint,
+            other,
+        } = u
+        {
             let c = &CONSTRAINTS[*constraint as usize];
             assert_eq!(frags[*frag as usize].kind, c.subject);
             assert_eq!(frags[*other as usize].kind, c.object);

@@ -46,7 +46,10 @@ fn main() {
     for f in best.iter().take(6) {
         println!(
             "    fragment {:>3} (region {:>3}): {:<18} support {}",
-            f.id, f.region, f.kind.name(), f.support
+            f.id,
+            f.region,
+            f.kind.name(),
+            f.support
         );
     }
     // Classification accuracy against the generator's ground truth, for
@@ -60,19 +63,18 @@ fn main() {
             None => {}
         }
     }
-    println!(
-        "  supported hypotheses matching ground truth: {right} vs {wrong} mismatched"
-    );
+    println!("  supported hypotheses matching ground truth: {right} vs {wrong} mismatched");
 
     // --- FA
-    println!("\nFA: {} functional areas ({} predictions opened)", r.fa.areas.len(), r.fa.predictions);
+    println!(
+        "\nFA: {} functional areas ({} predictions opened)",
+        r.fa.areas.len(),
+        r.fa.predictions
+    );
     for a in r.fa.areas.iter().take(8) {
         println!(
             "    area {:>2} {:<14} seed fragment {:>3} ({} members)",
-            a.id,
-            a.kind,
-            a.seed,
-            a.members
+            a.id, a.kind, a.seed, a.members
         );
     }
 

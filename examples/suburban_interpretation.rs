@@ -34,8 +34,15 @@ fn main() {
         FragmentKind::Yard,
     ] {
         let n = r.rtf.fragments.iter().filter(|f| f.kind == kind).count();
-        let truth = scene.regions.iter().filter(|g| g.truth == Some(kind)).count();
-        println!("  {:<14} {n:>4} hypotheses ({truth} in ground truth)", kind.name());
+        let truth = scene
+            .regions
+            .iter()
+            .filter(|g| g.truth == Some(kind))
+            .count();
+        println!(
+            "  {:<14} {n:>4} hypotheses ({truth} in ground truth)",
+            kind.name()
+        );
     }
 
     println!(
@@ -60,7 +67,11 @@ fn main() {
 
     println!("\nFA: {} functional areas", r.fa.areas.len());
     let lots = r.fa.areas.iter().filter(|a| a.kind == "house-lot").count();
-    let streets = r.fa.areas.iter().filter(|a| a.kind == "street-area").count();
+    let streets =
+        r.fa.areas
+            .iter()
+            .filter(|a| a.kind == "street-area")
+            .count();
     println!("    {lots} house lots, {streets} street areas");
 
     println!(

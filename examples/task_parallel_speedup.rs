@@ -33,7 +33,7 @@ fn main() {
     let seq = run_lcc(&sp, &scene, &fragments, Level::L3);
     let t_seq = t0.elapsed();
     let t0 = Instant::now();
-    let par = run_parallel_lcc(&sp, &scene, &fragments, Level::L3, 4);
+    let par = run_parallel_lcc(&sp, &scene, &fragments, Level::L3, 4).unwrap();
     let t_par = t0.elapsed();
     assert_eq!(seq.firings, par.firings);
     assert_eq!(

@@ -42,7 +42,11 @@ fn figure_7_match_parallelism_saturates_early_near_its_limit() {
         (1.2..2.2).contains(&limit),
         "LCC asymptote should sit near the paper's 1.36-1.95 band: {limit:.2}"
     );
-    assert!(peak.0 <= 8, "peaks by ~6 match processes (paper), got {}", peak.0);
+    assert!(
+        peak.0 <= 8,
+        "peaks by ~6 match processes (paper), got {}",
+        peak.0
+    );
     assert!(
         peak.1 / limit > 0.75,
         "achieves most of the asymptote: {:.2} of {limit:.2}",
@@ -87,7 +91,11 @@ fn table_9_multiplicativity_on_sf_level_2() {
         cell.achieved,
         cell.predicted
     );
-    assert!(cell.achieved > 4.0, "combined beats TLP alone: {:.2}", cell.achieved);
+    assert!(
+        cell.achieved > 4.0,
+        "combined beats TLP alone: {:.2}",
+        cell.achieved
+    );
     assert_eq!(cell.processors, 13);
 }
 
@@ -118,7 +126,10 @@ fn figure_9_translational_loss_band() {
     let s20_pure = base / simulate(&big(20), &trace.tasks.tasks).makespan;
     let s13 = base / simulate(&svm(13), &trace.tasks.tasks).makespan;
     // Remote processors help…
-    assert!(s20_svm > s13 + 0.5, "remote processors must help: {s20_svm:.2} vs {s13:.2}");
+    assert!(
+        s20_svm > s13 + 0.5,
+        "remote processors must help: {s20_svm:.2} vs {s13:.2}"
+    );
     // …but at a visible translational cost (paper ≈ 1.5 processors).
     let s19_pure = base / simulate(&big(19), &trace.tasks.tasks).makespan;
     assert!(s20_svm < s20_pure, "SVM below pure TLP");

@@ -35,8 +35,10 @@ fn all_three_airports_interpret_with_the_papers_shape() {
         assert!(lcc.seconds > rtf.seconds, "{name}: LCC time > RTF time");
         assert!(lcc.seconds > fa.seconds, "{name}: LCC time > FA time");
         assert!(lcc.seconds > model.seconds, "{name}: LCC time > MODEL time");
-        assert!(lcc.firings > rtf.firings + fa.firings + model.firings,
-            "{name}: LCC fires more than all other phases combined");
+        assert!(
+            lcc.firings > rtf.firings + fa.firings + model.firings,
+            "{name}: LCC fires more than all other phases combined"
+        );
 
         // Match fractions sit in the calibrated bands: RTF ≈ 0.6 (§6.5),
         // LCC 0.30–0.50 (§1).
@@ -100,9 +102,7 @@ fn suburban_domain_interprets_with_the_same_architecture() {
     // The paper's second task area (§2.2): same rule base, same phases,
     // different scene-type knowledge.
     use spam::fragments::FragmentKind;
-    let scene = std::sync::Arc::new(spam::generate_suburb(
-        &spam::generate::SuburbSpec::demo(),
-    ));
+    let scene = std::sync::Arc::new(spam::generate_suburb(&spam::generate::SuburbSpec::demo()));
     let r = spam::run_pipeline_scene(std::sync::Arc::clone(&scene));
     assert_eq!(r.model.models, 1);
     // Every true street must be hypothesised as a street and end up

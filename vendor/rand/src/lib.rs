@@ -1,0 +1,461 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! This build environment has no network access and no registry cache, so
+//! the workspace vendors the small slice of `rand` it actually uses:
+//!
+//! * [`rngs::StdRng`] — the ChaCha12-based standard RNG, including the
+//!   PCG32-based `seed_from_u64` seeding path;
+//! * [`Rng::gen_range`] over integer and float ranges, implemented with the
+//!   same widening-multiply rejection (integers) and 52-bit mantissa
+//!   scaling (floats) as upstream `rand` 0.8.5;
+//! * [`Rng::gen`] for the primitive types the workspace draws directly.
+//!
+//! The implementation follows the upstream algorithms step for step so that
+//! seeded streams (and therefore every generated scene and synthetic
+//! workload in this repository) are reproducible and match what the code
+//! produced when built against crates.io `rand` 0.8.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A seedable RNG (the `rand` 0.8 trait shape).
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates an RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it with the PCG32 output
+    /// function exactly as `rand_core` 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from their full value range
+/// (the `Standard` distribution of upstream `rand`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit mantissa scaling, as upstream's `Standard` for f64.
+        let fraction = rng.next_u64() >> 11;
+        fraction as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Range types that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The user-facing RNG extension trait.
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its full range.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// ---- Uniform integer sampling (upstream `uniform_int_impl!`) -------------
+
+macro_rules! uniform_int_small {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: low >= high");
+                let low = self.start;
+                let high = self.end - 1; // inclusive
+                let range = (high.wrapping_sub(low) as $unsigned as u32).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u32() as $unsigned as $ty;
+                }
+                // Small types use the modulus zone, with u32 draws.
+                let ints_to_reject = (u32::MAX - range + 1) % range;
+                let zone = u32::MAX - ints_to_reject;
+                loop {
+                    let v: u32 = rng.next_u32();
+                    let m = (v as u64) * (range as u64);
+                    let (hi, lo) = ((m >> 32) as u32, m as u32);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $unsigned as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! uniform_int_u32 {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: low >= high");
+                let low = self.start;
+                let high = self.end - 1; // inclusive
+                let range = ((high.wrapping_sub(low)) as $unsigned).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u32() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: u32 = rng.next_u32();
+                    let m = (v as u64) * (range as u64);
+                    let (hi, lo) = ((m >> 32) as u32, m as u32);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! uniform_int_u64 {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: low >= high");
+                let low = self.start;
+                let high = self.end - 1; // inclusive
+                let range = ((high.wrapping_sub(low)) as $unsigned as u64).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u64() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: u64 = rng.next_u64();
+                    let m = (v as u128) * (range as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_small!(i8, u8);
+uniform_int_small!(u8, u8);
+uniform_int_small!(i16, u16);
+uniform_int_small!(u16, u16);
+uniform_int_u32!(i32, u32);
+uniform_int_u32!(u32, u32);
+uniform_int_u64!(i64, u64);
+uniform_int_u64!(u64, u64);
+uniform_int_u64!(isize, usize);
+uniform_int_u64!(usize, usize);
+
+// ---- Uniform float sampling (upstream `uniform_float_impl!`) -------------
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "gen_range: low >= high");
+        let mut scale = high - low;
+        loop {
+            // Value in [1, 2): 52 random mantissa bits under exponent 0.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            // Rounding pushed the result to `high` (probability ~2^-52):
+            // shrink the scale by one ULP and retry, as upstream does.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "gen_range: low >= high");
+        let mut scale = high - low;
+        loop {
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const BUF_WORDS: usize = 64; // four ChaCha blocks, as rand_chacha
+
+    /// The standard RNG of `rand` 0.8: ChaCha with 12 rounds, a 64-bit
+    /// block counter, and a 64-bit stream id (zero here).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    fn chacha12_block(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+        const C: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+        let mut x = [
+            C[0],
+            C[1],
+            C[2],
+            C[3],
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let s = x;
+        macro_rules! qr {
+            ($a:expr, $b:expr, $c:expr, $d:expr) => {
+                x[$a] = x[$a].wrapping_add(x[$b]);
+                x[$d] = (x[$d] ^ x[$a]).rotate_left(16);
+                x[$c] = x[$c].wrapping_add(x[$d]);
+                x[$b] = (x[$b] ^ x[$c]).rotate_left(12);
+                x[$a] = x[$a].wrapping_add(x[$b]);
+                x[$d] = (x[$d] ^ x[$a]).rotate_left(8);
+                x[$c] = x[$c].wrapping_add(x[$d]);
+                x[$b] = (x[$b] ^ x[$c]).rotate_left(7);
+            };
+        }
+        for _ in 0..6 {
+            // one double round
+            qr!(0, 4, 8, 12);
+            qr!(1, 5, 9, 13);
+            qr!(2, 6, 10, 14);
+            qr!(3, 7, 11, 15);
+            qr!(0, 5, 10, 15);
+            qr!(1, 6, 11, 12);
+            qr!(2, 7, 8, 13);
+            qr!(3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = x[i].wrapping_add(s[i]);
+        }
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            for b in 0..4 {
+                chacha12_block(
+                    &self.key,
+                    self.counter.wrapping_add(b as u64),
+                    &mut self.buf[b * 16..(b + 1) * 16],
+                );
+            }
+            self.counter = self.counter.wrapping_add(4);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = u32::from_le_bytes([
+                    seed[4 * i],
+                    seed[4 * i + 1],
+                    seed[4 * i + 2],
+                    seed[4 * i + 3],
+                ]);
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let v = self.buf[self.index];
+            self.index += 1;
+            v
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Mirrors rand_core's BlockRng::next_u64 buffer stitching.
+            let read =
+                |buf: &[u32; BUF_WORDS], i: usize| (buf[i] as u64) | ((buf[i + 1] as u64) << 32);
+            if self.index < BUF_WORDS - 1 {
+                let v = read(&self.buf, self.index);
+                self.index += 2;
+                v
+            } else if self.index >= BUF_WORDS {
+                self.refill();
+                let v = read(&self.buf, 0);
+                self.index = 2;
+                v
+            } else {
+                // One word left: it becomes the low half; the first word of
+                // the next buffer becomes the high half.
+                let lo = self.buf[BUF_WORDS - 1] as u64;
+                self.refill();
+                let hi = self.buf[0] as u64;
+                self.index = 1;
+                lo | (hi << 32)
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let bytes = self.next_u32().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let cv: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_ne!(av, cv, "different seeds diverge");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-5i32..17);
+            assert!((-5..17).contains(&x));
+            let y = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&y));
+            let z = r.gen_range(0u8..3);
+            assert!(z < 3);
+            let w = r.gen_range(3usize..4);
+            assert_eq!(w, 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.gen_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn float_draws_fill_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut mean = 0.0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let v = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&v));
+            mean += v;
+        }
+        mean /= N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
