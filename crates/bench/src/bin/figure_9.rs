@@ -39,24 +39,39 @@ fn main() {
         ..SimConfig::encore(1)
     };
 
+    // The pure-TLP reference via the metrics helper: each point carries the
+    // utilization/idle decomposition that explains the curve's shape.
+    let pure_curve = multimax_sim::speedup_curve(
+        |n| {
+            let mut c = pure(n);
+            c.task_processes = n;
+            c
+        },
+        &trace.tasks,
+        22,
+    );
+
     println!(
-        "{:>5} {:>10} {:>10} {:>12}",
-        "procs", "pure TLP", "SVM", "remote procs"
+        "{:>5} {:>10} {:>6} {:>9} {:>10} {:>12}",
+        "procs", "pure TLP", "util", "idle s", "SVM", "remote procs"
     );
     let mut last_local = 0.0;
     let mut first_remote = 0.0;
     let mut pure_pts = Vec::new();
     let mut svm_pts = Vec::new();
-    for n in 1..=22u32 {
-        let mut pcfg = pure(n);
-        pcfg.task_processes = n;
-        let s_pure = base / simulate(&pcfg, &trace.tasks.tasks).makespan;
+    for p in &pure_curve {
+        let n = p.n;
         let mut scfg = svm_cfg(n);
         scfg.task_processes = n;
         let s_svm = base / simulate(&scfg, &trace.tasks.tasks).makespan;
         let remote = n.saturating_sub(scfg.machine.local.usable());
-        println!("{n:>5} {s_pure:>10.2} {s_svm:>10.2} {remote:>12}");
-        pure_pts.push((n as f64, s_pure));
+        println!(
+            "{n:>5} {:>10.2} {:>5.0}% {:>9.0} {s_svm:>10.2} {remote:>12}",
+            p.speedup,
+            100.0 * p.utilization,
+            p.idle
+        );
+        pure_pts.push((n as f64, p.speedup));
         svm_pts.push((n as f64, s_svm));
         if remote == 0 {
             last_local = s_svm;

@@ -1,12 +1,14 @@
 //! `spamctl` — drive the SPAM interpretation pipeline from the command line.
 //!
 //! ```sh
-//! spamctl [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
+//! spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
 //!         [--retries K] [--deadline-ms MS] [--fault-seed S]
 //!         [--task-panic-rate P] [--topdown] [--sweep] [--quiet]
+//!         [--obs off|summary|full] [--trace-out F] [--metrics-out F]
 //! ```
 //!
-//! * default: run the full pipeline and print the interpretation summary;
+//! * default: run the full pipeline and print the interpretation summary
+//!   (`run` is an optional explicit subcommand for the same thing);
 //! * `--level` selects the LCC decomposition level (default 3);
 //! * `--workers N` runs LCC with N real task-process threads (SPAM/PSM);
 //! * `--retries K` allows K supervised retries per LCC task;
@@ -15,7 +17,14 @@
 //!   panics (demonstrates fault isolation — the run completes partially
 //!   and prints the task report);
 //! * `--topdown` follows FA predictions back into LCC (§2.2 re-entry);
-//! * `--sweep` prints the simulated Encore speed-up curve for the run.
+//! * `--sweep` prints the simulated Encore speed-up curve for the run;
+//! * `--obs` sets the flight-recorder level (default `off`; `full` also
+//!   prints the simulated per-processor Gantt chart);
+//! * `--trace-out F` writes a Chrome `trace_event` file (open in
+//!   `chrome://tracing` or Perfetto) with the recorded events plus the
+//!   simulated Encore timeline of the LCC phase;
+//! * `--metrics-out F` writes the metrics-registry snapshot (service-time,
+//!   queue-wait, match-fraction histograms; counters; gauges) as JSON.
 
 use spam::fa::run_fa;
 use spam::lcc::Level;
@@ -29,6 +38,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 use tlp_fault::{FaultPlan, SupervisorConfig};
+use tlp_obs::{ObsLevel, Recorder};
 
 struct Opts {
     dataset: String,
@@ -41,6 +51,9 @@ struct Opts {
     topdown: bool,
     sweep: bool,
     quiet: bool,
+    obs: ObsLevel,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -55,10 +68,14 @@ fn parse_args() -> Result<Opts, String> {
         topdown: false,
         sweep: false,
         quiet: false,
+        obs: ObsLevel::Off,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "run" => {} // explicit default subcommand
             "sf" | "dc" | "moff" | "suburb" => o.dataset = a,
             "--level" => {
                 o.level = match args.next().as_deref() {
@@ -114,11 +131,22 @@ fn parse_args() -> Result<Opts, String> {
             "--topdown" => o.topdown = true,
             "--sweep" => o.sweep = true,
             "--quiet" => o.quiet = true,
+            "--obs" => {
+                let v = args.next().ok_or("--obs needs off|summary|full")?;
+                o.obs = ObsLevel::parse(&v).ok_or(format!("bad --obs '{v}'"))?;
+            }
+            "--trace-out" => {
+                o.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--metrics-out" => {
+                o.metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: spamctl [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
+                    "usage: spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
                      [--retries K] [--deadline-ms MS] [--fault-seed S] \
-                     [--task-panic-rate P] [--topdown] [--sweep] [--quiet]"
+                     [--task-panic-rate P] [--topdown] [--sweep] [--quiet] \
+                     [--obs off|summary|full] [--trace-out F] [--metrics-out F]"
                         .into(),
                 )
             }
@@ -148,15 +176,37 @@ fn main() -> ExitCode {
     let sp = SpamProgram::build();
     let scene = build_scene(&o.dataset);
     println!(
-        "spamctl: {} ({:?}), {} regions, LCC at {}, {} worker(s)",
+        "spamctl: {} ({:?}), {} regions, LCC at {}, {} worker(s), obs {}",
         scene.name,
         scene.domain,
         scene.len(),
         o.level.name(),
-        o.workers
+        o.workers,
+        o.obs
     );
 
+    // An output file with the level left at `off` records at `full`; an
+    // explicit `--obs off` (the default) records nothing.
+    let obs_level = if o.obs == ObsLevel::Off && (o.trace_out.is_some() || o.metrics_out.is_some())
+    {
+        ObsLevel::Full
+    } else {
+        o.obs
+    };
+    let rec = Recorder::new(obs_level);
+    let mut ctl = rec.sink("control");
+
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.begin(tlp_obs::Category::Phase, "phase.rtf", vec![]);
+    }
     let rtf = run_rtf(&sp, &scene);
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.end(
+            tlp_obs::Category::Phase,
+            "phase.rtf",
+            vec![("firings", rtf.firings.into())],
+        );
+    }
     println!(
         "RTF    : {} hypotheses, {} firings",
         rtf.fragments.len(),
@@ -164,8 +214,16 @@ fn main() -> ExitCode {
     );
     let fragments = Arc::new(rtf.fragments.clone());
 
-    let supervised =
-        o.workers > 1 || o.retries > 0 || o.deadline_ms.is_some() || o.task_panic_rate > 0.0;
+    // A recording run takes the supervised path so task/supervisor events
+    // are emitted; the results are identical either way.
+    let supervised = o.workers > 1
+        || o.retries > 0
+        || o.deadline_ms.is_some()
+        || o.task_panic_rate > 0.0
+        || rec.enabled(ObsLevel::Summary);
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.begin(tlp_obs::Category::Phase, "phase.lcc", vec![]);
+    }
     let lcc = if supervised {
         let mut cfg = SupervisorConfig::default().with_retries(o.retries);
         if let Some(ms) = o.deadline_ms {
@@ -175,8 +233,8 @@ fn main() -> ExitCode {
         if o.task_panic_rate > 0.0 {
             plan = plan.with_task_panic_rate(o.task_panic_rate);
         }
-        match spam_psm::tlp::run_parallel_lcc_supervised(
-            &sp, &scene, &fragments, o.level, o.workers, &cfg, &plan,
+        match spam_psm::tlp::run_parallel_lcc_traced(
+            &sp, &scene, &fragments, o.level, o.workers, &cfg, &plan, &rec,
         ) {
             Ok(lcc) => lcc,
             Err(e) => {
@@ -187,6 +245,13 @@ fn main() -> ExitCode {
     } else {
         spam::lcc::run_lcc(&sp, &scene, &fragments, o.level)
     };
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.end(
+            tlp_obs::Category::Phase,
+            "phase.lcc",
+            vec![("firings", lcc.firings.into())],
+        );
+    }
     println!(
         "LCC    : {} tasks, {} consistency records, {} firings, {:.0} simulated s",
         lcc.units.len(),
@@ -195,12 +260,24 @@ fn main() -> ExitCode {
         lcc.work.seconds_at(MIPS)
     );
     if supervised {
-        print!("{}", lcc.report);
+        // Wall-clock latency detail only when the recorder is on: the
+        // default output must stay byte-identical for same-seed runs.
+        print!("{}", lcc.report.display(rec.enabled(ObsLevel::Summary)));
     }
     let mut fragments = Arc::new(lcc.fragments.clone());
     let mut consistents = lcc.consistents.clone();
 
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.begin(tlp_obs::Category::Phase, "phase.fa", vec![]);
+    }
     let fa = run_fa(&sp, &scene, &fragments, &consistents);
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.end(
+            tlp_obs::Category::Phase,
+            "phase.fa",
+            vec![("firings", fa.firings.into())],
+        );
+    }
     println!(
         "FA     : {} areas, {} predictions, {} firings",
         fa.areas.len(),
@@ -220,7 +297,13 @@ fn main() -> ExitCode {
         fragments = Arc::new(td.fragments);
     }
 
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.begin(tlp_obs::Category::Phase, "phase.model", vec![]);
+    }
     let model = run_model(&sp, &scene, &fragments, &fa.areas, &fa.members);
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.end(tlp_obs::Category::Phase, "phase.model", vec![]);
+    }
     println!(
         "MODEL  : {} model(s), {} areas, score {}, coverage {:.0}%, window overlap {:.1}%",
         model.models,
@@ -252,6 +335,56 @@ fn main() -> ExitCode {
             print!("  {n}:{s:.2}");
         }
         println!();
+    }
+
+    if rec.enabled(ObsLevel::Summary) || o.trace_out.is_some() || o.metrics_out.is_some() {
+        ctl.flush();
+        let trace = spam_psm::trace::lcc_trace(&lcc);
+        let sim_workers = (o.workers as u32).max(1);
+        let sim = multimax_sim::simulate(
+            &multimax_sim::SimConfig::encore(sim_workers),
+            &trace.tasks.tasks,
+        );
+        let tl = sim.timeline(&format!("encore-sim-{sim_workers}p"));
+
+        if o.obs == ObsLevel::Full {
+            println!(
+                "simulated Encore Gantt ({sim_workers} task processes, makespan {:.0}s, coverage {:.1}%):",
+                sim.makespan,
+                100.0 * tl.coverage()
+            );
+            print!("{}", tl.gantt(72));
+        }
+
+        if let Some(path) = &o.trace_out {
+            let mut doc = tlp_obs::TraceDoc::new();
+            doc.add_recorder("spamctl", &rec);
+            doc.add_timeline(&tl);
+            if let Err(e) = std::fs::write(path, doc.write()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "trace  : {} events -> {path} (chrome://tracing / Perfetto)",
+                rec.len()
+            );
+        }
+
+        if let Some(path) = &o.metrics_out {
+            let reg = tlp_obs::MetricsRegistry::new();
+            spam_psm::trace::record_phase_metrics(
+                &reg,
+                "lcc",
+                &trace,
+                supervised.then_some(&lcc.report),
+            );
+            spam_psm::trace::record_sim_metrics(&reg, "lcc", &sim);
+            if let Err(e) = std::fs::write(path, reg.to_json().write()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("metrics: snapshot -> {path}");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,125 @@
+//! `tracecheck` — validate flight-recorder exports.
+//!
+//! ```sh
+//! tracecheck trace.json [--min-coverage 0.99] [--jsonl events.jsonl]
+//! ```
+//!
+//! Checks a Chrome `trace_event` file produced by `spamctl --trace-out`:
+//! the JSON must parse, every event must be well-formed, B/E spans must
+//! balance per `(pid, tid)`, and the union of spans must cover at least
+//! `--min-coverage` of each declared simulated makespan (default 0.99).
+//! With `--jsonl`, additionally validates a JSONL event log: header first,
+//! every line parses, and each thread's logical clock is strictly
+//! monotone. Exits non-zero on any violation, so CI can gate on it.
+
+use std::process::ExitCode;
+use tlp_obs::{validate_chrome_trace, validate_jsonl};
+
+struct Opts {
+    trace: String,
+    min_coverage: f64,
+    jsonl: Option<String>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut trace = None;
+    let mut min_coverage = 0.99;
+    let mut jsonl = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--min-coverage" => {
+                min_coverage = args
+                    .next()
+                    .ok_or("--min-coverage needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-coverage: {e}"))?;
+                if !(0.0..=1.0).contains(&min_coverage) {
+                    return Err("--min-coverage must be in [0, 1]".into());
+                }
+            }
+            "--jsonl" => jsonl = Some(args.next().ok_or("--jsonl needs a path")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tracecheck <trace.json> [--min-coverage C] [--jsonl events.jsonl]"
+                        .into(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown argument '{other}'")),
+            _ => {
+                if trace.replace(a).is_some() {
+                    return Err("only one trace file expected".into());
+                }
+            }
+        }
+    }
+    Ok(Opts {
+        trace: trace.ok_or("usage: tracecheck <trace.json> [--min-coverage C] [--jsonl F]")?,
+        min_coverage,
+        jsonl,
+    })
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(m) => {
+            eprintln!("{m}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&o.trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {}: {e}", o.trace);
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match validate_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tracecheck: {}: INVALID: {e}", o.trace);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tracecheck: {}: {summary}", o.trace);
+    match summary.coverage {
+        None => {
+            eprintln!(
+                "tracecheck: {}: no simulated-makespan metadata; cannot check coverage",
+                o.trace
+            );
+            return ExitCode::FAILURE;
+        }
+        Some(c) if c < o.min_coverage => {
+            eprintln!(
+                "tracecheck: {}: makespan coverage {:.2}% below required {:.2}%",
+                o.trace,
+                c * 100.0,
+                o.min_coverage * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        Some(_) => {}
+    }
+
+    if let Some(path) = &o.jsonl {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tracecheck: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_jsonl(&text) {
+            Ok(s) => println!("tracecheck: {path}: {s}"),
+            Err(e) => {
+                eprintln!("tracecheck: {path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("tracecheck: OK");
+    ExitCode::SUCCESS
+}

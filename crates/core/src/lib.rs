@@ -44,9 +44,9 @@ pub mod trace;
 
 pub use combined::{combined_grid, CombinedCell};
 pub use measure::{level_rows, table8_row, LevelRowMeasured, Table8Row};
-pub use supervise::supervise;
+pub use supervise::{supervise, supervise_traced};
 pub use tlp::{
-    run_parallel_lcc, run_parallel_lcc_supervised, run_parallel_rtf, run_parallel_rtf_supervised,
-    simulated_tlp_curve, synchronous_makespan, RtfParallelResult,
+    run_parallel_lcc, run_parallel_lcc_supervised, run_parallel_lcc_traced, run_parallel_rtf,
+    run_parallel_rtf_supervised, simulated_tlp_curve, synchronous_makespan, RtfParallelResult,
 };
-pub use trace::{lcc_trace, rtf_trace, PhaseTrace};
+pub use trace::{lcc_trace, record_phase_metrics, record_sim_metrics, rtf_trace, PhaseTrace};

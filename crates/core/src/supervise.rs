@@ -25,9 +25,10 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex, Once};
+use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskOutcome, TaskReport, TaskStatus};
+use tlp_obs::{Category, ObsLevel, Recorder};
 
 /// Name prefix of supervised worker threads; the quiet panic hook uses it
 /// to keep injected/caught panics out of test output.
@@ -107,6 +108,8 @@ struct AttemptMsg<T> {
     task: usize,
     attempt: u32,
     result: Result<T, String>,
+    /// When the attempt began executing on a worker (after any backoff).
+    started: Instant,
     elapsed: Duration,
 }
 
@@ -136,10 +139,31 @@ pub fn supervise<T: Send>(
     plan: &FaultPlan,
     task: impl Fn(usize) -> T + Sync,
 ) -> Result<(Vec<Option<T>>, TaskReport), SuperviseError> {
+    supervise_traced(n_workers, labels, cfg, plan, &Recorder::off(), task)
+}
+
+/// [`supervise`] with a flight recorder attached.
+///
+/// Every worker thread registers its own [`tlp_obs::ThreadSink`]; the
+/// control process registers a `supervisor` sink. At `Summary` level the
+/// phase is one span; at `Full` level each attempt is a `task.exec` span on
+/// its worker's track and every supervisor decision (retry, deadline
+/// rejection, dead-letter, completion) is an instant event. Work-unit
+/// accounting never flows through the recorder, so results are identical at
+/// every level.
+pub fn supervise_traced<T: Send>(
+    n_workers: usize,
+    labels: Vec<String>,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    rec: &Arc<Recorder>,
+    task: impl Fn(usize) -> T + Sync,
+) -> Result<(Vec<Option<T>>, TaskReport), SuperviseError> {
     if n_workers == 0 {
         return Err(SuperviseError::NoWorkers);
     }
     install_quiet_hook();
+    let phase_start = Instant::now();
     let n_tasks = labels.len();
     let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
     let mut outcomes: Vec<TaskOutcome> = labels
@@ -151,6 +175,8 @@ pub fn supervise<T: Send>(
             status: TaskStatus::Ok,
             attempts: 0,
             elapsed: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+            retry_latency: Duration::ZERO,
             error: None,
         })
         .collect();
@@ -161,7 +187,29 @@ pub fn supervise<T: Send>(
     let queue = JobQueue::new(n_tasks);
     let (tx, rx) = mpsc::channel::<AttemptMsg<T>>();
     let mut last_fail: Vec<Option<FailKind>> = vec![None; n_tasks];
+    let mut first_start: Vec<Option<Instant>> = vec![None; n_tasks];
     let mut remaining = n_tasks;
+
+    let mut ctl = rec.sink("supervisor");
+    if ctl.enabled(ObsLevel::Summary) {
+        ctl.begin(
+            Category::Supervisor,
+            "supervise.phase",
+            vec![
+                ("tasks", (n_tasks as u64).into()),
+                ("workers", (n_workers as u64).into()),
+            ],
+        );
+        if ctl.enabled(ObsLevel::Full) {
+            for i in 0..n_tasks {
+                ctl.instant(
+                    Category::Task,
+                    "task.enqueue",
+                    vec![("task", (i as u64).into())],
+                );
+            }
+        }
+    }
 
     std::thread::scope(|s| {
         for w in 0..n_workers.min(n_tasks) {
@@ -171,10 +219,23 @@ pub fn supervise<T: Send>(
             std::thread::Builder::new()
                 .name(format!("{WORKER_NAME}-{w}"))
                 .spawn_scoped(s, move || {
+                    // Each worker owns a private sink; it flushes on drop
+                    // when the queue closes and the thread exits.
+                    let mut sink = rec.sink(format!("{WORKER_NAME}-{w}"));
                     while let Some((i, attempt)) = queue.pop() {
                         if attempt > 0 {
                             // Linear backoff before a retry attempt.
                             std::thread::sleep(cfg.backoff * attempt);
+                        }
+                        if sink.enabled(ObsLevel::Full) {
+                            sink.begin(
+                                Category::Task,
+                                format!("task.exec t{i}"),
+                                vec![
+                                    ("task", (i as u64).into()),
+                                    ("attempt", (attempt as u64).into()),
+                                ],
+                            );
                         }
                         let start = Instant::now();
                         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -184,10 +245,18 @@ pub fn supervise<T: Send>(
                             task(i)
                         }))
                         .map_err(payload_to_string);
+                        if sink.enabled(ObsLevel::Full) {
+                            sink.end(
+                                Category::Task,
+                                format!("task.exec t{i}"),
+                                vec![("ok", u64::from(result.is_ok()).into())],
+                            );
+                        }
                         let msg = AttemptMsg {
                             task: i,
                             attempt,
                             result,
+                            started: start,
                             elapsed: start.elapsed(),
                         };
                         if tx.send(msg).is_err() {
@@ -203,6 +272,12 @@ pub fn supervise<T: Send>(
         while remaining > 0 {
             let msg = rx.recv().expect("workers alive while tasks outstanding");
             let i = msg.task;
+            if msg.attempt == 0 {
+                first_start[i] = Some(msg.started);
+                outcomes[i].queue_wait = msg.started.duration_since(phase_start);
+            } else if let Some(first) = first_start[i] {
+                outcomes[i].retry_latency = msg.started.duration_since(first);
+            }
             let o = &mut outcomes[i];
             o.attempts = msg.attempt + 1;
             o.elapsed = msg.elapsed;
@@ -214,6 +289,17 @@ pub fn supervise<T: Send>(
                 Ok(value) => match cfg.deadline {
                     Some(d) if msg.elapsed > d => {
                         last_fail[i] = Some(FailKind::Deadline);
+                        if ctl.enabled(ObsLevel::Full) {
+                            ctl.instant(
+                                Category::Supervisor,
+                                "task.deadline",
+                                vec![
+                                    ("task", (i as u64).into()),
+                                    ("attempt", (msg.attempt as u64).into()),
+                                    ("elapsed_s", msg.elapsed.as_secs_f64().into()),
+                                ],
+                            );
+                        }
                         Some(format!(
                             "deadline exceeded: {:.1?} > {:.1?}; result discarded",
                             msg.elapsed, d
@@ -228,6 +314,16 @@ pub fn supervise<T: Send>(
                         };
                         o.error = None;
                         remaining -= 1;
+                        if ctl.enabled(ObsLevel::Full) {
+                            ctl.instant(
+                                Category::Task,
+                                "task.complete",
+                                vec![
+                                    ("task", (i as u64).into()),
+                                    ("attempts", ((msg.attempt + 1) as u64).into()),
+                                ],
+                            );
+                        }
                         None
                     }
                 },
@@ -236,17 +332,52 @@ pub fn supervise<T: Send>(
                 o.error = Some(err);
                 if msg.attempt < cfg.max_retries {
                     queue.push((i, msg.attempt + 1));
+                    if ctl.enabled(ObsLevel::Full) {
+                        ctl.instant(
+                            Category::Supervisor,
+                            "supervisor.retry",
+                            vec![
+                                ("task", (i as u64).into()),
+                                ("next_attempt", ((msg.attempt + 1) as u64).into()),
+                            ],
+                        );
+                    }
                 } else {
                     o.status = match last_fail[i] {
                         Some(FailKind::Deadline) => TaskStatus::TimedOut,
                         _ => TaskStatus::Panicked,
                     };
                     remaining -= 1;
+                    if ctl.enabled(ObsLevel::Full) {
+                        ctl.instant(
+                            Category::Supervisor,
+                            "supervisor.dead_letter",
+                            vec![
+                                ("task", (i as u64).into()),
+                                ("attempts", ((msg.attempt + 1) as u64).into()),
+                            ],
+                        );
+                    }
                 }
             }
         }
         queue.close();
     });
+
+    if ctl.enabled(ObsLevel::Summary) {
+        let dead = outcomes.iter().filter(|o| !o.status.succeeded()).count();
+        let retries: u32 = outcomes.iter().map(|o| o.attempts.saturating_sub(1)).sum();
+        ctl.end(
+            Category::Supervisor,
+            "supervise.phase",
+            vec![
+                ("ok", ((n_tasks - dead) as u64).into()),
+                ("retries", (retries as u64).into()),
+                ("dead_letters", (dead as u64).into()),
+            ],
+        );
+    }
+    ctl.flush();
 
     Ok((slots, TaskReport { outcomes }))
 }
@@ -371,6 +502,83 @@ mod tests {
         assert!(slots[2].is_none(), "late result must be discarded");
         assert_eq!(report.outcomes[2].status, TaskStatus::TimedOut);
         assert_eq!(slots.iter().flatten().count(), 3);
+    }
+
+    #[test]
+    fn queue_wait_and_retry_latency_are_recorded() {
+        let plan = FaultPlan::none().with_task_panic(1, 1);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(5));
+        let (_, report) = supervise(2, labels(3), &cfg, &plan, |i| {
+            std::thread::sleep(Duration::from_millis(2));
+            i
+        })
+        .unwrap();
+        for o in &report.outcomes {
+            // queue_wait is measured from phase start, so it is always
+            // well-defined (and tiny for the first tasks grabbed).
+            assert!(o.queue_wait < Duration::from_secs(5), "{o:?}");
+        }
+        // The retried task's retry latency spans first-attempt exec (2 ms)
+        // plus backoff (5 ms); the clean tasks report zero.
+        assert!(report.outcomes[1].retry_latency >= Duration::from_millis(5));
+        assert_eq!(report.outcomes[0].retry_latency, Duration::ZERO);
+        let text = report.display(true).to_string();
+        assert!(text.contains("queue-wait"), "{text}");
+    }
+
+    #[test]
+    fn traced_supervision_emits_phase_and_task_events() {
+        use tlp_obs::EventKind;
+        let rec = Recorder::new(ObsLevel::Full);
+        let plan = FaultPlan::none()
+            .with_task_panic(1, 1)
+            .with_task_panic(2, u32::MAX);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1));
+        let (slots, report) = supervise_traced(2, labels(4), &cfg, &plan, &rec, |i| i).unwrap();
+        assert_eq!(slots.iter().flatten().count(), 3);
+        assert_eq!(report.dead_letters().len(), 1);
+        let events = rec.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"supervise.phase"));
+        assert!(names.contains(&"task.enqueue"));
+        assert!(names.contains(&"task.complete"));
+        assert!(names.contains(&"supervisor.retry"));
+        assert!(names.contains(&"supervisor.dead_letter"));
+        // One exec span pair per attempt: 4 first attempts + 1 retry of
+        // task 1 + 1 retry of task 2.
+        let begins = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanBegin && e.name.starts_with("task.exec"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name.starts_with("task.exec"))
+            .count();
+        assert_eq!(begins, 6);
+        assert_eq!(ends, 6);
+        let threads = rec.threads();
+        assert!(threads.iter().any(|t| t == "supervisor"));
+        assert!(threads.iter().any(|t| t.starts_with(WORKER_NAME)));
+    }
+
+    #[test]
+    fn untraced_supervision_records_no_events() {
+        let rec = Recorder::off();
+        let (slots, _) = supervise_traced(
+            2,
+            labels(4),
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            &rec,
+            |i| i,
+        )
+        .unwrap();
+        assert_eq!(slots.iter().flatten().count(), 4);
+        assert!(rec.is_empty());
     }
 
     #[test]

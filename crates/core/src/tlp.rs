@@ -11,7 +11,7 @@
 //!   Encore Multimax at 1..=14 task processes (Figure 6 / Figure 8),
 //!   since the container running this reproduction has a single core.
 
-use crate::supervise::supervise;
+use crate::supervise::{supervise, supervise_traced};
 use crate::trace::PhaseTrace;
 use multimax_sim::{simulate, Schedule, SimConfig};
 use ops5::WorkCounters;
@@ -21,6 +21,7 @@ use spam::rules::SpamProgram;
 use spam::scene::Scene;
 use std::sync::Arc;
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskReport};
+use tlp_obs::Recorder;
 
 /// Result of a supervised parallel RTF phase: the merged fragments plus the
 /// per-batch supervision outcomes.
@@ -69,9 +70,36 @@ pub fn run_parallel_lcc_supervised(
     cfg: &SupervisorConfig,
     plan: &FaultPlan,
 ) -> Result<LccPhaseResult, SuperviseError> {
+    run_parallel_lcc_traced(
+        sp,
+        scene,
+        fragments,
+        level,
+        n_workers,
+        cfg,
+        plan,
+        &Recorder::off(),
+    )
+}
+
+/// [`run_parallel_lcc_supervised`] with a flight recorder attached: the
+/// supervised phase emits task/supervisor events through `rec` (see
+/// [`crate::supervise::supervise_traced`]). Results are identical at every
+/// recording level.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_lcc_traced(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    n_workers: usize,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    rec: &Arc<Recorder>,
+) -> Result<LccPhaseResult, SuperviseError> {
     let units = decompose(scene, fragments, level);
     let labels: Vec<String> = units.iter().map(|u| u.label()).collect();
-    let (slots, report) = supervise(n_workers, labels, cfg, plan, |i| {
+    let (slots, report) = supervise_traced(n_workers, labels, cfg, plan, rec, |i| {
         run_lcc_unit(sp, scene, fragments, &units[i])
     })?;
     let results: Vec<spam::lcc::LccUnitResult> = slots.into_iter().flatten().collect();
@@ -156,6 +184,9 @@ pub fn run_parallel_rtf_supervised(
 /// on the standard Encore configuration (Figure 6 / Figure 8).
 pub fn simulated_tlp_curve(trace: &PhaseTrace, max_workers: u32) -> Vec<(u32, f64)> {
     multimax_sim::speedup_curve(SimConfig::encore, &trace.tasks, max_workers)
+        .into_iter()
+        .map(|p| (p.n, p.speedup))
+        .collect()
 }
 
 /// Simulated speed-up curve with LPT ("big tasks first") scheduling — the
@@ -169,6 +200,9 @@ pub fn simulated_tlp_curve_lpt(trace: &PhaseTrace, max_workers: u32) -> Vec<(u32
         &trace.tasks,
         max_workers,
     )
+    .into_iter()
+    .map(|p| (p.n, p.speedup))
+    .collect()
 }
 
 /// Makespan of a *synchronous* task-parallel system: tasks execute in

@@ -5,10 +5,12 @@
 //! units per task deterministically; at the Encore's ~1.5 MIPS those become
 //! the per-task service times the multiprocessor simulator replays.
 
-use multimax_sim::{Task, TaskSet};
+use multimax_sim::{SimResult, Task, TaskSet};
 use spam::lcc::LccPhaseResult;
 use spam::phases::MIPS;
 use spam::rtf::RtfResult;
+use tlp_fault::TaskReport;
+use tlp_obs::MetricsRegistry;
 
 /// A phase execution converted to a simulator workload.
 #[derive(Clone, Debug)]
@@ -58,6 +60,67 @@ pub fn rtf_trace(results: &[RtfResult]) -> PhaseTrace {
     }
 }
 
+/// Records a phase's per-task distributions into `reg`, prefixed with
+/// `phase` (e.g. `lcc.service_time_s`). This is the metrics-registry view
+/// of a measured trace: service-time and match-fraction histograms plus
+/// task/firing totals, and — when a supervision [`TaskReport`] is supplied
+/// — queue-wait/retry-latency histograms and the retry counter.
+pub fn record_phase_metrics(
+    reg: &MetricsRegistry,
+    phase: &str,
+    trace: &PhaseTrace,
+    report: Option<&TaskReport>,
+) {
+    for t in &trace.tasks.tasks {
+        reg.record(&format!("{phase}.service_time_s"), t.service);
+        reg.record(&format!("{phase}.match_fraction"), t.match_fraction);
+    }
+    reg.count(&format!("{phase}.tasks"), trace.tasks.len() as u64);
+    reg.count(&format!("{phase}.firings"), trace.firings);
+    reg.count(&format!("{phase}.rhs_actions"), trace.rhs_actions);
+    if let Some(report) = report {
+        for o in &report.outcomes {
+            reg.record(&format!("{phase}.queue_wait_s"), o.queue_wait.as_secs_f64());
+            if o.attempts > 1 {
+                reg.record(
+                    &format!("{phase}.retry_latency_s"),
+                    o.retry_latency.as_secs_f64(),
+                );
+            }
+        }
+        reg.count(
+            &format!("{phase}.retries"),
+            u64::from(report.total_retries()),
+        );
+        reg.count(
+            &format!("{phase}.dead_letters"),
+            report.dead_letters().len() as u64,
+        );
+    }
+}
+
+/// Records a simulated run's queueing behaviour into `reg`: per-task
+/// simulated queue-wait and service-time histograms plus makespan and
+/// worker-utilization gauges.
+pub fn record_sim_metrics(reg: &MetricsRegistry, phase: &str, result: &SimResult) {
+    for x in &result.executions {
+        reg.record(
+            &format!("{phase}.sim_queue_wait_s"),
+            x.acquired - x.queued_at,
+        );
+        reg.record(
+            &format!("{phase}.sim_service_time_s"),
+            x.finished - x.started,
+        );
+    }
+    reg.gauge(&format!("{phase}.sim_makespan_s"), result.makespan);
+    reg.gauge(&format!("{phase}.sim_utilization"), result.utilization());
+    reg.count(
+        &format!("{phase}.sim_task_retries"),
+        u64::from(result.task_retries),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +151,38 @@ mod tests {
             .sum::<f64>()
             / trace.tasks.len() as f64;
         assert!((0.2..0.7).contains(&mean_mf), "mean task mf {mean_mf:.2}");
+    }
+
+    #[test]
+    fn phase_and_sim_metrics_snapshot() {
+        use multimax_sim::{simulate, SimConfig};
+        use tlp_obs::Metric;
+        let sp = SpamProgram::build();
+        let scene = Arc::new(spam::generate_scene(&spam::datasets::dc().spec));
+        let rtf = run_rtf(&sp, &scene);
+        let frags = Arc::new(rtf.fragments);
+        let lcc = run_lcc(&sp, &scene, &frags, Level::L3);
+        let trace = lcc_trace(&lcc);
+        let reg = MetricsRegistry::new();
+        record_phase_metrics(&reg, "lcc", &trace, Some(&lcc.report));
+        let result = simulate(&SimConfig::encore(8), &trace.tasks.tasks);
+        record_sim_metrics(&reg, "lcc", &result);
+        let snap = reg.snapshot();
+        match snap.get("lcc.service_time_s") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count(), trace.tasks.len() as u64);
+                assert!((h.sum() - trace.tasks.total_service()).abs() < 1e-6);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match snap.get("lcc.sim_queue_wait_s") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), trace.tasks.len() as u64),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert!(matches!(
+            snap.get("lcc.sim_utilization"),
+            Some(Metric::Gauge(_))
+        ));
+        assert!(matches!(snap.get("lcc.firings"), Some(Metric::Counter(_))));
     }
 }

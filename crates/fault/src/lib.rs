@@ -330,6 +330,12 @@ pub struct TaskOutcome {
     pub attempts: u32,
     /// Wall-clock time of the last attempt.
     pub elapsed: Duration,
+    /// Time from phase start (enqueue) until the first attempt began
+    /// executing on a worker.
+    pub queue_wait: Duration,
+    /// Extra latency attributable to retries: time from the first attempt's
+    /// start until the last attempt's start (zero when `attempts == 1`).
+    pub retry_latency: Duration,
     /// Panic payload or deadline diagnostic from the last failed attempt.
     pub error: Option<String>,
 }
@@ -356,6 +362,8 @@ impl TaskReport {
                     status: TaskStatus::Ok,
                     attempts: 1,
                     elapsed: Duration::ZERO,
+                    queue_wait: Duration::ZERO,
+                    retry_latency: Duration::ZERO,
                     error: None,
                 })
                 .collect(),
@@ -389,22 +397,46 @@ impl TaskReport {
             .iter()
             .all(|o| o.status == TaskStatus::Ok && o.attempts == 1)
     }
+
+    /// Report formatter. With `latencies` the per-task lines include
+    /// wall-clock queue-wait/retry-latency figures; those vary between
+    /// otherwise-identical runs, so the plain [`fmt::Display`] (which must
+    /// stay byte-identical for same-seed runs) omits them.
+    pub fn display(&self, latencies: bool) -> TaskReportDisplay<'_> {
+        TaskReportDisplay {
+            report: self,
+            latencies,
+        }
+    }
+}
+
+/// [`TaskReport`] formatter returned by [`TaskReport::display`].
+pub struct TaskReportDisplay<'a> {
+    report: &'a TaskReport,
+    latencies: bool,
 }
 
 impl fmt::Display for TaskReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let dead = self.dead_letters().len();
+        self.display(false).fmt(f)
+    }
+}
+
+impl fmt::Display for TaskReportDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let this = self.report;
+        let dead = this.dead_letters().len();
         writeln!(
             f,
             "task report: {}/{} ok, {} retr{}, {} dead-letter{}",
-            self.succeeded(),
-            self.outcomes.len(),
-            self.total_retries(),
-            plural_y(self.total_retries()),
+            this.succeeded(),
+            this.outcomes.len(),
+            this.total_retries(),
+            plural_y(this.total_retries()),
             dead,
             if dead == 1 { "" } else { "s" },
         )?;
-        for o in &self.outcomes {
+        for o in &this.outcomes {
             if o.status == TaskStatus::Ok && o.attempts == 1 {
                 continue;
             }
@@ -412,7 +444,30 @@ impl fmt::Display for TaskReport {
             if let Some(err) = &o.error {
                 write!(f, " ({err})")?;
             }
+            if self.latencies {
+                write!(
+                    f,
+                    " [queue-wait {:.1} ms, retry-latency {:.1} ms]",
+                    o.queue_wait.as_secs_f64() * 1e3,
+                    o.retry_latency.as_secs_f64() * 1e3,
+                )?;
+            }
             writeln!(f)?;
+        }
+        let dead = this.dead_letters();
+        if !dead.is_empty() {
+            writeln!(f, "  dead letters:")?;
+            for o in dead {
+                writeln!(
+                    f,
+                    "    task {} [{}] after {} attempt{}: {}",
+                    o.task,
+                    o.label,
+                    o.attempts,
+                    if o.attempts == 1 { "" } else { "s" },
+                    o.error.as_deref().unwrap_or("no error recorded"),
+                )?;
+            }
         }
         Ok(())
     }
@@ -525,6 +580,14 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("2/3 ok"), "{text}");
         assert!(text.contains("task 2 [c]: panicked (boom)"), "{text}");
+        assert!(text.contains("dead letters:"), "{text}");
+        assert!(text.contains("after 2 attempts: boom"), "{text}");
+        // The plain Display must stay byte-identical across same-seed runs,
+        // so the wall-clock latency figures live behind display(true).
+        assert!(!text.contains("queue-wait"), "{text}");
+        let detailed = report.display(true).to_string();
+        assert!(detailed.contains("queue-wait"), "{detailed}");
+        assert!(detailed.contains("retry-latency"), "{detailed}");
     }
 
     #[test]

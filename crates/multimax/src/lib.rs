@@ -51,9 +51,9 @@ pub use machine::{ClusterConfig, Machine};
 pub use message_passing::{
     mp_speedup_curve, simulate_mp, simulate_mp_with_faults, MpConfig, MpPolicy,
 };
-pub use metrics::{speedup_curve, LevelStats};
+pub use metrics::{speedup_curve, LevelStats, SpeedupPoint};
 pub use schedule::Schedule;
-pub use sim::{simulate, simulate_with_faults, SimConfig, SimResult};
+pub use sim::{simulate, simulate_with_faults, DeathEvent, SimConfig, SimResult, TaskExec};
 pub use svm::SvmConfig;
 pub use task::{Task, TaskId};
 pub use tlp_fault::FaultPlan;

@@ -14,8 +14,10 @@
 //!   request/response round trip but the load balances like the shared
 //!   queue.
 
+use crate::sim::TaskExec;
 use crate::task::Task;
 use tlp_fault::FaultPlan;
+use tlp_obs::{Category, Span, Timeline, Track};
 
 /// Message-passing machine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +68,41 @@ pub struct MpResult {
     pub busy: Vec<f64>,
     /// Transmissions repeated because the original was lost.
     pub retransmissions: u64,
+    /// Every task execution, in dispatch order. `queued_at` is when the
+    /// send/request began, `acquired` when the payload arrived at the node.
+    pub executions: Vec<TaskExec>,
+}
+
+impl MpResult {
+    /// Reconstructs the per-node schedule as a [`Timeline`]: execution
+    /// spans with receive-wait and idle fill, so coverage is complete.
+    pub fn timeline(&self, name: &str) -> Timeline {
+        let mut tl = Timeline::new(name, self.makespan);
+        for w in 0..self.busy.len() {
+            let mut spans = Vec::new();
+            let mut cursor = 0.0f64;
+            for e in self.executions.iter().filter(|e| e.worker == w as u32) {
+                if e.started > cursor {
+                    spans.push(Span::new("wait-recv", Category::Queue, cursor, e.started));
+                }
+                spans.push(Span::new(
+                    format!("exec t{}", e.task),
+                    Category::Sim,
+                    e.started,
+                    e.finished,
+                ));
+                cursor = e.finished;
+            }
+            if self.makespan > cursor {
+                spans.push(Span::new("idle", Category::Sim, cursor, self.makespan));
+            }
+            tl.tracks.push(Track {
+                name: format!("node {w}"),
+                spans,
+            });
+        }
+        tl
+    }
 }
 
 /// Simulates `tasks` on the message-passing machine.
@@ -94,6 +131,7 @@ pub fn simulate_mp_with_faults(cfg: &MpConfig, tasks: &[Task], plan: &FaultPlan)
     let mut busy = vec![0.0f64; n];
     let mut messages = 0u64;
     let mut retransmissions = 0u64;
+    let mut executions = Vec::with_capacity(tasks.len());
     match cfg.policy {
         MpPolicy::Static => {
             // Control sends each task's payload up front (pipelined: the
@@ -104,6 +142,7 @@ pub fn simulate_mp_with_faults(cfg: &MpConfig, tasks: &[Task], plan: &FaultPlan)
             let mut node_ready = vec![0.0f64; n];
             for (i, t) in tasks.iter().enumerate() {
                 let w = i % n;
+                let send_begin = clock;
                 let mut attempt = 0u32;
                 while plan.message_lost(2 * i as u64, attempt) {
                     // Lost in flight: the control node paid the transfer,
@@ -116,16 +155,26 @@ pub fn simulate_mp_with_faults(cfg: &MpConfig, tasks: &[Task], plan: &FaultPlan)
                 clock += cfg.payload; // control node serialises the sends
                 messages += 1;
                 let arrive = clock + cfg.latency;
-                node_ready[w] = node_ready[w].max(arrive);
-                node_ready[w] += t.service;
+                let start = node_ready[w].max(arrive);
+                let finish = start + t.service;
+                node_ready[w] = finish;
                 busy[w] += t.service;
-                send_done[w] = node_ready[w];
+                send_done[w] = finish;
+                executions.push(TaskExec {
+                    task: t.id,
+                    worker: w as u32,
+                    queued_at: send_begin,
+                    acquired: arrive,
+                    started: start,
+                    finished: finish,
+                });
             }
             MpResult {
                 makespan: send_done.iter().copied().fold(0.0, f64::max),
                 messages,
                 busy,
                 retransmissions,
+                executions,
             }
         }
         MpPolicy::DemandDriven => {
@@ -168,12 +217,21 @@ pub fn simulate_mp_with_faults(cfg: &MpConfig, tasks: &[Task], plan: &FaultPlan)
                 node_free[w] = finish;
                 busy[w] += t.service;
                 makespan = makespan.max(finish);
+                executions.push(TaskExec {
+                    task: t.id,
+                    worker: w as u32,
+                    queued_at: free,
+                    acquired: start,
+                    started: start,
+                    finished: finish,
+                });
             }
             MpResult {
                 makespan,
                 messages,
                 busy,
                 retransmissions,
+                executions,
             }
         }
     }
@@ -240,6 +298,20 @@ mod tests {
         let curve = mp_speedup_curve(&tiny, MpPolicy::DemandDriven, 32);
         let best = curve.iter().map(|c| c.1).fold(0.0f64, f64::max);
         assert!(best < 8.0, "message costs must cap tiny tasks: {best:.1}");
+    }
+
+    #[test]
+    fn executions_and_timeline_cover_the_run() {
+        let t = tasks();
+        for policy in [MpPolicy::Static, MpPolicy::DemandDriven] {
+            let r = simulate_mp(&MpConfig::classic(6, policy), &t);
+            assert_eq!(r.executions.len(), t.len(), "{policy:?}");
+            let busy: f64 = r.executions.iter().map(|e| e.finished - e.started).sum();
+            assert!((busy - r.busy.iter().sum::<f64>()).abs() < 1e-6);
+            let tl = r.timeline("mp");
+            assert_eq!(tl.tracks.len(), 6);
+            assert!(tl.coverage() > 0.999_999, "{policy:?}: {}", tl.coverage());
+        }
     }
 
     #[test]

@@ -28,13 +28,29 @@ impl LevelStats {
     }
 }
 
+/// One point of a speed-up curve: the paper's speed-up plus the
+/// utilization/idle decomposition that explains its shape (the gap to
+/// linear speed-up is exactly the idle processor-time).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedupPoint {
+    /// Task-process count.
+    pub n: u32,
+    /// `makespan(1) / makespan(n)`.
+    pub speedup: f64,
+    /// Mean processor utilization over the makespan at this point.
+    pub utilization: f64,
+    /// Idle processor-seconds over the makespan (`n·makespan − Σ busy`).
+    pub idle: f64,
+}
+
 /// Computes the speed-up curve for 1..=`max_workers` task processes:
-/// `speedup(n) = makespan(baseline with 1 process) / makespan(n)`.
+/// `speedup(n) = makespan(baseline with 1 process) / makespan(n)`,
+/// with per-point utilization and idle time.
 ///
 /// This is the paper's measurement (§5.2): the BASELINE version is the same
 /// system with a single task process, so queue and fork overheads appear in
 /// both numerator and denominator.
-pub fn speedup_curve<F>(mut config_for: F, tasks: &TaskSet, max_workers: u32) -> Vec<(u32, f64)>
+pub fn speedup_curve<F>(mut config_for: F, tasks: &TaskSet, max_workers: u32) -> Vec<SpeedupPoint>
 where
     F: FnMut(u32) -> SimConfig,
 {
@@ -42,7 +58,12 @@ where
     (1..=max_workers)
         .map(|n| {
             let r = simulate(&config_for(n), &tasks.tasks);
-            (n, base / r.makespan)
+            SpeedupPoint {
+                n,
+                speedup: base / r.makespan,
+                utilization: r.utilization(),
+                idle: r.makespan * n as f64 - r.busy.iter().sum::<f64>(),
+            }
         })
         .collect()
 }
@@ -65,11 +86,28 @@ mod tests {
         let ts = TaskSet::lognormal(400, 5.0, 0.4, 3);
         let curve = speedup_curve(SimConfig::encore, &ts, 14);
         assert_eq!(curve.len(), 14);
-        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        assert!((curve[0].speedup - 1.0).abs() < 1e-9);
         for w in curve.windows(2) {
-            assert!(w[1].1 >= w[0].1 - 1e-9, "speed-up should not regress");
+            assert!(
+                w[1].speedup >= w[0].speedup - 1e-9,
+                "speed-up should not regress"
+            );
         }
         // Near-linear at the paper's scale: > 11x on 14 processors.
-        assert!(curve[13].1 > 11.0, "got {}", curve[13].1);
+        assert!(curve[13].speedup > 11.0, "got {}", curve[13].speedup);
+    }
+
+    #[test]
+    fn utilization_and_idle_decompose_the_makespan() {
+        let ts = TaskSet::lognormal(300, 4.0, 0.5, 9);
+        let curve = speedup_curve(SimConfig::encore, &ts, 14);
+        for p in &curve {
+            assert!(p.n >= 1);
+            assert!(p.utilization > 0.0 && p.utilization <= 1.0, "{p:?}");
+            assert!(p.idle >= 0.0, "{p:?}");
+        }
+        // Utilization falls with scale; idle time grows.
+        assert!(curve[13].utilization < curve[0].utilization);
+        assert!(curve[13].idle > curve[0].idle);
     }
 }

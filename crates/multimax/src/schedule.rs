@@ -17,6 +17,15 @@ pub enum Schedule {
 }
 
 impl Schedule {
+    /// Stable lowercase policy name (used in trace and metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Fifo => "fifo",
+            Schedule::Lpt => "lpt",
+            Schedule::Spt => "spt",
+        }
+    }
+
     /// Applies the policy, returning the serving order.
     pub fn order(&self, tasks: &[Task]) -> Vec<Task> {
         let mut v = tasks.to_vec();
@@ -45,6 +54,13 @@ mod tests {
 
     fn tasks() -> Vec<Task> {
         vec![Task::new(0, 5.0), Task::new(1, 50.0), Task::new(2, 1.0)]
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Schedule::Fifo.name(), "fifo");
+        assert_eq!(Schedule::Lpt.name(), "lpt");
+        assert_eq!(Schedule::Spt.name(), "spt");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::task::Task;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use tlp_fault::FaultPlan;
+use tlp_obs::{Category, CounterSeries, Span, Timeline, Track};
 
 /// Simulation configuration.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +66,40 @@ impl SimConfig {
     }
 }
 
+/// One task execution on one worker (simulated seconds). Together with
+/// [`DeathEvent`]s and [`SimResult::fork_ready`] these reconstruct the
+/// complete per-processor schedule — see [`SimResult::timeline`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskExec {
+    /// Task id.
+    pub task: u32,
+    /// Executing worker.
+    pub worker: u32,
+    /// When the worker began waiting on the queue lock for this task.
+    pub queued_at: f64,
+    /// When the worker acquired the queue lock.
+    pub acquired: f64,
+    /// When execution started (lock released).
+    pub started: f64,
+    /// When execution finished.
+    pub finished: f64,
+}
+
+/// A worker death under fault injection (simulated seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeathEvent {
+    /// The worker that died.
+    pub worker: u32,
+    /// Task it was dispatching when it died.
+    pub task: u32,
+    /// When it acquired the queue lock for its fatal dispatch.
+    pub acquired: f64,
+    /// When it crashed (lock released; execution never started).
+    pub died: f64,
+    /// When the control process noticed and requeued the task.
+    pub detected: f64,
+}
+
 /// Result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -91,6 +126,12 @@ pub struct SimResult {
     pub task_retries: u32,
     /// Tasks never completed because every worker died first.
     pub lost_tasks: u32,
+    /// Every task execution, in dispatch order (flight-recorder feed).
+    pub executions: Vec<TaskExec>,
+    /// Worker deaths, in occurrence order (empty without faults).
+    pub deaths: Vec<DeathEvent>,
+    /// Per-worker fork/start-up completion time.
+    pub fork_ready: Vec<f64>,
 }
 
 impl SimResult {
@@ -115,6 +156,70 @@ impl SimResult {
             .copied()
             .fold(f64::INFINITY, f64::min);
         ((self.makespan - earliest) / self.makespan).max(0.0)
+    }
+
+    /// Reconstructs the complete per-processor schedule as a
+    /// [`Timeline`]: one track per worker with fork, lock-wait, dequeue,
+    /// execution, death, and idle spans, plus an outstanding-task counter
+    /// series. Every simulated instant on every worker is attributed to
+    /// some span, so [`Timeline::coverage`] is 1.0 for any run.
+    pub fn timeline(&self, name: &str) -> Timeline {
+        let mut tl = Timeline::new(name, self.makespan);
+        for (w, &ready) in self.fork_ready.iter().enumerate() {
+            let mut spans = Vec::new();
+            if ready > 0.0 {
+                spans.push(Span::new("fork", Category::Sim, 0.0, ready));
+            }
+            let mut cursor = ready;
+            for e in self.executions.iter().filter(|e| e.worker == w as u32) {
+                if e.acquired > cursor {
+                    spans.push(Span::new("wait-queue", Category::Queue, cursor, e.acquired));
+                }
+                if e.started > e.acquired {
+                    spans.push(Span::new("dequeue", Category::Queue, e.acquired, e.started));
+                }
+                spans.push(Span::new(
+                    format!("exec t{}", e.task),
+                    Category::Sim,
+                    e.started,
+                    e.finished,
+                ));
+                cursor = e.finished;
+            }
+            // At most one death per worker, always after its last execution.
+            if let Some(d) = self.deaths.iter().find(|d| d.worker == w as u32) {
+                if d.acquired > cursor {
+                    spans.push(Span::new("wait-queue", Category::Queue, cursor, d.acquired));
+                }
+                if d.died > d.acquired {
+                    spans.push(Span::new("dequeue", Category::Queue, d.acquired, d.died));
+                }
+                spans.push(Span::new(
+                    format!("death t{}", d.task),
+                    Category::Sim,
+                    d.died,
+                    d.detected,
+                ));
+                cursor = d.detected;
+            }
+            if self.makespan > cursor {
+                spans.push(Span::new("idle", Category::Sim, cursor, self.makespan));
+            }
+            tl.tracks.push(Track {
+                name: format!("worker {w}"),
+                spans,
+            });
+        }
+        let total = self.completions.len() + self.lost_tasks as usize;
+        let mut samples = vec![(0.0, total as f64)];
+        for (i, &(_, t)) in self.completions.iter().enumerate() {
+            samples.push((t, (total - i - 1) as f64));
+        }
+        tl.counters.push(CounterSeries {
+            name: "outstanding_tasks".into(),
+            samples,
+        });
+        tl
     }
 }
 
@@ -192,6 +297,9 @@ pub fn simulate_with_faults(cfg: &SimConfig, tasks: &[Task], plan: &FaultPlan) -
     let mut failed_workers = Vec::new();
     let mut task_retries = 0u32;
     let mut lost_tasks = 0u32;
+    let mut executions = Vec::with_capacity(pending.len());
+    let mut death_events = Vec::new();
+    let fork_ready = finishes.clone();
 
     while let Some((task, ready_at)) = pending.pop_front() {
         let Some(Reverse((OrdF64(avail), w))) = heap.pop() else {
@@ -214,6 +322,13 @@ pub fn simulate_with_faults(cfg: &SimConfig, tasks: &[Task], plan: &FaultPlan) -
             let detect = lock_free_at + cfg.death_detection;
             finishes[w as usize] = lock_free_at;
             makespan = makespan.max(detect);
+            death_events.push(DeathEvent {
+                worker: w,
+                task: task.id,
+                acquired,
+                died: lock_free_at,
+                detected: detect,
+            });
             pending.push_front((task, detect));
             continue;
         }
@@ -231,6 +346,14 @@ pub fn simulate_with_faults(cfg: &SimConfig, tasks: &[Task], plan: &FaultPlan) -
         finishes[w as usize] = finish;
         total_work += service;
         completions.push((task.id, finish));
+        executions.push(TaskExec {
+            task: task.id,
+            worker: w,
+            queued_at: avail,
+            acquired,
+            started: lock_free_at,
+            finished: finish,
+        });
         makespan = makespan.max(finish);
         heap.push(Reverse((OrdF64(finish), w)));
     }
@@ -247,6 +370,9 @@ pub fn simulate_with_faults(cfg: &SimConfig, tasks: &[Task], plan: &FaultPlan) -
         failed_workers,
         task_retries,
         lost_tasks,
+        executions,
+        deaths: death_events,
+        fork_ready,
     }
 }
 
@@ -513,6 +639,56 @@ mod tests {
         let stormy = simulate_with_faults(&cfg, &tasks, &storm);
         assert!(stormy.makespan > clean_remote.makespan);
         assert!(stormy.total_work > clean_remote.total_work);
+    }
+
+    #[test]
+    fn executions_reconstruct_the_full_schedule() {
+        let tasks: Vec<Task> = (0..50)
+            .map(|i| Task::new(i, 0.5 + (i % 7) as f64 * 0.3))
+            .collect();
+        let r = simulate(&SimConfig::encore(6), &tasks);
+        assert_eq!(r.executions.len(), 50);
+        assert_eq!(r.fork_ready.len(), 6);
+        // Execution records agree with the aggregate accounting.
+        let busy: f64 = r.executions.iter().map(|e| e.finished - e.started).sum();
+        assert!((busy - r.busy.iter().sum::<f64>()).abs() < 1e-9);
+        for e in &r.executions {
+            assert!(e.queued_at <= e.acquired);
+            assert!(e.acquired <= e.started);
+            assert!(e.started <= e.finished);
+        }
+    }
+
+    #[test]
+    fn timeline_covers_the_whole_makespan() {
+        let tasks: Vec<Task> = (0..80)
+            .map(|i| Task::new(i, 0.2 + (i % 11) as f64 * 0.4))
+            .collect();
+        for n in [1, 4, 9] {
+            let tl = simulate(&SimConfig::encore(n), &tasks).timeline("sim");
+            assert_eq!(tl.tracks.len(), n as usize);
+            assert!(
+                tl.coverage() > 0.999_999,
+                "n={n}: coverage {}",
+                tl.coverage()
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_covers_faulty_runs_too() {
+        let tasks = uniform_tasks(30, 1.0);
+        let plan = FaultPlan::none().with_worker_death(1, 2);
+        let r = simulate_with_faults(&SimConfig::encore(3), &tasks, &plan);
+        assert_eq!(r.deaths.len(), 1);
+        assert_eq!(r.deaths[0].worker, 1);
+        let tl = r.timeline("faulty");
+        assert!(tl.coverage() > 0.999_999, "coverage {}", tl.coverage());
+        // The dead worker's track shows the death span.
+        assert!(tl.tracks[1]
+            .spans
+            .iter()
+            .any(|s| s.name.starts_with("death")));
     }
 
     #[test]

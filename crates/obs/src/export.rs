@@ -1,0 +1,545 @@
+//! Exporters and validators: JSONL event logs and Chrome `trace_event`
+//! JSON.
+//!
+//! Two output formats serve two audiences:
+//!
+//! * **JSONL** (`--trace-out trace.jsonl`): one event per line, in flush
+//!   order, carrying the deterministic logical clock — greppable, diffable,
+//!   and stable across runs at the event-name level.
+//! * **Chrome trace** (`--trace-out trace.json`): a `traceEvents` document
+//!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!   Wall-time recorder events become `B`/`E`/`i`/`C` events; simulated
+//!   [`Timeline`]s become `X` (complete) spans on per-processor tracks.
+//!
+//! The matching validators ([`validate_jsonl`], [`validate_chrome_trace`])
+//! power the `tracecheck` binary and the CI gate: they re-parse emitted
+//! output, check structural invariants (per-thread logical-clock
+//! monotonicity, balanced span nesting), and measure makespan coverage.
+
+use crate::event::{ArgValue, Event, EventKind};
+use crate::json::Json;
+use crate::recorder::Recorder;
+use crate::timeline::Timeline;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Microseconds per simulated second in Chrome output.
+const US_PER_S: f64 = 1e6;
+/// Metadata event name carrying a timeline's makespan for validators.
+const MAKESPAN_META: &str = "tlp_makespan_us";
+
+fn args_json(args: &[(&'static str, ArgValue)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|(k, v)| {
+                let jv = match v {
+                    ArgValue::U64(n) => Json::Num(*n as f64),
+                    ArgValue::F64(n) => Json::Num(*n),
+                    ArgValue::Str(s) => Json::str(s.clone()),
+                };
+                (k.to_string(), jv)
+            })
+            .collect(),
+    )
+}
+
+/// Renders recorder events as JSONL: a header line naming the threads,
+/// then one line per event in flush order.
+pub fn events_to_jsonl(events: &[Event], threads: &[String]) -> String {
+    let mut out = String::new();
+    let header = Json::obj(vec![
+        ("type", Json::str("header")),
+        (
+            "threads",
+            Json::Arr(threads.iter().map(|t| Json::str(t.clone())).collect()),
+        ),
+    ]);
+    out.push_str(&header.write());
+    out.push('\n');
+    for ev in events {
+        let mut fields = vec![
+            ("thread", Json::Num(ev.thread as f64)),
+            ("seq", Json::Num(ev.seq as f64)),
+            ("ts_us", Json::Num(ev.wall_us as f64)),
+            ("cat", Json::str(ev.cat.name())),
+            ("name", Json::str(ev.name.clone())),
+            ("ph", Json::str(ev.kind.chrome_phase())),
+        ];
+        if let EventKind::Counter(v) = ev.kind {
+            fields.push(("value", Json::Num(v)));
+        }
+        if !ev.args.is_empty() {
+            fields.push(("args", args_json(&ev.args)));
+        }
+        out.push_str(&Json::obj(fields).write());
+        out.push('\n');
+    }
+    out
+}
+
+/// A Chrome `trace_event` document under construction: wall-time recorder
+/// events plus any number of simulated-time timelines, each as its own
+/// process.
+#[derive(Debug, Default)]
+pub struct TraceDoc {
+    events: Vec<Json>,
+    next_pid: u32,
+}
+
+impl TraceDoc {
+    /// An empty document.
+    pub fn new() -> TraceDoc {
+        TraceDoc {
+            events: Vec::new(),
+            next_pid: 1,
+        }
+    }
+
+    fn meta(&mut self, pid: u32, tid: u32, name: &str, arg_key: &str, arg: Json) {
+        self.events.push(Json::obj(vec![
+            ("ph", Json::str("M")),
+            ("pid", Json::Num(pid as f64)),
+            ("tid", Json::Num(tid as f64)),
+            ("name", Json::str(name)),
+            ("args", Json::obj(vec![(arg_key, arg)])),
+        ]));
+    }
+
+    /// Adds all flushed events of a recorder as one process (wall-time
+    /// microseconds; one Chrome thread per registered sink).
+    pub fn add_recorder(&mut self, name: &str, rec: &Recorder) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.meta(pid, 0, "process_name", "name", Json::str(name));
+        for (tid, tname) in rec.threads().iter().enumerate() {
+            self.meta(
+                pid,
+                tid as u32,
+                "thread_name",
+                "name",
+                Json::str(tname.clone()),
+            );
+        }
+        for ev in rec.events() {
+            let mut fields = vec![
+                ("ph", Json::str(ev.kind.chrome_phase())),
+                ("pid", Json::Num(pid as f64)),
+                ("tid", Json::Num(ev.thread as f64)),
+                ("ts", Json::Num(ev.wall_us as f64)),
+                ("cat", Json::str(ev.cat.name())),
+                ("name", Json::str(ev.name.clone())),
+            ];
+            match ev.kind {
+                EventKind::Counter(v) => {
+                    fields.push(("args", Json::obj(vec![("value", Json::Num(v))])));
+                }
+                EventKind::Instant => {
+                    fields.push(("s", Json::str("t")));
+                    if !ev.args.is_empty() {
+                        fields.push(("args", args_json(&ev.args)));
+                    }
+                }
+                _ => {
+                    if !ev.args.is_empty() {
+                        fields.push(("args", args_json(&ev.args)));
+                    }
+                }
+            }
+            self.events.push(Json::obj(fields));
+        }
+        pid
+    }
+
+    /// Adds a simulated-time timeline as one process: each track becomes a
+    /// Chrome thread of `X` (complete) events, counters become `C` events,
+    /// and the makespan is recorded as metadata for validators.
+    pub fn add_timeline(&mut self, tl: &Timeline) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.meta(pid, 0, "process_name", "name", Json::str(tl.name.clone()));
+        self.meta(
+            pid,
+            0,
+            MAKESPAN_META,
+            "value",
+            Json::Num(tl.makespan * US_PER_S),
+        );
+        for (tid, track) in tl.tracks.iter().enumerate() {
+            self.meta(
+                pid,
+                tid as u32,
+                "thread_name",
+                "name",
+                Json::str(track.name.clone()),
+            );
+            for span in &track.spans {
+                self.events.push(Json::obj(vec![
+                    ("ph", Json::str("X")),
+                    ("pid", Json::Num(pid as f64)),
+                    ("tid", Json::Num(tid as f64)),
+                    ("ts", Json::Num(span.start * US_PER_S)),
+                    ("dur", Json::Num(span.dur() * US_PER_S)),
+                    ("cat", Json::str(span.cat.name())),
+                    ("name", Json::str(span.name.clone())),
+                ]));
+            }
+        }
+        for (i, series) in tl.counters.iter().enumerate() {
+            let tid = (tl.tracks.len() + i) as u32;
+            for &(t, v) in &series.samples {
+                self.events.push(Json::obj(vec![
+                    ("ph", Json::str("C")),
+                    ("pid", Json::Num(pid as f64)),
+                    ("tid", Json::Num(tid as f64)),
+                    ("ts", Json::Num(t * US_PER_S)),
+                    ("name", Json::str(series.name.clone())),
+                    ("args", Json::obj(vec![("value", Json::Num(v))])),
+                ]));
+            }
+        }
+        pid
+    }
+
+    /// Serialises the document as Chrome `trace_event` JSON.
+    pub fn write(&self) -> String {
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(self.events.clone())),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+        .write()
+    }
+}
+
+/// What a validator learned about a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSummary {
+    /// Total events (JSONL: event lines; Chrome: `traceEvents` entries).
+    pub events: usize,
+    /// Distinct processes (Chrome) or threads (JSONL).
+    pub processes: usize,
+    /// Span-shaped events (`B` + `X`).
+    pub span_events: usize,
+    /// Union-of-spans coverage of the simulated makespan, when the trace
+    /// declares one (Chrome traces built from timelines). Minimum across
+    /// declared timelines.
+    pub coverage: Option<f64>,
+    /// Largest timestamp seen, in microseconds.
+    pub max_ts_us: f64,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} processes, {} spans, max ts {:.0} us",
+            self.events, self.processes, self.span_events, self.max_ts_us
+        )?;
+        if let Some(c) = self.coverage {
+            write!(f, ", makespan coverage {:.2}%", c * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fraction of `[0, makespan_us]` covered by the union of `spans`
+/// (`(start, end)` pairs in microseconds).
+fn union_coverage(mut spans: Vec<(f64, f64)>, makespan_us: f64) -> f64 {
+    if makespan_us <= 0.0 {
+        return 1.0;
+    }
+    spans.retain(|(a, b)| b > a);
+    for s in &mut spans {
+        s.0 = s.0.max(0.0);
+        s.1 = s.1.min(makespan_us);
+    }
+    spans.retain(|(a, b)| b > a);
+    spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut covered = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (a, b) in spans {
+        match &mut cur {
+            Some((_, ce)) if a <= *ce => *ce = ce.max(b),
+            _ => {
+                if let Some((cs, ce)) = cur.take() {
+                    covered += ce - cs;
+                }
+                cur = Some((a, b));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        covered += ce - cs;
+    }
+    (covered / makespan_us).min(1.0)
+}
+
+/// Validates a JSONL event log: header line first, every event line must
+/// parse, and each thread's logical clock (`seq`) must be strictly
+/// increasing in flush order.
+pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty JSONL log")?;
+    let header = Json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("header") {
+        return Err("line 1: missing JSONL header".to_string());
+    }
+    let declared_threads = header
+        .get("threads")
+        .and_then(Json::as_arr)
+        .ok_or("line 1: header lacks threads array")?
+        .len();
+
+    let mut last_seq: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut events = 0usize;
+    let mut span_events = 0usize;
+    let mut max_ts = 0.0f64;
+    for (idx, line) in lines {
+        let n = idx + 1;
+        let ev = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let thread = ev
+            .get("thread")
+            .and_then(Json::as_f64)
+            .ok_or(format!("line {n}: missing thread"))? as u64;
+        let seq = ev
+            .get("seq")
+            .and_then(Json::as_f64)
+            .ok_or(format!("line {n}: missing seq"))? as u64;
+        let ts = ev
+            .get("ts_us")
+            .and_then(Json::as_f64)
+            .ok_or(format!("line {n}: missing ts_us"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {n}: missing ph"))?;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {n}: missing name"))?;
+        if thread as usize >= declared_threads {
+            return Err(format!("line {n}: thread {thread} not declared in header"));
+        }
+        if let Some(&prev) = last_seq.get(&thread) {
+            if seq <= prev {
+                return Err(format!(
+                    "line {n}: thread {thread} logical clock not monotone ({prev} then {seq})"
+                ));
+            }
+        }
+        last_seq.insert(thread, seq);
+        events += 1;
+        if ph == "B" || ph == "X" {
+            span_events += 1;
+        }
+        max_ts = max_ts.max(ts);
+    }
+    Ok(TraceSummary {
+        events,
+        processes: last_seq.len(),
+        span_events,
+        coverage: None,
+        max_ts_us: max_ts,
+    })
+}
+
+/// Validates a Chrome `trace_event` document: well-formed JSON with a
+/// `traceEvents` array, required fields per event, balanced `B`/`E`
+/// nesting per `(pid, tid)`, and — when makespan metadata is present —
+/// union-of-spans coverage of each declared makespan.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    let mut open: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut pids: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut makespans: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut begin_ts: BTreeMap<(u64, u64), Vec<f64>> = BTreeMap::new();
+    let mut span_events = 0usize;
+    let mut max_ts = 0.0f64;
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing pid"))? as u64;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing tid"))? as u64;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing name"))?;
+        pids.entry(pid).or_default();
+        if ph == "M" {
+            if ev.get("name").and_then(Json::as_str) == Some(MAKESPAN_META) {
+                let us = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: {MAKESPAN_META} without value"))?;
+                makespans.insert(pid, us);
+            }
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing ts"))?;
+        max_ts = max_ts.max(ts);
+        match ph {
+            "B" => {
+                span_events += 1;
+                *open.entry((pid, tid)).or_insert(0) += 1;
+                begin_ts.entry((pid, tid)).or_default().push(ts);
+            }
+            "E" => {
+                let depth = open.entry((pid, tid)).or_insert(0);
+                if *depth == 0 {
+                    return Err(format!(
+                        "event {i}: E without matching B on pid {pid} tid {tid}"
+                    ));
+                }
+                *depth -= 1;
+                if let Some(start) = begin_ts.entry((pid, tid)).or_default().pop() {
+                    pids.entry(pid).or_default().push((start, ts));
+                }
+            }
+            "X" => {
+                span_events += 1;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: X event missing dur"))?;
+                max_ts = max_ts.max(ts + dur);
+                pids.entry(pid).or_default().push((ts, ts + dur));
+            }
+            "i" | "C" => {}
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+
+    for ((pid, tid), depth) in &open {
+        if *depth != 0 {
+            return Err(format!(
+                "unbalanced spans: {depth} unclosed B on pid {pid} tid {tid}"
+            ));
+        }
+    }
+
+    let coverage = makespans
+        .iter()
+        .map(|(pid, &us)| union_coverage(pids.get(pid).cloned().unwrap_or_default(), us))
+        .fold(None, |acc: Option<f64>, c| {
+            Some(acc.map_or(c, |a| a.min(c)))
+        });
+
+    Ok(TraceSummary {
+        events: events.len(),
+        processes: pids.len(),
+        span_events,
+        coverage,
+        max_ts_us: max_ts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+    use crate::timeline::{Span, Track};
+    #[cfg(feature = "recorder")]
+    use crate::ObsLevel;
+
+    #[cfg(feature = "recorder")]
+    fn sample_recorder() -> std::sync::Arc<Recorder> {
+        let rec = Recorder::new(ObsLevel::Full);
+        let mut sink = rec.sink("control");
+        sink.begin(Category::Phase, "lcc", vec![("level", 2u64.into())]);
+        sink.instant(Category::Task, "task.enqueue", vec![("task", 0u64.into())]);
+        sink.counter(Category::Queue, "queue.depth", 3.0);
+        sink.end(Category::Phase, "lcc", vec![]);
+        sink.flush();
+        rec
+    }
+
+    #[test]
+    #[cfg(feature = "recorder")]
+    fn jsonl_round_trip_validates() {
+        let rec = sample_recorder();
+        let text = events_to_jsonl(&rec.events(), &rec.threads());
+        let sum = validate_jsonl(&text).unwrap();
+        assert_eq!(sum.events, 4);
+        assert_eq!(sum.processes, 1);
+        assert_eq!(sum.span_events, 1);
+    }
+
+    #[test]
+    #[cfg(feature = "recorder")]
+    fn jsonl_detects_clock_regression() {
+        let rec = sample_recorder();
+        let mut evs = rec.events();
+        evs[3].seq = 1; // duplicate of the first event's clock
+        let text = events_to_jsonl(&evs, &rec.threads());
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    #[cfg(feature = "recorder")]
+    fn chrome_trace_round_trips() {
+        let rec = sample_recorder();
+        let mut tl = Timeline::new("sim", 4.0);
+        tl.tracks.push(Track {
+            name: "worker 0".into(),
+            spans: vec![
+                Span::new("fork", Category::Sim, 0.0, 1.0),
+                Span::new("exec t0", Category::Sim, 1.0, 4.0),
+            ],
+        });
+        let mut doc = TraceDoc::new();
+        doc.add_recorder("spamctl", &rec);
+        doc.add_timeline(&tl);
+        let text = doc.write();
+        let sum = validate_chrome_trace(&text).unwrap();
+        assert_eq!(sum.processes, 2);
+        assert!(sum.span_events >= 3);
+        assert!((sum.coverage.unwrap() - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn chrome_validator_rejects_unbalanced_spans() {
+        let text = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":0,"ts":0,"name":"a"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("unclosed"), "{err}");
+
+        let text = r#"{"traceEvents":[
+            {"ph":"E","pid":1,"tid":0,"ts":0,"name":"a"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("without matching B"), "{err}");
+    }
+
+    #[test]
+    fn coverage_reflects_gaps() {
+        let mut tl = Timeline::new("gappy", 10.0);
+        tl.tracks.push(Track {
+            name: "w0".into(),
+            spans: vec![Span::new("exec", Category::Sim, 0.0, 4.0)],
+        });
+        let mut doc = TraceDoc::new();
+        doc.add_timeline(&tl);
+        let sum = validate_chrome_trace(&doc.write()).unwrap();
+        assert!((sum.coverage.unwrap() - 0.4).abs() < 1e-9, "{sum}");
+    }
+}

@@ -1,0 +1,108 @@
+//! # tlp-obs — the flight recorder
+//!
+//! The paper's whole argument is built from *measurement*: Tables 5–8 and
+//! the §5.2 speed-up curves come from instrumented task timings, queue
+//! waits, and match fractions. This crate is the reproduction's measurement
+//! substrate — a structured, low-overhead observability layer shared by the
+//! OPS5 engine, the SPAM/PSM supervisor, the threaded matcher, and the
+//! Multimax simulator:
+//!
+//! * [`Recorder`] — a lock-light event sink. Each emitting thread owns a
+//!   [`ThreadSink`] with a private buffer and a deterministic per-thread
+//!   logical clock; buffers flush into the shared recorder only at flush
+//!   points (or drop), so the hot path never takes a lock. Every event
+//!   carries the logical clock *and* wall time.
+//! * [`MetricsRegistry`] — named counters, gauges, and log-scale
+//!   [`Histogram`]s with per-phase snapshots (queue wait, service time,
+//!   match fraction, retries, utilization).
+//! * Exporters ([`export`]) — a JSONL event log, Chrome `trace_event` JSON
+//!   (loadable in `chrome://tracing` / Perfetto), and an ASCII per-processor
+//!   Gantt chart ([`Timeline::gantt`]).
+//! * A dependency-free JSON [`json`] parser/writer used by the exporters,
+//!   the `tracecheck` validator, and the round-trip tests.
+//!
+//! ## Cost model
+//!
+//! Observability must never distort what it observes. Three tiers:
+//!
+//! 1. **Feature-gated**: building without the `recorder` feature turns
+//!    [`ThreadSink::enabled`] into a constant `false`, so every emit site
+//!    downstream compiles away entirely.
+//! 2. **Runtime level**: with the feature on, [`ObsLevel::Off`] reduces an
+//!    emit to one relaxed atomic load and a branch.
+//! 3. **Deterministic accounting is separate**: the engine's work-unit
+//!    counters (`ops5::instrument`) never flow through the recorder, so
+//!    work totals are bit-identical at any level.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod timeline;
+
+pub use event::{ArgValue, Category, Event, EventKind};
+pub use export::{events_to_jsonl, validate_chrome_trace, validate_jsonl, TraceDoc, TraceSummary};
+pub use metrics::{Histogram, Metric, MetricsRegistry, Snapshot};
+pub use recorder::{Recorder, ThreadSink};
+pub use timeline::{CounterSeries, Span, Timeline, Track};
+
+use std::fmt;
+
+/// How much the flight recorder captures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Record nothing; emit sites reduce to one relaxed load + branch.
+    #[default]
+    Off = 0,
+    /// Record phase-level spans and supervisor verdicts; keep metrics.
+    Summary = 1,
+    /// Record everything, including per-cycle engine events.
+    Full = 2,
+}
+
+impl ObsLevel {
+    /// Parses `off` / `summary` / `full`.
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s {
+            "off" => Some(ObsLevel::Off),
+            "summary" => Some(ObsLevel::Summary),
+            "full" => Some(ObsLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of the level.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Summary => "summary",
+            ObsLevel::Full => "full",
+        }
+    }
+}
+
+impl fmt::Display for ObsLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(ObsLevel::parse("off"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::parse("summary"), Some(ObsLevel::Summary));
+        assert_eq!(ObsLevel::parse("full"), Some(ObsLevel::Full));
+        assert_eq!(ObsLevel::parse("verbose"), None);
+        assert!(ObsLevel::Off < ObsLevel::Summary);
+        assert!(ObsLevel::Summary < ObsLevel::Full);
+        assert_eq!(ObsLevel::Full.to_string(), "full");
+    }
+}

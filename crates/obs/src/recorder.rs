@@ -1,0 +1,306 @@
+//! The lock-light event sink.
+//!
+//! A [`Recorder`] is shared (behind `Arc`) by every instrumented subsystem
+//! of one run. Emitting threads register a [`ThreadSink`]; each sink owns a
+//! private event buffer and a deterministic logical clock, so emitting an
+//! event is: one relaxed atomic load (level check), one clock increment,
+//! one `Vec::push`. The shared mutex is touched only when a sink flushes
+//! (explicitly or on drop).
+
+use crate::event::{ArgValue, Category, Event, EventKind};
+use crate::ObsLevel;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Interior state shared by all sinks of one recorder.
+struct Shared {
+    /// Flushed events, in flush order (exporters re-sort as needed).
+    events: Vec<Event>,
+    /// Thread names, indexed by thread ordinal.
+    threads: Vec<String>,
+}
+
+/// The shared flight recorder for one run.
+pub struct Recorder {
+    level: AtomicU8,
+    epoch: Instant,
+    shared: Mutex<Shared>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("level", &self.level())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder at `level`. The epoch (wall-time zero) is now.
+    pub fn new(level: ObsLevel) -> Arc<Recorder> {
+        Arc::new(Recorder {
+            level: AtomicU8::new(level as u8),
+            epoch: Instant::now(),
+            shared: Mutex::new(Shared {
+                events: Vec::new(),
+                threads: Vec::new(),
+            }),
+        })
+    }
+
+    /// A recorder that records nothing (convenient default argument).
+    pub fn off() -> Arc<Recorder> {
+        Recorder::new(ObsLevel::Off)
+    }
+
+    /// Current recording level.
+    pub fn level(&self) -> ObsLevel {
+        match self.level.load(Ordering::Relaxed) {
+            0 => ObsLevel::Off,
+            1 => ObsLevel::Summary,
+            _ => ObsLevel::Full,
+        }
+    }
+
+    /// Changes the recording level mid-run.
+    pub fn set_level(&self, level: ObsLevel) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// True when events at `at` (or coarser) should be recorded. With the
+    /// `recorder` feature off this is a constant `false` and every guarded
+    /// emit site folds away.
+    #[inline]
+    pub fn enabled(&self, at: ObsLevel) -> bool {
+        #[cfg(not(feature = "recorder"))]
+        {
+            let _ = at;
+            false
+        }
+        #[cfg(feature = "recorder")]
+        {
+            self.level.load(Ordering::Relaxed) >= at as u8
+        }
+    }
+
+    /// Registers an emitting thread, returning its private sink. Thread
+    /// ordinals are assigned in registration order.
+    pub fn sink(self: &Arc<Self>, name: impl Into<String>) -> ThreadSink {
+        let thread = {
+            let mut sh = self.shared.lock().unwrap();
+            sh.threads.push(name.into());
+            (sh.threads.len() - 1) as u32
+        };
+        ThreadSink {
+            rec: Arc::clone(self),
+            thread,
+            seq: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Microseconds since the recorder epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Snapshot of all flushed events (sinks must be flushed/dropped first
+    /// to see their buffered tail).
+    pub fn events(&self) -> Vec<Event> {
+        self.shared.lock().unwrap().events.clone()
+    }
+
+    /// Registered thread names, indexed by thread ordinal.
+    pub fn threads(&self) -> Vec<String> {
+        self.shared.lock().unwrap().threads.clone()
+    }
+
+    /// Total flushed events.
+    pub fn len(&self) -> usize {
+        self.shared.lock().unwrap().events.len()
+    }
+
+    /// True when no events have been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-thread emitting handle: private buffer + deterministic logical
+/// clock. Flushes its buffer into the recorder on [`ThreadSink::flush`] or
+/// drop.
+pub struct ThreadSink {
+    rec: Arc<Recorder>,
+    thread: u32,
+    seq: u64,
+    buf: Vec<Event>,
+}
+
+impl ThreadSink {
+    /// The owning recorder.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.rec
+    }
+
+    /// This sink's thread ordinal.
+    pub fn thread(&self) -> u32 {
+        self.thread
+    }
+
+    /// Current value of this sink's logical clock (the `seq` of the last
+    /// emitted event; 0 before any emit).
+    pub fn clock(&self) -> u64 {
+        self.seq
+    }
+
+    /// True when events at `at` should be emitted (see
+    /// [`Recorder::enabled`]).
+    #[inline]
+    pub fn enabled(&self, at: ObsLevel) -> bool {
+        self.rec.enabled(at)
+    }
+
+    /// Emits one event (unconditionally — call [`ThreadSink::enabled`]
+    /// first on hot paths to skip argument construction).
+    pub fn emit(
+        &mut self,
+        cat: Category,
+        name: impl Into<String>,
+        kind: EventKind,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        #[cfg(not(feature = "recorder"))]
+        {
+            let _ = (cat, name.into(), kind, args);
+        }
+        #[cfg(feature = "recorder")]
+        {
+            if !self.rec.enabled(ObsLevel::Summary) {
+                return;
+            }
+            self.seq += 1;
+            self.buf.push(Event {
+                thread: self.thread,
+                seq: self.seq,
+                wall_us: self.rec.now_us(),
+                cat,
+                name: name.into(),
+                kind,
+                args,
+            });
+        }
+    }
+
+    /// Emits an instant event.
+    pub fn instant(
+        &mut self,
+        cat: Category,
+        name: impl Into<String>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.emit(cat, name, EventKind::Instant, args);
+    }
+
+    /// Opens a span.
+    pub fn begin(
+        &mut self,
+        cat: Category,
+        name: impl Into<String>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.emit(cat, name, EventKind::SpanBegin, args);
+    }
+
+    /// Closes the most recent open span.
+    pub fn end(
+        &mut self,
+        cat: Category,
+        name: impl Into<String>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.emit(cat, name, EventKind::SpanEnd, args);
+    }
+
+    /// Emits a counter sample.
+    pub fn counter(&mut self, cat: Category, name: impl Into<String>, value: f64) {
+        self.emit(cat, name, EventKind::Counter(value), Vec::new());
+    }
+
+    /// Number of events buffered but not yet flushed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pushes the private buffer into the shared recorder.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut sh = self.rec.shared.lock().unwrap();
+        sh.events.append(&mut self.buf);
+    }
+}
+
+impl Drop for ThreadSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_emits_nothing() {
+        let rec = Recorder::off();
+        let mut sink = rec.sink("t0");
+        assert!(!sink.enabled(ObsLevel::Summary));
+        sink.instant(Category::Task, "task.start", vec![("task", 1u64.into())]);
+        sink.counter(Category::Queue, "queue.depth", 4.0);
+        assert_eq!(sink.buffered(), 0);
+        drop(sink);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    #[cfg(feature = "recorder")]
+    fn summary_level_drops_nothing_it_accepted() {
+        let rec = Recorder::new(ObsLevel::Summary);
+        let mut sink = rec.sink("control");
+        sink.begin(Category::Phase, "lcc", vec![]);
+        sink.end(Category::Phase, "lcc", vec![("firings", 10u64.into())]);
+        sink.flush();
+        let evs = rec.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 1);
+        assert_eq!(evs[1].seq, 2);
+        assert_eq!(rec.threads(), vec!["control".to_string()]);
+    }
+
+    #[test]
+    #[cfg(feature = "recorder")]
+    fn level_can_change_mid_run() {
+        let rec = Recorder::new(ObsLevel::Off);
+        let mut sink = rec.sink("t");
+        sink.instant(Category::Task, "dropped", vec![]);
+        rec.set_level(ObsLevel::Full);
+        assert!(rec.enabled(ObsLevel::Full));
+        sink.instant(Category::Task, "kept", vec![]);
+        sink.flush();
+        let evs = rec.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "kept");
+    }
+
+    #[test]
+    fn sinks_get_distinct_ordinals() {
+        let rec = Recorder::new(ObsLevel::Full);
+        let a = rec.sink("a");
+        let b = rec.sink("b");
+        assert_eq!(a.thread(), 0);
+        assert_eq!(b.thread(), 1);
+        assert_eq!(rec.threads(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -14,6 +14,7 @@ use crate::wme::{TimeTag, WmStore, Wme, WmeId};
 use crate::{Error, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
+use tlp_obs::{Category, ObsLevel, ThreadSink};
 
 /// Side effects collected from an external-function call.
 ///
@@ -83,6 +84,10 @@ pub struct Engine {
     log_snapshot: WorkCounters,
     gensym: u64,
     strategy: Strategy,
+    /// Optional flight-recorder sink. Deterministic work accounting
+    /// (`base_work`, the cycle log) never flows through this — it only adds
+    /// trace events, so work totals are identical with or without it.
+    obs: Option<ThreadSink>,
 }
 
 impl Engine {
@@ -137,6 +142,7 @@ impl Engine {
             log_snapshot: WorkCounters::default(),
             gensym: 0,
             strategy,
+            obs: None,
         }
     }
 
@@ -168,6 +174,20 @@ impl Engine {
     /// Overrides the program's conflict-resolution strategy.
     pub fn set_strategy(&mut self, s: Strategy) {
         self.strategy = s;
+    }
+
+    /// Attaches a flight-recorder sink. At [`ObsLevel::Summary`] each
+    /// [`Engine::run`] becomes one span; at [`ObsLevel::Full`] every
+    /// recognize–act cycle additionally emits a `cycle.fire` instant event.
+    /// Trace-only: work counters are unaffected at any level.
+    pub fn set_obs(&mut self, sink: ThreadSink) {
+        self.obs = Some(sink);
+    }
+
+    /// Detaches the flight-recorder sink (flushing is the caller's /
+    /// drop's job).
+    pub fn take_obs(&mut self) -> Option<ThreadSink> {
+        self.obs.take()
     }
 
     /// Starts recording per-cycle statistics. Match work done between this
@@ -267,6 +287,29 @@ impl Engine {
 
     /// Runs the recognize–act cycle for at most `limit` firings.
     pub fn run(&mut self, limit: u64) -> RunOutcome {
+        let tracing = self
+            .obs
+            .as_mut()
+            .filter(|s| s.enabled(ObsLevel::Summary))
+            .map(|s| s.begin(Category::Cycle, "engine.run", vec![("limit", limit.into())]))
+            .is_some();
+        let outcome = self.run_inner(limit);
+        if tracing {
+            if let Some(sink) = &mut self.obs {
+                sink.end(
+                    Category::Cycle,
+                    "engine.run",
+                    vec![
+                        ("firings", outcome.firings.into()),
+                        ("halted", u64::from(outcome.halted).into()),
+                    ],
+                );
+            }
+        }
+        outcome
+    }
+
+    fn run_inner(&mut self, limit: u64) -> RunOutcome {
         let mut firings = 0;
         while firings < limit {
             match self.step() {
@@ -336,6 +379,20 @@ impl Engine {
                 act_units: act_delta.act_units,
                 external_units: act_delta.external_units,
             });
+        }
+        // Trace the cycle at Full. One Option check + one relaxed load when
+        // disabled; the deterministic counters above never depend on this.
+        if let Some(sink) = &mut self.obs {
+            if sink.enabled(ObsLevel::Full) {
+                sink.instant(
+                    Category::Cycle,
+                    "cycle.fire",
+                    vec![
+                        ("production", u64::from(prod_idx).into()),
+                        ("conflict_len", (self.conflict.len() as u64).into()),
+                    ],
+                );
+            }
         }
         Ok(Some(prod_idx))
     }
@@ -747,6 +804,49 @@ mod tests {
         assert!(w.resolve_units > 0);
         assert!(w.total_units() > 0);
         assert!(w.match_fraction() > 0.0 && w.match_fraction() < 1.0);
+    }
+
+    #[test]
+    fn obs_sink_traces_without_touching_work() {
+        let src = "(literalize count n)
+             (p up (count ^n { <n> <= 5 }) --> (modify 1 ^n (compute <n> + 1)))";
+
+        let mut plain = engine(src);
+        plain.make_wme("count", &[("n", 0.into())]).unwrap();
+        let out_plain = plain.run(100);
+
+        let rec = tlp_obs::Recorder::new(tlp_obs::ObsLevel::Full);
+        let mut traced = engine(src);
+        traced.set_obs(rec.sink("engine"));
+        traced.make_wme("count", &[("n", 0.into())]).unwrap();
+        let out_traced = traced.run(100);
+
+        // Work accounting is identical with the recorder attached.
+        assert_eq!(out_plain, out_traced);
+        assert_eq!(plain.work(), traced.work());
+
+        drop(traced.take_obs()); // flush
+        let events = rec.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"engine.run"));
+        assert_eq!(
+            names.iter().filter(|n| **n == "cycle.fire").count() as u64,
+            out_traced.firings
+        );
+    }
+
+    #[test]
+    fn obs_off_emits_nothing() {
+        let rec = tlp_obs::Recorder::off();
+        let mut e = engine(
+            "(literalize count n)
+             (p up (count ^n { <n> <= 5 }) --> (modify 1 ^n (compute <n> + 1)))",
+        );
+        e.set_obs(rec.sink("engine"));
+        e.make_wme("count", &[("n", 0.into())]).unwrap();
+        e.run(100);
+        drop(e.take_obs());
+        assert!(rec.is_empty());
     }
 
     #[test]

@@ -50,6 +50,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tlp_fault::{FaultPlan, SuperviseError};
+use tlp_obs::{Category, ObsLevel, ThreadSink};
 
 enum Req {
     Add(WmeId, Arc<Wme>),
@@ -191,6 +192,9 @@ pub struct ThreadedMatcher {
     failure: Option<String>,
     work: WorkCounters,
     chunks: u32,
+    /// Optional flight-recorder sink (control side). Match-work accounting
+    /// never flows through it, so results are identical with or without it.
+    obs: Option<ThreadSink>,
 }
 
 impl ThreadedMatcher {
@@ -227,6 +231,7 @@ impl ThreadedMatcher {
             failure: None,
             work: WorkCounters::default(),
             chunks: 0,
+            obs: None,
         };
         for w in 0..n_workers {
             let subset: Arc<Vec<CompiledProduction>> = Arc::new(
@@ -277,6 +282,21 @@ impl ThreadedMatcher {
     /// What the pool has survived so far.
     pub fn report(&self) -> &MatchPoolReport {
         &self.report
+    }
+
+    /// Attaches a flight-recorder sink. Flush barriers and worker
+    /// deaths/recoveries become `Match`-category events at `Full` level.
+    pub fn set_obs(&mut self, sink: ThreadSink) {
+        self.obs = Some(sink);
+    }
+
+    /// Detaches the flight-recorder sink, flushing its buffered events.
+    pub fn take_obs(&mut self) -> Option<ThreadSink> {
+        let mut sink = self.obs.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
     }
 
     fn broadcast(&mut self, delta: Delta) {
@@ -341,6 +361,13 @@ impl ThreadedMatcher {
     /// events to forward to the engine.
     fn recover(&mut self, idx: usize) -> Vec<MatchEvent> {
         self.report.deaths += 1;
+        if let Some(s) = self.obs.as_mut().filter(|s| s.enabled(ObsLevel::Full)) {
+            s.instant(
+                Category::Match,
+                "match.death",
+                vec![("worker", (idx as u64).into())],
+            );
+        }
         let subset = Arc::clone(&self.slots[idx].subset);
         let n_prods = subset.len();
         let mut policy = self.opts.recovery;
@@ -355,6 +382,16 @@ impl ThreadedMatcher {
             RecoveryPolicy::Respawn => {
                 self.report.respawns += 1;
                 if let Some((slot, net)) = self.respawn(Arc::clone(&subset)) {
+                    if let Some(s) = self.obs.as_mut().filter(|s| s.enabled(ObsLevel::Full)) {
+                        s.instant(
+                            Category::Match,
+                            "match.respawn",
+                            vec![
+                                ("worker", (idx as u64).into()),
+                                ("deltas_replayed", (self.log.len() as u64).into()),
+                            ],
+                        );
+                    }
                     self.report.warnings.push(format!(
                         "worker {idx} died; respawned and replayed {} deltas ({n_prods} productions)",
                         self.log.len()
@@ -392,6 +429,13 @@ impl ThreadedMatcher {
 
     fn degrade_slot(&mut self, idx: usize) -> Vec<MatchEvent> {
         self.report.degraded += 1;
+        if let Some(s) = self.obs.as_mut().filter(|s| s.enabled(ObsLevel::Full)) {
+            s.instant(
+                Category::Match,
+                "match.degrade",
+                vec![("worker", (idx as u64).into())],
+            );
+        }
         let subset = Arc::clone(&self.slots[idx].subset);
         let (iw, net) = self.replay_inline(&subset);
         self.report.warnings.push(format!(
@@ -453,6 +497,22 @@ impl ThreadedMatcher {
             self.chunks += iw.rete.take_chunks();
         }
         self.work = total;
+        if let Some(s) = self.obs.as_mut().filter(|s| s.enabled(ObsLevel::Full)) {
+            let live = self
+                .slots
+                .iter()
+                .filter(|sl| sl.state == SlotState::Live)
+                .count()
+                + self.inline.len();
+            s.instant(
+                Category::Match,
+                "match.flush",
+                vec![
+                    ("events", (events.len() as u64).into()),
+                    ("workers", (live as u64).into()),
+                ],
+            );
+        }
         events
     }
 }
@@ -726,6 +786,33 @@ mod tests {
         let out = e.run(10_000);
         let err = out.error.expect("fail policy must surface an error");
         assert!(err.contains("died"), "{err}");
+    }
+
+    /// With a flight recorder attached, flush barriers and recoveries
+    /// appear as Match-category events — and the run result is unchanged.
+    #[test]
+    fn obs_records_flushes_and_recoveries() {
+        use tlp_obs::{ObsLevel, Recorder};
+        let (seq_firings, seq_wm) = run_with(None);
+        let rec = Recorder::new(ObsLevel::Full);
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let opts = MatchPoolOptions {
+            fault_plan: FaultPlan::seeded(11).with_worker_death(1, 1),
+            recovery: RecoveryPolicy::Respawn,
+            ..MatchPoolOptions::default()
+        };
+        let mut m = ThreadedMatcher::with_options(&program, &compiled, 3, opts).unwrap();
+        m.set_obs(rec.sink("match-pool"));
+        let mut e = Engine::with_matcher(Arc::clone(&program), compiled, Box::new(m));
+        let (firings, wm) = drive(&mut e);
+        assert_eq!(firings, seq_firings);
+        assert_eq!(wm, seq_wm);
+        drop(e); // drops the matcher; its sink flushes
+        let names: Vec<String> = rec.events().into_iter().map(|ev| ev.name).collect();
+        assert!(names.iter().any(|n| n == "match.flush"), "{names:?}");
+        assert!(names.iter().any(|n| n == "match.death"), "{names:?}");
+        assert!(names.iter().any(|n| n == "match.respawn"), "{names:?}");
     }
 
     /// The pool's report records deaths and recoveries; driving the
