@@ -1,0 +1,51 @@
+//! Speedup-doctor bench: runs the LCC phase under the match-level profiler,
+//! builds the Amdahl speed-up-attribution report (hot productions, gap
+//! decomposition, critical chain, predicted-vs-measured combined speed-ups)
+//! and writes it as `BENCH_profile.json`. The CI perf-smoke job uploads the
+//! file and `EXPERIMENTS.md` records a reference run.
+//!
+//! ```sh
+//! cargo run --release --bin bench_profile [-- out.json]
+//! ```
+
+use paraops5::costmodel::CostModel;
+use spam::lcc::Level;
+use spam_psm::attribution::build_report;
+use spam_psm::measure::profiled_lcc;
+use spam_psm::trace::lcc_trace;
+use tlp_bench::{header, Prepared};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_profile.json".into());
+    header("Speedup doctor — match-level profile + gap attribution (DC, LCC Level 2)");
+    let p = Prepared::new(spam::datasets::dc());
+
+    let (row, profile, phase) = profiled_lcc(&p.sp, &p.scene, &p.fragments, Level::L2);
+    println!(
+        "LCC: {} tasks, {} firings, {:.0} simulated s",
+        row.tasks, row.prods_fired, row.total_seconds
+    );
+    let Some(profile) = profile else {
+        eprintln!("bench_profile requires the ops5 `profiler` feature (on by default)");
+        std::process::exit(1);
+    };
+
+    let trace = lcc_trace(&phase);
+    let report = build_report(
+        p.scene.name.clone(),
+        "LCC Level 2",
+        profile,
+        &trace,
+        &[2, 6, 10, 14],
+        &[(2, 1), (4, 1), (4, 2), (6, 2)],
+        &CostModel::default(),
+        10,
+    );
+    println!();
+    print!("{report}");
+
+    std::fs::write(&out, report.to_json().write()).expect("write profile json");
+    println!("\nwrote {out}");
+}

@@ -7,9 +7,16 @@
 //! `(Task_4, Match_2)` achieved 5.82 vs predicted 5.96). Cells whose
 //! processor demand exceeds the 16-processor Encore are starred out, as in
 //! the paper.
+//!
+//! The run executes LCC under the match-level profiler, so below the grid
+//! it also prints the *profiler-driven* prediction for each in-budget
+//! cell: TLP speed-up × Amdahl over the profiler's measured aggregate
+//! match fraction — the §6.4 multiplicative claim checked from counters
+//! alone (`spam_psm::attribution::predicted_from_match_fraction`).
 
 use paraops5::costmodel::CostModel;
-use spam::lcc::Level;
+use spam::lcc::{run_lcc_profiled, Level};
+use spam_psm::attribution::predicted_from_match_fraction;
 use spam_psm::combined::combined_grid;
 use spam_psm::trace::lcc_trace;
 use tlp_bench::{header, Prepared};
@@ -17,7 +24,7 @@ use tlp_bench::{header, Prepared};
 fn main() {
     header("Table 9 — multiplicative speed-ups, SF Level 2");
     let p = Prepared::new(spam::datasets::sf());
-    let phase = p.lcc(Level::L2);
+    let (phase, profile) = run_lcc_profiled(&p.sp, &p.scene, &p.fragments, Level::L2);
     let trace = lcc_trace(&phase);
     let model = CostModel::default();
 
@@ -45,4 +52,36 @@ fn main() {
     println!("* = configuration exceeds the 16-processor machine (1 + n·(1+m) > 16).");
     println!("paper reference points: Match row [1.21 1.50 1.60 1.68]; Task column");
     println!("[1, -, -, 3.98, 4.93, 5.89, -]; (Task_4, Match_2) = 5.82 (5.96).");
+
+    if let Some(profile) = profile {
+        let mf = profile.match_fraction();
+        println!();
+        println!(
+            "profiler check: measured match fraction {:.1}% (Amdahl match limit {:.2}x)",
+            mf * 100.0,
+            profile.work.amdahl_limit()
+        );
+        println!(
+            "{:<18} {:>10} {:>16} {:>8}",
+            "config", "measured", "profiler-predict", "rel err"
+        );
+        for (i, n) in task_axis.iter().enumerate() {
+            for (j, m) in match_axis.iter().enumerate() {
+                let Some(c) = &grid[i][j] else { continue };
+                if *m == 0 || *n == 1 {
+                    continue; // isolated axes: nothing multiplicative to check
+                }
+                let pred = predicted_from_match_fraction(&trace, *n, *m, mf, &model);
+                let rel = (pred - c.achieved).abs() / c.achieved;
+                println!(
+                    "{:<18} {:>9.2}x {:>15.2}x {:>7.1}%",
+                    format!("(Task_{n}, Match_{m})"),
+                    c.achieved,
+                    pred,
+                    rel * 100.0
+                );
+            }
+        }
+        println!("predicted = TLP speed-up x Amdahl(profiler match fraction, match speed-up).");
+    }
 }

@@ -5,10 +5,19 @@
 //!         [--retries K] [--deadline-ms MS] [--fault-seed S]
 //!         [--task-panic-rate P] [--topdown] [--sweep] [--quiet]
 //!         [--obs off|summary|full] [--trace-out F] [--metrics-out F]
+//! spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K]
+//!         [--json F] [--check-band LO:HI]
 //! ```
 //!
 //! * default: run the full pipeline and print the interpretation summary
 //!   (`run` is an optional explicit subcommand for the same thing);
+//! * `profile`: run the LCC phase under the match-level profiler and print
+//!   the speed-up-doctor report — hot productions and alpha memories,
+//!   the per-phase Amdahl decomposition, the ideal-vs-measured gap
+//!   attribution, the critical task chain, and predicted-vs-measured
+//!   combined speed-ups. `--json F` also writes the machine-readable
+//!   report; `--check-band LO:HI` exits non-zero unless the measured
+//!   match fraction lies in `[LO, HI]` (the CI perf-smoke gate);
 //! * `--level` selects the LCC decomposition level (default 3);
 //! * `--workers N` runs LCC with N real task-process threads (SPAM/PSM);
 //! * `--retries K` allows K supervised retries per LCC task;
@@ -41,6 +50,10 @@ use tlp_fault::{FaultPlan, SupervisorConfig};
 use tlp_obs::{ObsLevel, Recorder};
 
 struct Opts {
+    profile: bool,
+    top: usize,
+    json_out: Option<String>,
+    check_band: Option<(f64, f64)>,
     dataset: String,
     level: Level,
     workers: usize,
@@ -58,6 +71,10 @@ struct Opts {
 
 fn parse_args() -> Result<Opts, String> {
     let mut o = Opts {
+        profile: false,
+        top: 10,
+        json_out: None,
+        check_band: None,
         dataset: "moff".into(),
         level: Level::L3,
         workers: 1,
@@ -76,6 +93,29 @@ fn parse_args() -> Result<Opts, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "run" => {} // explicit default subcommand
+            "profile" => o.profile = true,
+            "--top" => {
+                o.top = args
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?;
+            }
+            "--json" => {
+                o.json_out = Some(args.next().ok_or("--json needs a path")?);
+            }
+            "--check-band" => {
+                let v = args.next().ok_or("--check-band needs LO:HI")?;
+                let (lo, hi) = v
+                    .split_once(':')
+                    .ok_or(format!("bad --check-band '{v}' (want LO:HI)"))?;
+                let lo: f64 = lo.parse().map_err(|e| format!("bad --check-band: {e}"))?;
+                let hi: f64 = hi.parse().map_err(|e| format!("bad --check-band: {e}"))?;
+                if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+                    return Err(format!("bad --check-band {lo}:{hi}"));
+                }
+                o.check_band = Some((lo, hi));
+            }
             "sf" | "dc" | "moff" | "suburb" => o.dataset = a,
             "--level" => {
                 o.level = match args.next().as_deref() {
@@ -146,7 +186,9 @@ fn parse_args() -> Result<Opts, String> {
                     "usage: spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
                      [--retries K] [--deadline-ms MS] [--fault-seed S] \
                      [--task-panic-rate P] [--topdown] [--sweep] [--quiet] \
-                     [--obs off|summary|full] [--trace-out F] [--metrics-out F]"
+                     [--obs off|summary|full] [--trace-out F] [--metrics-out F]\n\
+                     \x20      spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K] \
+                     [--json F] [--check-band LO:HI]"
                         .into(),
                 )
             }
@@ -165,6 +207,65 @@ fn build_scene(name: &str) -> Arc<Scene> {
     })
 }
 
+/// The `profile` subcommand: run RTF then the LCC phase under the
+/// match-level profiler and print / write the speed-up-doctor report.
+fn run_profile(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
+    println!(
+        "spamctl profile: {} ({:?}), {} regions, LCC at {}",
+        scene.name,
+        scene.domain,
+        scene.len(),
+        o.level.name(),
+    );
+    let rtf = run_rtf(sp, scene);
+    let fragments = Arc::new(rtf.fragments.clone());
+    let (row, profile, phase) = spam_psm::measure::profiled_lcc(sp, scene, &fragments, o.level);
+    println!(
+        "LCC    : {} tasks, {} firings, {:.0} simulated s",
+        row.tasks, row.prods_fired, row.total_seconds
+    );
+    let Some(profile) = profile else {
+        eprintln!("profile: ops5 built without the `profiler` feature; no report");
+        return if o.check_band.is_some() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    };
+    let trace = spam_psm::trace::lcc_trace(&phase);
+    let report = spam_psm::attribution::build_report(
+        scene.name.clone(),
+        format!("LCC {}", o.level.name()),
+        profile,
+        &trace,
+        &[2, 6, 10, 14],
+        &[(2, 1), (4, 1), (4, 2), (6, 2)],
+        &paraops5::costmodel::CostModel::default(),
+        o.top,
+    );
+    println!();
+    print!("{report}");
+
+    if let Some(path) = &o.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json().write()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nprofile: report -> {path}");
+    }
+
+    if let Some((lo, hi)) = o.check_band {
+        let mf = report.match_fraction();
+        if (lo..=hi).contains(&mf) {
+            println!("\ncheck  : match fraction {mf:.3} in [{lo}, {hi}] — ok");
+        } else {
+            eprintln!("\ncheck  : match fraction {mf:.3} OUTSIDE [{lo}, {hi}]");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let o = match parse_args() {
         Ok(o) => o,
@@ -175,6 +276,9 @@ fn main() -> ExitCode {
     };
     let sp = SpamProgram::build();
     let scene = build_scene(&o.dataset);
+    if o.profile {
+        return run_profile(&o, &sp, &scene);
+    }
     println!(
         "spamctl: {} ({:?}), {} regions, LCC at {}, {} worker(s), obs {}",
         scene.name,

@@ -5,12 +5,16 @@
 //! ```
 //!
 //! Checks a Chrome `trace_event` file produced by `spamctl --trace-out`:
-//! the JSON must parse, every event must be well-formed, B/E spans must
-//! balance per `(pid, tid)`, and the union of spans must cover at least
-//! `--min-coverage` of each declared simulated makespan (default 0.99).
-//! With `--jsonl`, additionally validates a JSONL event log: header first,
-//! every line parses, and each thread's logical clock is strictly
-//! monotone. Exits non-zero on any violation, so CI can gate on it.
+//! the JSON must parse, every event must be well-formed, spans must be
+//! well-nested per `(pid, tid)` — each `E` closes the innermost open `B`
+//! by name and never ends before it begins, `X` durations are
+//! non-negative — timestamps must be non-decreasing per `(pid, tid)`, and
+//! the union of spans must cover at least `--min-coverage` of each
+//! declared simulated makespan (default 0.99). With `--jsonl`,
+//! additionally validates a JSONL event log: header first, every line
+//! parses, each thread's logical clock is strictly monotone and its wall
+//! clock never regresses. Exits non-zero on any violation, so CI can gate
+//! on it.
 
 use std::process::ExitCode;
 use tlp_obs::{validate_chrome_trace, validate_jsonl};

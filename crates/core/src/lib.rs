@@ -27,6 +27,10 @@
 //!   curves at arbitrary processor counts (Figures 6 and 8);
 //! * [`combined`] — TLP × match-parallelism combination and the
 //!   multiplicative-speed-up prediction of Table 9;
+//! * [`attribution`] — the "speedup doctor": Amdahl decomposition from
+//!   profiler counters, exact ideal-vs-measured gap attribution, critical
+//!   task chain, and the predicted-vs-measured Table 9 checks behind
+//!   `spamctl profile` / `bench_profile`;
 //! * [`baseline`] — the §6 unoptimised-baseline comparison (the 10–20×
 //!   Lisp→C/ParaOPS5 port factor), via the engine's naive-match backend;
 //! * [`taxonomy`] — Table 4 as data.
@@ -34,6 +38,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod baseline;
 pub mod combined;
 pub mod measure;
@@ -42,11 +47,16 @@ pub mod taxonomy;
 pub mod tlp;
 pub mod trace;
 
+pub use attribution::{
+    amdahl_speedup, build_report, critical_path, predicted_from_match_fraction, CriticalPath,
+    GapAttribution, PhaseAmdahl, ProfileReport, SpeedupCheck,
+};
 pub use combined::{combined_grid, CombinedCell};
-pub use measure::{level_rows, table8_row, LevelRowMeasured, Table8Row};
-pub use supervise::{supervise, supervise_traced};
+pub use measure::{level_rows, profiled_lcc, table8_row, LevelRowMeasured, Table8Row};
+pub use supervise::{supervise, supervise_traced, supervision_overhead, SupervisionOverhead};
 pub use tlp::{
-    run_parallel_lcc, run_parallel_lcc_supervised, run_parallel_lcc_traced, run_parallel_rtf,
-    run_parallel_rtf_supervised, simulated_tlp_curve, synchronous_makespan, RtfParallelResult,
+    attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_supervised, run_parallel_lcc_traced,
+    run_parallel_rtf, run_parallel_rtf_supervised, simulated_tlp_curve, synchronous_makespan,
+    RtfParallelResult,
 };
 pub use trace::{lcc_trace, record_phase_metrics, record_sim_metrics, rtf_trace, PhaseTrace};

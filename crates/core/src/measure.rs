@@ -9,7 +9,7 @@
 use crate::trace::lcc_trace;
 use multimax_sim::LevelStats;
 use spam::fragments::FragmentHypothesis;
-use spam::lcc::{run_lcc, Level};
+use spam::lcc::{run_lcc, run_lcc_profiled, LccPhaseResult, Level};
 use spam::phases::MIPS;
 use spam::rules::SpamProgram;
 use spam::scene::Scene;
@@ -80,6 +80,32 @@ pub fn table8_row(
         prods_fired: phase.firings,
         rhs_actions: phase.units.iter().map(|u| u.rhs_actions).sum(),
     }
+}
+
+/// Runs the LCC phase at `level` with match-level profiling enabled and
+/// returns the Table 8 row, the merged per-production/per-node profile
+/// (`None` when the ops5 `profiler` feature is off), and the raw phase
+/// result (for trace building). The profiled run performs byte-identical
+/// work to [`table8_row`]'s — the profiler only reads the deterministic
+/// counters — so the row is interchangeable with the unprofiled one.
+pub fn profiled_lcc(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+) -> (Table8Row, Option<ops5::MatchProfile>, LccPhaseResult) {
+    let (phase, profile) = run_lcc_profiled(sp, scene, fragments, level);
+    let total = phase.work.seconds_at(MIPS);
+    let n = phase.units.len();
+    let row = Table8Row {
+        level,
+        total_seconds: total,
+        tasks: n,
+        avg_seconds: if n == 0 { 0.0 } else { total / n as f64 },
+        prods_fired: phase.firings,
+        rhs_actions: phase.units.iter().map(|u| u.rhs_actions).sum(),
+    };
+    (row, profile, phase)
 }
 
 /// §4 factor 2 — *ratio of tasks to processors*: "at lower task to
@@ -176,6 +202,23 @@ mod tests {
             wild < calm,
             "variance must cost utilisation: {wild:.2} vs {calm:.2}"
         );
+    }
+
+    #[test]
+    fn profiled_row_is_interchangeable_with_plain_row() {
+        let (sp, scene, frags) = setup();
+        let plain = table8_row(&sp, &scene, &frags, Level::L3);
+        let (row, profile, phase) = profiled_lcc(&sp, &scene, &frags, Level::L3);
+        assert_eq!(row.tasks, plain.tasks);
+        assert_eq!(row.prods_fired, plain.prods_fired);
+        assert_eq!(row.rhs_actions, plain.rhs_actions);
+        assert!((row.total_seconds - plain.total_seconds).abs() < 1e-12);
+        assert_eq!(phase.units.len(), row.tasks);
+        if let Some(p) = profile {
+            // Profiler firings reconcile with the row.
+            let fired: u64 = p.productions.iter().map(|x| x.firings).sum();
+            assert_eq!(fired, row.prods_fired);
+        }
     }
 
     #[test]

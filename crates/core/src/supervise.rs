@@ -382,6 +382,44 @@ pub fn supervise_traced<T: Send>(
     Ok((slots, TaskReport { outcomes }))
 }
 
+/// Aggregate supervision overhead of one supervised phase — the
+/// wall-clock cost of fault tolerance, summarised for the speed-up doctor
+/// (`spamctl profile` folds these into its attribution narrative: retry
+/// latency and dead letters explain measured-vs-simulated divergence that
+/// the fault-free simulator cannot).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SupervisionOverhead {
+    /// Tasks in the phase.
+    pub tasks: usize,
+    /// Total seconds tasks spent enqueued before their first attempt.
+    pub queue_wait_s: f64,
+    /// Total seconds of extra latency from retried attempts.
+    pub retry_latency_s: f64,
+    /// Total retry attempts across all tasks.
+    pub retries: u32,
+    /// Tasks that exhausted every attempt.
+    pub dead_letters: usize,
+}
+
+/// Summarises a [`TaskReport`] into its supervision overhead totals.
+pub fn supervision_overhead(report: &TaskReport) -> SupervisionOverhead {
+    SupervisionOverhead {
+        tasks: report.outcomes.len(),
+        queue_wait_s: report
+            .outcomes
+            .iter()
+            .map(|o| o.queue_wait.as_secs_f64())
+            .sum(),
+        retry_latency_s: report
+            .outcomes
+            .iter()
+            .map(|o| o.retry_latency.as_secs_f64())
+            .sum(),
+        retries: report.total_retries(),
+        dead_letters: report.dead_letters().len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +484,25 @@ mod tests {
             |i| i,
         );
         assert_eq!(r.err(), Some(SuperviseError::NoWorkers));
+    }
+
+    #[test]
+    fn overhead_summary_totals_match_the_report() {
+        let plan = FaultPlan::none().with_task_panic(2, 1);
+        let cfg = SupervisorConfig::default().with_retries(2);
+        let (_, report) = supervise(2, labels(6), &cfg, &plan, |i| i).unwrap();
+        let oh = supervision_overhead(&report);
+        assert_eq!(oh.tasks, 6);
+        assert_eq!(oh.retries, report.total_retries());
+        assert_eq!(oh.retries, 1);
+        assert_eq!(oh.dead_letters, 0);
+        let qw: f64 = report
+            .outcomes
+            .iter()
+            .map(|o| o.queue_wait.as_secs_f64())
+            .sum();
+        assert!((oh.queue_wait_s - qw).abs() < 1e-12);
+        assert!(oh.retry_latency_s >= 0.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!   Encore Multimax at 1..=14 task processes (Figure 6 / Figure 8),
 //!   since the container running this reproduction has a single core.
 
+use crate::attribution::GapAttribution;
 use crate::supervise::{supervise, supervise_traced};
 use crate::trace::PhaseTrace;
 use multimax_sim::{simulate, Schedule, SimConfig};
@@ -186,6 +187,21 @@ pub fn simulated_tlp_curve(trace: &PhaseTrace, max_workers: u32) -> Vec<(u32, f6
     multimax_sim::speedup_curve(SimConfig::encore, &trace.tasks, max_workers)
         .into_iter()
         .map(|p| (p.n, p.speedup))
+        .collect()
+}
+
+/// Simulated TLP curve with full gap attribution at each worker count:
+/// where the ideal-vs-measured speed-up went, per
+/// [`crate::attribution::GapAttribution`] (the `spamctl profile` view of
+/// Figure 6).
+pub fn attributed_tlp_curve(trace: &PhaseTrace, workers: &[u32]) -> Vec<GapAttribution> {
+    let base = simulate(&SimConfig::encore(1), &trace.tasks.tasks).makespan;
+    workers
+        .iter()
+        .map(|&n| {
+            let r = simulate(&SimConfig::encore(n), &trace.tasks.tasks);
+            GapAttribution::attribute(base, &r, n)
+        })
         .collect()
 }
 

@@ -186,7 +186,13 @@ impl TraceDoc {
         }
         for (i, series) in tl.counters.iter().enumerate() {
             let tid = (tl.tracks.len() + i) as u32;
-            for &(t, v) in &series.samples {
+            // Counter samples are recorded in event order (several workers
+            // interleave); emit them in time order so each Chrome thread's
+            // timestamps are monotone, as the validator demands. A stable
+            // sort keeps same-instant samples in recording order.
+            let mut samples = series.samples.clone();
+            samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &(t, v) in &samples {
                 self.events.push(Json::obj(vec![
                     ("ph", Json::str("C")),
                     ("pid", Json::Num(pid as f64)),
@@ -274,8 +280,9 @@ fn union_coverage(mut spans: Vec<(f64, f64)>, makespan_us: f64) -> f64 {
 }
 
 /// Validates a JSONL event log: header line first, every event line must
-/// parse, and each thread's logical clock (`seq`) must be strictly
-/// increasing in flush order.
+/// parse, each thread's logical clock (`seq`) must be strictly increasing
+/// in flush order, and each thread's wall clock (`ts_us`) must be
+/// non-decreasing (equal stamps are fine — the clock is microseconds).
 pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
     let mut lines = text
         .lines()
@@ -293,6 +300,7 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
         .len();
 
     let mut last_seq: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
     let mut events = 0usize;
     let mut span_events = 0usize;
     let mut max_ts = 0.0f64;
@@ -329,6 +337,14 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
             }
         }
         last_seq.insert(thread, seq);
+        if let Some(&prev) = last_ts.get(&thread) {
+            if ts < prev {
+                return Err(format!(
+                    "line {n}: thread {thread} wall clock regressed ({prev} then {ts})"
+                ));
+            }
+        }
+        last_ts.insert(thread, ts);
         events += 1;
         if ph == "B" || ph == "X" {
             span_events += 1;
@@ -345,9 +361,12 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
 }
 
 /// Validates a Chrome `trace_event` document: well-formed JSON with a
-/// `traceEvents` array, required fields per event, balanced `B`/`E`
-/// nesting per `(pid, tid)`, and — when makespan metadata is present —
-/// union-of-spans coverage of each declared makespan.
+/// `traceEvents` array, required fields per event, well-nested spans per
+/// `(pid, tid)` — every `E` must close the innermost open `B` *by name*
+/// and must not end before it begins, `X` durations must be non-negative,
+/// non-metadata timestamps must be non-decreasing per `(pid, tid)` — and,
+/// when makespan metadata is present, union-of-spans coverage of each
+/// declared makespan.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let doc = Json::parse(text)?;
     let events = doc
@@ -355,10 +374,10 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
         .and_then(Json::as_arr)
         .ok_or("missing traceEvents array")?;
 
-    let mut open: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut open: BTreeMap<(u64, u64), Vec<(String, f64)>> = BTreeMap::new();
     let mut pids: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
     let mut makespans: BTreeMap<u64, f64> = BTreeMap::new();
-    let mut begin_ts: BTreeMap<(u64, u64), Vec<f64>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     let mut span_events = 0usize;
     let mut max_ts = 0.0f64;
 
@@ -375,12 +394,13 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
             .get("tid")
             .and_then(Json::as_f64)
             .ok_or(format!("event {i}: missing tid"))? as u64;
-        ev.get("name")
+        let name = ev
+            .get("name")
             .and_then(Json::as_str)
             .ok_or(format!("event {i}: missing name"))?;
         pids.entry(pid).or_default();
         if ph == "M" {
-            if ev.get("name").and_then(Json::as_str) == Some(MAKESPAN_META) {
+            if name == MAKESPAN_META {
                 let us = ev
                     .get("args")
                     .and_then(|a| a.get("value"))
@@ -398,20 +418,28 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
         match ph {
             "B" => {
                 span_events += 1;
-                *open.entry((pid, tid)).or_insert(0) += 1;
-                begin_ts.entry((pid, tid)).or_default().push(ts);
+                open.entry((pid, tid))
+                    .or_default()
+                    .push((name.to_string(), ts));
             }
             "E" => {
-                let depth = open.entry((pid, tid)).or_insert(0);
-                if *depth == 0 {
+                let Some((bname, bts)) = open.entry((pid, tid)).or_default().pop() else {
                     return Err(format!(
                         "event {i}: E without matching B on pid {pid} tid {tid}"
                     ));
+                };
+                if bname != name {
+                    return Err(format!(
+                        "event {i}: E '{name}' does not close innermost B '{bname}' \
+                         on pid {pid} tid {tid}"
+                    ));
                 }
-                *depth -= 1;
-                if let Some(start) = begin_ts.entry((pid, tid)).or_default().pop() {
-                    pids.entry(pid).or_default().push((start, ts));
+                if ts < bts {
+                    return Err(format!(
+                        "event {i}: span '{name}' ends at {ts} before it begins at {bts}"
+                    ));
                 }
+                pids.entry(pid).or_default().push((bts, ts));
             }
             "X" => {
                 span_events += 1;
@@ -419,18 +447,30 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
                     .get("dur")
                     .and_then(Json::as_f64)
                     .ok_or(format!("event {i}: X event missing dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: X '{name}' has negative dur {dur}"));
+                }
                 max_ts = max_ts.max(ts + dur);
                 pids.entry(pid).or_default().push((ts, ts + dur));
             }
             "i" | "C" => {}
             other => return Err(format!("event {i}: unknown phase {other:?}")),
         }
+        if let Some(&prev) = last_ts.get(&(pid, tid)) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: timestamps regress on pid {pid} tid {tid} ({prev} then {ts})"
+                ));
+            }
+        }
+        last_ts.insert((pid, tid), ts);
     }
 
-    for ((pid, tid), depth) in &open {
-        if *depth != 0 {
+    for ((pid, tid), stack) in &open {
+        if !stack.is_empty() {
             return Err(format!(
-                "unbalanced spans: {depth} unclosed B on pid {pid} tid {tid}"
+                "unbalanced spans: {} unclosed B on pid {pid} tid {tid}",
+                stack.len()
             ));
         }
     }
@@ -528,6 +568,79 @@ mod tests {
         ]}"#;
         let err = validate_chrome_trace(text).unwrap_err();
         assert!(err.contains("without matching B"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_detects_wall_clock_regression() {
+        let text = concat!(
+            r#"{"type":"header","threads":["control"]}"#,
+            "\n",
+            r#"{"thread":0,"seq":1,"ts_us":10,"cat":"phase","name":"a","ph":"B"}"#,
+            "\n",
+            r#"{"thread":0,"seq":2,"ts_us":5,"cat":"phase","name":"a","ph":"E"}"#,
+            "\n",
+        );
+        let err = validate_jsonl(text).unwrap_err();
+        assert!(err.contains("wall clock regressed"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_accepts_equal_wall_stamps() {
+        let text = concat!(
+            r#"{"type":"header","threads":["control"]}"#,
+            "\n",
+            r#"{"thread":0,"seq":1,"ts_us":10,"cat":"phase","name":"a","ph":"B"}"#,
+            "\n",
+            r#"{"thread":0,"seq":2,"ts_us":10,"cat":"phase","name":"a","ph":"E"}"#,
+            "\n",
+        );
+        assert!(validate_jsonl(text).is_ok());
+    }
+
+    #[test]
+    fn chrome_rejects_mismatched_close_name() {
+        let text = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":0,"ts":0,"name":"outer"},
+            {"ph":"B","pid":1,"tid":0,"ts":1,"name":"inner"},
+            {"ph":"E","pid":1,"tid":0,"ts":2,"name":"outer"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("does not close innermost B 'inner'"), "{err}");
+    }
+
+    #[test]
+    fn chrome_rejects_span_ending_before_it_begins() {
+        let text = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":0,"ts":10,"name":"a"},
+            {"ph":"E","pid":1,"tid":0,"ts":5,"name":"a"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("ends at 5 before it begins at 10"), "{err}");
+    }
+
+    #[test]
+    fn chrome_rejects_timestamp_regression_on_a_thread() {
+        let text = r#"{"traceEvents":[
+            {"ph":"i","pid":1,"tid":0,"ts":10,"name":"a"},
+            {"ph":"i","pid":1,"tid":0,"ts":5,"name":"b"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("timestamps regress"), "{err}");
+        // Other threads keep their own clocks.
+        let ok = r#"{"traceEvents":[
+            {"ph":"i","pid":1,"tid":0,"ts":10,"name":"a"},
+            {"ph":"i","pid":1,"tid":1,"ts":5,"name":"b"}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn chrome_rejects_negative_x_duration() {
+        let text = r#"{"traceEvents":[
+            {"ph":"X","pid":1,"tid":0,"ts":10,"dur":-1,"name":"exec"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("negative dur"), "{err}");
     }
 
     #[test]

@@ -249,6 +249,33 @@ impl MetricsRegistry {
         self.inner.lock().unwrap().clone()
     }
 
+    /// Merges a snapshot into this registry — the cross-thread aggregation
+    /// path: each worker records into a private registry, the control
+    /// process merges the snapshots. Counters add, gauges take the
+    /// incoming value (last write wins, in merge order), histograms merge
+    /// bucket-wise (so merged quantile bounds still bracket the pooled
+    /// sample quantiles). On a name collision with a different metric type
+    /// the incoming value replaces the resident one.
+    pub fn merge_snapshot(&self, other: &Snapshot) {
+        let mut m = self.inner.lock().unwrap();
+        for (name, incoming) in other {
+            match (m.get_mut(name), incoming) {
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
+                (Some(Metric::Histogram(a)), Metric::Histogram(b)) => a.merge(b),
+                (Some(resident), _) => *resident = incoming.clone(),
+                (None, _) => {
+                    m.insert(name.clone(), incoming.clone());
+                }
+            }
+        }
+    }
+
+    /// Merges another registry's current contents into this one (see
+    /// [`MetricsRegistry::merge_snapshot`]).
+    pub fn merge(&self, other: &MetricsRegistry) {
+        self.merge_snapshot(&other.snapshot());
+    }
+
     /// Renders the registry as a JSON object keyed by metric name.
     pub fn to_json(&self) -> Json {
         let snap = self.snapshot();
@@ -351,6 +378,56 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), Some(16.0));
         assert!((a.sum() - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_merge_aggregates_across_threads() {
+        let a = MetricsRegistry::new();
+        a.count("lcc/retries", 2);
+        a.gauge("lcc/utilization", 0.5);
+        a.record("lcc/queue_wait_s", 1.0);
+        a.record("lcc/queue_wait_s", 2.0);
+
+        let b = MetricsRegistry::new();
+        b.count("lcc/retries", 3);
+        b.count("lcc/dead_letters", 1);
+        b.gauge("lcc/utilization", 0.9);
+        b.record("lcc/queue_wait_s", 8.0);
+
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap["lcc/retries"], Metric::Counter(5));
+        assert_eq!(snap["lcc/dead_letters"], Metric::Counter(1));
+        // Gauges: incoming value wins.
+        assert_eq!(snap["lcc/utilization"], Metric::Gauge(0.9));
+        match &snap["lcc/queue_wait_s"] {
+            Metric::Histogram(h) => {
+                assert_eq!(h.count(), 3);
+                assert!((h.sum() - 11.0).abs() < 1e-12);
+                assert_eq!(h.max(), Some(8.0));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_merge_type_conflict_takes_incoming() {
+        let a = MetricsRegistry::new();
+        a.count("x", 7);
+        let b = MetricsRegistry::new();
+        b.gauge("x", 1.5);
+        a.merge(&b);
+        assert_eq!(a.snapshot()["x"], Metric::Gauge(1.5));
+    }
+
+    #[test]
+    fn registry_merge_into_empty_is_identity() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        b.count("n", 4);
+        b.record("h", 2.0);
+        a.merge(&b);
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::ast::{Action, Expr};
 use crate::conflict::{ConflictSet, Instantiation, Strategy};
 use crate::instrument::{cost, CycleStats, WorkCounters};
 use crate::matcher::{Matcher, NaiveMatcher};
+use crate::profile::{MatchProfile, ProductionProfile};
 use crate::program::Program;
 use crate::rete::compile::{compile_production, CompiledProduction, VarSource};
 use crate::rete::{MatchEvent, Rete};
@@ -88,6 +89,20 @@ pub struct Engine {
     /// (`base_work`, the cycle log) never flows through this — it only adds
     /// trace events, so work totals are identical with or without it.
     obs: Option<ThreadSink>,
+    /// Interpreter-side profiling state (per-production firings and RHS
+    /// cost, conflict-set sizes); `Some` only while profiling. Like `obs`,
+    /// it only reads the deterministic counters — work totals are identical
+    /// with profiling on or off.
+    profile: Option<EngineProfile>,
+}
+
+/// Interpreter-side collection state behind [`Engine::enable_profile`].
+#[derive(Debug, Default)]
+struct EngineProfile {
+    /// `(firings, act_units, external_units)` per production index.
+    per_prod: Vec<(u64, u64, u64)>,
+    conflict_sizes: Vec<u32>,
+    cycles: u64,
 }
 
 impl Engine {
@@ -143,6 +158,7 @@ impl Engine {
             gensym: 0,
             strategy,
             obs: None,
+            profile: None,
         }
     }
 
@@ -188,6 +204,51 @@ impl Engine {
     /// drop's job).
     pub fn take_obs(&mut self) -> Option<ThreadSink> {
         self.obs.take()
+    }
+
+    /// Starts match-level profiling: per-production match cost and firing
+    /// counts, alpha-memory heat, token totals, and conflict-set sizes.
+    /// A no-op when the `profiler` feature is compiled out. The profiler
+    /// only *reads* the deterministic work counters, so work-unit totals
+    /// are bit-identical with profiling enabled, disabled, or compiled out.
+    pub fn enable_profile(&mut self) {
+        #[cfg(feature = "profiler")]
+        {
+            self.matcher.enable_profile();
+            self.profile = Some(EngineProfile {
+                per_prod: vec![(0, 0, 0); self.program.productions.len()],
+                ..Default::default()
+            });
+        }
+    }
+
+    /// Takes the accumulated match profile (profiling continues with fresh
+    /// counters). `None` unless [`Engine::enable_profile`] was called and
+    /// the `profiler` feature is compiled in. Production names are resolved
+    /// from the program; `work` carries the engine's merged counters.
+    pub fn take_profile(&mut self) -> Option<MatchProfile> {
+        let eng = self.profile.take()?;
+        self.profile = Some(EngineProfile {
+            per_prod: vec![(0, 0, 0); self.program.productions.len()],
+            ..Default::default()
+        });
+        let mut mp = self.matcher.take_profile().unwrap_or_default();
+        if mp.productions.len() < self.program.productions.len() {
+            mp.productions
+                .resize(self.program.productions.len(), ProductionProfile::default());
+        }
+        for (i, p) in mp.productions.iter_mut().enumerate() {
+            p.name = self.program.productions[i].name.to_string();
+            if let Some(&(firings, act, ext)) = eng.per_prod.get(i) {
+                p.firings += firings;
+                p.act_units += act;
+                p.external_units += ext;
+            }
+        }
+        mp.conflict_sizes = eng.conflict_sizes;
+        mp.cycles = eng.cycles;
+        mp.work = self.work();
+        Some(mp)
     }
 
     /// Starts recording per-cycle statistics. Match work done between this
@@ -355,7 +416,8 @@ impl Engine {
         } else {
             self.matcher.work()
         };
-        self.base_work.resolve_units += (self.conflict.len() as u64 + 1) * cost::RESOLVE_ENTRY;
+        let conflict_len = self.conflict.len();
+        self.base_work.resolve_units += (conflict_len as u64 + 1) * cost::RESOLVE_ENTRY;
         let Some(inst) = self.conflict.select(self.strategy) else {
             return Ok(None);
         };
@@ -364,6 +426,16 @@ impl Engine {
         // Act.
         self.fire(&inst)?;
         self.base_work.firings += 1;
+        if let Some(p) = &mut self.profile {
+            let d = self.base_work.since(&act_before);
+            if let Some(slot) = p.per_prod.get_mut(prod_idx as usize) {
+                slot.0 += 1;
+                slot.1 += d.act_units;
+                slot.2 += d.external_units;
+            }
+            p.conflict_sizes.push(conflict_len as u32);
+            p.cycles += 1;
+        }
         if self.cycle_log.is_some() {
             self.log_snapshot = self.matcher.work();
         }
@@ -833,6 +905,91 @@ mod tests {
             names.iter().filter(|n| **n == "cycle.fire").count() as u64,
             out_traced.firings
         );
+    }
+
+    #[cfg(feature = "profiler")]
+    #[test]
+    fn profiler_never_touches_work_counters() {
+        let src = "(literalize count n)
+             (p up (count ^n { <n> <= 5 }) --> (modify 1 ^n (compute <n> + 1)))";
+
+        let mut plain = engine(src);
+        plain.make_wme("count", &[("n", 0.into())]).unwrap();
+        let out_plain = plain.run(100);
+
+        let mut profiled = engine(src);
+        profiled.enable_profile();
+        profiled.make_wme("count", &[("n", 0.into())]).unwrap();
+        let out_profiled = profiled.run(100);
+
+        // Work accounting is bit-identical with the profiler collecting.
+        assert_eq!(out_plain, out_profiled);
+        assert_eq!(plain.work(), profiled.work());
+
+        let p = profiled.take_profile().expect("profiling was enabled");
+        assert_eq!(p.cycles, out_profiled.firings);
+        assert_eq!(p.conflict_sizes.len() as u64, p.cycles);
+        assert_eq!(p.productions.len(), 1);
+        assert_eq!(p.productions[0].name, "up");
+        assert_eq!(p.productions[0].firings, out_profiled.firings);
+        assert!(p.productions[0].match_units > 0);
+        assert!(p.productions[0].act_units > 0);
+        assert!(p.tokens_created > 0);
+        assert!(p.tokens_deleted > 0, "modify removes old tokens");
+        assert!(!p.alpha_mems.is_empty());
+        assert!(p.alpha_mems.iter().any(|a| a.activations > 0));
+        assert_eq!(p.work, profiled.work());
+        // Attribution is conservative: attributed match work never exceeds
+        // the measured total.
+        assert!(p.beta_units() + p.alpha_units() <= p.work.match_units);
+    }
+
+    #[cfg(feature = "profiler")]
+    #[test]
+    fn take_profile_without_enable_is_none() {
+        let mut e = engine(
+            "(literalize count n)
+             (p up (count ^n { <n> <= 2 }) --> (modify 1 ^n (compute <n> + 1)))",
+        );
+        e.make_wme("count", &[("n", 0.into())]).unwrap();
+        e.run(100);
+        assert!(e.take_profile().is_none());
+    }
+
+    #[cfg(feature = "profiler")]
+    #[test]
+    fn profile_attributes_cost_to_hot_productions() {
+        // `busy` joins two classes and fires repeatedly; `quiet` never can.
+        let src = "
+            (literalize a x)
+            (literalize b y)
+            (literalize done n)
+            (literalize never z)
+            (p busy (a ^x <v>) (b ^y <v>) --> (make done ^n <v>) (remove 2))
+            (p quiet (never ^z 1) --> (halt))
+        ";
+        let mut e = engine(src);
+        e.enable_profile();
+        for i in 0..4 {
+            e.make_wme("a", &[("x", i.into())]).unwrap();
+            e.make_wme("b", &[("y", i.into())]).unwrap();
+        }
+        let out = e.run(100);
+        assert_eq!(out.firings, 4);
+        let p = e.take_profile().unwrap();
+        let hot = p.hot_productions(10);
+        assert_eq!(hot[0].1.name, "busy");
+        assert_eq!(hot[0].1.firings, 4);
+        assert!(hot[0].1.match_units > 0);
+        // `quiet` never fired and its chain never activated.
+        let quiet = p.productions.iter().find(|q| q.name == "quiet").unwrap();
+        assert_eq!(quiet.firings, 0);
+        // Alpha heat is labelled by class.
+        let hot_alpha = p.hot_alpha_mems(10);
+        assert!(!hot_alpha.is_empty());
+        assert!(hot_alpha.iter().any(|(_, a)| a.label.starts_with('a')
+            || a.label.starts_with('b')
+            || a.label.starts_with("done")));
     }
 
     #[test]

@@ -48,6 +48,30 @@ impl WorkCounters {
         }
     }
 
+    /// Serial (non-match) work units: resolve + act + external. This is the
+    /// part of the run that match parallelism cannot touch.
+    pub fn serial_units(&self) -> u64 {
+        self.resolve_units + self.act_units + self.external_units
+    }
+
+    /// Amdahl ceiling on whole-run speed-up from parallelising the match
+    /// alone: `1 / (1 − match_fraction)`. With a 30–50 % match fraction
+    /// (SPAM's LCC) this caps out at 1.4–2.0×, which is the paper's central
+    /// argument for task-level parallelism. Returns `f64::INFINITY` when
+    /// all work is match, 1.0 when there is no work at all.
+    pub fn amdahl_limit(&self) -> f64 {
+        let total = self.total_units();
+        if total == 0 {
+            return 1.0;
+        }
+        let serial = self.serial_units();
+        if serial == 0 {
+            f64::INFINITY
+        } else {
+            total as f64 / serial as f64
+        }
+    }
+
     /// Converts work units to simulated seconds on a `mips`-MIPS processor.
     pub fn seconds_at(&self, mips: f64) -> f64 {
         self.total_units() as f64 / (mips * 1e6)
@@ -157,6 +181,27 @@ mod tests {
         let w = WorkCounters::default();
         assert_eq!(w.match_fraction(), 0.0);
         assert_eq!(w.total_units(), 0);
+        assert_eq!(w.serial_units(), 0);
+        assert_eq!(w.amdahl_limit(), 1.0);
+    }
+
+    #[test]
+    fn amdahl_limit_matches_match_fraction() {
+        let w = WorkCounters {
+            match_units: 400,
+            resolve_units: 100,
+            act_units: 200,
+            external_units: 300,
+            ..Default::default()
+        };
+        assert_eq!(w.serial_units(), 600);
+        // f = 0.4 → limit = 1 / (1 − 0.4).
+        assert!((w.amdahl_limit() - 1.0 / (1.0 - w.match_fraction())).abs() < 1e-12);
+        let all_match = WorkCounters {
+            match_units: 10,
+            ..Default::default()
+        };
+        assert_eq!(all_match.amdahl_limit(), f64::INFINITY);
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   a differential-testing oracle for the Rete and as the stand-in for the
 //!   unoptimised Lisp OPS5 baseline that the paper reports a 10–20× port
 //!   speedup over.
+//! * **Profiling** ([`profile`]): match-level attribution behind the
+//!   `profiler` feature — per-production match cost and firings, alpha
+//!   memory heat, token and conflict-set statistics — feeding the
+//!   speed-up-attribution report in the downstream crates.
 //! * **Instrumentation** ([`instrument`]): deterministic work counters
 //!   (match / RHS / external cost in abstract "work units") and per-cycle
 //!   logs, from which the multiprocessor simulator derives task service
@@ -68,6 +72,7 @@ pub mod matcher;
 pub mod naive;
 pub mod parser;
 pub mod printer;
+pub mod profile;
 pub mod program;
 pub mod rete;
 pub mod rhs;
@@ -78,6 +83,7 @@ pub mod wme;
 pub use conflict::{ConflictSet, Strategy};
 pub use engine::{Effects, Engine, ExternalFn, RunOutcome};
 pub use instrument::{CycleStats, WorkCounters};
+pub use profile::{AlphaMemProfile, MatchProfile, ProductionProfile};
 pub use program::Program;
 pub use symbol::{sym, sym_name, Symbol};
 pub use value::Value;

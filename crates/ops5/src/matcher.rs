@@ -9,6 +9,7 @@
 use crate::conflict::Instantiation;
 use crate::instrument::WorkCounters;
 use crate::naive::match_all;
+use crate::profile::MatchProfile;
 use crate::program::Program;
 use crate::rete::compile::CompiledProduction;
 use crate::rete::{MatchEvent, Rete};
@@ -38,6 +39,14 @@ pub trait Matcher: Send {
     fn failure(&self) -> Option<String> {
         None
     }
+    /// Starts match-level profiling. Backends without profiling support
+    /// (and builds without the `profiler` feature) treat this as a no-op.
+    fn enable_profile(&mut self) {}
+    /// Takes the accumulated match profile; `None` for backends that do not
+    /// collect one (or when profiling was never enabled).
+    fn take_profile(&mut self) -> Option<MatchProfile> {
+        None
+    }
 }
 
 impl Matcher for Rete {
@@ -55,6 +64,12 @@ impl Matcher for Rete {
     }
     fn work(&self) -> WorkCounters {
         self.work
+    }
+    fn enable_profile(&mut self) {
+        Rete::enable_profile(self)
+    }
+    fn take_profile(&mut self) -> Option<MatchProfile> {
+        Rete::take_profile(self)
     }
 }
 

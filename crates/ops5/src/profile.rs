@@ -1,0 +1,265 @@
+//! Match-level profiling: where the match work actually goes.
+//!
+//! [`crate::instrument::WorkCounters`] answers *how much* work a run did;
+//! this module answers *where*: which productions cost the most match
+//! effort, which alpha memories are hottest, how large the conflict set
+//! grows, and how the match fraction — the quantity that caps match-level
+//! parallelism via Amdahl's law (§3.1 of the paper) — decomposes per
+//! production.
+//!
+//! The types here are always compiled so downstream crates build with any
+//! feature set; the *collection hooks* in the Rete and the engine are only
+//! active behind the `profiler` feature **and** after
+//! [`crate::Engine::enable_profile`] is called. The profiler exclusively
+//! reads the deterministic work counters — it never adds cost of its own —
+//! so work-unit totals are bit-identical whether profiling is on, off, or
+//! compiled out.
+
+use crate::instrument::WorkCounters;
+
+/// Profiling counters for one production.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProductionProfile {
+    /// Production name (filled from the program at harvest time).
+    pub name: String,
+    /// Match work attributed to this production's chain, in work units
+    /// (join tests, token maintenance, conflict-set emissions).
+    pub match_units: u64,
+    /// Beta-node activations on this production's chain (the ParaOPS5
+    /// schedulable-subtask count restricted to this chain).
+    pub activations: u64,
+    /// Tokens created on this production's chain.
+    pub tokens: u64,
+    /// Times this production fired.
+    pub firings: u64,
+    /// Interpreter RHS work from this production's firings.
+    pub act_units: u64,
+    /// External (task-related) work from this production's firings.
+    pub external_units: u64,
+}
+
+/// Profiling counters for one alpha memory.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AlphaMemProfile {
+    /// Human-readable label: WME class plus constant-test count.
+    pub label: String,
+    /// Number of constant tests guarding the memory.
+    pub tests: u32,
+    /// WME insertions into the memory (right activations it fanned out).
+    pub activations: u64,
+    /// Alpha work charged at this memory (constant tests evaluated against
+    /// it plus memory insert/remove operations), in work units.
+    pub match_units: u64,
+    /// Largest WME population the memory reached.
+    pub peak_wmes: u32,
+}
+
+/// A complete match-level profile of one engine run (or a merge of several).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MatchProfile {
+    /// Per-production counters, indexed by production.
+    pub productions: Vec<ProductionProfile>,
+    /// Per-alpha-memory counters, indexed by memory id.
+    pub alpha_mems: Vec<AlphaMemProfile>,
+    /// Total tokens created in the beta network.
+    pub tokens_created: u64,
+    /// Total tokens deleted from the beta network.
+    pub tokens_deleted: u64,
+    /// Conflict-set size observed at each recognize–act cycle.
+    pub conflict_sizes: Vec<u32>,
+    /// Recognize–act cycles profiled.
+    pub cycles: u64,
+    /// The run's merged work counters (match + interpreter), for computing
+    /// the measured match fraction the profile decomposes.
+    pub work: WorkCounters,
+}
+
+impl MatchProfile {
+    /// Merges another profile into this one. Profiles are index-aligned:
+    /// both must come from engines sharing the same compiled program (the
+    /// alpha/beta network layout is deterministic given the program), which
+    /// is how SPAM's many task-process engines are aggregated.
+    pub fn merge(&mut self, other: &MatchProfile) {
+        if self.productions.len() < other.productions.len() {
+            self.productions
+                .resize(other.productions.len(), ProductionProfile::default());
+        }
+        for (mine, theirs) in self.productions.iter_mut().zip(&other.productions) {
+            if mine.name.is_empty() {
+                mine.name = theirs.name.clone();
+            }
+            mine.match_units += theirs.match_units;
+            mine.activations += theirs.activations;
+            mine.tokens += theirs.tokens;
+            mine.firings += theirs.firings;
+            mine.act_units += theirs.act_units;
+            mine.external_units += theirs.external_units;
+        }
+        if self.alpha_mems.len() < other.alpha_mems.len() {
+            self.alpha_mems
+                .resize(other.alpha_mems.len(), AlphaMemProfile::default());
+        }
+        for (mine, theirs) in self.alpha_mems.iter_mut().zip(&other.alpha_mems) {
+            if mine.label.is_empty() {
+                mine.label = theirs.label.clone();
+                mine.tests = theirs.tests;
+            }
+            mine.activations += theirs.activations;
+            mine.match_units += theirs.match_units;
+            mine.peak_wmes = mine.peak_wmes.max(theirs.peak_wmes);
+        }
+        self.tokens_created += other.tokens_created;
+        self.tokens_deleted += other.tokens_deleted;
+        self.conflict_sizes.extend_from_slice(&other.conflict_sizes);
+        self.cycles += other.cycles;
+        self.work.add(&other.work);
+    }
+
+    /// The measured match fraction of the profiled work (the paper's key
+    /// workload statistic; 0.3–0.5 for SPAM's LCC).
+    pub fn match_fraction(&self) -> f64 {
+        self.work.match_fraction()
+    }
+
+    /// Match units attributed to production chains (excludes shared alpha
+    /// classification work).
+    pub fn beta_units(&self) -> u64 {
+        self.productions.iter().map(|p| p.match_units).sum()
+    }
+
+    /// Match units attributed to alpha memories.
+    pub fn alpha_units(&self) -> u64 {
+        self.alpha_mems.iter().map(|a| a.match_units).sum()
+    }
+
+    /// Mean conflict-set size over the profiled cycles (0 when none).
+    pub fn mean_conflict_size(&self) -> f64 {
+        if self.conflict_sizes.is_empty() {
+            0.0
+        } else {
+            self.conflict_sizes.iter().map(|&c| c as f64).sum::<f64>()
+                / self.conflict_sizes.len() as f64
+        }
+    }
+
+    /// Largest conflict set observed (0 when none).
+    pub fn max_conflict_size(&self) -> u32 {
+        self.conflict_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The `n` productions with the highest attributed match cost, as
+    /// `(production index, profile)` pairs in descending cost order.
+    /// Productions that never cost anything are omitted.
+    pub fn hot_productions(&self, n: usize) -> Vec<(usize, &ProductionProfile)> {
+        let mut v: Vec<(usize, &ProductionProfile)> = self
+            .productions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.match_units > 0 || p.firings > 0)
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.match_units
+                .cmp(&a.1.match_units)
+                .then(b.1.firings.cmp(&a.1.firings))
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// The `n` hottest alpha memories by attributed alpha cost, as
+    /// `(memory id, profile)` pairs in descending cost order. Memories that
+    /// never saw work are omitted.
+    pub fn hot_alpha_mems(&self, n: usize) -> Vec<(usize, &AlphaMemProfile)> {
+        let mut v: Vec<(usize, &AlphaMemProfile)> = self
+            .alpha_mems
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.match_units > 0)
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.match_units
+                .cmp(&a.1.match_units)
+                .then(b.1.activations.cmp(&a.1.activations))
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+/// Mutable per-alpha-memory counters owned by the alpha network while
+/// profiling is enabled (internal collection state behind [`MatchProfile`]).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AlphaMemCounters {
+    pub(crate) activations: u64,
+    pub(crate) match_units: u64,
+    pub(crate) peak_wmes: u32,
+}
+
+/// Mutable per-chain counters owned by the Rete while profiling is enabled.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ChainCounters {
+    pub(crate) match_units: u64,
+    pub(crate) activations: u64,
+    pub(crate) tokens: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof(costs: &[(u64, u64)]) -> MatchProfile {
+        MatchProfile {
+            productions: costs
+                .iter()
+                .enumerate()
+                .map(|(i, &(mu, f))| ProductionProfile {
+                    name: format!("p{i}"),
+                    match_units: mu,
+                    firings: f,
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hot_productions_sorted_and_truncated() {
+        let p = prof(&[(5, 1), (100, 2), (0, 0), (50, 9)]);
+        let hot = p.hot_productions(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, 1);
+        assert_eq!(hot[1].0, 3);
+        // Zero-cost, zero-firing productions never appear.
+        assert!(p.hot_productions(10).iter().all(|(i, _)| *i != 2));
+    }
+
+    #[test]
+    fn merge_is_index_aligned_and_additive() {
+        let mut a = prof(&[(10, 1), (20, 2)]);
+        a.conflict_sizes = vec![3, 4];
+        a.cycles = 2;
+        let mut b = prof(&[(1, 0), (2, 1), (3, 0)]);
+        b.tokens_created = 7;
+        a.merge(&b);
+        assert_eq!(a.productions.len(), 3);
+        assert_eq!(a.productions[0].match_units, 11);
+        assert_eq!(a.productions[1].firings, 3);
+        assert_eq!(a.productions[2].match_units, 3);
+        assert_eq!(a.tokens_created, 7);
+        assert_eq!(a.conflict_sizes, vec![3, 4]);
+        assert_eq!(a.cycles, 2);
+    }
+
+    #[test]
+    fn conflict_size_summaries() {
+        let mut p = MatchProfile::default();
+        assert_eq!(p.mean_conflict_size(), 0.0);
+        assert_eq!(p.max_conflict_size(), 0);
+        p.conflict_sizes = vec![1, 2, 6];
+        assert!((p.mean_conflict_size() - 3.0).abs() < 1e-12);
+        assert_eq!(p.max_conflict_size(), 6);
+    }
+}

@@ -6,6 +6,7 @@
 
 use super::compile::{eval_alpha, AlphaTest};
 use crate::instrument::cost;
+use crate::profile::AlphaMemCounters;
 use crate::symbol::Symbol;
 use crate::wme::{Wme, WmeId};
 use std::collections::HashMap;
@@ -40,6 +41,10 @@ pub struct AlphaMemory {
 pub struct AlphaNetwork {
     mems: Vec<AlphaMemory>,
     by_class: HashMap<Symbol, Vec<AlphaMemId>>,
+    /// Per-memory profiling counters; `Some` only while profiling. The
+    /// counters mirror the costs charged to `work_units` — they never add
+    /// work of their own.
+    profile: Option<Vec<AlphaMemCounters>>,
 }
 
 impl AlphaNetwork {
@@ -97,17 +102,27 @@ impl AlphaNetwork {
             for &m in ids {
                 let mem = &mut self.mems[m as usize];
                 let mut pass = true;
+                let mut mem_units = 0u64;
                 for t in &mem.tests {
-                    *work_units += cost::ALPHA_TEST;
+                    mem_units += cost::ALPHA_TEST;
                     if !eval_alpha(t, &wme.fields) {
                         pass = false;
                         break;
                     }
                 }
                 if pass {
-                    *work_units += cost::ALPHA_MEM_OP;
+                    mem_units += cost::ALPHA_MEM_OP;
                     mem.wmes.push(id);
                     hit.push(m);
+                }
+                *work_units += mem_units;
+                if let Some(p) = &mut self.profile {
+                    let c = &mut p[m as usize];
+                    c.match_units += mem_units;
+                    if pass {
+                        c.activations += 1;
+                        c.peak_wmes = c.peak_wmes.max(self.mems[m as usize].wmes.len() as u32);
+                    }
                 }
             }
         }
@@ -130,10 +145,29 @@ impl AlphaNetwork {
                     *work_units += cost::ALPHA_MEM_OP;
                     mem.wmes.swap_remove(pos);
                     hit.push(m);
+                    if let Some(p) = &mut self.profile {
+                        p[m as usize].match_units += cost::ALPHA_MEM_OP;
+                    }
                 }
             }
         }
         hit
+    }
+
+    /// Starts collecting per-memory profiling counters (resetting any
+    /// previous collection). The only caller is compiled out with the
+    /// `profiler` feature off.
+    #[cfg_attr(not(feature = "profiler"), allow(dead_code))]
+    pub(crate) fn enable_profile(&mut self) {
+        self.profile = Some(vec![AlphaMemCounters::default(); self.mems.len()]);
+    }
+
+    /// Takes the collected per-memory counters, if profiling was enabled.
+    /// Collection continues with fresh counters.
+    pub(crate) fn take_profile(&mut self) -> Option<Vec<AlphaMemCounters>> {
+        let p = self.profile.take()?;
+        self.profile = Some(vec![AlphaMemCounters::default(); self.mems.len()]);
+        Some(p)
     }
 }
 

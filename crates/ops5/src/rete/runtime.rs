@@ -15,6 +15,7 @@ use super::alpha::{AlphaMemId, AlphaNetwork, Successor};
 use super::compile::{compile_production, CompiledProduction, JoinTest};
 use crate::conflict::Instantiation;
 use crate::instrument::{cost, WorkCounters};
+use crate::profile::{AlphaMemProfile, ChainCounters, MatchProfile, ProductionProfile};
 use crate::program::Program;
 use crate::wme::{WmStore, WmeId};
 use crate::Result;
@@ -78,6 +79,17 @@ pub struct Rete {
     /// Accumulated match work.
     pub work: WorkCounters,
     chunks: u32,
+    /// Per-chain profiling counters plus token totals; `Some` only while
+    /// profiling. Hooks read `work` deltas — they never write counters.
+    profile: Option<ReteProfile>,
+}
+
+/// Collection state for match-level profiling of one Rete instance.
+#[derive(Clone, Debug, Default)]
+struct ReteProfile {
+    chains: Vec<ChainCounters>,
+    tokens_created: u64,
+    tokens_deleted: u64,
 }
 
 impl Rete {
@@ -104,6 +116,7 @@ impl Rete {
             events: Vec::new(),
             work: WorkCounters::default(),
             chunks: 0,
+            profile: None,
         };
         for spec in compiled.iter() {
             let chain_id = rete.chains.len() as u32;
@@ -149,6 +162,61 @@ impl Rete {
         std::mem::take(&mut self.chunks)
     }
 
+    /// Starts collecting a match-level profile (per-chain cost attribution,
+    /// alpha-memory heat, token totals), resetting any previous collection.
+    /// A no-op when the `profiler` feature is compiled out.
+    pub fn enable_profile(&mut self) {
+        #[cfg(feature = "profiler")]
+        {
+            self.alpha.enable_profile();
+            self.profile = Some(ReteProfile {
+                chains: vec![ChainCounters::default(); self.chains.len()],
+                ..Default::default()
+            });
+        }
+    }
+
+    /// Takes the collected profile, if profiling was enabled; collection
+    /// continues with fresh counters. Per-chain counters are folded into
+    /// per-production entries and alpha memories receive their labels.
+    pub fn take_profile(&mut self) -> Option<MatchProfile> {
+        let p = self.profile.take()?;
+        self.profile = Some(ReteProfile {
+            chains: vec![ChainCounters::default(); self.chains.len()],
+            ..Default::default()
+        });
+        let alpha = self.alpha.take_profile().unwrap_or_default();
+        let n_prods = self.chains.iter().map(|c| c.prod + 1).max().unwrap_or(0) as usize;
+        let mut productions = vec![ProductionProfile::default(); n_prods];
+        for (chain, c) in self.chains.iter().zip(&p.chains) {
+            let pp = &mut productions[chain.prod as usize];
+            pp.match_units += c.match_units;
+            pp.activations += c.activations;
+            pp.tokens += c.tokens;
+        }
+        let alpha_mems = alpha
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let mem = self.alpha.mem(i as AlphaMemId);
+                AlphaMemProfile {
+                    label: format!("{} ({} tests)", mem.class, mem.tests.len()),
+                    tests: mem.tests.len() as u32,
+                    activations: a.activations,
+                    match_units: a.match_units,
+                    peak_wmes: a.peak_wmes,
+                }
+            })
+            .collect();
+        Some(MatchProfile {
+            productions,
+            alpha_mems,
+            tokens_created: p.tokens_created,
+            tokens_deleted: p.tokens_deleted,
+            ..Default::default()
+        })
+    }
+
     /// Processes a WME addition. `id` must already be live in `wm`.
     pub fn add_wme(&mut self, id: WmeId, wm: &WmStore) {
         let wme = wm.get(id).expect("add_wme: wme must be live");
@@ -157,7 +225,11 @@ impl Rete {
         for m in mems {
             let succs = self.alpha.mem(m).successors.clone();
             for s in succs {
+                let before = self.work.match_units;
                 self.right_activate_add(s.chain, s.level, id, wm);
+                if let Some(p) = &mut self.profile {
+                    p.chains[s.chain as usize].match_units += self.work.match_units - before;
+                }
             }
         }
     }
@@ -179,6 +251,10 @@ impl Rete {
                     continue;
                 }
                 self.chunks += 1;
+                let before = self.work.match_units;
+                if let Some(p) = &mut self.profile {
+                    p.chains[s.chain as usize].activations += 1;
+                }
                 let toks = node.tokens.clone();
                 for t in toks {
                     if !self.tokens[t as usize].alive {
@@ -193,12 +269,20 @@ impl Rete {
                         }
                     }
                 }
+                if let Some(p) = &mut self.profile {
+                    p.chains[s.chain as usize].match_units += self.work.match_units - before;
+                }
             }
         }
         // Then delete every token whose own WME is the removed one.
         if let Some(toks) = self.wme_tokens.remove(&id) {
             for t in toks {
+                let chain = self.tokens[t as usize].chain;
+                let before = self.work.match_units;
                 self.delete_token(t);
+                if let Some(p) = &mut self.profile {
+                    p.chains[chain as usize].match_units += self.work.match_units - before;
+                }
             }
         }
     }
@@ -207,6 +291,9 @@ impl Rete {
 
     fn right_activate_add(&mut self, c: u32, k: u16, w: WmeId, wm: &WmStore) {
         self.chunks += 1;
+        if let Some(p) = &mut self.profile {
+            p.chains[c as usize].activations += 1;
+        }
         let node = &self.chains[c as usize].nodes[k as usize];
         let negated = node.negated;
         let tests = node.join_tests.clone();
@@ -253,6 +340,10 @@ impl Rete {
     fn new_token(&mut self, c: u32, k: u16, parent: u32, wme: Option<WmeId>, wm: &WmStore) {
         let id = self.alloc_token(c, k, parent, wme);
         self.work.match_units += cost::TOKEN_OP;
+        if let Some(p) = &mut self.profile {
+            p.tokens_created += 1;
+            p.chains[c as usize].tokens += 1;
+        }
         self.chains[c as usize].nodes[k as usize].tokens.push(id);
         if let Some(w) = wme {
             self.wme_tokens.entry(w).or_default().push(id);
@@ -291,6 +382,9 @@ impl Rete {
         }
         let next = k + 1;
         self.chunks += 1;
+        if let Some(p) = &mut self.profile {
+            p.chains[c as usize].activations += 1;
+        }
         let node = &self.chains[c as usize].nodes[next as usize];
         if node.negated {
             self.new_token(c, next, t, None, wm);
@@ -325,6 +419,9 @@ impl Rete {
             return;
         }
         self.tokens[t as usize].alive = false;
+        if let Some(p) = &mut self.profile {
+            p.tokens_deleted += 1;
+        }
         let children = std::mem::take(&mut self.tokens[t as usize].children);
         for ch in children {
             self.delete_token(ch);

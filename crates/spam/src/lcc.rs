@@ -20,7 +20,7 @@ use crate::externals::{register, ExternalCtx};
 use crate::fragments::{FragmentHypothesis, FragmentKind, ALL_KINDS};
 use crate::rules::SpamProgram;
 use crate::scene::Scene;
-use ops5::{sym, CycleStats, Value, WorkCounters};
+use ops5::{sym, CycleStats, MatchProfile, Value, WorkCounters};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use tlp_fault::TaskReport;
@@ -371,6 +371,29 @@ pub fn run_lcc_unit(
     fragments: &Arc<Vec<FragmentHypothesis>>,
     unit: &LccUnit,
 ) -> LccUnitResult {
+    run_lcc_unit_inner(sp, scene, fragments, unit, false).0
+}
+
+/// Executes one LCC task with match-level profiling enabled, returning the
+/// task's [`MatchProfile`] alongside its result. `None` when the ops5
+/// `profiler` feature is compiled out. Work counters are bit-identical to
+/// [`run_lcc_unit`] — the profiler only reads them.
+pub fn run_lcc_unit_profiled(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    unit: &LccUnit,
+) -> (LccUnitResult, Option<MatchProfile>) {
+    run_lcc_unit_inner(sp, scene, fragments, unit, true)
+}
+
+fn run_lcc_unit_inner(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    unit: &LccUnit,
+    profile: bool,
+) -> (LccUnitResult, Option<MatchProfile>) {
     let mut e = sp.engine();
     register(
         &mut e,
@@ -381,6 +404,9 @@ pub fn run_lcc_unit(
         },
     );
     e.enable_cycle_log();
+    if profile {
+        e.enable_profile();
+    }
     e.make_wme(
         "control",
         &[
@@ -438,14 +464,18 @@ pub fn run_lcc_unit(
         .collect();
 
     let work = e.work();
-    LccUnitResult {
-        consistents,
-        supports,
-        rhs_actions: work.rhs_actions,
-        work,
-        firings: out.firings,
-        cycle_log: e.take_cycle_log(),
-    }
+    let prof = if profile { e.take_profile() } else { None };
+    (
+        LccUnitResult {
+            consistents,
+            supports,
+            rhs_actions: work.rhs_actions,
+            work,
+            firings: out.firings,
+            cycle_log: e.take_cycle_log(),
+        },
+        prof,
+    )
 }
 
 /// Runs the whole LCC phase at `level`, sequentially (the Table 8 BASELINE
@@ -456,14 +486,44 @@ pub fn run_lcc(
     fragments: &Arc<Vec<FragmentHypothesis>>,
     level: Level,
 ) -> LccPhaseResult {
+    run_lcc_inner(sp, scene, fragments, level, false).0
+}
+
+/// Runs the whole LCC phase at `level` sequentially with match-level
+/// profiling, merging every task's profile into one phase-wide
+/// [`MatchProfile`] (tasks share the compiled program, so profiles are
+/// index-aligned). `None` when the ops5 `profiler` feature is compiled out.
+pub fn run_lcc_profiled(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+) -> (LccPhaseResult, Option<MatchProfile>) {
+    run_lcc_inner(sp, scene, fragments, level, true)
+}
+
+fn run_lcc_inner(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    profile: bool,
+) -> (LccPhaseResult, Option<MatchProfile>) {
     let units = decompose(scene, fragments, level);
     let mut results = Vec::with_capacity(units.len());
     let mut work = WorkCounters::default();
     let mut firings = 0;
     let mut consistents = Vec::new();
     let mut supports = vec![0i64; fragments.len()];
+    let mut merged: Option<MatchProfile> = None;
     for u in &units {
-        let r = run_lcc_unit(sp, scene, fragments, u);
+        let (r, prof) = run_lcc_unit_inner(sp, scene, fragments, u, profile);
+        if let Some(p) = prof {
+            match &mut merged {
+                Some(m) => m.merge(&p),
+                None => merged = Some(p),
+            }
+        }
         work.add(&r.work);
         firings += r.firings;
         consistents.extend(r.consistents.iter().copied());
@@ -476,15 +536,18 @@ pub fn run_lcc(
     for f in &mut updated {
         f.support = supports[f.id as usize];
     }
-    LccPhaseResult {
-        level,
-        fragments: updated,
-        consistents,
-        units: results,
-        work,
-        firings,
-        report: TaskReport::all_ok(units.iter().map(|u| u.label())),
-    }
+    (
+        LccPhaseResult {
+            level,
+            fragments: updated,
+            consistents,
+            units: results,
+            work,
+            firings,
+            report: TaskReport::all_ok(units.iter().map(|u| u.label())),
+        },
+        merged,
+    )
 }
 
 // The parallel runner executes LCC units under `std::panic::catch_unwind`;
@@ -576,6 +639,34 @@ mod tests {
                 .sum();
             assert_eq!(f.support, expected, "fragment {}", f.id);
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_attributes_cost() {
+        let (sp, scene, frags) = setup();
+        let plain = run_lcc(&sp, &scene, &frags, Level::L3);
+        let (profiled, prof) = run_lcc_profiled(&sp, &scene, &frags, Level::L3);
+        // Work accounting is bit-identical with the profiler collecting.
+        assert_eq!(plain.work, profiled.work);
+        assert_eq!(plain.firings, profiled.firings);
+
+        let p = prof.expect("profiler feature is on in tests");
+        assert_eq!(p.cycles, profiled.firings);
+        assert_eq!(p.work.total_units(), profiled.work.total_units());
+        assert!(
+            (0.25..0.60).contains(&p.match_fraction()),
+            "profiled match fraction {:.2}",
+            p.match_fraction()
+        );
+        // Per-production firings sum to the phase total and the hot list is
+        // populated with named productions.
+        let fired: u64 = p.productions.iter().map(|q| q.firings).sum();
+        assert_eq!(fired, profiled.firings);
+        let hot = p.hot_productions(5);
+        assert!(!hot.is_empty());
+        assert!(hot.iter().all(|(_, q)| !q.name.is_empty()));
+        assert!(!p.hot_alpha_mems(5).is_empty());
+        assert!(p.tokens_created > 0);
     }
 
     #[test]
