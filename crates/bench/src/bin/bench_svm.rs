@@ -1,0 +1,89 @@
+//! SVM bench: replays the measured SF LCC Level-3 trace on the two-machine
+//! shared-virtual-memory platform of §7 (13 local + 7 remote task
+//! processes, tuned netmemory, remote clock skewed −3.5 ms / 80 ppm) and
+//! writes `BENCH_svm.json` — the overhead accountant's machine-readable
+//! report with the headline effective-processors-lost figure (paper ≈1.5),
+//! the exact gap decomposition, page-coherence totals, and the clock-stitch
+//! fit. The optional second argument also writes the stitched two-machine
+//! Chrome trace (for `tracecheck` / Perfetto).
+//!
+//! ```sh
+//! cargo run --release --bin bench_svm [-- out.json [trace.json]]
+//! ```
+//!
+//! CI compares the output against `crates/bench/baselines/BENCH_svm.json`
+//! with `benchdiff`.
+
+use multimax_sim::{simulate_svm, ClockDomain, SvmSimConfig, SvmSimResult};
+use spam::lcc::Level;
+use spam_psm::attribution::build_svm_report;
+use tlp_bench::{header, Prepared};
+use tlp_obs::{ObsLevel, TraceDoc};
+
+const WORKERS: u32 = 20;
+
+fn write_trace(path: &str, r: &SvmSimResult) {
+    let mut doc = TraceDoc::new();
+    match tlp_obs::stitch(r.home.clone(), r.remote.clone()) {
+        Ok(s) => {
+            doc.add_machine(&s.home);
+            doc.add_machine(&s.remote);
+        }
+        Err(_) => {
+            doc.add_machine(&r.home);
+            doc.add_machine(&r.remote);
+        }
+    }
+    let (home_tl, remote_tl) = r.timelines();
+    doc.add_timeline(&home_tl);
+    doc.add_timeline(&remote_tl);
+    std::fs::write(path, doc.write()).expect("write trace json");
+    println!(
+        "trace: {} machine events, 2 pids -> {path}",
+        r.home.events.len() + r.remote.events.len()
+    );
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_svm.json".into());
+    let trace_out = std::env::args().nth(2);
+    header("SVM bench — two-machine overhead accountant (LCC Level 3, SF)");
+    let p = Prepared::new(spam::datasets::sf());
+    let lcc = p.lcc(Level::L3);
+    let trace = spam_psm::trace::lcc_trace(&lcc);
+    println!(
+        "LCC Level 3: {} tasks, mean service {:.2}s",
+        trace.tasks.len(),
+        trace.tasks.total_service() / trace.tasks.len() as f64
+    );
+
+    let mut cfg = SvmSimConfig::dual_encore(WORKERS);
+    cfg.remote_clock = ClockDomain::new(-3_500, 80.0);
+    cfg.level = ObsLevel::Full;
+    let r = simulate_svm(&cfg, &trace.tasks.tasks);
+    let report = build_svm_report("SF", "LCC Level 3", "tuned", &r, &trace.tasks, 10);
+    println!();
+    print!("{report}");
+
+    // The naive (pre-layout-fix) netmemory for contrast — the paper's §7
+    // narrative is precisely this before/after.
+    let mut naive_cfg = cfg;
+    naive_cfg.sim.svm = multimax_sim::SvmConfig::naive();
+    naive_cfg.level = ObsLevel::Off;
+    let naive = simulate_svm(&naive_cfg, &trace.tasks.tasks);
+    let naive_report = build_svm_report("SF", "LCC Level 3", "naive", &naive, &trace.tasks, 0);
+    println!();
+    println!(
+        "naive netmemory for contrast: {:.2}x speed-up, {:.2} effective processors lost",
+        naive_report.attribution.measured_speedup(),
+        naive_report.lost
+    );
+
+    if let Some(path) = &trace_out {
+        write_trace(path, &r);
+    }
+    std::fs::write(&out, report.to_json().write()).expect("write bench json");
+    println!("wrote {out}");
+}

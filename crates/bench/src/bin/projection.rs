@@ -7,9 +7,10 @@
 //! SF traces at both chosen levels and reports where the 50x and (if
 //! reached) 100x marks fall.
 
-use multimax_sim::{simulate, ClusterConfig, Machine, Schedule, SimConfig};
+use multimax_sim::{simulate, ClusterConfig, Machine, Schedule, SimConfig, SvmConfig};
 use paraops5::costmodel::{match_component_speedup, CostModel};
 use spam::lcc::Level;
+use spam_psm::attribution::{effective_processors_lost, equivalent_processors};
 use spam_psm::trace::lcc_trace;
 use tlp_bench::plot::{curve_points, series, Chart};
 use tlp_bench::{header, Prepared};
@@ -72,6 +73,35 @@ fn main() {
         println!("  {}", tlp_bench::curve_line(&curve));
         chart_series.push(series(tag, curve_points(&curve), i));
     }
+    // The §7 counterweight to the projection: the machine the paper scales
+    // toward doesn't exist, so growth past one Encore crosses an SVM
+    // boundary. Price the dual-Encore points against the one-large-machine
+    // curve with the accountant's inversion (effective processors lost).
+    {
+        let trace = lcc_trace(&p.lcc(Level::L3));
+        let pure_curve =
+            multimax_sim::speedup_curve(|n| big_machine(n, Schedule::Fifo), &trace.tasks, 24);
+        let base = simulate(&big_machine(1, Schedule::Fifo), &trace.tasks.tasks).makespan;
+        println!("SVM scale-out tax (Level 3, dual Encores vs one large machine):");
+        println!(
+            "  {:>5} {:>8} {:>10} {:>9}",
+            "procs", "SVM", "equiv", "eff lost"
+        );
+        for n in [13u32, 14, 16, 20, 22] {
+            let cfg = SimConfig {
+                machine: Machine::dual_encore_svm(),
+                task_processes: n,
+                svm: SvmConfig::tuned(),
+                ..SimConfig::encore(1)
+            };
+            let s = base / simulate(&cfg, &trace.tasks.tasks).makespan;
+            let eq = equivalent_processors(s, &pure_curve);
+            let lost = effective_processors_lost(s, &pure_curve, n);
+            println!("  {n:>5} {s:>8.2} {eq:>10.2} {lost:>9.2}");
+        }
+        println!("  (the remote cluster starts paying its way despite the ~1.5-proc tax)");
+    }
+
     // Combined projection: Level-2 LPT with 2 dedicated match processes per
     // task process (the multiplicative second axis, §6.4).
     {

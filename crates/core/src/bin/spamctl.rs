@@ -2,11 +2,15 @@
 //!
 //! ```sh
 //! spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
+//!         [--machines 1|2] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X]
 //!         [--retries K] [--deadline-ms MS] [--fault-seed S]
 //!         [--task-panic-rate P] [--topdown] [--sweep] [--quiet]
 //!         [--obs off|summary|full] [--trace-out F] [--metrics-out F]
 //! spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K]
 //!         [--json F] [--check-band LO:HI]
+//! spamctl svm-report [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
+//!         [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] [--top K]
+//!         [--json F] [--trace-out F] [--check-loss LO:HI]
 //! ```
 //!
 //! * default: run the full pipeline and print the interpretation summary
@@ -18,6 +22,25 @@
 //!   combined speed-ups. `--json F` also writes the machine-readable
 //!   report; `--check-band LO:HI` exits non-zero unless the measured
 //!   match fraction lies in `[LO, HI]` (the CI perf-smoke gate);
+//! * `svm-report`: run the two-machine SVM simulation of the LCC phase
+//!   (dataset defaults to `sf`, the paper's Figure 9 scene; 20 task
+//!   processes = 13 local + 7 remote) and print the **overhead
+//!   accountant** — the exact gap decomposition (fork / queue / warmup /
+//!   page-wait / transfer / skew-residual / idle), page-coherence
+//!   counters, the clock-stitch fit, and the headline effective-
+//!   processors-lost figure (paper §7: ≈1.5). `--check-loss LO:HI` exits
+//!   non-zero unless the figure lies in `[LO, HI]` (the CI gate);
+//!   `--trace-out F` writes the stitched two-machine Chrome trace;
+//! * `--machines 2` makes `run` replay the measured trace on the
+//!   dual-Encore SVM platform instead of one Encore: the Gantt chart
+//!   (at `--obs full`) becomes a two-machine chart, the Chrome trace
+//!   carries one `pid` lane per machine (clock domains stitched from the
+//!   page-fault exchanges), and coherence/stitch summaries are printed;
+//! * `--svm` picks the netmemory cost model (`tuned`, the paper's final
+//!   system, or `naive`, the pre-layout-fix one; default `tuned`);
+//! * `--skew-ms` / `--drift-ppm` set the remote machine's clock error
+//!   (defaults −3.5 ms, 80 ppm — exercises the stitcher; the home clock
+//!   is the reference);
 //! * `--level` selects the LCC decomposition level (default 3);
 //! * `--workers N` runs LCC with N real task-process threads (SPAM/PSM);
 //! * `--retries K` allows K supervised retries per LCC task;
@@ -51,12 +74,18 @@ use tlp_obs::{ObsLevel, Recorder};
 
 struct Opts {
     profile: bool,
+    svm_report: bool,
     top: usize,
     json_out: Option<String>,
     check_band: Option<(f64, f64)>,
-    dataset: String,
+    check_loss: Option<(f64, f64)>,
+    dataset: Option<String>,
     level: Level,
-    workers: usize,
+    workers: Option<usize>,
+    machines: u32,
+    svm_mode: String,
+    skew_ms: f64,
+    drift_ppm: f64,
     retries: u32,
     deadline_ms: Option<u64>,
     fault_seed: u64,
@@ -72,12 +101,18 @@ struct Opts {
 fn parse_args() -> Result<Opts, String> {
     let mut o = Opts {
         profile: false,
+        svm_report: false,
         top: 10,
         json_out: None,
         check_band: None,
-        dataset: "moff".into(),
+        check_loss: None,
+        dataset: None,
         level: Level::L3,
-        workers: 1,
+        workers: None,
+        machines: 1,
+        svm_mode: "tuned".into(),
+        skew_ms: -3.5,
+        drift_ppm: 80.0,
         retries: 0,
         deadline_ms: None,
         fault_seed: 0,
@@ -94,6 +129,7 @@ fn parse_args() -> Result<Opts, String> {
         match a.as_str() {
             "run" => {} // explicit default subcommand
             "profile" => o.profile = true,
+            "svm-report" => o.svm_report = true,
             "--top" => {
                 o.top = args
                     .next()
@@ -116,7 +152,53 @@ fn parse_args() -> Result<Opts, String> {
                 }
                 o.check_band = Some((lo, hi));
             }
-            "sf" | "dc" | "moff" | "suburb" => o.dataset = a,
+            "sf" | "dc" | "moff" | "suburb" => o.dataset = Some(a),
+            "--machines" => {
+                o.machines = args
+                    .next()
+                    .ok_or("--machines needs 1 or 2")?
+                    .parse()
+                    .map_err(|e| format!("bad --machines: {e}"))?;
+                if !(1..=2).contains(&o.machines) {
+                    return Err("--machines must be 1 or 2".into());
+                }
+            }
+            "--svm" => {
+                let v = args.next().ok_or("--svm needs tuned|naive")?;
+                if v != "tuned" && v != "naive" {
+                    return Err(format!("bad --svm '{v}' (want tuned|naive)"));
+                }
+                o.svm_mode = v;
+            }
+            "--skew-ms" => {
+                o.skew_ms = args
+                    .next()
+                    .ok_or("--skew-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --skew-ms: {e}"))?;
+                if o.skew_ms.abs() > 1_000.0 {
+                    return Err("--skew-ms must be within +/-1000".into());
+                }
+            }
+            "--drift-ppm" => {
+                o.drift_ppm = args
+                    .next()
+                    .ok_or("--drift-ppm needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --drift-ppm: {e}"))?;
+            }
+            "--check-loss" => {
+                let v = args.next().ok_or("--check-loss needs LO:HI")?;
+                let (lo, hi) = v
+                    .split_once(':')
+                    .ok_or(format!("bad --check-loss '{v}' (want LO:HI)"))?;
+                let lo: f64 = lo.parse().map_err(|e| format!("bad --check-loss: {e}"))?;
+                let hi: f64 = hi.parse().map_err(|e| format!("bad --check-loss: {e}"))?;
+                if lo > hi {
+                    return Err(format!("bad --check-loss {lo}:{hi}"));
+                }
+                o.check_loss = Some((lo, hi));
+            }
             "--level" => {
                 o.level = match args.next().as_deref() {
                     Some("1") => Level::L1,
@@ -127,14 +209,15 @@ fn parse_args() -> Result<Opts, String> {
                 }
             }
             "--workers" => {
-                o.workers = args
+                let w: usize = args
                     .next()
                     .ok_or("--workers needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --workers: {e}"))?;
-                if o.workers == 0 {
+                if w == 0 {
                     return Err("--workers must be >= 1".into());
                 }
+                o.workers = Some(w);
             }
             "--retries" => {
                 o.retries = args
@@ -184,11 +267,15 @@ fn parse_args() -> Result<Opts, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
+                     [--machines 1|2] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] \
                      [--retries K] [--deadline-ms MS] [--fault-seed S] \
                      [--task-panic-rate P] [--topdown] [--sweep] [--quiet] \
                      [--obs off|summary|full] [--trace-out F] [--metrics-out F]\n\
                      \x20      spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K] \
-                     [--json F] [--check-band LO:HI]"
+                     [--json F] [--check-band LO:HI]\n\
+                     \x20      spamctl svm-report [sf|dc|moff|suburb] [--level 1|2|3|4] \
+                     [--workers N] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] [--top K] \
+                     [--json F] [--trace-out F] [--check-loss LO:HI]"
                         .into(),
                 )
             }
@@ -266,6 +353,128 @@ fn run_profile(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Resolves the SVM cost model named by `--svm`.
+fn svm_model(mode: &str) -> multimax_sim::SvmConfig {
+    if mode == "naive" {
+        multimax_sim::SvmConfig::naive()
+    } else {
+        multimax_sim::SvmConfig::tuned()
+    }
+}
+
+/// The two-machine simulation configuration for the CLI's clock flags.
+fn svm_sim_config(o: &Opts, workers: u32) -> multimax_sim::SvmSimConfig {
+    let mut cfg = multimax_sim::SvmSimConfig::dual_encore(workers);
+    cfg.sim.svm = svm_model(&o.svm_mode);
+    cfg.remote_clock =
+        multimax_sim::ClockDomain::new((o.skew_ms * 1e3).round() as i64, o.drift_ppm);
+    cfg
+}
+
+/// Writes the stitched two-machine Chrome trace: one `pid` lane per
+/// machine (remote clock aligned to home) plus both simulated timelines.
+fn write_svm_trace(
+    path: &str,
+    r: &multimax_sim::SvmSimResult,
+    rec: Option<&Recorder>,
+) -> Result<usize, String> {
+    let mut doc = tlp_obs::TraceDoc::new();
+    if let Some(rec) = rec {
+        doc.add_recorder("spamctl", rec);
+    }
+    match tlp_obs::stitch(r.home.clone(), r.remote.clone()) {
+        Ok(s) => {
+            doc.add_machine(&s.home);
+            doc.add_machine(&s.remote);
+        }
+        // No exchanges to align on (e.g. no remote workers): emit the raw
+        // logs; each machine still gets its own pid lane.
+        Err(_) => {
+            doc.add_machine(&r.home);
+            doc.add_machine(&r.remote);
+        }
+    }
+    let (home_tl, remote_tl) = r.timelines();
+    doc.add_timeline(&home_tl);
+    doc.add_timeline(&remote_tl);
+    let events = r.home.events.len() + r.remote.events.len();
+    std::fs::write(path, doc.write()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(events)
+}
+
+/// The `svm-report` subcommand: run LCC, replay the measured trace on the
+/// two-machine SVM platform, and print the overhead accountant.
+fn run_svm_report(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
+    let workers = o.workers.unwrap_or(20).max(1) as u32;
+    println!(
+        "spamctl svm-report: {} ({:?}), {} regions, LCC at {}, {} task processes, {} netmemory",
+        scene.name,
+        scene.domain,
+        scene.len(),
+        o.level.name(),
+        workers,
+        o.svm_mode,
+    );
+    let rtf = run_rtf(sp, scene);
+    let fragments = Arc::new(rtf.fragments.clone());
+    let lcc = spam::lcc::run_lcc(sp, scene, &fragments, o.level);
+    let trace = spam_psm::trace::lcc_trace(&lcc);
+    println!(
+        "LCC    : {} tasks, {} firings, {:.0} simulated s",
+        trace.tasks.len(),
+        lcc.firings,
+        lcc.work.seconds_at(MIPS)
+    );
+
+    let mut cfg = svm_sim_config(o, workers);
+    cfg.level = ObsLevel::Full;
+    let r = multimax_sim::simulate_svm(&cfg, &trace.tasks.tasks);
+    let report = spam_psm::attribution::build_svm_report(
+        scene.name.clone(),
+        format!("LCC {}", o.level.name()),
+        o.svm_mode.clone(),
+        &r,
+        &trace.tasks,
+        o.top,
+    );
+    println!();
+    print!("{report}");
+
+    if let Some(path) = &o.trace_out {
+        match write_svm_trace(path, &r, None) {
+            Ok(events) => println!(
+                "trace  : {events} events, 2 machine pids -> {path} (chrome://tracing / Perfetto)"
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &o.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json().write()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("svm-report: json -> {path}");
+    }
+    if let Some((lo, hi)) = o.check_loss {
+        if (lo..=hi).contains(&report.lost) {
+            println!(
+                "\ncheck  : effective processors lost {:.2} in [{lo}, {hi}] — ok",
+                report.lost
+            );
+        } else {
+            eprintln!(
+                "\ncheck  : effective processors lost {:.2} OUTSIDE [{lo}, {hi}]",
+                report.lost
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let o = match parse_args() {
         Ok(o) => o,
@@ -275,17 +484,24 @@ fn main() -> ExitCode {
         }
     };
     let sp = SpamProgram::build();
-    let scene = build_scene(&o.dataset);
+    // Figure 9 is an SF result, so `svm-report` defaults to that scene.
+    let default_dataset = if o.svm_report { "sf" } else { "moff" };
+    let scene = build_scene(o.dataset.as_deref().unwrap_or(default_dataset));
+    if o.svm_report {
+        return run_svm_report(&o, &sp, &scene);
+    }
     if o.profile {
         return run_profile(&o, &sp, &scene);
     }
+    let workers = o.workers.unwrap_or(1);
     println!(
-        "spamctl: {} ({:?}), {} regions, LCC at {}, {} worker(s), obs {}",
+        "spamctl: {} ({:?}), {} regions, LCC at {}, {} worker(s), {} machine(s), obs {}",
         scene.name,
         scene.domain,
         scene.len(),
         o.level.name(),
-        o.workers,
+        workers,
+        o.machines,
         o.obs
     );
 
@@ -320,7 +536,7 @@ fn main() -> ExitCode {
 
     // A recording run takes the supervised path so task/supervisor events
     // are emitted; the results are identical either way.
-    let supervised = o.workers > 1
+    let supervised = workers > 1
         || o.retries > 0
         || o.deadline_ms.is_some()
         || o.task_panic_rate > 0.0
@@ -338,7 +554,7 @@ fn main() -> ExitCode {
             plan = plan.with_task_panic_rate(o.task_panic_rate);
         }
         match spam_psm::tlp::run_parallel_lcc_traced(
-            &sp, &scene, &fragments, o.level, o.workers, &cfg, &plan, &rec,
+            &sp, &scene, &fragments, o.level, workers, &cfg, &plan, &rec,
         ) {
             Ok(lcc) => lcc,
             Err(e) => {
@@ -444,34 +660,94 @@ fn main() -> ExitCode {
     if rec.enabled(ObsLevel::Summary) || o.trace_out.is_some() || o.metrics_out.is_some() {
         ctl.flush();
         let trace = spam_psm::trace::lcc_trace(&lcc);
-        let sim_workers = (o.workers as u32).max(1);
-        let sim = multimax_sim::simulate(
-            &multimax_sim::SimConfig::encore(sim_workers),
-            &trace.tasks.tasks,
-        );
-        let tl = sim.timeline(&format!("encore-sim-{sim_workers}p"));
+        let sim_workers = (workers as u32).max(1);
+
+        // One machine: replay on a single Encore. Two: replay on the
+        // dual-Encore SVM platform — the trace gets a pid lane per machine
+        // and the Gantt becomes a two-machine chart.
+        let svm = (o.machines == 2).then(|| {
+            let mut cfg = svm_sim_config(&o, sim_workers);
+            cfg.level = obs_level;
+            multimax_sim::simulate_svm(&cfg, &trace.tasks.tasks)
+        });
+        let sim = match &svm {
+            Some(r) => r.sim.clone(),
+            None => multimax_sim::simulate(
+                &multimax_sim::SimConfig::encore(sim_workers),
+                &trace.tasks.tasks,
+            ),
+        };
+
+        if let Some(r) = &svm {
+            println!(
+                "SVM    : {} faults, {} transfers, {:.1} MB shipped, {} invalidations ({} netmemory)",
+                r.totals.faults,
+                r.totals.transfers,
+                r.totals.bytes as f64 / 1e6,
+                r.totals.invalidations,
+                o.svm_mode
+            );
+            match tlp_obs::stitch(r.home.clone(), r.remote.clone()) {
+                Ok(s) => println!(
+                    "stitch : {} exchange pairs, offset {:.0} us, drift {:.1} ppm, residual +/-{:.0} us, {} inversions",
+                    s.report.pairs,
+                    s.report.offset_us,
+                    s.report.drift_ppm,
+                    s.report.residual_us,
+                    s.report.inversions
+                ),
+                Err(e) => println!("stitch : not possible ({e})"),
+            }
+        }
 
         if o.obs == ObsLevel::Full {
-            println!(
-                "simulated Encore Gantt ({sim_workers} task processes, makespan {:.0}s, coverage {:.1}%):",
-                sim.makespan,
-                100.0 * tl.coverage()
-            );
-            print!("{}", tl.gantt(72));
+            if let Some(r) = &svm {
+                let (home_tl, remote_tl) = r.timelines();
+                println!(
+                    "simulated dual-Encore Gantt ({sim_workers} task processes, makespan {:.0}s):",
+                    sim.makespan
+                );
+                print!(
+                    "{}",
+                    tlp_obs::multi_gantt(&[("m0", &home_tl), ("m1", &remote_tl)], 72)
+                );
+            } else {
+                let tl = sim.timeline(&format!("encore-sim-{sim_workers}p"));
+                println!(
+                    "simulated Encore Gantt ({sim_workers} task processes, makespan {:.0}s, coverage {:.1}%):",
+                    sim.makespan,
+                    100.0 * tl.coverage()
+                );
+                print!("{}", tl.gantt(72));
+            }
         }
 
         if let Some(path) = &o.trace_out {
-            let mut doc = tlp_obs::TraceDoc::new();
-            doc.add_recorder("spamctl", &rec);
-            doc.add_timeline(&tl);
-            if let Err(e) = std::fs::write(path, doc.write()) {
-                eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+            if let Some(r) = &svm {
+                match write_svm_trace(path, r, Some(&rec)) {
+                    Ok(events) => println!(
+                        "trace  : {} recorder + {events} machine events, 2 pids -> {path} \
+                         (chrome://tracing / Perfetto)",
+                        rec.len()
+                    ),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                let mut doc = tlp_obs::TraceDoc::new();
+                doc.add_recorder("spamctl", &rec);
+                doc.add_timeline(&sim.timeline(&format!("encore-sim-{sim_workers}p")));
+                if let Err(e) = std::fs::write(path, doc.write()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "trace  : {} events -> {path} (chrome://tracing / Perfetto)",
+                    rec.len()
+                );
             }
-            println!(
-                "trace  : {} events -> {path} (chrome://tracing / Perfetto)",
-                rec.len()
-            );
         }
 
         if let Some(path) = &o.metrics_out {

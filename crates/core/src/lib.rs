@@ -48,8 +48,9 @@ pub mod tlp;
 pub mod trace;
 
 pub use attribution::{
-    amdahl_speedup, build_report, critical_path, predicted_from_match_fraction, CriticalPath,
-    GapAttribution, PhaseAmdahl, ProfileReport, SpeedupCheck,
+    amdahl_speedup, build_report, build_svm_report, critical_path, effective_processors_lost,
+    equivalent_processors, predicted_from_match_fraction, pure_tlp_config, CriticalPath,
+    GapAttribution, PhaseAmdahl, ProfileReport, SpeedupCheck, SvmGapAttribution, SvmReport,
 };
 pub use combined::{combined_grid, CombinedCell};
 pub use measure::{level_rows, profiled_lcc, table8_row, LevelRowMeasured, Table8Row};

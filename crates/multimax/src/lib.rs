@@ -44,6 +44,7 @@ pub mod metrics;
 pub mod schedule;
 pub mod sim;
 pub mod svm;
+pub mod svm_sim;
 pub mod task;
 pub mod workload;
 
@@ -55,6 +56,10 @@ pub use metrics::{speedup_curve, LevelStats, SpeedupPoint};
 pub use schedule::Schedule;
 pub use sim::{simulate, simulate_with_faults, DeathEvent, SimConfig, SimResult, TaskExec};
 pub use svm::SvmConfig;
+pub use svm_sim::{
+    simulate_svm, simulate_svm_with_faults, ClockDomain, PageStats, SvmOverheads, SvmSimConfig,
+    SvmSimResult,
+};
 pub use task::{Task, TaskId};
 pub use tlp_fault::FaultPlan;
 pub use workload::TaskSet;

@@ -104,4 +104,61 @@ mod tests {
         let tuned = SvmConfig::tuned();
         assert!(naive.per_task_overhead() / tuned.per_task_overhead() > 50.0);
     }
+
+    #[test]
+    fn storm_factor_zero_means_no_faults_and_no_cost() {
+        // A task whose working set is entirely resident takes no faults at
+        // all — the storm multiplier scales through zero exactly.
+        assert_eq!(SvmConfig::tuned().per_task_overhead_with_storm(0.0), 0.0);
+        assert_eq!(SvmConfig::naive().per_task_overhead_with_storm(0.0), 0.0);
+    }
+
+    #[test]
+    fn warmup_overhead_edge_cases() {
+        // Tuned: 600 faults x 50 ms x 0.25 segment shipping = 7.5 s.
+        assert!((SvmConfig::tuned().warmup_overhead() - 7.5).abs() < 1e-12);
+        // No initial working memory to copy -> free fork, regardless of the
+        // per-task parameters.
+        let free = SvmConfig {
+            warmup_faults: 0.0,
+            ..SvmConfig::naive()
+        };
+        assert_eq!(free.warmup_overhead(), 0.0);
+        // Warmup ships the initial image linearly: it scales with the
+        // segment-shipping factor but is immune to false sharing (pages are
+        // read once, not ping-ponged).
+        let full_pages = SvmConfig {
+            segment_shipping_factor: 1.0,
+            ..SvmConfig::tuned()
+        };
+        assert!(
+            (full_pages.warmup_overhead() - 4.0 * SvmConfig::tuned().warmup_overhead()).abs()
+                < 1e-12
+        );
+        let contended = SvmConfig {
+            false_sharing: 40.0,
+            ..SvmConfig::tuned()
+        };
+        assert_eq!(
+            contended.warmup_overhead(),
+            SvmConfig::tuned().warmup_overhead()
+        );
+    }
+
+    #[test]
+    fn tuned_never_costs_more_than_naive() {
+        // Ordering property: the layout-fixed + segment-shipping system is
+        // at least as cheap as the naive one at every storm intensity, and
+        // at warmup. (tuned multiplies by 1.0 x 0.25, naive by 40 x 1.0.)
+        let tuned = SvmConfig::tuned();
+        let naive = SvmConfig::naive();
+        for storm in [0.0, 0.25, 0.5, 1.0, 2.0, 8.0, 32.0, 1e3] {
+            assert!(
+                tuned.per_task_overhead_with_storm(storm)
+                    <= naive.per_task_overhead_with_storm(storm),
+                "storm {storm}"
+            );
+        }
+        assert!(tuned.warmup_overhead() <= naive.warmup_overhead());
+    }
 }

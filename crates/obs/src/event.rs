@@ -25,6 +25,9 @@ pub enum Category {
     Sim,
     /// Central task-queue activity.
     Queue,
+    /// Shared-virtual-memory traffic: page faults, page transfers,
+    /// invalidations, cross-machine task migration.
+    Svm,
 }
 
 impl Category {
@@ -38,6 +41,7 @@ impl Category {
             Category::Phase => "phase",
             Category::Sim => "sim",
             Category::Queue => "queue",
+            Category::Svm => "svm",
         }
     }
 }

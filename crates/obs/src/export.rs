@@ -19,6 +19,7 @@
 use crate::event::{ArgValue, Event, EventKind};
 use crate::json::Json;
 use crate::recorder::Recorder;
+use crate::stitch::{MachineLog, EV_PAGE_FAULT, EV_PAGE_RECV, EV_PAGE_REQ, EV_PAGE_SEND, XFER_ARG};
 use crate::timeline::Timeline;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -43,6 +44,28 @@ fn args_json(args: &[(&'static str, ArgValue)]) -> Json {
     )
 }
 
+fn event_jsonl_line(ev: &Event, pid: Option<usize>) -> String {
+    let mut fields = Vec::new();
+    if let Some(pid) = pid {
+        fields.push(("pid", Json::Num(pid as f64)));
+    }
+    fields.extend([
+        ("thread", Json::Num(ev.thread as f64)),
+        ("seq", Json::Num(ev.seq as f64)),
+        ("ts_us", Json::Num(ev.wall_us as f64)),
+        ("cat", Json::str(ev.cat.name())),
+        ("name", Json::str(ev.name.clone())),
+        ("ph", Json::str(ev.kind.chrome_phase())),
+    ]);
+    if let EventKind::Counter(v) = ev.kind {
+        fields.push(("value", Json::Num(v)));
+    }
+    if !ev.args.is_empty() {
+        fields.push(("args", args_json(&ev.args)));
+    }
+    Json::obj(fields).write()
+}
+
 /// Renders recorder events as JSONL: a header line naming the threads,
 /// then one line per event in flush order.
 pub fn events_to_jsonl(events: &[Event], threads: &[String]) -> String {
@@ -57,22 +80,42 @@ pub fn events_to_jsonl(events: &[Event], threads: &[String]) -> String {
     out.push_str(&header.write());
     out.push('\n');
     for ev in events {
-        let mut fields = vec![
-            ("thread", Json::Num(ev.thread as f64)),
-            ("seq", Json::Num(ev.seq as f64)),
-            ("ts_us", Json::Num(ev.wall_us as f64)),
-            ("cat", Json::str(ev.cat.name())),
-            ("name", Json::str(ev.name.clone())),
-            ("ph", Json::str(ev.kind.chrome_phase())),
-        ];
-        if let EventKind::Counter(v) = ev.kind {
-            fields.push(("value", Json::Num(v)));
-        }
-        if !ev.args.is_empty() {
-            fields.push(("args", args_json(&ev.args)));
-        }
-        out.push_str(&Json::obj(fields).write());
+        out.push_str(&event_jsonl_line(ev, None));
         out.push('\n');
+    }
+    out
+}
+
+/// Renders several machines' logs as one multi-process JSONL document: the
+/// header declares a `processes` array (one entry per machine, with its
+/// thread names), and every event line carries a `pid` field. The validator
+/// checks clock monotonicity per `(pid, thread)` — each machine keeps its
+/// own clock domain, as a stitched cross-machine trace requires.
+pub fn machines_to_jsonl(machines: &[&MachineLog]) -> String {
+    let mut out = String::new();
+    let procs: Vec<Json> = machines
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("name", Json::str(m.name.clone())),
+                (
+                    "threads",
+                    Json::Arr(m.threads.iter().map(|t| Json::str(t.clone())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let header = Json::obj(vec![
+        ("type", Json::str("header")),
+        ("processes", Json::Arr(procs)),
+    ]);
+    out.push_str(&header.write());
+    out.push('\n');
+    for (pid, m) in machines.iter().enumerate() {
+        for ev in &m.events {
+            out.push_str(&event_jsonl_line(ev, Some(pid)));
+            out.push('\n');
+        }
     }
     out
 }
@@ -108,10 +151,22 @@ impl TraceDoc {
     /// Adds all flushed events of a recorder as one process (wall-time
     /// microseconds; one Chrome thread per registered sink).
     pub fn add_recorder(&mut self, name: &str, rec: &Recorder) -> u32 {
+        self.add_events(name, &rec.threads(), &rec.events())
+    }
+
+    /// Adds one machine's log as a process.
+    pub fn add_machine(&mut self, log: &MachineLog) -> u32 {
+        self.add_events(&log.name, &log.threads, &log.events)
+    }
+
+    /// Adds an explicit event list as one process (one Chrome thread per
+    /// entry of `threads`). This is the general form behind
+    /// [`TraceDoc::add_recorder`]; stitched machine logs use it directly.
+    pub fn add_events(&mut self, name: &str, threads: &[String], events: &[Event]) -> u32 {
         let pid = self.next_pid;
         self.next_pid += 1;
         self.meta(pid, 0, "process_name", "name", Json::str(name));
-        for (tid, tname) in rec.threads().iter().enumerate() {
+        for (tid, tname) in threads.iter().enumerate() {
             self.meta(
                 pid,
                 tid as u32,
@@ -120,7 +175,7 @@ impl TraceDoc {
                 Json::str(tname.clone()),
             );
         }
-        for ev in rec.events() {
+        for ev in events {
             let mut fields = vec![
                 ("ph", Json::str(ev.kind.chrome_phase())),
                 ("pid", Json::Num(pid as f64)),
@@ -283,6 +338,13 @@ fn union_coverage(mut spans: Vec<(f64, f64)>, makespan_us: f64) -> f64 {
 /// parse, each thread's logical clock (`seq`) must be strictly increasing
 /// in flush order, and each thread's wall clock (`ts_us`) must be
 /// non-decreasing (equal stamps are fine — the clock is microseconds).
+///
+/// Two header shapes are accepted. A single-process log declares
+/// `"threads": [...]` and its event lines carry no `pid`. A multi-process
+/// log (see [`machines_to_jsonl`]) declares `"processes": [{name, threads},
+/// ...]` and every event line carries a `pid`; clocks are then validated
+/// per `(pid, thread)` — never across processes, whose clock domains are
+/// independent until stitched.
 pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
     let mut lines = text
         .lines()
@@ -293,20 +355,41 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
     if header.get("type").and_then(Json::as_str) != Some("header") {
         return Err("line 1: missing JSONL header".to_string());
     }
-    let declared_threads = header
-        .get("threads")
-        .and_then(Json::as_arr)
-        .ok_or("line 1: header lacks threads array")?
-        .len();
+    // threads-per-process; a single-process header is process 0.
+    let declared: Vec<usize> = if let Some(procs) = header.get("processes").and_then(Json::as_arr) {
+        procs
+            .iter()
+            .enumerate()
+            .map(|(p, pr)| {
+                pr.get("threads")
+                    .and_then(Json::as_arr)
+                    .map(|t| t.len())
+                    .ok_or(format!("line 1: process {p} lacks threads array"))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        vec![header
+            .get("threads")
+            .and_then(Json::as_arr)
+            .ok_or("line 1: header lacks threads array")?
+            .len()]
+    };
+    let multi = declared.len() > 1 || header.get("processes").is_some();
 
-    let mut last_seq: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut last_seq: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut pids_seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut events = 0usize;
     let mut span_events = 0usize;
     let mut max_ts = 0.0f64;
     for (idx, line) in lines {
         let n = idx + 1;
         let ev = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let pid = match ev.get("pid").and_then(Json::as_f64) {
+            Some(p) => p as u64,
+            None if multi => return Err(format!("line {n}: multi-process log missing pid")),
+            None => 0,
+        };
         let thread = ev
             .get("thread")
             .and_then(Json::as_f64)
@@ -326,25 +409,34 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
         ev.get("name")
             .and_then(Json::as_str)
             .ok_or(format!("line {n}: missing name"))?;
-        if thread as usize >= declared_threads {
-            return Err(format!("line {n}: thread {thread} not declared in header"));
+        let Some(&nthreads) = declared.get(pid as usize) else {
+            return Err(format!("line {n}: pid {pid} not declared in header"));
+        };
+        if thread as usize >= nthreads {
+            return Err(format!(
+                "line {n}: thread {thread} not declared for pid {pid}"
+            ));
         }
-        if let Some(&prev) = last_seq.get(&thread) {
+        let key = (pid, thread);
+        if let Some(&prev) = last_seq.get(&key) {
             if seq <= prev {
                 return Err(format!(
-                    "line {n}: thread {thread} logical clock not monotone ({prev} then {seq})"
+                    "line {n}: pid {pid} thread {thread} logical clock not monotone \
+                     ({prev} then {seq})"
                 ));
             }
         }
-        last_seq.insert(thread, seq);
-        if let Some(&prev) = last_ts.get(&thread) {
+        last_seq.insert(key, seq);
+        if let Some(&prev) = last_ts.get(&key) {
             if ts < prev {
                 return Err(format!(
-                    "line {n}: thread {thread} wall clock regressed ({prev} then {ts})"
+                    "line {n}: pid {pid} thread {thread} wall clock regressed \
+                     ({prev} then {ts})"
                 ));
             }
         }
-        last_ts.insert(thread, ts);
+        last_ts.insert(key, ts);
+        pids_seen.insert(pid);
         events += 1;
         if ph == "B" || ph == "X" {
             span_events += 1;
@@ -353,7 +445,11 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
     }
     Ok(TraceSummary {
         events,
-        processes: last_seq.len(),
+        processes: if multi {
+            pids_seen.len()
+        } else {
+            last_seq.len()
+        },
         span_events,
         coverage: None,
         max_ts_us: max_ts,
@@ -367,6 +463,12 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
 /// non-metadata timestamps must be non-decreasing per `(pid, tid)` — and,
 /// when makespan metadata is present, union-of-spans coverage of each
 /// declared makespan.
+///
+/// Stitched multi-machine traces get one extra check: for every page-fault
+/// exchange (events correlated by an `args.xfer` id), the send leg must not
+/// come after its receive leg (`page.fault ≤ page.req`,
+/// `page.send ≤ page.recv`). A violated pair means the clock alignment
+/// produced a causally inverted trace, which is rejected.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let doc = Json::parse(text)?;
     let events = doc
@@ -378,6 +480,8 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let mut pids: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
     let mut makespans: BTreeMap<u64, f64> = BTreeMap::new();
     let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    // xfer id -> [page.fault, page.req, page.send, page.recv] timestamps.
+    let mut xfers: BTreeMap<u64, [Option<f64>; 4]> = BTreeMap::new();
     let mut span_events = 0usize;
     let mut max_ts = 0.0f64;
 
@@ -464,6 +568,22 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
             }
         }
         last_ts.insert((pid, tid), ts);
+        let leg = match name {
+            EV_PAGE_FAULT => Some(0),
+            EV_PAGE_REQ => Some(1),
+            EV_PAGE_SEND => Some(2),
+            EV_PAGE_RECV => Some(3),
+            _ => None,
+        };
+        if let Some(leg) = leg {
+            if let Some(id) = ev
+                .get("args")
+                .and_then(|a| a.get(XFER_ARG))
+                .and_then(Json::as_f64)
+            {
+                xfers.entry(id as u64).or_default()[leg] = Some(ts);
+            }
+        }
     }
 
     for ((pid, tid), stack) in &open {
@@ -472,6 +592,22 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
                 "unbalanced spans: {} unclosed B on pid {pid} tid {tid}",
                 stack.len()
             ));
+        }
+    }
+
+    for (id, legs) in &xfers {
+        for (send, recv, sname, rname) in [
+            (legs[0], legs[1], EV_PAGE_FAULT, EV_PAGE_REQ),
+            (legs[2], legs[3], EV_PAGE_SEND, EV_PAGE_RECV),
+        ] {
+            if let (Some(s), Some(r)) = (send, recv) {
+                if r < s {
+                    return Err(format!(
+                        "xfer {id}: causally inverted pair — {rname} at {r} \
+                         precedes {sname} at {s}"
+                    ));
+                }
+            }
         }
     }
 
@@ -641,6 +777,118 @@ mod tests {
         ]}"#;
         let err = validate_chrome_trace(text).unwrap_err();
         assert!(err.contains("negative dur"), "{err}");
+    }
+
+    fn machine(name: &str, thread: &str, events: Vec<Event>) -> MachineLog {
+        MachineLog {
+            name: name.into(),
+            threads: vec![thread.into()],
+            events,
+        }
+    }
+
+    fn inst(seq: u64, us: u64, name: &str, xfer: u64) -> Event {
+        Event {
+            thread: 0,
+            seq,
+            wall_us: us,
+            cat: Category::Svm,
+            name: name.into(),
+            kind: EventKind::Instant,
+            args: vec![(crate::stitch::XFER_ARG, ArgValue::U64(xfer))],
+        }
+    }
+
+    #[test]
+    fn multi_process_jsonl_validates_per_pid_thread() {
+        // Machine clocks are independent: m1's thread 0 may run "behind"
+        // m0's thread 0 and the log is still valid, because monotonicity
+        // is checked per (pid, thread), not per thread globally.
+        let m0 = machine(
+            "m0",
+            "svm-server",
+            vec![
+                inst(1, 1_000, EV_PAGE_REQ, 0),
+                inst(2, 1_100, EV_PAGE_SEND, 0),
+            ],
+        );
+        let m1 = machine(
+            "m1",
+            "pager",
+            vec![
+                inst(1, 500, EV_PAGE_FAULT, 0),
+                inst(2, 900, EV_PAGE_RECV, 0),
+            ],
+        );
+        let text = machines_to_jsonl(&[&m0, &m1]);
+        let sum = validate_jsonl(&text).unwrap();
+        assert_eq!(sum.events, 4);
+        assert_eq!(sum.processes, 2);
+    }
+
+    #[test]
+    fn multi_process_jsonl_rejects_regression_within_one_pid() {
+        let m0 = machine(
+            "m0",
+            "svm-server",
+            vec![
+                inst(1, 1_000, EV_PAGE_REQ, 0),
+                inst(2, 900, EV_PAGE_SEND, 0),
+            ],
+        );
+        let m1 = machine("m1", "pager", vec![inst(1, 500, EV_PAGE_FAULT, 0)]);
+        let text = machines_to_jsonl(&[&m0, &m1]);
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("pid 0 thread 0 wall clock regressed"), "{err}");
+    }
+
+    #[test]
+    fn multi_process_jsonl_rejects_undeclared_pid_or_thread() {
+        let m0 = machine("m0", "svm-server", vec![]);
+        let m1 = machine("m1", "pager", vec![]);
+        let mut text = machines_to_jsonl(&[&m0, &m1]);
+        text.push_str(r#"{"pid":2,"thread":0,"seq":1,"ts_us":1,"cat":"svm","name":"x","ph":"i"}"#);
+        text.push('\n');
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("pid 2 not declared"), "{err}");
+
+        let mut text = machines_to_jsonl(&[&m0, &m1]);
+        text.push_str(r#"{"pid":1,"thread":3,"seq":1,"ts_us":1,"cat":"svm","name":"x","ph":"i"}"#);
+        text.push('\n');
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("thread 3 not declared for pid 1"), "{err}");
+    }
+
+    #[test]
+    fn multi_process_jsonl_requires_pid_on_event_lines() {
+        let m0 = machine("m0", "a", vec![]);
+        let m1 = machine("m1", "b", vec![]);
+        let mut text = machines_to_jsonl(&[&m0, &m1]);
+        text.push_str(r#"{"thread":0,"seq":1,"ts_us":1,"cat":"svm","name":"x","ph":"i"}"#);
+        text.push('\n');
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("missing pid"), "{err}");
+    }
+
+    #[test]
+    fn chrome_rejects_causally_inverted_send_recv_pair() {
+        // A stitched trace in which xfer 7's page.recv lands *before* its
+        // page.send is causally impossible: the alignment failed.
+        let m0 = machine("m0", "svm-server", vec![inst(1, 2_000, EV_PAGE_SEND, 7)]);
+        let m1 = machine("m1", "pager", vec![inst(1, 1_400, EV_PAGE_RECV, 7)]);
+        let mut doc = TraceDoc::new();
+        doc.add_machine(&m0);
+        doc.add_machine(&m1);
+        let err = validate_chrome_trace(&doc.write()).unwrap_err();
+        assert!(err.contains("causally inverted"), "{err}");
+        assert!(err.contains("xfer 7"), "{err}");
+
+        // The healthy ordering passes.
+        let m1 = machine("m1", "pager", vec![inst(1, 2_600, EV_PAGE_RECV, 7)]);
+        let mut doc = TraceDoc::new();
+        doc.add_machine(&m0);
+        doc.add_machine(&m1);
+        assert!(validate_chrome_trace(&doc.write()).is_ok());
     }
 
     #[test]

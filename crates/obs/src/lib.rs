@@ -42,13 +42,18 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod stitch;
 pub mod timeline;
 
 pub use event::{ArgValue, Category, Event, EventKind};
-pub use export::{events_to_jsonl, validate_chrome_trace, validate_jsonl, TraceDoc, TraceSummary};
+pub use export::{
+    events_to_jsonl, machines_to_jsonl, validate_chrome_trace, validate_jsonl, TraceDoc,
+    TraceSummary,
+};
 pub use metrics::{Histogram, Metric, MetricsRegistry, Snapshot};
 pub use recorder::{Recorder, ThreadSink};
-pub use timeline::{CounterSeries, Span, Timeline, Track};
+pub use stitch::{stitch, MachineLog, StitchReport, Stitched};
+pub use timeline::{multi_gantt, CounterSeries, Span, Timeline, Track};
 
 use std::fmt;
 

@@ -176,6 +176,29 @@ impl ThreadSink {
         }
         #[cfg(feature = "recorder")]
         {
+            let at = self.rec.now_us();
+            self.emit_at(at, cat, name, kind, args);
+        }
+    }
+
+    /// Emits one event with an explicit timestamp instead of the recorder's
+    /// wall clock. This is how simulated clock domains (the two-machine SVM
+    /// simulation) write machine-local time stamps: the caller owns the
+    /// clock, the sink still owns the logical clock and the level gate.
+    pub fn emit_at(
+        &mut self,
+        wall_us: u64,
+        cat: Category,
+        name: impl Into<String>,
+        kind: EventKind,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        #[cfg(not(feature = "recorder"))]
+        {
+            let _ = (wall_us, cat, name.into(), kind, args);
+        }
+        #[cfg(feature = "recorder")]
+        {
             if !self.rec.enabled(ObsLevel::Summary) {
                 return;
             }
@@ -183,13 +206,25 @@ impl ThreadSink {
             self.buf.push(Event {
                 thread: self.thread,
                 seq: self.seq,
-                wall_us: self.rec.now_us(),
+                wall_us,
                 cat,
                 name: name.into(),
                 kind,
                 args,
             });
         }
+    }
+
+    /// Emits an instant event with an explicit timestamp (see
+    /// [`ThreadSink::emit_at`]).
+    pub fn instant_at(
+        &mut self,
+        wall_us: u64,
+        cat: Category,
+        name: impl Into<String>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.emit_at(wall_us, cat, name, EventKind::Instant, args);
     }
 
     /// Emits an instant event.

@@ -1,0 +1,326 @@
+//! Cross-machine trace stitching.
+//!
+//! The two-machine SVM simulation produces one event log per machine, each
+//! stamped in that machine's *local* clock (configurable skew and drift —
+//! exactly the situation of real cluster tracing, where no common wall
+//! clock exists). Merging the logs naively would misorder cross-machine
+//! message pairs; this module aligns the clock domains first.
+//!
+//! The alignment uses the matched send/receive pairs that page-fault
+//! service produces anyway. One remote page fault is a two-way exchange
+//! with four timestamps:
+//!
+//! ```text
+//!   remote:  t1 = page.fault   (request leaves)     [remote clock]
+//!   home:    t2 = page.req     (request arrives)    [home clock]
+//!   home:    t3 = page.send    (page data leaves)   [home clock]
+//!   remote:  t4 = page.recv    (page data arrives)  [remote clock]
+//! ```
+//!
+//! Under the symmetric-delay assumption the **midpoint estimate**
+//! `θ = ((t2 − t1) + (t3 − t4)) / 2` measures `home − remote` clock offset
+//! at the exchange's midpoint — the classic NTP estimator. Asymmetric legs
+//! bias every θ by the same half-difference, so the bias cancels out of the
+//! *ordering* checks and is absorbed into the reported residual. Relative
+//! clock *drift* makes θ a slowly moving target, so the stitcher fits
+//! `θ(t) = a + b·t` by least squares over all exchanges and reports the
+//! worst-case residual as the alignment uncertainty.
+//!
+//! Remote events are then remapped into the home domain
+//! (`t ↦ (t + a) / (1 − b)`, the inverse of the fitted relation) and the
+//! pair ordering is re-checked: a stitched trace in which a receive
+//! precedes its send is causally inverted and rejected downstream by
+//! `tracecheck`.
+
+use crate::event::{ArgValue, Event};
+use std::collections::BTreeMap;
+
+/// Event name of the request-send leg (stamped on the faulting machine).
+pub const EV_PAGE_FAULT: &str = "page.fault";
+/// Event name of the request-receive leg (stamped on the home machine).
+pub const EV_PAGE_REQ: &str = "page.req";
+/// Event name of the data-send leg (stamped on the home machine).
+pub const EV_PAGE_SEND: &str = "page.send";
+/// Event name of the data-receive leg (stamped on the faulting machine).
+pub const EV_PAGE_RECV: &str = "page.recv";
+/// Argument key carrying the exchange correlation id.
+pub const XFER_ARG: &str = "xfer";
+
+/// One machine's event log, stamped in that machine's local clock.
+#[derive(Clone, Debug, Default)]
+pub struct MachineLog {
+    /// Machine name (becomes the Chrome process name).
+    pub name: String,
+    /// Thread names, indexed by event `thread` ordinal.
+    pub threads: Vec<String>,
+    /// Events in flush order (per-thread `seq` monotone).
+    pub events: Vec<Event>,
+}
+
+/// What the stitcher learned while aligning two clock domains.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StitchReport {
+    /// Matched four-leg exchanges used for the fit.
+    pub pairs: usize,
+    /// Estimated `home − remote` clock offset at home-time zero (µs).
+    pub offset_us: f64,
+    /// Estimated relative clock-rate difference (parts per million).
+    pub drift_ppm: f64,
+    /// Worst-case |θᵢ − fit| over the exchanges (µs): the alignment
+    /// uncertainty. Any cross-machine ordering tighter than this is not
+    /// trustworthy.
+    pub residual_us: f64,
+    /// RMS residual (µs).
+    pub rms_residual_us: f64,
+    /// Send/receive pairs that are causally inverted *after* alignment
+    /// (receive strictly before send). 0 on a healthy stitch.
+    pub inversions: usize,
+}
+
+/// A stitched pair of machine logs: the home log untouched, the remote log
+/// remapped into the home clock domain.
+#[derive(Clone, Debug)]
+pub struct Stitched {
+    /// The home machine's log (reference clock domain).
+    pub home: MachineLog,
+    /// The remote machine's log with `wall_us` aligned to the home domain.
+    pub remote: MachineLog,
+    /// Fit parameters and residuals.
+    pub report: StitchReport,
+}
+
+fn xfer_id(ev: &Event) -> Option<u64> {
+    ev.args.iter().find_map(|(k, v)| match (*k, v) {
+        (XFER_ARG, ArgValue::U64(id)) => Some(*id),
+        _ => None,
+    })
+}
+
+#[derive(Clone, Copy, Default)]
+struct Exchange {
+    t1: Option<u64>, // remote: request send
+    t2: Option<u64>, // home:   request recv
+    t3: Option<u64>, // home:   data send
+    t4: Option<u64>, // remote: data recv
+}
+
+fn collect_exchanges(home: &MachineLog, remote: &MachineLog) -> BTreeMap<u64, Exchange> {
+    let mut ex: BTreeMap<u64, Exchange> = BTreeMap::new();
+    for ev in &remote.events {
+        let Some(id) = xfer_id(ev) else { continue };
+        let e = ex.entry(id).or_default();
+        match ev.name.as_str() {
+            EV_PAGE_FAULT => e.t1 = Some(ev.wall_us),
+            EV_PAGE_RECV => e.t4 = Some(ev.wall_us),
+            _ => {}
+        }
+    }
+    for ev in &home.events {
+        let Some(id) = xfer_id(ev) else { continue };
+        let e = ex.entry(id).or_default();
+        match ev.name.as_str() {
+            EV_PAGE_REQ => e.t2 = Some(ev.wall_us),
+            EV_PAGE_SEND => e.t3 = Some(ev.wall_us),
+            _ => {}
+        }
+    }
+    ex
+}
+
+/// Aligns `remote`'s clock domain to `home`'s using the matched page-fault
+/// exchanges present in the logs, and returns the merged view plus the fit
+/// report. Errors when no complete exchange exists (nothing to align on).
+pub fn stitch(home: MachineLog, remote: MachineLog) -> Result<Stitched, String> {
+    let exchanges = collect_exchanges(&home, &remote);
+    // (midpoint in home clock, theta = home - remote offset estimate)
+    let samples: Vec<(f64, f64)> = exchanges
+        .values()
+        .filter_map(|e| match (e.t1, e.t2, e.t3, e.t4) {
+            (Some(t1), Some(t2), Some(t3), Some(t4)) => {
+                let theta = ((t2 as f64 - t1 as f64) + (t3 as f64 - t4 as f64)) / 2.0;
+                let mid = (t2 as f64 + t3 as f64) / 2.0;
+                Some((mid, theta))
+            }
+            _ => None,
+        })
+        .collect();
+    if samples.is_empty() {
+        return Err(format!(
+            "no complete {EV_PAGE_FAULT}/{EV_PAGE_REQ}/{EV_PAGE_SEND}/{EV_PAGE_RECV} \
+             exchange between '{}' and '{}': cannot align clock domains",
+            home.name, remote.name
+        ));
+    }
+
+    // Least-squares fit theta(t) = a + b t over the exchange midpoints.
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|(m, _)| m).sum();
+    let sy: f64 = samples.iter().map(|(_, t)| t).sum();
+    let sxx: f64 = samples.iter().map(|(m, _)| m * m).sum();
+    let sxy: f64 = samples.iter().map(|(m, t)| m * t).sum();
+    let det = n * sxx - sx * sx;
+    // With one exchange (or all at one instant) fall back to a pure offset.
+    let b = if det.abs() > 1e-6 && samples.len() >= 2 {
+        (n * sxy - sx * sy) / det
+    } else {
+        0.0
+    };
+    let a = (sy - b * sx) / n;
+
+    let mut worst = 0.0f64;
+    let mut sumsq = 0.0f64;
+    for (m, t) in &samples {
+        let r = t - (a + b * m);
+        worst = worst.max(r.abs());
+        sumsq += r * r;
+    }
+
+    // Remote local stamp tau satisfies home ≈ tau + theta(home), so
+    // home = (tau + a) / (1 - b). The fitted rate |b| ≪ 1 by construction.
+    let align = |tau: u64| -> u64 {
+        let h = (tau as f64 + a) / (1.0 - b);
+        h.round().max(0.0) as u64
+    };
+
+    let mut inversions = 0usize;
+    for e in exchanges.values() {
+        if let (Some(t1), Some(t2)) = (e.t1, e.t2) {
+            if t2 < align(t1) {
+                inversions += 1;
+            }
+        }
+        if let (Some(t3), Some(t4)) = (e.t3, e.t4) {
+            if align(t4) < t3 {
+                inversions += 1;
+            }
+        }
+    }
+
+    let mut remote = remote;
+    for ev in &mut remote.events {
+        ev.wall_us = align(ev.wall_us);
+    }
+
+    Ok(Stitched {
+        home,
+        remote,
+        report: StitchReport {
+            pairs: samples.len(),
+            offset_us: a,
+            drift_ppm: b * 1e6,
+            residual_us: worst,
+            rms_residual_us: (sumsq / n).sqrt(),
+            inversions,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, EventKind};
+
+    fn ev(thread: u32, seq: u64, us: u64, name: &str, xfer: u64) -> Event {
+        Event {
+            thread,
+            seq,
+            wall_us: us,
+            cat: Category::Svm,
+            name: name.into(),
+            kind: EventKind::Instant,
+            args: vec![(XFER_ARG, ArgValue::U64(xfer))],
+        }
+    }
+
+    /// Builds matched logs: remote clock = true + skew_us, exchanges every
+    /// `step` µs with asymmetric legs (req 200 µs, service 100 µs, data
+    /// 700 µs).
+    fn logs(skew_us: i64, n: u64, step: u64) -> (MachineLog, MachineLog) {
+        let mut home = MachineLog {
+            name: "m0".into(),
+            threads: vec!["svm-server".into()],
+            events: Vec::new(),
+        };
+        let mut remote = MachineLog {
+            name: "m1".into(),
+            threads: vec!["pager".into()],
+            events: Vec::new(),
+        };
+        let r = |t: u64| (t as i64 + skew_us).max(0) as u64;
+        for i in 0..n {
+            let t1 = 10_000 + i * step;
+            remote
+                .events
+                .push(ev(0, 2 * i + 1, r(t1), EV_PAGE_FAULT, i));
+            home.events.push(ev(0, 2 * i + 1, t1 + 200, EV_PAGE_REQ, i));
+            home.events
+                .push(ev(0, 2 * i + 2, t1 + 300, EV_PAGE_SEND, i));
+            remote
+                .events
+                .push(ev(0, 2 * i + 2, r(t1 + 1000), EV_PAGE_RECV, i));
+        }
+        (home, remote)
+    }
+
+    #[test]
+    fn recovers_constant_skew_within_asymmetry_bias() {
+        for skew in [-5_000i64, -1_000, 0, 1_000, 5_000] {
+            let (home, remote) = logs(skew, 40, 7_000);
+            let s = stitch(home, remote).unwrap();
+            // theta = home - remote = -skew, biased by the leg asymmetry
+            // ((200 - 700)/2 = -250 µs) — well inside the exchange length.
+            assert!(
+                (s.report.offset_us - (-skew as f64 - 250.0)).abs() < 1.0,
+                "skew {skew}: offset {}",
+                s.report.offset_us
+            );
+            assert_eq!(s.report.pairs, 40);
+            assert_eq!(s.report.inversions, 0, "skew {skew}");
+            // Constant skew: residual is numerical noise.
+            assert!(s.report.residual_us < 1.0, "{}", s.report.residual_us);
+        }
+    }
+
+    #[test]
+    fn aligned_pairs_stay_causal() {
+        let (home, remote) = logs(4_321, 25, 9_000);
+        let s = stitch(home, remote).unwrap();
+        // After alignment every remote page.fault precedes its home
+        // page.req and every home page.send precedes its remote page.recv.
+        let find = |log: &MachineLog, name: &str, id: u64| {
+            log.events
+                .iter()
+                .find(|e| e.name == name && xfer_id(e) == Some(id))
+                .map(|e| e.wall_us)
+                .unwrap()
+        };
+        for id in 0..25 {
+            assert!(find(&s.remote, EV_PAGE_FAULT, id) <= find(&s.home, EV_PAGE_REQ, id));
+            assert!(find(&s.home, EV_PAGE_SEND, id) <= find(&s.remote, EV_PAGE_RECV, id));
+        }
+        assert_eq!(s.report.inversions, 0);
+    }
+
+    #[test]
+    fn no_exchanges_is_an_error() {
+        let home = MachineLog {
+            name: "m0".into(),
+            ..Default::default()
+        };
+        let remote = MachineLog {
+            name: "m1".into(),
+            ..Default::default()
+        };
+        let err = stitch(home, remote).unwrap_err();
+        assert!(err.contains("cannot align"), "{err}");
+    }
+
+    #[test]
+    fn single_exchange_falls_back_to_pure_offset() {
+        let (home, remote) = logs(2_000, 1, 1_000);
+        let s = stitch(home, remote).unwrap();
+        assert_eq!(s.report.pairs, 1);
+        assert_eq!(s.report.drift_ppm, 0.0);
+        assert_eq!(s.report.inversions, 0);
+    }
+}

@@ -28,7 +28,8 @@ pub struct Span {
 
 impl Span {
     /// A span with a glyph inferred from its name: `#` for execution,
-    /// `F` fork, `q` dequeue, `.` idle/wait, `x` death/fault, `*` other.
+    /// `F` fork, `q` dequeue, `.` idle/wait, `x` death/fault, `p` page
+    /// traffic (SVM fault service / transfer), `w` SVM warmup, `*` other.
     pub fn new(name: impl Into<String>, cat: Category, start: f64, end: f64) -> Span {
         let name = name.into();
         let glyph = if name.starts_with("exec") {
@@ -41,6 +42,10 @@ impl Span {
             '.'
         } else if name.starts_with("death") || name.starts_with("fault") {
             'x'
+        } else if name.starts_with("page") {
+            'p'
+        } else if name.starts_with("warmup") {
+            'w'
         } else {
             '*'
         };
@@ -187,11 +192,68 @@ impl Timeline {
             ));
         }
         out.push_str(&format!(
-            "{:label_w$} legend: #=exec F=fork q=dequeue .=idle x=fault *=other\n",
+            "{:label_w$} legend: #=exec F=fork q=dequeue .=idle x=fault p=page w=warmup *=other\n",
             "",
         ));
         out
     }
+
+    /// Returns a copy with every span and counter sample mapped through
+    /// `t ↦ t * scale + offset` (and the makespan endpoint likewise). This
+    /// is how a remote machine's simulated-time timeline is carried into
+    /// the home clock domain once the stitcher has fitted the relation.
+    pub fn map_affine(&self, scale: f64, offset: f64) -> Timeline {
+        let f = |t: f64| t * scale + offset;
+        let mut out = self.clone();
+        out.makespan = f(self.makespan);
+        for track in &mut out.tracks {
+            for span in &mut track.spans {
+                span.start = f(span.start);
+                span.end = f(span.end);
+            }
+        }
+        for series in &mut out.counters {
+            for s in &mut series.samples {
+                s.0 = f(s.0);
+            }
+        }
+        out
+    }
+}
+
+/// Renders several machines' timelines as one Gantt chart sharing a single
+/// time axis: all tracks are scaled to the *longest* makespan so columns
+/// line up across machines, with a machine-name rule between sections.
+/// Call after stitching (each timeline already mapped into the common
+/// clock domain, e.g. via [`Timeline::map_affine`]).
+pub fn multi_gantt(machines: &[(&str, &Timeline)], width: usize) -> String {
+    let width = width.max(8);
+    let horizon = machines
+        .iter()
+        .map(|(_, tl)| tl.makespan)
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for (i, (name, tl)) in machines.iter().enumerate() {
+        // Re-home each timeline onto the common horizon so one column is
+        // the same instant on every machine.
+        let mut scaled = (*tl).clone();
+        scaled.makespan = horizon;
+        let chart = scaled.gantt(width);
+        let mut lines: Vec<&str> = chart.lines().collect();
+        // Keep the axis header once and the legend once (last machine).
+        if i > 0 {
+            lines.remove(0);
+        }
+        if i + 1 < machines.len() {
+            lines.pop();
+        }
+        out.push_str(&format!("== {name} ==\n"));
+        for l in lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -254,6 +316,45 @@ mod tests {
             Span::new("death-detect", Category::Sim, 0.0, 1.0).glyph,
             'x'
         );
+        assert_eq!(
+            Span::new("page-wait t3", Category::Svm, 0.0, 1.0).glyph,
+            'p'
+        );
+        assert_eq!(Span::new("warmup", Category::Svm, 0.0, 1.0).glyph, 'w');
         assert_eq!(Span::new("other", Category::Sim, 0.0, 1.0).glyph, '*');
+    }
+
+    #[test]
+    fn map_affine_moves_spans_counters_and_makespan() {
+        let mut tl = demo();
+        tl.counters.push(CounterSeries {
+            name: "queue".into(),
+            samples: vec![(0.0, 1.0), (5.0, 3.0)],
+        });
+        let mapped = tl.map_affine(2.0, 1.0);
+        assert!((mapped.makespan - 21.0).abs() < 1e-12);
+        assert!((mapped.tracks[0].spans[0].start - 1.0).abs() < 1e-12);
+        assert!((mapped.tracks[0].spans[0].end - 2.0).abs() < 1e-12);
+        assert!((mapped.counters[0].samples[1].0 - 11.0).abs() < 1e-12);
+        // Original untouched.
+        assert!((tl.makespan - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_gantt_shares_one_axis() {
+        let a = demo();
+        let mut b = Timeline::new("late", 14.0);
+        b.tracks.push(Track {
+            name: "remote 0".into(),
+            spans: vec![Span::new("page-wait", Category::Svm, 10.0, 14.0)],
+        });
+        let g = multi_gantt(&[("m0", &a), ("m1", &b)], 40);
+        assert!(g.contains("== m0 =="), "{g}");
+        assert!(g.contains("== m1 =="), "{g}");
+        assert!(g.contains("worker 0"), "{g}");
+        assert!(g.contains("remote 0"), "{g}");
+        assert!(g.contains('p'), "{g}");
+        // Exactly one legend line for the whole chart.
+        assert_eq!(g.matches("legend:").count(), 1, "{g}");
     }
 }
