@@ -57,6 +57,11 @@
 //!   simulated Encore timeline of the LCC phase;
 //! * `--metrics-out F` writes the metrics-registry snapshot (service-time,
 //!   queue-wait, match-fraction histograms; counters; gauges) as JSON.
+//! * `--unshared` (any subcommand) runs every engine on the historical
+//!   one-chain-per-production, linear-scan Rete instead of the shared +
+//!   indexed network — the baseline for the sharing experiments. Results
+//!   are identical; only the match work (and anything derived from it)
+//!   changes.
 
 use spam::fa::run_fa;
 use spam::lcc::Level;
@@ -93,6 +98,7 @@ struct Opts {
     topdown: bool,
     sweep: bool,
     quiet: bool,
+    unshared: bool,
     obs: ObsLevel,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -120,6 +126,7 @@ fn parse_args() -> Result<Opts, String> {
         topdown: false,
         sweep: false,
         quiet: false,
+        unshared: false,
         obs: ObsLevel::Off,
         trace_out: None,
         metrics_out: None,
@@ -254,6 +261,7 @@ fn parse_args() -> Result<Opts, String> {
             "--topdown" => o.topdown = true,
             "--sweep" => o.sweep = true,
             "--quiet" => o.quiet = true,
+            "--unshared" => o.unshared = true,
             "--obs" => {
                 let v = args.next().ok_or("--obs needs off|summary|full")?;
                 o.obs = ObsLevel::parse(&v).ok_or(format!("bad --obs '{v}'"))?;
@@ -269,7 +277,7 @@ fn parse_args() -> Result<Opts, String> {
                     "usage: spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
                      [--machines 1|2] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] \
                      [--retries K] [--deadline-ms MS] [--fault-seed S] \
-                     [--task-panic-rate P] [--topdown] [--sweep] [--quiet] \
+                     [--task-panic-rate P] [--topdown] [--sweep] [--quiet] [--unshared] \
                      [--obs off|summary|full] [--trace-out F] [--metrics-out F]\n\
                      \x20      spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K] \
                      [--json F] [--check-band LO:HI]\n\
@@ -319,6 +327,18 @@ fn run_profile(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
             ExitCode::SUCCESS
         };
     };
+    let net = profile.net;
+    println!(
+        "network: {} beta nodes ({} unshared, {:.2}x sharing), {} shared-node hits, \
+         {} index probes vs {} linear scans, {} memoised alpha tests",
+        net.beta_nodes,
+        net.unshared_beta_nodes,
+        net.unshared_beta_nodes as f64 / net.beta_nodes.max(1) as f64,
+        net.shared_node_hits,
+        net.index_probes,
+        net.linear_scans,
+        net.shared_test_hits,
+    );
     let trace = spam_psm::trace::lcc_trace(&phase);
     let report = spam_psm::attribution::build_report(
         scene.name.clone(),
@@ -483,7 +503,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sp = SpamProgram::build();
+    let mut sp = SpamProgram::build();
+    if o.unshared {
+        sp = sp.with_config(ops5::ReteConfig::unshared());
+    }
     // Figure 9 is an SF result, so `svm-report` defaults to that scene.
     let default_dataset = if o.svm_report { "sf" } else { "moff" };
     let scene = build_scene(o.dataset.as_deref().unwrap_or(default_dataset));

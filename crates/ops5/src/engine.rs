@@ -7,7 +7,7 @@ use crate::matcher::{Matcher, NaiveMatcher};
 use crate::profile::{MatchProfile, ProductionProfile};
 use crate::program::Program;
 use crate::rete::compile::{compile_production, CompiledProduction, VarSource};
-use crate::rete::{MatchEvent, Rete};
+use crate::rete::{MatchEvent, Rete, ReteConfig};
 use crate::rhs::eval_expr;
 use crate::symbol::{sym, Symbol};
 use crate::value::Value;
@@ -130,7 +130,18 @@ impl Engine {
     /// Creates an engine sharing pre-compiled chains (cheap: used to spawn
     /// the hundreds of task-process engines in a SPAM/PSM run).
     pub fn with_compiled(program: Arc<Program>, compiled: Arc<Vec<CompiledProduction>>) -> Engine {
-        let rete = Rete::from_compiled(&compiled, &program);
+        Self::with_compiled_config(program, compiled, ReteConfig::default())
+    }
+
+    /// Creates an engine with an explicit Rete sharing/indexing
+    /// configuration ([`ReteConfig::unshared()`] rebuilds the historical
+    /// one-chain-per-production network for baseline comparisons).
+    pub fn with_compiled_config(
+        program: Arc<Program>,
+        compiled: Arc<Vec<CompiledProduction>>,
+        config: ReteConfig,
+    ) -> Engine {
+        let rete = Rete::from_compiled_with(&compiled, &program, config);
         Self::with_matcher(program, compiled, Box::new(rete))
     }
 
@@ -280,6 +291,12 @@ impl Engine {
         &self.wm
     }
 
+    /// Network sharing/indexing statistics of the match backend (all-zero
+    /// for the naive matcher).
+    pub fn net_stats(&self) -> crate::profile::NetStats {
+        self.matcher.net_stats()
+    }
+
     /// Current conflict-set size.
     pub fn conflict_len(&self) -> usize {
         self.conflict.len()
@@ -417,7 +434,7 @@ impl Engine {
             self.matcher.work()
         };
         let conflict_len = self.conflict.len();
-        self.base_work.resolve_units += (conflict_len as u64 + 1) * cost::RESOLVE_ENTRY;
+        self.base_work.resolve_units += cost::resolve_cost(conflict_len);
         let Some(inst) = self.conflict.select(self.strategy) else {
             return Ok(None);
         };
@@ -447,7 +464,7 @@ impl Engine {
                 production: prod_idx,
                 match_units: match_delta.match_units,
                 match_chunks: chunks,
-                resolve_units: (self.conflict.len() as u64 + 1) * cost::RESOLVE_ENTRY,
+                resolve_units: cost::resolve_cost(conflict_len),
                 act_units: act_delta.act_units,
                 external_units: act_delta.external_units,
             });

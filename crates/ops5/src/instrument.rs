@@ -145,13 +145,42 @@ pub mod cost {
     /// Cost of inserting/removing a WME in an alpha memory.
     pub const ALPHA_MEM_OP: u64 = 6;
     /// Cost of one beta join test.
-    pub const JOIN_TEST: u64 = 8;
+    ///
+    /// Recalibrated (8 → 15) when the Rete gained hash-indexed memories:
+    /// indexing removed the trivially-failing candidate pairs, so the
+    /// surviving tests are the real variable-binding consistency checks —
+    /// binding extraction from the token plus a typed comparison,
+    /// comparable to a token operation. The constant is chosen, like the
+    /// rest of this table, so the simulated phase ratios keep reproducing
+    /// the paper's measured workload shape (RTF match ≈ 60% of the cycle,
+    /// §6.5; LCC match 30–50%, §1) on the indexed network.
+    pub const JOIN_TEST: u64 = 15;
     /// Cost of creating or deleting a token.
     pub const TOKEN_OP: u64 = 20;
+    /// Cost of one hash probe into an indexed alpha or beta memory. Charged
+    /// once per probe; the retrieved candidates are then charged the usual
+    /// per-candidate join-test cost. Index *maintenance* is folded into
+    /// `TOKEN_OP`/`ALPHA_MEM_OP` (it rides the same insert/remove path).
+    pub const INDEX_PROBE: u64 = 8;
     /// Cost of a conflict-set insertion or removal.
     pub const CONFLICT_OP: u64 = 30;
-    /// Base cost of scanning one conflict-set entry during resolution.
+    /// Base cost of visiting one conflict-set entry during resolution.
     pub const RESOLVE_ENTRY: u64 = 10;
+
+    /// Modeled cost of selecting the winning instantiation from a conflict
+    /// set of `len` entries.
+    ///
+    /// The conflict set keeps instantiations in a rank-ordered index with
+    /// the dominance key precomputed at insert (see `crate::conflict`), so
+    /// selection descends the ordered structure instead of scanning every
+    /// entry: `O(log n)` entries visited, plus one for the final pick.
+    /// Before the index this was `(len + 1) * RESOLVE_ENTRY` — the linear
+    /// scan whose cost grew with every hypothesis the match phase kept
+    /// live, a visible serial term in the RTF cycle (conflict sets there
+    /// reach hundreds of entries).
+    pub fn resolve_cost(len: usize) -> u64 {
+        ((len as u64 + 1).ilog2() as u64 + 1) * RESOLVE_ENTRY
+    }
     /// Base cost of one RHS action (make/remove/modify bookkeeping).
     pub const RHS_ACTION: u64 = 60;
     /// Cost of evaluating one RHS expression node.

@@ -83,8 +83,9 @@ pub mod wme;
 pub use conflict::{ConflictSet, Strategy};
 pub use engine::{Effects, Engine, ExternalFn, RunOutcome};
 pub use instrument::{CycleStats, WorkCounters};
-pub use profile::{AlphaMemProfile, MatchProfile, ProductionProfile};
+pub use profile::{AlphaMemProfile, MatchProfile, NetStats, ProductionProfile};
 pub use program::Program;
+pub use rete::ReteConfig;
 pub use symbol::{sym, sym_name, Symbol};
 pub use value::Value;
 pub use wme::{TimeTag, Wme, WmeId};

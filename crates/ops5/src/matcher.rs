@@ -39,6 +39,11 @@ pub trait Matcher: Send {
     fn failure(&self) -> Option<String> {
         None
     }
+    /// Network sharing/indexing statistics. Backends without a Rete
+    /// network (the naive matcher) report all-zero stats.
+    fn net_stats(&self) -> crate::profile::NetStats {
+        crate::profile::NetStats::default()
+    }
     /// Starts match-level profiling. Backends without profiling support
     /// (and builds without the `profiler` feature) treat this as a no-op.
     fn enable_profile(&mut self) {}
@@ -64,6 +69,9 @@ impl Matcher for Rete {
     }
     fn work(&self) -> WorkCounters {
         self.work
+    }
+    fn net_stats(&self) -> crate::profile::NetStats {
+        Rete::net_stats(self)
     }
     fn enable_profile(&mut self) {
         Rete::enable_profile(self)

@@ -74,12 +74,12 @@ fn backtrack(
     if level == cp.nodes.len() {
         let wmes: Vec<WmeId> = partial.iter().copied().flatten().collect();
         let tags: Vec<u64> = wmes.iter().map(|&w| wm.time_tag(w)).collect();
-        out.push(Instantiation {
-            production: cp.prod,
-            wmes: wmes.into_boxed_slice(),
-            time_tags: tags.into_boxed_slice(),
-            specificity: prod.specificity,
-        });
+        out.push(Instantiation::new(
+            cp.prod,
+            wmes.into_boxed_slice(),
+            tags.into_boxed_slice(),
+            prod.specificity,
+        ));
         return;
     }
     let node = &cp.nodes[level];
@@ -196,18 +196,8 @@ mod tests {
 
     #[test]
     fn canonical_sorts_and_dedups() {
-        let a = Instantiation {
-            production: 1,
-            wmes: vec![WmeId(2)].into(),
-            time_tags: vec![2].into(),
-            specificity: 0,
-        };
-        let b = Instantiation {
-            production: 0,
-            wmes: vec![WmeId(1)].into(),
-            time_tags: vec![1].into(),
-            specificity: 0,
-        };
+        let a = Instantiation::new(1, vec![WmeId(2)].into(), vec![2].into(), 0);
+        let b = Instantiation::new(0, vec![WmeId(1)].into(), vec![1].into(), 0);
         let c = canonical(&[a.clone(), b.clone(), a]);
         assert_eq!(c.len(), 2);
         assert_eq!(c[0].0, 0);

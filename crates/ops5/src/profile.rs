@@ -17,6 +17,46 @@
 
 use crate::instrument::WorkCounters;
 
+/// Structural and indexing statistics of one Rete network. Unlike the
+/// profile hooks these are counted *unconditionally* — they are plain
+/// counters outside the work-unit model, so they cost nothing to the
+/// deterministic accounting and are available even with the `profiler`
+/// feature compiled out (via `Rete::net_stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Beta nodes actually built (after prefix sharing).
+    pub beta_nodes: u32,
+    /// Beta nodes the same productions would need without sharing (the sum
+    /// of chain lengths): `beta_nodes / unshared_beta_nodes` is the
+    /// structural sharing ratio.
+    pub unshared_beta_nodes: u32,
+    /// Beta activations at nodes serving two or more productions — work
+    /// done once where the unshared network repeats it per production.
+    pub shared_node_hits: u64,
+    /// Hash probes into indexed alpha/beta memories (each replaces a
+    /// linear scan of the memory).
+    pub index_probes: u64,
+    /// Candidate scans that had no usable equality index (non-equality or
+    /// test-free joins) and fell back to the linear path.
+    pub linear_scans: u64,
+    /// Alpha constant-test evaluations skipped because an earlier memory
+    /// of the same class already evaluated the identical shared test.
+    pub shared_test_hits: u64,
+}
+
+impl NetStats {
+    /// Merges stats from another engine over the same program: counters
+    /// add, structural sizes (identical by construction) take the max.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.beta_nodes = self.beta_nodes.max(other.beta_nodes);
+        self.unshared_beta_nodes = self.unshared_beta_nodes.max(other.unshared_beta_nodes);
+        self.shared_node_hits += other.shared_node_hits;
+        self.index_probes += other.index_probes;
+        self.linear_scans += other.linear_scans;
+        self.shared_test_hits += other.shared_test_hits;
+    }
+}
+
 /// Profiling counters for one production.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProductionProfile {
@@ -72,6 +112,9 @@ pub struct MatchProfile {
     /// The run's merged work counters (match + interpreter), for computing
     /// the measured match fraction the profile decomposes.
     pub work: WorkCounters,
+    /// Network sharing/indexing statistics (shared-node hits, index probes
+    /// vs linear scans, memoised alpha tests).
+    pub net: NetStats,
 }
 
 impl MatchProfile {
@@ -113,6 +156,7 @@ impl MatchProfile {
         self.conflict_sizes.extend_from_slice(&other.conflict_sizes);
         self.cycles += other.cycles;
         self.work.add(&other.work);
+        self.net.merge(&other.net);
     }
 
     /// The measured match fraction of the profiled work (the paper's key

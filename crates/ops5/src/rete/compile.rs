@@ -4,6 +4,7 @@ use crate::ast::{Predicate, Production, SlotIdx, TestArg, VarId};
 use crate::symbol::Symbol;
 use crate::value::Value;
 use crate::{Error, Result};
+use std::collections::HashMap;
 
 /// Constant-evaluable operand of an alpha test.
 #[derive(Clone, Debug, PartialEq)]
@@ -57,8 +58,10 @@ pub enum VarSource {
     Rhs,
 }
 
-/// One node of a compiled production chain.
-#[derive(Clone, Debug)]
+/// One node of a compiled production chain. Equality is structural — the
+/// network builder shares a node between productions when their chain
+/// prefixes compare equal spec-by-spec (Doorenbos-style prefix sharing).
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChainNodeSpec {
     /// True for negated condition elements.
     pub negated: bool,
@@ -96,8 +99,14 @@ pub fn compile_production(prod: u32, p: &Production) -> Result<CompiledProductio
 
     for (level, ce) in p.ces.iter().enumerate() {
         let level = level as u16;
-        // Local bindings of this element: var -> slot.
-        let local: Vec<(VarId, SlotIdx)> = ce.bindings.iter().map(|&(s, v)| (v, s)).collect();
+        // Local bindings of this element: var -> slot. A map, so the lookup
+        // below is O(1) per test instead of a scan per test — SPAM's widest
+        // rules bind a dozen variables per element. First binding wins, as
+        // the parser emits later occurrences as tests against the first.
+        let mut local: HashMap<VarId, SlotIdx> = HashMap::with_capacity(ce.bindings.len());
+        for &(slot, var) in &ce.bindings {
+            local.entry(var).or_insert(slot);
+        }
 
         // Publish bindings of positive elements for later elements / RHS.
         if !ce.negated {
@@ -124,7 +133,7 @@ pub fn compile_production(prod: u32, p: &Production) -> Result<CompiledProductio
                 }),
                 TestArg::Var(v) => {
                     // Bound in this element? → intra-element (alpha) test.
-                    if let Some(&(_, slot)) = local.iter().find(|&&(lv, _)| lv == *v) {
+                    if let Some(&slot) = local.get(v) {
                         alpha_tests.push(AlphaTest {
                             slot: t.slot,
                             predicate: t.predicate,

@@ -21,4 +21,4 @@ pub mod compile;
 pub mod runtime;
 
 pub use compile::{AlphaArg, AlphaTest, CompiledProduction, JoinTest, VarSource};
-pub use runtime::{MatchEvent, Rete};
+pub use runtime::{MatchEvent, Rete, ReteConfig};

@@ -1,10 +1,28 @@
 //! The beta network: incremental token maintenance.
 //!
 //! The implementation follows the token-tree formulation (Doorenbos 1995) of
-//! Forgy's Rete: each production compiles to a linear chain of join /
-//! negative nodes; tokens form a tree rooted at a per-chain dummy; WME
-//! removal deletes token subtrees through a WME→token index; negative nodes
-//! keep, per token, the list of WMEs currently blocking it.
+//! Forgy's Rete. Productions compile to linear chains of join / negative
+//! nodes; the runtime folds those chains into a *trie*: productions whose
+//! chain prefixes are structurally identical share the prefix nodes and
+//! their token memories (Doorenbos-style node sharing), and a node where
+//! several chains end carries one terminal entry per production. Tokens form
+//! a tree rooted at a per-root dummy; WME removal deletes token subtrees
+//! through a WME→token index; negative nodes keep, per token, the list of
+//! WMEs currently blocking it, plus a blocker→tokens map so removals
+//! unblock without scanning.
+//!
+//! With [`ReteConfig::index`] the equality joins stop scanning: each alpha
+//! memory keeps hash indexes over the slots its successors join on, and
+//! each beta node keeps a hash index over the token population its right
+//! activations pair against, keyed by the token-side value of its first
+//! equality test. Probes are charged [`cost::INDEX_PROBE`]; retrieved
+//! candidates still pay the full per-candidate join-test cost (the index is
+//! a prefilter — `Value::hash_key` collides exactly where `ops_eq` demands,
+//! and every candidate is re-verified).
+//!
+//! [`ReteConfig::unshared()`] rebuilds the seed network — one private chain
+//! per production, linear scans, identical work-unit accounting — which is
+//! the baseline `bench_rete` and the differential tests compare against.
 //!
 //! Every activation (alpha classification, right/left activation of a node)
 //! is counted as one *match chunk* — the unit of parallelism ParaOPS5
@@ -12,10 +30,11 @@
 //! execute only about 100 instructions").
 
 use super::alpha::{AlphaMemId, AlphaNetwork, Successor};
-use super::compile::{compile_production, CompiledProduction, JoinTest};
+use super::compile::{compile_production, ChainNodeSpec, CompiledProduction, JoinTest};
+use crate::ast::Predicate;
 use crate::conflict::Instantiation;
 use crate::instrument::{cost, WorkCounters};
-use crate::profile::{AlphaMemProfile, ChainCounters, MatchProfile, ProductionProfile};
+use crate::profile::{AlphaMemProfile, ChainCounters, MatchProfile, NetStats, ProductionProfile};
 use crate::program::Program;
 use crate::wme::{WmStore, WmeId};
 use crate::Result;
@@ -23,6 +42,49 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 const DUMMY: u32 = u32::MAX;
+
+/// Minimum population of a memory before an equality join probes its hash
+/// index instead of scanning. Below this, a linear scan is at most one
+/// join-test evaluation per resident — no dearer than the probe itself —
+/// so small memories stay on the scan path (the classic list-vs-hashed
+/// memory trade-off; most memories in a production system hold zero or one
+/// entries at any instant, and probing those would be pure overhead).
+const INDEX_MIN_POPULATION: usize = 2;
+
+/// Build-time configuration of the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReteConfig {
+    /// Share join-chain prefixes between productions and memoise alpha
+    /// constant tests across memories.
+    pub share: bool,
+    /// Hash-index alpha and beta memories on equality-join slot values.
+    pub index: bool,
+}
+
+impl ReteConfig {
+    /// The default production network: shared and indexed.
+    pub fn shared() -> ReteConfig {
+        ReteConfig {
+            share: true,
+            index: true,
+        }
+    }
+
+    /// The seed-equivalent baseline: one private chain per production,
+    /// linear scans, seed-identical work accounting.
+    pub fn unshared() -> ReteConfig {
+        ReteConfig {
+            share: false,
+            index: false,
+        }
+    }
+}
+
+impl Default for ReteConfig {
+    fn default() -> Self {
+        Self::shared()
+    }
+}
 
 /// An event produced by the match: the conflict set changed.
 #[derive(Clone, Debug)]
@@ -42,36 +104,58 @@ pub enum MatchEvent {
 struct TokenData {
     parent: u32,
     wme: Option<WmeId>,
-    chain: u32,
+    /// Beta node the token is resident at.
+    node: u32,
+    /// Chain level of `node` (cached for `ancestors`).
     level: u16,
     children: Vec<u32>,
     /// For tokens resident at a negative node: WMEs currently blocking.
     neg_results: Vec<WmeId>,
+    /// Right-index registrations `(node, key)` to undo on deletion.
+    index_keys: Vec<(u32, u64)>,
     emitted: bool,
     alive: bool,
 }
 
+/// One beta node of the (possibly shared) network trie.
 #[derive(Clone, Debug)]
-struct NodeState {
+struct BetaNode {
     negated: bool,
+    level: u16,
+    /// Parent node; `None` for level-0 roots.
+    parent: Option<u32>,
     alpha_mem: AlphaMemId,
     join_tests: Vec<JoinTest>,
+    /// Index into `join_tests` of the equality test the hash indexes key
+    /// on; `None` without an equality test or with indexing disabled.
+    key_test: Option<usize>,
+    children: Vec<u32>,
+    /// Productions whose chain ends here: `(production, specificity)`.
+    terminals: Vec<(u32, u32)>,
+    /// Number of productions whose chain passes through this node.
+    n_prods: u32,
+    /// Lowest production index through this node (profile attribution).
+    rep_prod: u32,
     /// Tokens resident at this node (for negative nodes, including blocked).
     tokens: Vec<u32>,
-}
-
-#[derive(Clone, Debug)]
-struct Chain {
-    prod: u32,
-    specificity: u32,
-    nodes: Vec<NodeState>,
+    /// Hash index over the token population this node's *right* activations
+    /// pair against (the parent's residents for positive nodes, this node's
+    /// own residents for negative nodes), keyed by the token-side value of
+    /// `join_tests[key_test]`.
+    right_index: HashMap<u64, Vec<u32>>,
+    /// For negative nodes: blocker WME → tokens it currently blocks.
+    blocked_by: HashMap<WmeId, Vec<u32>>,
 }
 
 /// The Rete network of one engine instance.
 #[derive(Clone, Debug)]
 pub struct Rete {
+    config: ReteConfig,
     alpha: AlphaNetwork,
-    chains: Vec<Chain>,
+    nodes: Vec<BetaNode>,
+    /// Level-0 nodes (children of the virtual root).
+    roots: Vec<u32>,
+    n_productions: usize,
     tokens: Vec<TokenData>,
     free: Vec<u32>,
     wme_tokens: HashMap<WmeId, Vec<u32>>,
@@ -79,7 +163,9 @@ pub struct Rete {
     /// Accumulated match work.
     pub work: WorkCounters,
     chunks: u32,
-    /// Per-chain profiling counters plus token totals; `Some` only while
+    /// Always-on sharing/indexing statistics (not part of the work model).
+    stats: NetStats,
+    /// Per-node profiling counters plus token totals; `Some` only while
     /// profiling. Hooks read `work` deltas — they never write counters.
     profile: Option<ReteProfile>,
 }
@@ -87,13 +173,14 @@ pub struct Rete {
 /// Collection state for match-level profiling of one Rete instance.
 #[derive(Clone, Debug, Default)]
 struct ReteProfile {
-    chains: Vec<ChainCounters>,
+    nodes: Vec<ChainCounters>,
     tokens_created: u64,
     tokens_deleted: u64,
 }
 
 impl Rete {
-    /// Builds a network for `program`, compiling every production.
+    /// Builds a shared+indexed network for `program`, compiling every
+    /// production.
     pub fn new(program: &Program) -> Result<Rete> {
         let compiled: Vec<CompiledProduction> = program
             .productions
@@ -104,51 +191,140 @@ impl Rete {
         Ok(Self::from_compiled(&Arc::new(compiled), program))
     }
 
-    /// Builds a network from pre-compiled chains (shared across the many
-    /// task-process engines of a SPAM/PSM run).
+    /// Builds a shared+indexed network from pre-compiled chains (shared
+    /// across the many task-process engines of a SPAM/PSM run).
     pub fn from_compiled(compiled: &Arc<Vec<CompiledProduction>>, program: &Program) -> Rete {
+        Self::from_compiled_with(compiled, program, ReteConfig::default())
+    }
+
+    /// Builds a network with an explicit sharing/indexing configuration.
+    pub fn from_compiled_with(
+        compiled: &Arc<Vec<CompiledProduction>>,
+        program: &Program,
+        config: ReteConfig,
+    ) -> Rete {
         let mut rete = Rete {
-            alpha: AlphaNetwork::new(),
-            chains: Vec::with_capacity(compiled.len()),
+            config,
+            alpha: AlphaNetwork::with_sharing(config.share),
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            n_productions: compiled
+                .iter()
+                .map(|s| s.prod as usize + 1)
+                .max()
+                .unwrap_or(0),
             tokens: Vec::new(),
             free: Vec::new(),
             wme_tokens: HashMap::new(),
             events: Vec::new(),
             work: WorkCounters::default(),
             chunks: 0,
+            stats: NetStats::default(),
             profile: None,
         };
         for spec in compiled.iter() {
-            let chain_id = rete.chains.len() as u32;
-            let mut nodes = Vec::with_capacity(spec.nodes.len());
-            for (k, n) in spec.nodes.iter().enumerate() {
-                let am = rete.alpha.get_or_create(
-                    n.class,
-                    &n.alpha_tests,
-                    Successor {
-                        chain: chain_id,
-                        level: k as u16,
-                    },
-                );
-                nodes.push(NodeState {
-                    negated: n.negated,
-                    alpha_mem: am,
-                    join_tests: n.join_tests.clone(),
-                    tokens: Vec::new(),
-                });
+            let specificity = program.productions[spec.prod as usize].specificity;
+            let mut parent: Option<u32> = None;
+            for n in &spec.nodes {
+                let id = rete.get_or_build_node(parent, n, spec.prod);
+                parent = Some(id);
             }
-            rete.chains.push(Chain {
-                prod: spec.prod,
-                specificity: program.productions[spec.prod as usize].specificity,
-                nodes,
-            });
+            let terminal = parent.expect("productions have at least one condition element");
+            rete.nodes[terminal as usize]
+                .terminals
+                .push((spec.prod, specificity));
         }
+        rete.stats.beta_nodes = rete.nodes.len() as u32;
         rete
+    }
+
+    /// Finds a shareable sibling matching `spec` under `parent`, or builds a
+    /// new node there, registering it with the alpha network.
+    fn get_or_build_node(&mut self, parent: Option<u32>, spec: &ChainNodeSpec, prod: u32) -> u32 {
+        self.stats.unshared_beta_nodes += 1;
+        if self.config.share {
+            let siblings = match parent {
+                Some(p) => &self.nodes[p as usize].children,
+                None => &self.roots,
+            };
+            let found = siblings.iter().copied().find(|&c| {
+                let node = &self.nodes[c as usize];
+                let mem = self.alpha.mem(node.alpha_mem);
+                node.negated == spec.negated
+                    && mem.class == spec.class
+                    && mem.tests == spec.alpha_tests
+                    && node.join_tests == spec.join_tests
+            });
+            if let Some(c) = found {
+                self.nodes[c as usize].n_prods += 1;
+                // rep_prod stays the minimum: productions build in index
+                // order, so the creator is already the lowest.
+                return c;
+            }
+        }
+        let id = self.nodes.len() as u32;
+        let level = match parent {
+            Some(p) => self.nodes[p as usize].level + 1,
+            None => 0,
+        };
+        let key_test = if self.config.index {
+            spec.join_tests
+                .iter()
+                .position(|t| t.predicate == Predicate::Eq)
+        } else {
+            None
+        };
+        self.nodes.push(BetaNode {
+            negated: spec.negated,
+            level,
+            parent,
+            alpha_mem: 0,
+            join_tests: spec.join_tests.clone(),
+            key_test,
+            children: Vec::new(),
+            terminals: Vec::new(),
+            n_prods: 1,
+            rep_prod: prod,
+            tokens: Vec::new(),
+            right_index: HashMap::new(),
+            blocked_by: HashMap::new(),
+        });
+        let am = self
+            .alpha
+            .get_or_create(spec.class, &spec.alpha_tests, Successor { node: id });
+        self.nodes[id as usize].alpha_mem = am;
+        if let Some(kt) = key_test {
+            self.alpha.ensure_index(am, spec.join_tests[kt].my_slot);
+        }
+        match parent {
+            Some(p) => self.nodes[p as usize].children.push(id),
+            None => self.roots.push(id),
+        }
+        id
+    }
+
+    /// The build configuration of this network.
+    pub fn config(&self) -> ReteConfig {
+        self.config
     }
 
     /// Number of alpha memories (shared constant-test patterns).
     pub fn alpha_memories(&self) -> usize {
         self.alpha.len()
+    }
+
+    /// Number of beta nodes after prefix sharing.
+    pub fn beta_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sharing/indexing statistics, cumulative since construction. Counted
+    /// unconditionally (no profiler needed) and outside the work-unit
+    /// model, so work totals are unaffected.
+    pub fn net_stats(&self) -> NetStats {
+        let mut s = self.stats;
+        s.shared_test_hits = self.alpha.shared_test_hits;
+        s
     }
 
     /// Drains the pending conflict-set events.
@@ -162,7 +338,7 @@ impl Rete {
         std::mem::take(&mut self.chunks)
     }
 
-    /// Starts collecting a match-level profile (per-chain cost attribution,
+    /// Starts collecting a match-level profile (per-node cost attribution,
     /// alpha-memory heat, token totals), resetting any previous collection.
     /// A no-op when the `profiler` feature is compiled out.
     pub fn enable_profile(&mut self) {
@@ -170,26 +346,28 @@ impl Rete {
         {
             self.alpha.enable_profile();
             self.profile = Some(ReteProfile {
-                chains: vec![ChainCounters::default(); self.chains.len()],
+                nodes: vec![ChainCounters::default(); self.nodes.len()],
                 ..Default::default()
             });
         }
     }
 
     /// Takes the collected profile, if profiling was enabled; collection
-    /// continues with fresh counters. Per-chain counters are folded into
-    /// per-production entries and alpha memories receive their labels.
+    /// continues with fresh counters. Per-node counters are folded into
+    /// per-production entries: a node shared by several productions
+    /// attributes its whole cost to the lowest-indexed one (the
+    /// [`NetStats::shared_node_hits`] counter records how much activation
+    /// traffic ran on shared nodes). Alpha memories receive their labels.
     pub fn take_profile(&mut self) -> Option<MatchProfile> {
         let p = self.profile.take()?;
         self.profile = Some(ReteProfile {
-            chains: vec![ChainCounters::default(); self.chains.len()],
+            nodes: vec![ChainCounters::default(); self.nodes.len()],
             ..Default::default()
         });
         let alpha = self.alpha.take_profile().unwrap_or_default();
-        let n_prods = self.chains.iter().map(|c| c.prod + 1).max().unwrap_or(0) as usize;
-        let mut productions = vec![ProductionProfile::default(); n_prods];
-        for (chain, c) in self.chains.iter().zip(&p.chains) {
-            let pp = &mut productions[chain.prod as usize];
+        let mut productions = vec![ProductionProfile::default(); self.n_productions];
+        for (node, c) in self.nodes.iter().zip(&p.nodes) {
+            let pp = &mut productions[node.rep_prod as usize];
             pp.match_units += c.match_units;
             pp.activations += c.activations;
             pp.tokens += c.tokens;
@@ -213,6 +391,7 @@ impl Rete {
             alpha_mems,
             tokens_created: p.tokens_created,
             tokens_deleted: p.tokens_deleted,
+            net: self.net_stats(),
             ..Default::default()
         })
     }
@@ -226,9 +405,9 @@ impl Rete {
             let succs = self.alpha.mem(m).successors.clone();
             for s in succs {
                 let before = self.work.match_units;
-                self.right_activate_add(s.chain, s.level, id, wm);
+                self.right_activate_add(s.node, id, wm);
                 if let Some(p) = &mut self.profile {
-                    p.chains[s.chain as usize].match_units += self.work.match_units - before;
+                    p.nodes[s.node as usize].match_units += self.work.match_units - before;
                 }
             }
         }
@@ -242,20 +421,23 @@ impl Rete {
         let mems = self
             .alpha
             .classify_remove(id, wme, &mut self.work.match_units);
-        // Negative nodes first: unblock tokens whose blocker disappeared.
+        // Negative nodes first: unblock tokens whose blocker disappeared
+        // (found through the blocker→tokens map, not a token scan).
         for m in mems {
             let succs = self.alpha.mem(m).successors.clone();
             for s in succs {
-                let node = &self.chains[s.chain as usize].nodes[s.level as usize];
-                if !node.negated {
+                if !self.nodes[s.node as usize].negated {
                     continue;
                 }
                 self.chunks += 1;
                 let before = self.work.match_units;
                 if let Some(p) = &mut self.profile {
-                    p.chains[s.chain as usize].activations += 1;
+                    p.nodes[s.node as usize].activations += 1;
                 }
-                let toks = node.tokens.clone();
+                let toks = self.nodes[s.node as usize]
+                    .blocked_by
+                    .remove(&id)
+                    .unwrap_or_default();
                 for t in toks {
                     if !self.tokens[t as usize].alive {
                         continue;
@@ -265,23 +447,23 @@ impl Rete {
                         nr.swap_remove(pos);
                         self.work.match_units += cost::TOKEN_OP;
                         if self.tokens[t as usize].neg_results.is_empty() {
-                            self.propagate(s.chain, s.level, t, wm);
+                            self.propagate(s.node, t, wm);
                         }
                     }
                 }
                 if let Some(p) = &mut self.profile {
-                    p.chains[s.chain as usize].match_units += self.work.match_units - before;
+                    p.nodes[s.node as usize].match_units += self.work.match_units - before;
                 }
             }
         }
         // Then delete every token whose own WME is the removed one.
         if let Some(toks) = self.wme_tokens.remove(&id) {
             for t in toks {
-                let chain = self.tokens[t as usize].chain;
+                let node = self.tokens[t as usize].node;
                 let before = self.work.match_units;
                 self.delete_token(t);
                 if let Some(p) = &mut self.profile {
-                    p.chains[chain as usize].match_units += self.work.match_units - before;
+                    p.nodes[node as usize].match_units += self.work.match_units - before;
                 }
             }
         }
@@ -289,16 +471,73 @@ impl Rete {
 
     // -- internals ---------------------------------------------------------
 
-    fn right_activate_add(&mut self, c: u32, k: u16, w: WmeId, wm: &WmStore) {
-        self.chunks += 1;
-        if let Some(p) = &mut self.profile {
-            p.chains[c as usize].activations += 1;
+    /// The token population a right activation of `n` pairs against: the
+    /// parent's residents for positive nodes, `n`'s own for negative nodes.
+    /// Returns indexed candidates (charging the probe) when `n` has a key
+    /// test, else a linear clone of the population (counted as a scan).
+    fn right_candidates(&mut self, n: u32, w: WmeId, wm: &WmStore) -> Vec<u32> {
+        let node = &self.nodes[n as usize];
+        let population = if node.negated {
+            &node.tokens
+        } else {
+            match node.parent {
+                Some(p) => &self.nodes[p as usize].tokens,
+                None => return Vec::new(),
+            }
+        };
+        if let (Some(kt), true) = (node.key_test, population.len() >= INDEX_MIN_POPULATION) {
+            let my_slot = node.join_tests[kt].my_slot;
+            let key = wm
+                .get(w)
+                .map(|wme| wme.get(my_slot as usize).hash_key())
+                .unwrap_or_default();
+            self.work.match_units += cost::INDEX_PROBE;
+            self.stats.index_probes += 1;
+            return self.nodes[n as usize]
+                .right_index
+                .get(&key)
+                .cloned()
+                .unwrap_or_default();
         }
-        let node = &self.chains[c as usize].nodes[k as usize];
-        let negated = node.negated;
-        let tests = node.join_tests.clone();
+        self.stats.linear_scans += 1;
+        population.clone()
+    }
+
+    /// Candidate WMEs for pairing token `t` (ancestry `anc`) against node
+    /// `n`'s alpha memory: an indexed probe when possible, else the full
+    /// memory (counted as a scan).
+    fn left_candidates(&mut self, n: u32, anc: &[Option<WmeId>], wm: &WmStore) -> Vec<WmeId> {
+        let node = &self.nodes[n as usize];
+        let population = self.alpha.mem(node.alpha_mem).wmes.len();
+        if let Some(kt) = node.key_test {
+            if population >= INDEX_MIN_POPULATION {
+                let test = node.join_tests[kt];
+                self.work.match_units += cost::INDEX_PROBE;
+                self.stats.index_probes += 1;
+                return match token_side_key(anc, &test, wm) {
+                    Some(key) => self.alpha.probe(node.alpha_mem, test.my_slot, key).to_vec(),
+                    // The referenced ancestor is gone; no candidate could
+                    // pass the full tests either.
+                    None => Vec::new(),
+                };
+            }
+        }
+        self.stats.linear_scans += 1;
+        self.alpha.mem(node.alpha_mem).wmes.clone()
+    }
+
+    fn right_activate_add(&mut self, n: u32, w: WmeId, wm: &WmStore) {
+        self.chunks += 1;
+        if self.nodes[n as usize].n_prods > 1 {
+            self.stats.shared_node_hits += 1;
+        }
+        if let Some(p) = &mut self.profile {
+            p.nodes[n as usize].activations += 1;
+        }
+        let negated = self.nodes[n as usize].negated;
+        let tests = self.nodes[n as usize].join_tests.clone();
         if negated {
-            let toks = node.tokens.clone();
+            let toks = self.right_candidates(n, w, wm);
             for t in toks {
                 if !self.tokens[t as usize].alive {
                     continue;
@@ -306,19 +545,33 @@ impl Rete {
                 let anc = self.ancestors(t);
                 self.work.match_units += tests.len() as u64 * cost::JOIN_TEST;
                 if eval_tests(&tests, &anc, w, wm) {
-                    self.tokens[t as usize].neg_results.push(w);
-                    if self.tokens[t as usize].neg_results.len() == 1 {
-                        self.block_token(t);
+                    let nr = &mut self.tokens[t as usize].neg_results;
+                    // The token may already hold `w` when it was created
+                    // during this very addition (its initial blocker scan
+                    // saw the memory with `w` inside); blockers are a set.
+                    if !nr.contains(&w) {
+                        nr.push(w);
+                        let first = nr.len() == 1;
+                        self.nodes[n as usize]
+                            .blocked_by
+                            .entry(w)
+                            .or_default()
+                            .push(t);
+                        if first {
+                            self.block_token(t);
+                        }
                     }
                 }
             }
-        } else if k == 0 {
+        } else if self.nodes[n as usize].level == 0 {
             debug_assert!(tests.is_empty(), "first node has no join tests");
-            self.new_token(c, 0, DUMMY, Some(w), wm);
+            self.new_token(n, DUMMY, Some(w), wm);
         } else {
-            let parent_node = &self.chains[c as usize].nodes[(k - 1) as usize];
-            let parent_negated = parent_node.negated;
-            let parents = parent_node.tokens.clone();
+            let parent_negated = self.nodes[n as usize]
+                .parent
+                .map(|p| self.nodes[p as usize].negated)
+                .unwrap_or(false);
+            let parents = self.right_candidates(n, w, wm);
             for t in parents {
                 if !self.tokens[t as usize].alive {
                     continue;
@@ -329,34 +582,44 @@ impl Rete {
                 let anc = self.ancestors(t);
                 self.work.match_units += tests.len() as u64 * cost::JOIN_TEST;
                 if eval_tests(&tests, &anc, w, wm) {
-                    self.new_token(c, k, t, Some(w), wm);
+                    self.new_token(n, t, Some(w), wm);
                 }
             }
         }
     }
 
-    /// Creates a token at `(c, k)` and, when it is active (positive, or
-    /// negative with no blockers), propagates it down the chain.
-    fn new_token(&mut self, c: u32, k: u16, parent: u32, wme: Option<WmeId>, wm: &WmStore) {
-        let id = self.alloc_token(c, k, parent, wme);
+    /// Creates a token at node `n` and, when it is active (positive, or
+    /// negative with no blockers), propagates it down the trie.
+    fn new_token(&mut self, n: u32, parent: u32, wme: Option<WmeId>, wm: &WmStore) {
+        let id = self.alloc_token(n, parent, wme);
         self.work.match_units += cost::TOKEN_OP;
         if let Some(p) = &mut self.profile {
             p.tokens_created += 1;
-            p.chains[c as usize].tokens += 1;
+            p.nodes[n as usize].tokens += 1;
         }
-        self.chains[c as usize].nodes[k as usize].tokens.push(id);
+        self.nodes[n as usize].tokens.push(id);
         if let Some(w) = wme {
             self.wme_tokens.entry(w).or_default().push(id);
         }
         if parent != DUMMY {
             self.tokens[parent as usize].children.push(id);
         }
-        if self.chains[c as usize].nodes[k as usize].negated {
+        let anc = self.ancestors(id);
+        if self.config.index {
+            self.register_token_indexes(id, n, &anc, wm);
+        }
+        if self.nodes[n as usize].negated {
             // Compute the initial blocker set.
-            let node = &self.chains[c as usize].nodes[k as usize];
-            let tests = node.join_tests.clone();
-            let cands = self.alpha.mem(node.alpha_mem).wmes.clone();
-            let anc = self.ancestors(id);
+            let tests = self.nodes[n as usize].join_tests.clone();
+            let cands = if self.nodes[n as usize].key_test.is_some() {
+                self.left_candidates(n, &anc, wm)
+            } else {
+                self.stats.linear_scans += 1;
+                self.alpha
+                    .mem(self.nodes[n as usize].alpha_mem)
+                    .wmes
+                    .clone()
+            };
             self.work.match_units += (cands.len() * tests.len().max(1)) as u64 * cost::JOIN_TEST;
             let mut blockers = Vec::new();
             for w in cands {
@@ -365,44 +628,90 @@ impl Rete {
                 }
             }
             let blocked = !blockers.is_empty();
+            for &w in &blockers {
+                self.nodes[n as usize]
+                    .blocked_by
+                    .entry(w)
+                    .or_default()
+                    .push(id);
+            }
             self.tokens[id as usize].neg_results = blockers;
             if blocked {
                 return;
             }
         }
-        self.propagate(c, k, id, wm);
+        self.propagate(n, id, wm);
     }
 
-    /// Token `t` is active at `(c, k)`: emit or feed the next node.
-    fn propagate(&mut self, c: u32, k: u16, t: u32, wm: &WmStore) {
-        let last = (self.chains[c as usize].nodes.len() - 1) as u16;
-        if k == last {
-            self.emit_insert(c, t, wm);
-            return;
+    /// Registers a fresh token at `n` into the right-activation hash
+    /// indexes that cover `n`'s resident population: `n`'s own index when
+    /// `n` is negative, and the index of every positive keyed child.
+    fn register_token_indexes(&mut self, id: u32, n: u32, anc: &[Option<WmeId>], wm: &WmStore) {
+        let mut regs: Vec<(u32, u64)> = Vec::new();
+        {
+            let node = &self.nodes[n as usize];
+            if node.negated {
+                if let Some(kt) = node.key_test {
+                    if let Some(key) = token_side_key(anc, &node.join_tests[kt], wm) {
+                        regs.push((n, key));
+                    }
+                }
+            }
+            for &c in &node.children {
+                let cn = &self.nodes[c as usize];
+                if !cn.negated {
+                    if let Some(kt) = cn.key_test {
+                        if let Some(key) = token_side_key(anc, &cn.join_tests[kt], wm) {
+                            regs.push((c, key));
+                        }
+                    }
+                }
+            }
         }
-        let next = k + 1;
-        self.chunks += 1;
-        if let Some(p) = &mut self.profile {
-            p.chains[c as usize].activations += 1;
+        for &(nd, key) in &regs {
+            self.nodes[nd as usize]
+                .right_index
+                .entry(key)
+                .or_default()
+                .push(id);
         }
-        let node = &self.chains[c as usize].nodes[next as usize];
-        if node.negated {
-            self.new_token(c, next, t, None, wm);
-        } else {
-            let tests = node.join_tests.clone();
-            let cands = self.alpha.mem(node.alpha_mem).wmes.clone();
-            let anc = self.ancestors(t);
-            for w in cands {
-                self.work.match_units += tests.len() as u64 * cost::JOIN_TEST;
-                if eval_tests(&tests, &anc, w, wm) {
-                    self.new_token(c, next, t, Some(w), wm);
+        self.tokens[id as usize].index_keys = regs;
+    }
+
+    /// Token `t` is active at node `n`: emit its terminals and feed the
+    /// children. (A shared node can be terminal for one production *and*
+    /// a prefix of another's chain.)
+    fn propagate(&mut self, n: u32, t: u32, wm: &WmStore) {
+        if !self.nodes[n as usize].terminals.is_empty() {
+            self.emit_insert(n, t, wm);
+        }
+        let children = self.nodes[n as usize].children.clone();
+        for c in children {
+            self.chunks += 1;
+            if self.nodes[c as usize].n_prods > 1 {
+                self.stats.shared_node_hits += 1;
+            }
+            if let Some(p) = &mut self.profile {
+                p.nodes[c as usize].activations += 1;
+            }
+            if self.nodes[c as usize].negated {
+                self.new_token(c, t, None, wm);
+            } else {
+                let tests = self.nodes[c as usize].join_tests.clone();
+                let anc = self.ancestors(t);
+                let cands = self.left_candidates(c, &anc, wm);
+                for w in cands {
+                    self.work.match_units += tests.len() as u64 * cost::JOIN_TEST;
+                    if eval_tests(&tests, &anc, w, wm) {
+                        self.new_token(c, t, Some(w), wm);
+                    }
                 }
             }
         }
     }
 
     /// A negative token became blocked: delete its descendants and retract
-    /// its instantiation if it reached the terminal.
+    /// its instantiations if it reached a terminal.
     fn block_token(&mut self, t: u32) {
         let children = std::mem::take(&mut self.tokens[t as usize].children);
         for ch in children {
@@ -430,10 +739,33 @@ impl Rete {
             self.tokens[t as usize].emitted = false;
             self.emit_retract(t);
         }
-        let (c, k) = (self.tokens[t as usize].chain, self.tokens[t as usize].level);
-        let toks = &mut self.chains[c as usize].nodes[k as usize].tokens;
+        let n = self.tokens[t as usize].node;
+        let toks = &mut self.nodes[n as usize].tokens;
         if let Some(pos) = toks.iter().position(|&x| x == t) {
             toks.swap_remove(pos);
+        }
+        // Undo index and blocker registrations.
+        let regs = std::mem::take(&mut self.tokens[t as usize].index_keys);
+        for (nd, key) in regs {
+            if let Some(bucket) = self.nodes[nd as usize].right_index.get_mut(&key) {
+                if let Some(pos) = bucket.iter().position(|&x| x == t) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    self.nodes[nd as usize].right_index.remove(&key);
+                }
+            }
+        }
+        let blockers = std::mem::take(&mut self.tokens[t as usize].neg_results);
+        for w in blockers {
+            if let Some(bucket) = self.nodes[n as usize].blocked_by.get_mut(&w) {
+                if let Some(pos) = bucket.iter().position(|&x| x == t) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    self.nodes[n as usize].blocked_by.remove(&w);
+                }
+            }
         }
         if let Some(w) = self.tokens[t as usize].wme {
             if let Some(v) = self.wme_tokens.get_mut(&w) {
@@ -453,14 +785,15 @@ impl Rete {
         self.free.push(t);
     }
 
-    fn alloc_token(&mut self, c: u32, k: u16, parent: u32, wme: Option<WmeId>) -> u32 {
+    fn alloc_token(&mut self, n: u32, parent: u32, wme: Option<WmeId>) -> u32 {
         let td = TokenData {
             parent,
             wme,
-            chain: c,
-            level: k,
+            node: n,
+            level: self.nodes[n as usize].level,
             children: Vec::new(),
             neg_results: Vec::new(),
+            index_keys: Vec::new(),
             emitted: false,
             alive: true,
         };
@@ -489,36 +822,46 @@ impl Rete {
         anc
     }
 
-    fn instantiation_of(&self, c: u32, t: u32, wm: &WmStore) -> Instantiation {
+    fn emit_insert(&mut self, n: u32, t: u32, wm: &WmStore) {
+        self.tokens[t as usize].emitted = true;
         let anc = self.ancestors(t);
         let wmes: Vec<WmeId> = anc.into_iter().flatten().collect();
         let time_tags: Vec<u64> = wmes.iter().map(|&w| wm.time_tag(w)).collect();
-        let chain = &self.chains[c as usize];
-        Instantiation {
-            production: chain.prod,
-            wmes: wmes.into_boxed_slice(),
-            time_tags: time_tags.into_boxed_slice(),
-            specificity: chain.specificity,
+        let terminals = self.nodes[n as usize].terminals.clone();
+        for (prod, specificity) in terminals {
+            self.work.match_units += cost::CONFLICT_OP;
+            self.events.push(MatchEvent::Insert(Instantiation::new(
+                prod,
+                wmes.clone().into_boxed_slice(),
+                time_tags.clone().into_boxed_slice(),
+                specificity,
+            )));
         }
     }
 
-    fn emit_insert(&mut self, c: u32, t: u32, wm: &WmStore) {
-        self.work.match_units += cost::CONFLICT_OP;
-        self.tokens[t as usize].emitted = true;
-        let inst = self.instantiation_of(c, t, wm);
-        self.events.push(MatchEvent::Insert(inst));
-    }
-
     fn emit_retract(&mut self, t: u32) {
-        self.work.match_units += cost::CONFLICT_OP;
         let anc = self.ancestors(t);
         let wmes: Vec<WmeId> = anc.into_iter().flatten().collect();
-        let c = self.tokens[t as usize].chain;
-        self.events.push(MatchEvent::Retract {
-            production: self.chains[c as usize].prod,
-            wmes: wmes.into_boxed_slice(),
-        });
+        let n = self.tokens[t as usize].node;
+        let terminals = self.nodes[n as usize].terminals.clone();
+        for (prod, _) in terminals {
+            self.work.match_units += cost::CONFLICT_OP;
+            self.events.push(MatchEvent::Retract {
+                production: prod,
+                wmes: wmes.clone().into_boxed_slice(),
+            });
+        }
     }
+}
+
+/// The token-side index key for `test`: the hash key of the value at
+/// `(their_level, their_slot)` in the token's ancestry. `None` when the
+/// referenced ancestor is unavailable (the full tests would reject every
+/// candidate anyway).
+fn token_side_key(anc: &[Option<WmeId>], test: &JoinTest, wm: &WmStore) -> Option<u64> {
+    let their = anc.get(test.their_level as usize).copied().flatten()?;
+    let wme = wm.get(their)?;
+    Some(wme.get(test.their_slot as usize).hash_key())
 }
 
 fn eval_tests(tests: &[JoinTest], anc: &[Option<WmeId>], w: WmeId, wm: &WmStore) -> bool {
@@ -554,8 +897,18 @@ mod tests {
 
     impl Fix {
         fn new(src: &str) -> Fix {
+            Self::with_config(src, ReteConfig::default())
+        }
+
+        fn with_config(src: &str, config: ReteConfig) -> Fix {
             let program = Program::parse(src).unwrap();
-            let rete = Rete::new(&program).unwrap();
+            let compiled: Vec<CompiledProduction> = program
+                .productions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| compile_production(i as u32, p).unwrap())
+                .collect();
+            let rete = Rete::from_compiled_with(&Arc::new(compiled), &program, config);
             Fix {
                 rete,
                 wm: WmStore::new(),
@@ -763,6 +1116,174 @@ mod tests {
             }
             f.apply_events(&mut cs);
             assert_eq!(cs.len(), 1, "order {order:?}");
+        }
+    }
+
+    // -- sharing & indexing ------------------------------------------------
+
+    /// Three productions with a common 2-node prefix; p3 terminates *at*
+    /// the shared prefix node.
+    const SHARED_PREFIX: &str = "
+        (literalize a x)
+        (literalize b y)
+        (literalize c z)
+        (p p1 (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))
+        (p p2 (a ^x <v>) (b ^y <v>) (c ^z > <v>) --> (halt))
+        (p p3 (a ^x <v>) (b ^y <v>) --> (halt))
+    ";
+
+    #[test]
+    fn prefix_sharing_builds_a_trie() {
+        let shared = Fix::new(SHARED_PREFIX);
+        // Chains are 3+3+2 = 8 specs; the trie folds the (a)(b) prefix:
+        // [a], [b], [c =], [c >].
+        assert_eq!(shared.rete.beta_nodes(), 4);
+        assert_eq!(shared.rete.net_stats().unshared_beta_nodes, 8);
+
+        let unshared = Fix::with_config(SHARED_PREFIX, ReteConfig::unshared());
+        assert_eq!(unshared.rete.beta_nodes(), 8);
+        assert_eq!(unshared.rete.net_stats().unshared_beta_nodes, 8);
+    }
+
+    #[test]
+    fn terminal_at_shared_interior_node_fires() {
+        let mut f = Fix::new(SHARED_PREFIX);
+        let mut cs = crate::conflict::ConflictSet::new();
+        f.add("a", &[(0, Value::Int(1))]);
+        f.add("b", &[(0, Value::Int(1))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 1, "p3 satisfied at the interior node");
+        f.add("c", &[(0, Value::Int(1))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 2, "p1 joins c = v");
+        f.add("c", &[(0, Value::Int(5))]);
+        f.apply_events(&mut cs);
+        assert_eq!(cs.len(), 3, "p2 joins c > v");
+    }
+
+    #[test]
+    fn shared_nodes_and_index_probes_are_counted() {
+        // Two (a, b) token pairs put the c-join's left memory above
+        // INDEX_MIN_POPULATION, so adding `c` probes the token index
+        // instead of scanning.
+        let mut f = Fix::new(SHARED_PREFIX);
+        f.add("a", &[(0, Value::Int(1))]);
+        f.add("b", &[(0, Value::Int(1))]);
+        f.add("a", &[(0, Value::Int(2))]);
+        f.add("b", &[(0, Value::Int(2))]);
+        f.add("c", &[(0, Value::Int(1))]);
+        let stats = f.rete.net_stats();
+        assert!(stats.shared_node_hits > 0, "prefix nodes serve 3 prods");
+        assert!(stats.index_probes > 0, "equality joins probe the index");
+
+        let mut u = Fix::with_config(SHARED_PREFIX, ReteConfig::unshared());
+        u.add("a", &[(0, Value::Int(1))]);
+        u.add("b", &[(0, Value::Int(1))]);
+        u.add("a", &[(0, Value::Int(2))]);
+        u.add("b", &[(0, Value::Int(2))]);
+        u.add("c", &[(0, Value::Int(1))]);
+        let ustats = u.rete.net_stats();
+        assert_eq!(ustats.shared_node_hits, 0);
+        assert_eq!(ustats.index_probes, 0);
+        assert!(ustats.linear_scans > 0);
+        assert_eq!(ustats.shared_test_hits, 0);
+    }
+
+    /// Canonical form of one operation's event batch: order within a batch
+    /// is unspecified (trie traversal vs per-chain traversal), so compare
+    /// as sorted multisets. The engine's conflict resolution is
+    /// insertion-order independent, so firing sequences are unaffected.
+    fn canon(events: Vec<MatchEvent>) -> Vec<(u8, u32, Vec<WmeId>, Vec<u64>)> {
+        let mut v: Vec<_> = events
+            .into_iter()
+            .map(|e| match e {
+                MatchEvent::Insert(i) => (0, i.production, i.wmes.to_vec(), i.time_tags.to_vec()),
+                MatchEvent::Retract { production, wmes } => {
+                    (1, production, wmes.to_vec(), Vec::new())
+                }
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn shared_and_unshared_agree_and_sharing_saves_work() {
+        let src = "
+            (literalize a x)
+            (literalize b y)
+            (literalize c z)
+            (p p1 (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))
+            (p p2 (a ^x <v>) (b ^y <v>) -(c ^z <v>) --> (halt))
+            (p p3 (a ^x <v>) (b ^y <v>) --> (halt))
+            (p p4 (a ^x <v>) (c ^z > <v>) --> (halt))
+        ";
+        let mut s = Fix::new(src);
+        let mut u = Fix::with_config(src, ReteConfig::unshared());
+
+        let mut s_ids = Vec::new();
+        let mut u_ids = Vec::new();
+        let script: &[(usize, i64)] = &[
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (0, 2),
+            (2, 0),
+            (1, 2),
+            (0, 1),
+            (2, 1),
+        ];
+        for &(class, v) in script {
+            let name = ["a", "b", "c"][class];
+            s_ids.push(s.add(name, &[(0, Value::Int(v))]));
+            u_ids.push(u.add(name, &[(0, Value::Int(v))]));
+            assert_eq!(
+                canon(s.rete.drain_events()),
+                canon(u.rete.drain_events()),
+                "add {name} {v}"
+            );
+        }
+        // Remove in an order that exercises unblocking and subtree deletion.
+        for i in [2, 0, 5, 7, 1, 3, 4, 6] {
+            s.remove(s_ids[i]);
+            u.remove(u_ids[i]);
+            assert_eq!(
+                canon(s.rete.drain_events()),
+                canon(u.rete.drain_events()),
+                "remove #{i}"
+            );
+        }
+        assert!(
+            s.rete.work.match_units <= u.rete.work.match_units,
+            "sharing+indexing may not cost more work ({} vs {})",
+            s.rete.work.match_units,
+            u.rete.work.match_units
+        );
+    }
+
+    #[test]
+    fn self_blocking_token_is_consistent() {
+        // A WME that matches both the positive and the negated CE of the
+        // same production: the token created during the add sees the WME in
+        // its initial blocker scan, and the subsequent right activation of
+        // the negative node must not double-register the blocker.
+        let src = "
+            (literalize a x)
+            (p self (a ^x <v>) -(a ^x <v>) --> (halt))
+        ";
+        for config in [ReteConfig::shared(), ReteConfig::unshared()] {
+            let mut f = Fix::with_config(src, config);
+            let mut cs = crate::conflict::ConflictSet::new();
+            let w1 = f.add("a", &[(0, Value::Int(1))]);
+            let w2 = f.add("a", &[(0, Value::Int(1))]);
+            f.apply_events(&mut cs);
+            assert_eq!(cs.len(), 0, "every token blocked by its own WME");
+            f.remove(w2);
+            f.apply_events(&mut cs);
+            assert_eq!(cs.len(), 0, "w1's token still blocked by w1");
+            f.remove(w1);
+            f.apply_events(&mut cs);
+            assert_eq!(cs.len(), 0);
         }
     }
 }

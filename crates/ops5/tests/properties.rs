@@ -4,7 +4,7 @@
 
 use ops5::conflict::ConflictSet;
 use ops5::naive::{canonical, match_all};
-use ops5::rete::{MatchEvent, Rete};
+use ops5::rete::{MatchEvent, Rete, ReteConfig};
 use ops5::wme::{WmStore, Wme};
 use ops5::{sym, Engine, Program, Value, WmeId};
 use proptest::prelude::*;
@@ -183,6 +183,163 @@ proptest! {
         prop_assert_eq!(a.2, b.2);
         // The fold must actually sum all items.
         prop_assert_eq!(a.0 as usize, seeds.len());
+    }
+}
+
+/// Multi-production programs whose condition chains overlap — the shared
+/// network folds the common prefixes, so these exercise trie terminals at
+/// interior nodes, shared join work, and per-production divergence.
+const SHARING_PROGRAMS: &[&str] = &[
+    // 1: three productions over one (a)(b) prefix, diverging on c
+    "(literalize a x y)
+     (literalize b x y)
+     (literalize c x y)
+     (p p1 (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))
+     (p p2 (a ^x <v>) (b ^x <v>) (c ^x > <v>) --> (halt))
+     (p p3 (a ^x <v>) (b ^x <v>) --> (halt))",
+    // 2: shared prefix with a negation split
+    "(literalize a x y)
+     (literalize b x y)
+     (literalize c x y)
+     (p n1 (a ^x <v>) -(b ^x <v>) --> (halt))
+     (p n2 (a ^x <v>) -(b ^x <v>) (c ^y <v>) --> (halt))
+     (p n3 (a ^x <v>) (b ^x <v>) --> (halt))",
+    // 3: identical chains (full sharing) plus an unrelated production
+    "(literalize a x y)
+     (literalize b x y)
+     (p t1 (a ^x <v> ^y <w>) (b ^x <w>) --> (halt))
+     (p t2 (a ^x <v> ^y <w>) (b ^x <w>) --> (halt))
+     (p t3 (b ^y < 2) --> (halt))",
+];
+
+/// Canonical multiset form of one operation's event batch. Order *within*
+/// a batch is unspecified between the shared (trie traversal) and unshared
+/// (per-chain traversal) networks, so batches compare as sorted multisets;
+/// the conflict set's resolution order is insertion-order independent, so
+/// firing behaviour is unaffected (the engine property below proves it).
+fn canon_events(events: &[MatchEvent]) -> Vec<(u8, u32, Vec<WmeId>, Vec<u64>)> {
+    let mut v: Vec<_> = events
+        .iter()
+        .map(|e| match e {
+            MatchEvent::Insert(i) => (0u8, i.production, i.wmes.to_vec(), i.time_tags.to_vec()),
+            MatchEvent::Retract { production, wmes } => {
+                (1u8, *production, wmes.to_vec(), Vec::new())
+            }
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's differential guarantee: the shared + indexed network
+    /// and the historical one-chain-per-production network produce the same
+    /// match — identical event multisets after every single WM operation —
+    /// while the shared network does no more work than the unshared one
+    /// (modulo the bounded probe overhead: a hash probe whose bucket turns
+    /// out to be the entire population saves nothing over the scan it
+    /// replaced yet still costs `INDEX_PROBE`).
+    #[test]
+    fn shared_and_unshared_networks_agree(
+        prog_idx in 0usize..(PROGRAMS.len() + SHARING_PROGRAMS.len()),
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let src = if prog_idx < PROGRAMS.len() {
+            PROGRAMS[prog_idx]
+        } else {
+            SHARING_PROGRAMS[prog_idx - PROGRAMS.len()]
+        };
+        let program = Program::parse(src).unwrap();
+        let compiled = Engine::compile(&program).unwrap();
+        let mut shared = Rete::from_compiled_with(&compiled, &program, ReteConfig::shared());
+        let mut unshared = Rete::from_compiled_with(&compiled, &program, ReteConfig::unshared());
+        let mut wm = WmStore::new();
+        let mut live: Vec<WmeId> = Vec::new();
+        let mut tag = 0u64;
+        let classes = [sym("a"), sym("b"), sym("c")];
+
+        for op in ops {
+            match op {
+                Op::Add { class, x, y } => {
+                    tag += 1;
+                    let cls = classes[class as usize % 3];
+                    if program.class(cls).is_none() { continue; }
+                    let mut w = Wme::new(cls, 2, tag);
+                    w.set(0, if x < 0 { Value::symbol("water") } else { Value::Int(x as i64) });
+                    w.set(1, Value::Int(y as i64));
+                    let id = wm.add(w);
+                    live.push(id);
+                    shared.add_wme(id, &wm);
+                    unshared.add_wme(id, &wm);
+                }
+                Op::Remove(k) => {
+                    if live.is_empty() { continue; }
+                    let id = live.swap_remove(k as usize % live.len());
+                    shared.remove_wme(id, &wm);
+                    unshared.remove_wme(id, &wm);
+                    wm.remove(id);
+                }
+            }
+            prop_assert_eq!(
+                canon_events(&shared.drain_events()),
+                canon_events(&unshared.drain_events())
+            );
+        }
+        let slack = ops5::instrument::cost::INDEX_PROBE * shared.net_stats().index_probes;
+        prop_assert!(
+            shared.work.match_units <= unshared.work.match_units + slack,
+            "shared {} > unshared {} + probe slack {}",
+            shared.work.match_units, unshared.work.match_units, slack
+        );
+    }
+
+    /// Full-engine differential: identical firing sequences (which
+    /// production fired at every cycle), identical final WM, and identical
+    /// serial-side work under both LEX and MEA, whichever network runs the
+    /// match. Only `match_units` may differ — and only downward (plus the
+    /// bounded probe slack).
+    #[test]
+    fn shared_and_unshared_engines_fire_identically(
+        prog_idx in 0usize..SHARING_PROGRAMS.len(),
+        strategy_mea in (0u8..2).prop_map(|b| b == 1),
+        seeds in prop::collection::vec((0u8..3, 0i8..4, 0i8..4), 1..10),
+    ) {
+        let src = SHARING_PROGRAMS[prog_idx].replace("(halt)", "(remove 1)");
+        let program = Arc::new(Program::parse(&src).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let strategy = if strategy_mea { ops5::Strategy::Mea } else { ops5::Strategy::Lex };
+        let classes = ["a", "b", "c"];
+        let run = |config: ReteConfig| {
+            let mut e = Engine::with_compiled_config(
+                Arc::clone(&program), Arc::clone(&compiled), config);
+            e.set_strategy(strategy);
+            e.enable_cycle_log();
+            for &(c, x, y) in &seeds {
+                let cls = classes[c as usize % 3];
+                if program.class(sym(cls)).is_none() { continue; }
+                e.make_wme(
+                    cls,
+                    &[("x", (x as i64).into()), ("y", (y as i64).into())],
+                ).unwrap();
+            }
+            let out = e.run(10_000);
+            let firing_seq: Vec<u32> = e.take_cycle_log().iter().map(|c| c.production).collect();
+            let mut wm: Vec<String> = e.wm().iter().map(|(_, w)| w.to_string()).collect();
+            wm.sort();
+            (out.firings, firing_seq, wm, e.work(), e.net_stats())
+        };
+        let s = run(ReteConfig::shared());
+        let u = run(ReteConfig::unshared());
+        prop_assert_eq!(s.0, u.0, "firing counts diverge");
+        prop_assert_eq!(&s.1, &u.1, "firing sequences diverge under {:?}", strategy);
+        prop_assert_eq!(&s.2, &u.2, "final WM diverges");
+        prop_assert_eq!(s.3.resolve_units, u.3.resolve_units);
+        prop_assert_eq!(s.3.act_units, u.3.act_units);
+        prop_assert_eq!(s.3.external_units, u.3.external_units);
+        let slack = ops5::instrument::cost::INDEX_PROBE * s.4.index_probes;
+        prop_assert!(s.3.match_units <= u.3.match_units + slack);
     }
 }
 

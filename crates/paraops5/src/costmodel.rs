@@ -33,11 +33,33 @@ pub struct CostModel {
 }
 
 impl Default for CostModel {
+    /// Parameters for the *shared, indexed* Rete (the engine default).
+    /// A node activation there is a hash probe plus the few surviving
+    /// candidate verifications, so schedulable subtasks are small and
+    /// plentiful: `chunk_units = 50` batches them back up to ParaOPS5's
+    /// ~100-instruction scheduling granularity.
     fn default() -> Self {
         CostModel {
             per_chunk_overhead: 10,
             barrier_per_process: 8,
             chunk_units: 50,
+        }
+    }
+}
+
+impl CostModel {
+    /// Parameters for the *unshared, linear-scan* network
+    /// ([`ops5::ReteConfig::unshared()`]). Each activation scans a whole
+    /// memory, so the natural subtask is several times coarser than an
+    /// indexed probe-and-verify activation; fewer, bigger chunks mean the
+    /// same cycle log offers less schedulable match parallelism. Use this
+    /// model when the log being analysed came from an unshared engine, or
+    /// to ask how much of ParaOPS5's headroom the indexing itself buys.
+    pub fn unshared() -> Self {
+        CostModel {
+            per_chunk_overhead: 10,
+            barrier_per_process: 8,
+            chunk_units: 150,
         }
     }
 }
@@ -191,6 +213,26 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-9);
         }
+    }
+
+    #[test]
+    fn unshared_model_offers_less_match_parallelism() {
+        // The same cycle log, read as coming from a linear-scan network,
+        // has coarser (fewer) schedulable chunks, so once the process
+        // count exceeds its chunk supply the speedup saturates below the
+        // fine-grained model's. (At low p, where both models are
+        // process-limited, the coarse model merely pays fewer scheduling
+        // overheads — the ordering is only meaningful past the knee.)
+        let log: Vec<CycleStats> = (0..30).map(|i| cycle(800 + i, 40, 400)).collect();
+        let shared = CostModel::default();
+        let unshared = CostModel::unshared();
+        assert!(unshared.chunk_units > shared.chunk_units);
+        for p in 8..=14 {
+            let s = match_speedup(&log, p, &shared);
+            let u = match_speedup(&log, p, &unshared);
+            assert!(u <= s + 1e-9, "p={p}: unshared {u} > shared {s}");
+        }
+        assert!(match_speedup(&log, 14, &unshared) < match_speedup(&log, 14, &shared));
     }
 
     #[test]

@@ -47,8 +47,12 @@ fn generate(name: &'static str, width: usize, patterns: usize, firings: u64) -> 
             (make probe ^id (compute <i> + 1) ^v (compute <s> + 1)))\n"
     ));
     for n in 0..width {
+        // `>` (not `=`) on the cross-element test: inequality joins cannot
+        // be prefiltered by the Rete's equality hash indexes, so every probe
+        // replacement genuinely re-scans the pattern table — the sustained
+        // partial-match load the real systems exhibit.
         src.push_str(&format!(
-            "(p analyse-{n} (probe ^v <x>) (pattern ^pa {n} ^pb <x>) --> (halt))\n"
+            "(p analyse-{n} (probe ^v <x>) (pattern ^pa {n} ^pb > <x>) --> (halt))\n"
         ));
     }
     Suite {
@@ -86,8 +90,9 @@ pub fn suite_engine(suite: &Suite) -> Engine {
         .unwrap();
     for n in 0..suite.width {
         for k in 0..suite.patterns {
-            // `pb` never equals any probe `v` (probes are ≥ 0), so the
-            // analysis productions only ever match partially.
+            // `pb` (= −1−k) is never greater than any probe `v` (probes
+            // are ≥ 0), so the analysis productions only ever match
+            // partially, yet each one scans the whole pattern table.
             e.make_wme(
                 "pattern",
                 &[("pa", (n as i64).into()), ("pb", Value::Int(-1 - k as i64))],

@@ -556,6 +556,10 @@ pub struct SpamProgram {
     pub program: std::sync::Arc<ops5::Program>,
     /// Compiled Rete chain specifications.
     pub compiled: std::sync::Arc<Vec<ops5::rete::compile::CompiledProduction>>,
+    /// Rete configuration every [`SpamProgram::engine`] instance gets —
+    /// full-phase engines and task-process engines alike, so a whole
+    /// SPAM run can be replayed on the unshared network for comparison.
+    pub config: ops5::ReteConfig,
 }
 
 impl SpamProgram {
@@ -564,14 +568,35 @@ impl SpamProgram {
         let program =
             std::sync::Arc::new(ops5::Program::parse(&spam_source()).expect("SPAM rules parse"));
         let compiled = ops5::Engine::compile(&program).expect("SPAM rules compile");
-        SpamProgram { program, compiled }
+        SpamProgram {
+            program,
+            compiled,
+            config: ops5::ReteConfig::default(),
+        }
+    }
+
+    /// Returns this program with a different default Rete configuration
+    /// (applied to every subsequently created engine).
+    pub fn with_config(mut self, config: ops5::ReteConfig) -> SpamProgram {
+        self.config = config;
+        self
     }
 
     /// Creates a fresh engine instance over the shared program.
     pub fn engine(&self) -> ops5::Engine {
-        ops5::Engine::with_compiled(
+        self.engine_with(self.config)
+    }
+
+    /// Creates a fresh engine with an explicit Rete sharing/indexing
+    /// configuration. [`ops5::ReteConfig::unshared()`] rebuilds the
+    /// historical one-chain-per-production, linear-scan network — the
+    /// baseline the sharing/indexing experiments compare against (see
+    /// `bench_rete` and `spamctl --unshared`).
+    pub fn engine_with(&self, config: ops5::ReteConfig) -> ops5::Engine {
+        ops5::Engine::with_compiled_config(
             std::sync::Arc::clone(&self.program),
             std::sync::Arc::clone(&self.compiled),
+            config,
         )
     }
 }

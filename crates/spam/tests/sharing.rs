@@ -1,0 +1,88 @@
+//! Shared+indexed vs unshared-network differential over the real SPAM
+//! phases: the network configuration must never change *what* the system
+//! computes — hypotheses, firings, serial work — only how much match work
+//! it takes, and the shared network must take substantially less (the
+//! point of Rete sharing and memory indexing).
+
+use spam::datasets;
+use spam::generate::generate_scene;
+use spam::lcc::{run_lcc, Level};
+use spam::rtf::run_rtf;
+use spam::rules::SpamProgram;
+use std::sync::Arc;
+
+fn programs() -> (SpamProgram, SpamProgram) {
+    let shared = SpamProgram::build();
+    let unshared = shared.clone().with_config(ops5::ReteConfig::unshared());
+    (shared, unshared)
+}
+
+#[test]
+fn rtf_results_are_network_independent() {
+    let (sp_s, sp_u) = programs();
+    let scene = Arc::new(generate_scene(&datasets::dc().spec));
+    let s = run_rtf(&sp_s, &scene);
+    let u = run_rtf(&sp_u, &scene);
+    assert_eq!(s.fragments, u.fragments, "hypotheses diverge");
+    assert_eq!(s.firings, u.firings, "firing counts diverge");
+    // Serial-side work is identical; only match work may differ.
+    assert_eq!(s.work.resolve_units, u.work.resolve_units);
+    assert_eq!(s.work.act_units, u.work.act_units);
+    assert_eq!(s.work.external_units, u.work.external_units);
+    assert!(
+        s.work.match_units <= u.work.match_units,
+        "shared RTF match {} exceeds unshared {}",
+        s.work.match_units,
+        u.work.match_units
+    );
+}
+
+#[test]
+fn lcc_results_are_network_independent() {
+    // L2 — the fine-grained decomposition the pipeline uses — exercises
+    // hundreds of small task engines, including the negated-condition
+    // paths; the network configuration must not change any output.
+    let (sp_s, sp_u) = programs();
+    let scene = Arc::new(generate_scene(&datasets::dc().spec));
+    let frags = Arc::new(run_rtf(&sp_s, &scene).fragments);
+    let s = run_lcc(&sp_s, &scene, &frags, Level::L2);
+    let u = run_lcc(&sp_u, &scene, &frags, Level::L2);
+    assert_eq!(s.fragments, u.fragments, "support totals diverge");
+    assert_eq!(s.consistents, u.consistents, "consistency records diverge");
+    assert_eq!(s.firings, u.firings, "firing counts diverge");
+    assert_eq!(s.work.resolve_units, u.work.resolve_units);
+    assert_eq!(s.work.act_units, u.work.act_units);
+    assert_eq!(s.work.external_units, u.work.external_units);
+    assert!(
+        s.work.match_units <= u.work.match_units,
+        "shared LCC match {} exceeds unshared {}",
+        s.work.match_units,
+        u.work.match_units
+    );
+}
+
+#[test]
+fn sharing_cuts_lcc_match_work() {
+    // The quadratic-hot-path acceptance bar, measured where the quadratic
+    // actually lives: at the coarse L4 decomposition one engine holds the
+    // whole kind's working memory, so the unshared network's linear token
+    // and alpha-memory scans dominate. (Finer decompositions shrink the
+    // memories *by splitting the task* — task-level parallelism and match
+    // indexing attack the same quadratic — so their reduction is smaller:
+    // ~23% at L2 vs ~70% here on DC.)
+    let (sp_s, sp_u) = programs();
+    let scene = Arc::new(generate_scene(&datasets::dc().spec));
+    let frags = Arc::new(run_rtf(&sp_s, &scene).fragments);
+    let s = run_lcc(&sp_s, &scene, &frags, Level::L4);
+    let u = run_lcc(&sp_u, &scene, &frags, Level::L4);
+    assert_eq!(s.fragments, u.fragments, "support totals diverge");
+    assert_eq!(s.firings, u.firings, "firing counts diverge");
+    let reduction = (u.work.match_units - s.work.match_units) as f64 / u.work.match_units as f64;
+    assert!(
+        reduction >= 0.25,
+        "LCC match reduction {:.1}% (shared {} vs unshared {})",
+        reduction * 100.0,
+        s.work.match_units,
+        u.work.match_units
+    );
+}

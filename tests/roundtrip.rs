@@ -33,6 +33,7 @@ fn spam_rulebase_survives_print_parse_with_identical_behaviour() {
     let reparsed = SpamProgram {
         compiled: ops5::Engine::compile(&p2).unwrap(),
         program: p2,
+        config: ops5::ReteConfig::default(),
     };
     let scene = Arc::new(spam::generate_scene(&spam::datasets::dc().spec));
     let rtf = run_rtf(&original, &scene);
