@@ -11,6 +11,8 @@
 //! spamctl svm-report [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
 //!         [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] [--top K]
 //!         [--json F] [--trace-out F] [--check-loss LO:HI]
+//! spamctl chaos [sf|dc|moff|suburb] [--level 1|2|3|4] [--seed N]
+//!         [--kills K] [--interval C] [--workers N] [--retries K]
 //! ```
 //!
 //! * default: run the full pipeline and print the interpretation summary
@@ -31,6 +33,14 @@
 //!   processors-lost figure (paper §7: ≈1.5). `--check-loss LO:HI` exits
 //!   non-zero unless the figure lies in `[LO, HI]` (the CI gate);
 //!   `--trace-out F` writes the stitched two-machine Chrome trace;
+//! * `chaos`: seeded crash-recovery acceptance run — a fault-free LCC run
+//!   fixes the expected results, `chaos_schedule` derives mid-cycle kills
+//!   (plus a kill inside the checkpoint hold and a torn WAL tail), and the
+//!   checkpoint + WAL recovery path must reproduce the fault-free results
+//!   exactly while replaying strictly fewer cycles than from-scratch
+//!   retries. Exits non-zero (and prints the replayable fault plan) on any
+//!   divergence; `--seed N` / `--kills K` / `--interval C` pick the
+//!   schedule and checkpoint cadence;
 //! * `--machines 2` makes `run` replay the measured trace on the
 //!   dual-Encore SVM platform instead of one Encore: the Gantt chart
 //!   (at `--obs full`) becomes a two-machine chart, the Chrome trace
@@ -80,6 +90,10 @@ use tlp_obs::{ObsLevel, Recorder};
 struct Opts {
     profile: bool,
     svm_report: bool,
+    chaos: bool,
+    chaos_seed: u64,
+    kills: u32,
+    ckpt_interval: u64,
     top: usize,
     json_out: Option<String>,
     check_band: Option<(f64, f64)>,
@@ -108,6 +122,10 @@ fn parse_args() -> Result<Opts, String> {
     let mut o = Opts {
         profile: false,
         svm_report: false,
+        chaos: false,
+        chaos_seed: 42,
+        kills: 3,
+        ckpt_interval: 4,
         top: 10,
         json_out: None,
         check_band: None,
@@ -137,6 +155,31 @@ fn parse_args() -> Result<Opts, String> {
             "run" => {} // explicit default subcommand
             "profile" => o.profile = true,
             "svm-report" => o.svm_report = true,
+            "chaos" => o.chaos = true,
+            "--seed" => {
+                o.chaos_seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--kills" => {
+                o.kills = args
+                    .next()
+                    .ok_or("--kills needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --kills: {e}"))?;
+            }
+            "--interval" => {
+                o.ckpt_interval = args
+                    .next()
+                    .ok_or("--interval needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval: {e}"))?;
+                if o.ckpt_interval == 0 {
+                    return Err("--interval must be >= 1".into());
+                }
+            }
             "--top" => {
                 o.top = args
                     .next()
@@ -283,7 +326,9 @@ fn parse_args() -> Result<Opts, String> {
                      [--json F] [--check-band LO:HI]\n\
                      \x20      spamctl svm-report [sf|dc|moff|suburb] [--level 1|2|3|4] \
                      [--workers N] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] [--top K] \
-                     [--json F] [--trace-out F] [--check-loss LO:HI]"
+                     [--json F] [--trace-out F] [--check-loss LO:HI]\n\
+                     \x20      spamctl chaos [sf|dc|moff|suburb] [--level 1|2|3|4] [--seed N] \
+                     [--kills K] [--interval C] [--workers N] [--retries K]"
                         .into(),
                 )
             }
@@ -495,6 +540,123 @@ fn run_svm_report(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `chaos` subcommand: a seeded crash-recovery acceptance run. A
+/// fault-free sequential LCC run fixes the expected results and the
+/// per-task cycle counts; `chaos_schedule` then derives a kill plan
+/// (mid-cycle kills at checkpointable cycles, one kill while holding the
+/// checkpoint lock, one torn WAL tail) and the recoverable parallel runner
+/// must reproduce the fault-free results exactly while replaying strictly
+/// fewer cycles than from-scratch retries would. On any failure the full
+/// fault plan (seed and schedule) is printed so the run can be replayed.
+fn run_chaos(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
+    let workers = o.workers.unwrap_or(3).max(1);
+    println!(
+        "spamctl chaos: {} ({:?}), {} regions, LCC at {}, seed {}, {} kill(s), \
+         checkpoint every {} cycles, {} worker(s)",
+        scene.name,
+        scene.domain,
+        scene.len(),
+        o.level.name(),
+        o.chaos_seed,
+        o.kills,
+        o.ckpt_interval,
+        workers,
+    );
+    let rtf = run_rtf(sp, scene);
+    let fragments = Arc::new(rtf.fragments.clone());
+
+    // Fault-free reference: fixes expected results and per-task cycles.
+    let seq = spam::lcc::run_lcc(sp, scene, &fragments, o.level);
+    let task_cycles: Vec<u64> = seq.units.iter().map(|u| u.firings).collect();
+    println!(
+        "baseline: {} tasks, {} firings, {} consistency records",
+        seq.units.len(),
+        seq.firings,
+        seq.consistents.len()
+    );
+
+    let plan = tlp_fault::chaos_schedule(o.chaos_seed, o.kills, &task_cycles, o.ckpt_interval);
+    let victims: Vec<usize> = (0..task_cycles.len())
+        .filter(|&t| plan.cycle_kill(t, 0).is_some())
+        .collect();
+    print!("{}", plan.describe());
+
+    let retries = o.retries.max(3);
+    let cfg = SupervisorConfig::default()
+        .with_retries(retries)
+        .with_backoff(Duration::from_millis(1));
+    let (par, recovery) = match spam_psm::run_parallel_lcc_recoverable(
+        sp,
+        scene,
+        &fragments,
+        o.level,
+        workers,
+        &cfg,
+        &plan,
+        &Recorder::off(),
+        &spam_psm::CheckpointConfig::every(o.ckpt_interval),
+        None,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos run failed to complete: {e}\n{}", plan.describe());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("recovery: {}", recovery.summary());
+
+    let mut failures: Vec<String> = Vec::new();
+    let dead = par.report.dead_letters();
+    if !dead.is_empty() {
+        failures.push(format!("{} task(s) dead-lettered: {dead:?}", dead.len()));
+    }
+    if par.firings != seq.firings {
+        failures.push(format!(
+            "firings diverged: chaos {} vs fault-free {}",
+            par.firings, seq.firings
+        ));
+    }
+    if par.consistents != seq.consistents {
+        failures.push("consistency records diverged from the fault-free run".into());
+    }
+    if par.fragments != seq.fragments {
+        failures.push("fragment supports diverged from the fault-free run".into());
+    }
+    for (i, (a, b)) in par.units.iter().zip(seq.units.iter()).enumerate() {
+        if a.work != b.work {
+            failures.push(format!("task {i}: work counters diverged"));
+        }
+    }
+    if recovery.recovered_tasks() < victims.len() {
+        failures.push(format!(
+            "only {} of {} killed tasks recovered",
+            recovery.recovered_tasks(),
+            victims.len()
+        ));
+    }
+    let scratch_cost: u64 = victims.iter().map(|&t| task_cycles[t]).sum();
+    if !victims.is_empty() && recovery.cycles_replayed >= scratch_cost {
+        failures.push(format!(
+            "recovery replayed {} cycles; from-scratch retries cost {scratch_cost}",
+            recovery.cycles_replayed
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("\nchaos: FAILED — replay with the plan below");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        eprint!("{}", plan.describe());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "check   : results identical to the fault-free run; {} cycles replayed vs {} \
+         from-scratch ({} saved) — ok",
+        recovery.cycles_replayed, scratch_cost, recovery.cycles_saved
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let o = match parse_args() {
         Ok(o) => o,
@@ -512,6 +674,9 @@ fn main() -> ExitCode {
     let scene = build_scene(o.dataset.as_deref().unwrap_or(default_dataset));
     if o.svm_report {
         return run_svm_report(&o, &sp, &scene);
+    }
+    if o.chaos {
+        return run_chaos(&o, &sp, &scene);
     }
     if o.profile {
         return run_profile(&o, &sp, &scene);

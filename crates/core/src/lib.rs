@@ -33,6 +33,9 @@
 //!   `spamctl profile` / `bench_profile`;
 //! * [`baseline`] — the §6 unoptimised-baseline comparison (the 10–20×
 //!   Lisp→C/ParaOPS5 port factor), via the engine's naive-match backend;
+//! * [`recover`] — crash-consistent checkpoints and deterministic replay
+//!   recovery: a retried task resumes from its last engine snapshot plus
+//!   WAL replay instead of starting over;
 //! * [`taxonomy`] — Table 4 as data.
 
 #![deny(missing_docs)]
@@ -42,6 +45,7 @@ pub mod attribution;
 pub mod baseline;
 pub mod combined;
 pub mod measure;
+pub mod recover;
 pub mod supervise;
 pub mod taxonomy;
 pub mod tlp;
@@ -54,6 +58,10 @@ pub use attribution::{
 };
 pub use combined::{combined_grid, CombinedCell};
 pub use measure::{level_rows, profiled_lcc, table8_row, LevelRowMeasured, Table8Row};
+pub use recover::{
+    run_lcc_unit_checkpointed, run_parallel_lcc_recoverable, CheckpointConfig, CheckpointStore,
+    RecoveryInfo, RecoveryReport,
+};
 pub use supervise::{supervise, supervise_traced, supervision_overhead, SupervisionOverhead};
 pub use tlp::{
     attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_supervised, run_parallel_lcc_traced,

@@ -25,7 +25,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, Once};
+use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
 use std::time::{Duration, Instant};
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskOutcome, TaskReport, TaskStatus};
 use tlp_obs::{Category, ObsLevel, Recorder};
@@ -38,7 +38,7 @@ const WORKER_NAME: &str = "psm-task";
 /// panics on supervised worker threads — those panics are caught and
 /// reported through the [`TaskReport`], so the default stderr dump is
 /// noise. Other threads keep the previous hook behaviour.
-fn install_quiet_hook() {
+pub(crate) fn install_quiet_hook() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -64,6 +64,14 @@ fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// A closeable multi-producer work queue of `(task, attempt)` jobs.
+///
+/// Queue state is a plain `(jobs, closed)` pair — no invariant can be left
+/// half-updated by a panicking holder — so every lock acquisition recovers
+/// from poisoning with [`PoisonError::into_inner`] instead of unwrapping.
+/// Before this, a panic *outside* `catch_unwind` while holding the lock
+/// (e.g. an allocation failure, or a chaos fault injected in the push path)
+/// poisoned the mutex and every subsequent `push`/`pop` panicked in turn,
+/// deadlocking the control process behind a dead queue.
 struct JobQueue {
     state: Mutex<(VecDeque<(usize, u32)>, bool)>,
     cv: Condvar,
@@ -77,21 +85,25 @@ impl JobQueue {
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, (VecDeque<(usize, u32)>, bool)> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn push(&self, job: (usize, u32)) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock();
         st.0.push_back(job);
         drop(st);
         self.cv.notify_one();
     }
 
     fn close(&self) {
-        self.state.lock().unwrap().1 = true;
+        self.lock().1 = true;
         self.cv.notify_all();
     }
 
     /// Blocks for the next job; `None` once the queue is closed and empty.
     fn pop(&self) -> Option<(usize, u32)> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock();
         loop {
             if let Some(job) = st.0.pop_front() {
                 return Some(job);
@@ -99,7 +111,7 @@ impl JobQueue {
             if st.1 {
                 return None;
             }
-            st = self.cv.wait(st).unwrap();
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -636,6 +648,84 @@ mod tests {
         .unwrap();
         assert_eq!(slots.iter().flatten().count(), 4);
         assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn job_queue_survives_a_poisoned_lock() {
+        // Regression: a panic while holding the queue mutex used to poison
+        // it, after which every push/pop/close unwrapped a PoisonError and
+        // the control process deadlocked behind a dead queue. The queue
+        // must now recover the guard and keep serving jobs.
+        let queue = Arc::new(JobQueue::new(0));
+        let q = Arc::clone(&queue);
+        let _ = std::thread::Builder::new()
+            // Worker-name prefix keeps the injected panic out of test output.
+            .name(format!("{WORKER_NAME}-poisoner"))
+            .spawn(move || {
+                let _guard = q.state.lock().unwrap();
+                panic!("injected: die while holding the queue lock");
+            })
+            .unwrap()
+            .join();
+        assert!(queue.state.is_poisoned(), "setup must actually poison");
+        queue.push((7, 2));
+        assert_eq!(queue.pop(), Some((7, 2)));
+        queue.close();
+        assert_eq!(queue.pop(), None, "closed empty queue still drains");
+    }
+
+    #[test]
+    fn supervision_proceeds_after_queue_poisoning() {
+        // End-to-end flavour of the regression above: a full supervised
+        // phase with retries (which exercises push from the control loop)
+        // must complete even though an earlier holder poisoned the lock.
+        // We cannot reach the private queue of a running phase from here,
+        // so instead verify a phase that retries and dead-letters right
+        // after the unit-level poisoning ran in this process still works.
+        let plan = FaultPlan::none().with_task_panic(1, 1);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1));
+        let (slots, report) = supervise(2, labels(4), &cfg, &plan, |i| i).unwrap();
+        assert_eq!(slots.iter().flatten().count(), 4);
+        assert_eq!(report.outcomes[1].status, TaskStatus::Retried(1));
+    }
+
+    #[test]
+    fn dead_letter_details_survive_death_during_retry() {
+        // Task 2 dies on the first attempt AND again on its only retry.
+        // The dead-letter entry must still carry the full post-mortem:
+        // the final error string, the true attempt count, and a non-zero
+        // retry latency — details recorded across the retry boundary, not
+        // just from the first failure.
+        let plan = FaultPlan::none().with_task_panic(2, 2);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(5));
+        let (slots, report) = supervise(2, labels(5), &cfg, &plan, |i| i).unwrap();
+        assert!(slots[2].is_none());
+        assert_eq!(slots.iter().flatten().count(), 4);
+        let dead = report.dead_letters();
+        assert_eq!(dead.len(), 1);
+        let o = dead[0];
+        assert_eq!(o.task, 2);
+        assert_eq!(o.status, TaskStatus::Panicked);
+        assert_eq!(o.attempts, 2, "initial attempt + the fatal retry");
+        // The error must be the *retry's* panic payload (attempt 1), not a
+        // stale copy from attempt 0.
+        assert_eq!(o.error.as_deref(), Some("injected fault: task 2 attempt 1"));
+        // retry_latency spans first-attempt start → retry start, which
+        // includes the 5 ms backoff.
+        assert!(
+            o.retry_latency >= Duration::from_millis(5),
+            "retry latency must be recorded for dead letters too: {:?}",
+            o.retry_latency
+        );
+        // And the report renders those details.
+        let text = report.display(true).to_string();
+        assert!(text.contains("task 2 [t2] after 2 attempts"), "{text}");
+        assert!(text.contains("attempt 1"), "{text}");
+        assert!(text.contains("retry-latency"), "{text}");
     }
 
     #[test]

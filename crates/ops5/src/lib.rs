@@ -76,6 +76,7 @@ pub mod profile;
 pub mod program;
 pub mod rete;
 pub mod rhs;
+pub mod snapshot;
 pub mod symbol;
 pub mod value;
 pub mod wme;
@@ -86,6 +87,7 @@ pub use instrument::{CycleStats, WorkCounters};
 pub use profile::{AlphaMemProfile, MatchProfile, NetStats, ProductionProfile};
 pub use program::Program;
 pub use rete::ReteConfig;
+pub use snapshot::{EngineImage, SnapshotError, Wal, WalOp, WalRecord, WalReplay};
 pub use symbol::{sym, sym_name, Symbol};
 pub use value::Value;
 pub use wme::{TimeTag, Wme, WmeId};

@@ -32,6 +32,12 @@ pub trait Matcher: Send {
     fn take_chunks(&mut self) -> u32;
     /// Accumulated match work.
     fn work(&self) -> WorkCounters;
+    /// Overwrites the accumulated match-work counters. Snapshot restore
+    /// rebuilds the network from the restored WM — re-doing match work the
+    /// original run already paid for — then resets the counters to the
+    /// recorded value so [`crate::Engine::work`] stays identical to an
+    /// uninterrupted run. Backends that do not support restore ignore it.
+    fn set_work(&mut self, _work: WorkCounters) {}
     /// A terminal failure inside the match backend (e.g. a parallel pool
     /// that lost workers under a fail-fast policy). The engine checks this
     /// each cycle and stops with `RunOutcome::error` instead of panicking.
@@ -69,6 +75,9 @@ impl Matcher for Rete {
     }
     fn work(&self) -> WorkCounters {
         self.work
+    }
+    fn set_work(&mut self, work: WorkCounters) {
+        self.work = work;
     }
     fn net_stats(&self) -> crate::profile::NetStats {
         Rete::net_stats(self)
@@ -161,6 +170,10 @@ impl Matcher for NaiveMatcher {
 
     fn work(&self) -> WorkCounters {
         self.work
+    }
+
+    fn set_work(&mut self, work: WorkCounters) {
+        self.work = work;
     }
 }
 

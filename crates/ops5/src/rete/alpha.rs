@@ -266,12 +266,15 @@ impl AlphaNetwork {
                 let mem = &mut self.mems[m as usize];
                 if let Some(pos) = mem.wmes.iter().position(|&w| w == id) {
                     *work_units += cost::ALPHA_MEM_OP;
-                    mem.wmes.swap_remove(pos);
+                    // Order-preserving on purpose: snapshot restore rebuilds
+                    // memories by re-inserting live WMEs in id order, and
+                    // scan costs must not change across a crash recovery.
+                    mem.wmes.remove(pos);
                     for ix in &mut mem.indexes {
                         let key = wme.get(ix.slot as usize).hash_key();
                         if let Some(bucket) = ix.buckets.get_mut(&key) {
                             if let Some(p) = bucket.iter().position(|&w| w == id) {
-                                bucket.swap_remove(p);
+                                bucket.remove(p);
                             }
                             if bucket.is_empty() {
                                 ix.buckets.remove(&key);

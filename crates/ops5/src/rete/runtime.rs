@@ -444,7 +444,7 @@ impl Rete {
                     }
                     let nr = &mut self.tokens[t as usize].neg_results;
                     if let Some(pos) = nr.iter().position(|&w| w == id) {
-                        nr.swap_remove(pos);
+                        nr.remove(pos);
                         self.work.match_units += cost::TOKEN_OP;
                         if self.tokens[t as usize].neg_results.is_empty() {
                             self.propagate(s.node, t, wm);
@@ -740,16 +740,21 @@ impl Rete {
             self.emit_retract(t);
         }
         let n = self.tokens[t as usize].node;
+        // Removals here (and in every memory below) must preserve order:
+        // snapshot restore rebuilds the network by re-inserting live WMEs
+        // in id order, so surviving entries have to sit in arrival order or
+        // order-sensitive scans would cost different match work after a
+        // crash recovery than in the uninterrupted run.
         let toks = &mut self.nodes[n as usize].tokens;
         if let Some(pos) = toks.iter().position(|&x| x == t) {
-            toks.swap_remove(pos);
+            toks.remove(pos);
         }
         // Undo index and blocker registrations.
         let regs = std::mem::take(&mut self.tokens[t as usize].index_keys);
         for (nd, key) in regs {
             if let Some(bucket) = self.nodes[nd as usize].right_index.get_mut(&key) {
                 if let Some(pos) = bucket.iter().position(|&x| x == t) {
-                    bucket.swap_remove(pos);
+                    bucket.remove(pos);
                 }
                 if bucket.is_empty() {
                     self.nodes[nd as usize].right_index.remove(&key);
@@ -760,7 +765,7 @@ impl Rete {
         for w in blockers {
             if let Some(bucket) = self.nodes[n as usize].blocked_by.get_mut(&w) {
                 if let Some(pos) = bucket.iter().position(|&x| x == t) {
-                    bucket.swap_remove(pos);
+                    bucket.remove(pos);
                 }
                 if bucket.is_empty() {
                     self.nodes[n as usize].blocked_by.remove(&w);
@@ -770,7 +775,7 @@ impl Rete {
         if let Some(w) = self.tokens[t as usize].wme {
             if let Some(v) = self.wme_tokens.get_mut(&w) {
                 if let Some(pos) = v.iter().position(|&x| x == t) {
-                    v.swap_remove(pos);
+                    v.remove(pos);
                 }
             }
         }
@@ -778,7 +783,7 @@ impl Rete {
         if p != DUMMY && self.tokens[p as usize].alive {
             let pc = &mut self.tokens[p as usize].children;
             if let Some(pos) = pc.iter().position(|&x| x == t) {
-                pc.swap_remove(pos);
+                pc.remove(pos);
             }
         }
         self.work.match_units += cost::TOKEN_OP;

@@ -131,6 +131,20 @@ impl WmStore {
         self.live == 0
     }
 
+    /// The raw slot array, dead slots included (snapshot capture).
+    pub fn raw_slots(&self) -> &[Option<Wme>] {
+        &self.slots
+    }
+
+    /// Rebuilds a store from an exact slot layout (snapshot restore). Dead
+    /// slots must be preserved so surviving ids keep their indices — a
+    /// `WmeId` is a slot index, and conflict keys / WAL retract records
+    /// hold ids across the restore boundary.
+    pub fn from_slots(slots: Vec<Option<Wme>>) -> WmStore {
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        WmStore { slots, live }
+    }
+
     /// Iterates over live `(id, wme)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (WmeId, &Wme)> {
         self.slots

@@ -14,7 +14,7 @@ use crate::fragments::{FragmentHypothesis, FragmentKind};
 use crate::scene::Scene;
 use ops5::{sym, Effects, Engine, Value};
 use spam_geometry::{aligned, collinearity, Obb, ADJACENCY_GAP};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Shared context captured by the external functions.
@@ -64,9 +64,12 @@ fn int(v: &Value) -> i64 {
 
 /// Registers the full external-function suite on an engine.
 pub fn register(engine: &mut Engine, ctx: ExternalCtx) {
-    let frag_counter = Arc::new(AtomicI64::new(ctx.id_base));
-    let check_counter = Arc::new(AtomicI64::new(ctx.id_base));
-    let area_counter = Arc::new(AtomicI64::new(ctx.id_base));
+    // Engine-registered named counters: their values ride in snapshots, so
+    // a restored engine resumes id allocation where the crashed run left
+    // off instead of restarting at `id_base`.
+    let frag_counter = engine.external_counter("frag-id", ctx.id_base);
+    let check_counter = engine.external_counter("check-id", ctx.id_base);
+    let area_counter = engine.external_counter("area-id", ctx.id_base);
 
     // --- id generators -----------------------------------------------------
     {

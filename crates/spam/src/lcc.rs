@@ -387,13 +387,15 @@ pub fn run_lcc_unit_profiled(
     run_lcc_unit_inner(sp, scene, fragments, unit, true)
 }
 
-fn run_lcc_unit_inner(
+/// Creates a fresh engine wired for LCC task execution: the SPAM program
+/// with this scene's external geometry functions registered. Working memory
+/// is *empty* — callers load the control element and the task's WM
+/// distribution (or restore both from a checkpoint).
+pub fn lcc_engine(
     sp: &SpamProgram,
     scene: &Arc<Scene>,
     fragments: &Arc<Vec<FragmentHypothesis>>,
-    unit: &LccUnit,
-    profile: bool,
-) -> (LccUnitResult, Option<MatchProfile>) {
+) -> ops5::Engine {
     let mut e = sp.engine();
     register(
         &mut e,
@@ -403,24 +405,42 @@ fn run_lcc_unit_inner(
             id_base: 1 << 30,
         },
     );
-    e.enable_cycle_log();
-    if profile {
-        e.enable_profile();
-    }
-    e.make_wme(
-        "control",
-        &[
-            ("phase", Value::symbol("lcc")),
-            ("status", Value::symbol("running")),
-        ],
-    )
-    .expect("control");
-    load_unit_wm(&mut e, scene, fragments, unit);
+    e
+}
 
-    let out = e.run(1_000_000);
-    debug_assert!(out.quiescent(), "LCC task must reach quiescence: {out:?}");
+/// Rebuilds an LCC task engine from a checkpoint snapshot. External
+/// functions are code, not state — snapshots cannot carry them — so they
+/// are re-registered against the live scene after the restore, exactly as
+/// [`lcc_engine`] wires a fresh engine.
+pub fn restore_lcc_engine(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    snapshot: &[u8],
+) -> ops5::Result<ops5::Engine> {
+    let mut e = ops5::Engine::restore(
+        Arc::clone(&sp.program),
+        Arc::clone(&sp.compiled),
+        sp.config,
+        snapshot,
+    )?;
+    register(
+        &mut e,
+        ExternalCtx {
+            scene: Arc::clone(scene),
+            fragments: Arc::clone(fragments),
+            id_base: 1 << 30,
+        },
+    );
+    Ok(e)
+}
 
-    // Harvest consistency records and supports.
+/// Harvests one finished LCC task's results out of its quiescent engine:
+/// consistency records and support totals from working memory, plus the
+/// work/firing accounting. `firings` is the task's total production count
+/// ([`ops5::RunOutcome::firings`], or [`ops5::Engine::work`]`.firings` for
+/// a stepped or restored engine).
+pub fn harvest_lcc_unit(e: &mut ops5::Engine, firings: u64) -> LccUnitResult {
     let program = e.program();
     let cons_class = sym("consistent");
     let slot =
@@ -464,18 +484,43 @@ fn run_lcc_unit_inner(
         .collect();
 
     let work = e.work();
-    let prof = if profile { e.take_profile() } else { None };
-    (
-        LccUnitResult {
-            consistents,
-            supports,
-            rhs_actions: work.rhs_actions,
-            work,
-            firings: out.firings,
-            cycle_log: e.take_cycle_log(),
-        },
-        prof,
+    LccUnitResult {
+        consistents,
+        supports,
+        rhs_actions: work.rhs_actions,
+        work,
+        firings,
+        cycle_log: e.take_cycle_log(),
+    }
+}
+
+fn run_lcc_unit_inner(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    unit: &LccUnit,
+    profile: bool,
+) -> (LccUnitResult, Option<MatchProfile>) {
+    let mut e = lcc_engine(sp, scene, fragments);
+    e.enable_cycle_log();
+    if profile {
+        e.enable_profile();
+    }
+    e.make_wme(
+        "control",
+        &[
+            ("phase", Value::symbol("lcc")),
+            ("status", Value::symbol("running")),
+        ],
     )
+    .expect("control");
+    load_unit_wm(&mut e, scene, fragments, unit);
+
+    let out = e.run(1_000_000);
+    debug_assert!(out.quiescent(), "LCC task must reach quiescence: {out:?}");
+
+    let prof = if profile { e.take_profile() } else { None };
+    (harvest_lcc_unit(&mut e, out.firings), prof)
 }
 
 /// Runs the whole LCC phase at `level`, sequentially (the Table 8 BASELINE
