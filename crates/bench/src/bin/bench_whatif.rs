@@ -1,0 +1,192 @@
+//! What-if bench: validates the causal what-if profiler against the one
+//! real, measured optimization in the repo — PR 5's Rete network sharing.
+//!
+//! The experiment replays history: run the SPAM LCC phase (DC, Level 4)
+//! on the **unshared** network, virtually speed up its match component by
+//! the *measured* shared/unshared match-work ratio, and let the what-if
+//! engine predict the makespan. The prediction must land within a gated
+//! tolerance of the makespan **measured** from the actual shared run, at
+//! every probed worker count. At one worker the aggregate-ratio replay is
+//! exact by construction (uniform scaling preserves the total); the
+//! multi-worker points are the honest part of the gate — per-task sharing
+//! variation must not derail the schedule prediction.
+//!
+//! Also records the ranked "optimize this next" report on the unshared
+//! trace: its top candidate must be the match component — the profiler
+//! must point at the optimization that was, in fact, worth doing.
+//!
+//! ```sh
+//! cargo run --release --bin bench_whatif [-- out.json] [--check-tolerance PCT]
+//! ```
+//!
+//! CI compares the output against `crates/bench/baselines/BENCH_whatif.json`
+//! with `benchdiff --ignore wall_ms` (work units and the simulator are
+//! deterministic; wall time is not) and gates with `--check-tolerance 15`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use spam::lcc::{run_lcc_profiled, Level};
+use spam::rules::SpamProgram;
+use spam_psm::whatif;
+use tlp_bench::header;
+use tlp_obs::json::Json;
+
+/// Worker counts the predicted-vs-measured check probes.
+const WORKERS: [u32; 3] = [1, 4, 8];
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_whatif.json".to_string();
+    let mut check_tolerance: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check-tolerance" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<f64>() {
+                    Ok(t) if t > 0.0 => check_tolerance = Some(t),
+                    _ => {
+                        eprintln!("bad --check-tolerance '{v}' (want a percentage > 0)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench_whatif [OUT.json] [--check-tolerance PCT]");
+                return ExitCode::FAILURE;
+            }
+            _ => out = a,
+        }
+    }
+
+    header("What-if bench — predicted vs measured Rete-sharing win (LCC Level 4, DC)");
+    let start = Instant::now();
+    let dataset = spam::datasets::dc();
+    let sp_shared = SpamProgram::build();
+    let sp_unshared = sp_shared.clone().with_config(ops5::ReteConfig::unshared());
+    let scene = Arc::new(spam::generate_scene(&dataset.spec));
+    let frags = Arc::new(spam::rtf::run_rtf(&sp_shared, &scene).fragments);
+
+    let (shared, _) = run_lcc_profiled(&sp_shared, &scene, &frags, Level::L4);
+    let (unshared, unshared_profile) = run_lcc_profiled(&sp_unshared, &scene, &frags, Level::L4);
+
+    // The optimization must not change what the phase computes — only how
+    // much match work it costs (the premise of the replay).
+    assert_eq!(shared.fragments, unshared.fragments);
+    assert_eq!(shared.firings, unshared.firings);
+
+    let ratio = shared.work.match_units as f64 / unshared.work.match_units as f64;
+    let speedup_pct = (1.0 - ratio) * 100.0;
+    println!(
+        "match work: unshared {} -> shared {} (ratio {ratio:.4}, virtual speedup {speedup_pct:.1}%)",
+        unshared.work.match_units, shared.work.match_units
+    );
+
+    let before = spam_psm::trace::lcc_trace(&unshared);
+    let after = spam_psm::trace::lcc_trace(&shared);
+    let points = match whatif::validate_against_measured(&before, &after, ratio, &WORKERS) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_whatif: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut max_err_pct: f64 = 0.0;
+    for p in &points {
+        let err_pct = 100.0 * p.rel_err();
+        max_err_pct = max_err_pct.max(err_pct);
+        println!(
+            "  {:>2} workers: predicted {:>8.2}s  measured {:>8.2}s  err {err_pct:.2}%",
+            p.workers, p.predicted, p.measured
+        );
+    }
+
+    // The ranked report on the unshared trace: the profiler must rank the
+    // match component first — i.e. point at the optimization PR 5 did.
+    let cfg = multimax_sim::SimConfig::encore(8);
+    let report = match whatif::build_whatif_report(
+        dataset.spec.name,
+        "LCC Level 4",
+        &before,
+        unshared_profile.as_ref(),
+        &cfg,
+        speedup_pct.clamp(0.0, 100.0),
+        5,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_whatif: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top = report
+        .candidates
+        .first()
+        .map(|c| c.prediction.target.clone())
+        .unwrap_or_default();
+    println!(
+        "top candidate on the unshared trace: {top} (saves {:.1}s of {:.1}s at {:.1}%)",
+        report
+            .candidates
+            .first()
+            .map(|c| c.prediction.saved())
+            .unwrap_or(0.0),
+        report.base_makespan,
+        report.scale_pct,
+    );
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let point_json: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("workers", Json::Num(p.workers as f64)),
+                ("predicted_s", Json::Num(p.predicted)),
+                ("measured_s", Json::Num(p.measured)),
+                ("rel_err_pct", Json::Num(100.0 * p.rel_err())),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::str("whatif")),
+        ("dataset", Json::str(dataset.spec.name)),
+        ("phase", Json::str("LCC Level 4")),
+        (
+            "unshared_match_units",
+            Json::Num(unshared.work.match_units as f64),
+        ),
+        (
+            "shared_match_units",
+            Json::Num(shared.work.match_units as f64),
+        ),
+        ("match_ratio", Json::Num(ratio)),
+        ("virtual_speedup_pct", Json::Num(speedup_pct)),
+        ("validation", Json::Arr(point_json)),
+        ("max_rel_err_pct", Json::Num(max_err_pct)),
+        ("top_candidate", Json::str(top.clone())),
+        ("report", report.to_json()),
+        ("wall_ms", Json::Num(wall_ms)),
+    ]);
+    std::fs::write(&out, doc.write()).expect("write bench json");
+    println!("wrote {out}");
+
+    if let Some(tol) = check_tolerance {
+        if max_err_pct > tol {
+            eprintln!(
+                "bench_whatif: max prediction error {max_err_pct:.2}% exceeds the \
+                 +/-{tol:.1}% gate"
+            );
+            return ExitCode::FAILURE;
+        }
+        if top != "match" {
+            eprintln!(
+                "bench_whatif: top candidate '{top}' is not the match component — the \
+                 profiler failed to point at the Rete-sharing win"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("tolerance gate: max error {max_err_pct:.2}% <= {tol:.1}% and top candidate is match — ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! benchdiff BASELINE.json CURRENT.json [--threshold PCT] [--ignore PREFIX]...
+//! benchdiff --list FILE.json
 //! ```
 //!
 //! Both files are parsed with the crate's own JSON parser, flattened to
@@ -13,6 +14,10 @@
 //! one file are reported but do not fail the run (reports are allowed to
 //! grow). `--ignore PREFIX` skips leaves under a path prefix (repeatable),
 //! for fields that are expected to move.
+//!
+//! `--list` prints one file's flattened leaves (`path = value`, sorted) —
+//! the exact key space the comparison runs over — so regenerating or
+//! reviewing a committed baseline shows precisely what is being gated.
 
 use std::process::ExitCode;
 use tlp_obs::json::Json;
@@ -70,9 +75,11 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut threshold = 10.0f64;
     let mut ignore: Vec<String> = Vec::new();
+    let mut list = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--list" => list = true,
             "--threshold" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse::<f64>() {
@@ -93,12 +100,31 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT] \
-                     [--ignore PREFIX]..."
+                     [--ignore PREFIX]...\n\
+                     \x20      benchdiff --list FILE.json"
                 );
                 return ExitCode::FAILURE;
             }
             _ => paths.push(a),
         }
+    }
+    if list {
+        let [path] = paths.as_slice() else {
+            eprintln!("usage: benchdiff --list FILE.json");
+            return ExitCode::FAILURE;
+        };
+        let leaves = match load(path) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("benchdiff: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (key, value) in &leaves {
+            println!("{key} = {value}");
+        }
+        println!("# {} numeric leaves in {path}", leaves.len());
+        return ExitCode::SUCCESS;
     }
     let [base_path, cur_path] = paths.as_slice() else {
         eprintln!("usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT]");

@@ -640,9 +640,13 @@ pub struct CriticalPath {
 /// Computes the critical task chain for `trace` under `cfg` (the
 /// `match_speedup` field scales each task's match component per Amdahl).
 pub fn critical_path(trace: &PhaseTrace, cfg: &SimConfig) -> CriticalPath {
-    let longest = trace
-        .tasks
-        .tasks
+    critical_path_of(&trace.tasks.tasks, cfg)
+}
+
+/// [`critical_path`] over a bare task slice — the form the what-if engine
+/// uses after perturbing a task set it no longer has a full trace for.
+pub fn critical_path_of(tasks: &[multimax_sim::Task], cfg: &SimConfig) -> CriticalPath {
+    let longest = tasks
         .iter()
         .map(|t| (t.id, t.service_with_match_speedup(cfg.match_speedup)))
         .max_by(|a, b| a.1.total_cmp(&b.1));
@@ -651,11 +655,33 @@ pub fn critical_path(trace: &PhaseTrace, cfg: &SimConfig) -> CriticalPath {
             task,
             length: cfg.fork_overhead + cfg.dequeue_overhead + service,
         },
+        // No tasks: the empty schedule completes instantly, so the lower
+        // bound is zero (charging fork overhead here would exceed the true
+        // makespan of a zero-task phase).
         None => CriticalPath {
             task: 0,
-            length: cfg.fork_overhead,
+            length: 0.0,
         },
     }
+}
+
+/// The `whatif` entry point into the attribution layer: simulates a
+/// *perturbed* task set under `cfg` and re-runs both the gap decomposition
+/// and the critical-chain bound on it. The caller (core::whatif) applies a
+/// virtual speedup to a target first; this function answers how the
+/// makespan, the five gap components, and the lower bound move in response.
+pub fn perturbed_attribution(tasks: &TaskSet, cfg: &SimConfig) -> (GapAttribution, CriticalPath) {
+    let base = simulate(
+        &SimConfig {
+            task_processes: 1,
+            ..*cfg
+        },
+        &tasks.tasks,
+    )
+    .makespan;
+    let result = simulate(cfg, &tasks.tasks);
+    let gap = GapAttribution::attribute(base, &result, cfg.task_processes);
+    (gap, critical_path_of(&tasks.tasks, cfg))
 }
 
 /// Predicted combined speed-up for `(Task n, Match m)` computed from an
@@ -1103,6 +1129,47 @@ mod tests {
                 r.makespan
             );
         }
+    }
+
+    #[test]
+    fn zero_task_phase_yields_zero_critical_path_and_finite_gap() {
+        // A level can legitimately decompose to zero tasks (nothing to
+        // check at that granularity): every derived figure must be zero or
+        // finite, never NaN, and the critical-path lower bound must be 0 —
+        // the empty schedule completes instantly.
+        let trace = PhaseTrace {
+            tasks: TaskSet::new(vec![]),
+            cycle_log: vec![],
+            firings: 0,
+            rhs_actions: 0,
+        };
+        for n in [1, 4] {
+            let cfg = SimConfig::encore(n);
+            let cp = critical_path(&trace, &cfg);
+            assert_eq!(cp.length, 0.0);
+            assert_eq!(cp.task, 0);
+            let (gap, cp2) = perturbed_attribution(&trace.tasks, &cfg);
+            assert_eq!(cp2.length, 0.0);
+            assert!(gap.makespan.is_finite());
+            assert!(gap.gap().is_finite());
+            assert_eq!(gap.measured_speedup(), 0.0); // zero makespan guard
+            for (name, v) in gap.components() {
+                assert!(v.is_finite(), "{name} not finite");
+            }
+            assert!(cp.length <= gap.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn perturbed_attribution_matches_direct_computation() {
+        let (trace, _) = setup();
+        let cfg = SimConfig::encore(6);
+        let (gap, cp) = perturbed_attribution(&trace.tasks, &cfg);
+        let base = simulate(&SimConfig::encore(1), &trace.tasks.tasks).makespan;
+        let direct = GapAttribution::attribute(base, &simulate(&cfg, &trace.tasks.tasks), 6);
+        assert_eq!(gap.makespan, direct.makespan);
+        assert_eq!(gap.base_makespan, direct.base_makespan);
+        assert_eq!(cp.length, critical_path(&trace, &cfg).length);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!         [--json F] [--trace-out F] [--check-loss LO:HI]
 //! spamctl chaos [sf|dc|moff|suburb] [--level 1|2|3|4] [--seed N]
 //!         [--kills K] [--interval C] [--workers N] [--retries K]
+//! spamctl whatif [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
+//!         [--target prod:<name>|task:<id>|level:<n>|component:<fork|dequeue>|match]
+//!         [--scale PCT] [--top N] [--json F] [--unshared]
 //! ```
 //!
 //! * default: run the full pipeline and print the interpretation summary
@@ -33,6 +36,17 @@
 //!   processors-lost figure (paper §7: ≈1.5). `--check-loss LO:HI` exits
 //!   non-zero unless the figure lies in `[LO, HI]` (the CI gate);
 //!   `--trace-out F` writes the stitched two-machine Chrome trace;
+//! * `whatif`: the causal what-if profiler — replay the recorded LCC trace
+//!   (and its match profile) with a **virtual speedup** applied to a
+//!   target, re-simulate under the Encore cost model, and print the ranked
+//!   "optimize this next" report: predicted makespan, wall-clock saving,
+//!   critical-chain movement and a diminishing-returns curve
+//!   (10/25/50/75/100%) per candidate. Without `--target` the candidates
+//!   are the whole-phase match, the hottest productions, the actionable
+//!   cost-model components (fork, dequeue), and the critical-chain task;
+//!   `--target` restricts the report to one of them. `--scale PCT` sets
+//!   the reference virtual speedup (default 50); `--json F` writes the
+//!   machine-readable report;
 //! * `chaos`: seeded crash-recovery acceptance run — a fault-free LCC run
 //!   fixes the expected results, `chaos_schedule` derives mid-cycle kills
 //!   (plus a kill inside the checkpoint hold and a torn WAL tail), and the
@@ -91,6 +105,9 @@ struct Opts {
     profile: bool,
     svm_report: bool,
     chaos: bool,
+    whatif: bool,
+    target: Option<String>,
+    scale_pct: f64,
     chaos_seed: u64,
     kills: u32,
     ckpt_interval: u64,
@@ -123,6 +140,9 @@ fn parse_args() -> Result<Opts, String> {
         profile: false,
         svm_report: false,
         chaos: false,
+        whatif: false,
+        target: None,
+        scale_pct: 50.0,
         chaos_seed: 42,
         kills: 3,
         ckpt_interval: 4,
@@ -156,6 +176,20 @@ fn parse_args() -> Result<Opts, String> {
             "profile" => o.profile = true,
             "svm-report" => o.svm_report = true,
             "chaos" => o.chaos = true,
+            "whatif" => o.whatif = true,
+            "--target" => {
+                o.target = Some(args.next().ok_or("--target needs a value")?);
+            }
+            "--scale" => {
+                o.scale_pct = args
+                    .next()
+                    .ok_or("--scale needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(0.0..=100.0).contains(&o.scale_pct) {
+                    return Err("--scale must be in [0, 100]".into());
+                }
+            }
             "--seed" => {
                 o.chaos_seed = args
                     .next()
@@ -328,7 +362,10 @@ fn parse_args() -> Result<Opts, String> {
                      [--workers N] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] [--top K] \
                      [--json F] [--trace-out F] [--check-loss LO:HI]\n\
                      \x20      spamctl chaos [sf|dc|moff|suburb] [--level 1|2|3|4] [--seed N] \
-                     [--kills K] [--interval C] [--workers N] [--retries K]"
+                     [--kills K] [--interval C] [--workers N] [--retries K]\n\
+                     \x20      spamctl whatif [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
+                     [--target prod:<name>|task:<id>|level:<n>|component:<fork|dequeue>|match] \
+                     [--scale PCT] [--top N] [--json F] [--unshared]"
                         .into(),
                 )
             }
@@ -414,6 +451,104 @@ fn run_profile(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
             eprintln!("\ncheck  : match fraction {mf:.3} OUTSIDE [{lo}, {hi}]");
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The LCC level's number (for validating a `level:<n>` what-if target
+/// against the level actually recorded).
+fn level_number(level: Level) -> u32 {
+    match level {
+        Level::L1 => 1,
+        Level::L2 => 2,
+        Level::L3 => 3,
+        Level::L4 => 4,
+    }
+}
+
+/// The `whatif` subcommand: run the LCC phase under the profiler, then
+/// replay the recorded trace with virtual speedups applied and print the
+/// ranked "optimize this next" report (or the single `--target` one).
+fn run_whatif(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
+    let workers = o.workers.unwrap_or(8).max(1) as u32;
+    println!(
+        "spamctl whatif: {} ({:?}), {} regions, LCC at {}, {} task processes, \
+         virtual speedup {:.0}%",
+        scene.name,
+        scene.domain,
+        scene.len(),
+        o.level.name(),
+        workers,
+        o.scale_pct,
+    );
+    let rtf = run_rtf(sp, scene);
+    let fragments = Arc::new(rtf.fragments.clone());
+    let (row, profile, phase) = spam_psm::measure::profiled_lcc(sp, scene, &fragments, o.level);
+    println!(
+        "LCC    : {} tasks, {} firings, {:.0} simulated s",
+        row.tasks, row.prods_fired, row.total_seconds
+    );
+    if profile.is_none() {
+        println!("profile: ops5 built without the `profiler` feature; prod: targets unavailable");
+    }
+    let trace = spam_psm::trace::lcc_trace(&phase);
+    let cfg = multimax_sim::SimConfig::encore(workers);
+    let level_label = format!("LCC {}", o.level.name());
+
+    let report = match &o.target {
+        Some(t) => {
+            let target = match spam_psm::whatif::Target::parse(t) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("whatif: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let spam_psm::whatif::Target::Level(n) = target {
+                if n != level_number(o.level) {
+                    eprintln!(
+                        "whatif: level:{n} does not name the recorded level ({}); \
+                         re-run with --level {n}",
+                        level_number(o.level)
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            spam_psm::whatif::build_report_for(
+                scene.name.clone(),
+                level_label,
+                &trace,
+                profile.as_ref(),
+                &cfg,
+                o.scale_pct,
+                &[target],
+            )
+        }
+        None => spam_psm::whatif::build_whatif_report(
+            scene.name.clone(),
+            level_label,
+            &trace,
+            profile.as_ref(),
+            &cfg,
+            o.scale_pct,
+            o.top,
+        ),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("whatif: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!();
+    print!("{report}");
+    if let Some(path) = &o.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json().write()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwhatif : report -> {path}");
     }
     ExitCode::SUCCESS
 }
@@ -677,6 +812,9 @@ fn main() -> ExitCode {
     }
     if o.chaos {
         return run_chaos(&o, &sp, &scene);
+    }
+    if o.whatif {
+        return run_whatif(&o, &sp, &scene);
     }
     if o.profile {
         return run_profile(&o, &sp, &scene);

@@ -31,6 +31,11 @@
 //!   profiler counters, exact ideal-vs-measured gap attribution, critical
 //!   task chain, and the predicted-vs-measured Table 9 checks behind
 //!   `spamctl profile` / `bench_profile`;
+//! * [`whatif`] — the causal what-if profiler: virtual speedups applied to
+//!   a recorded trace (a production, a task, a level, a cost-model
+//!   component, or the whole match phase), re-simulated to predict the new
+//!   makespan/critical chain, and ranked into the "optimize this next"
+//!   report behind `spamctl whatif` / `bench_whatif`;
 //! * [`baseline`] — the §6 unoptimised-baseline comparison (the 10–20×
 //!   Lisp→C/ParaOPS5 port factor), via the engine's naive-match backend;
 //! * [`recover`] — crash-consistent checkpoints and deterministic replay
@@ -50,11 +55,13 @@ pub mod supervise;
 pub mod taxonomy;
 pub mod tlp;
 pub mod trace;
+pub mod whatif;
 
 pub use attribution::{
-    amdahl_speedup, build_report, build_svm_report, critical_path, effective_processors_lost,
-    equivalent_processors, predicted_from_match_fraction, pure_tlp_config, CriticalPath,
-    GapAttribution, PhaseAmdahl, ProfileReport, SpeedupCheck, SvmGapAttribution, SvmReport,
+    amdahl_speedup, build_report, build_svm_report, critical_path, critical_path_of,
+    effective_processors_lost, equivalent_processors, perturbed_attribution,
+    predicted_from_match_fraction, pure_tlp_config, CriticalPath, GapAttribution, PhaseAmdahl,
+    ProfileReport, SpeedupCheck, SvmGapAttribution, SvmReport,
 };
 pub use combined::{combined_grid, CombinedCell};
 pub use measure::{level_rows, profiled_lcc, table8_row, LevelRowMeasured, Table8Row};
@@ -69,3 +76,7 @@ pub use tlp::{
     RtfParallelResult,
 };
 pub use trace::{lcc_trace, record_phase_metrics, record_sim_metrics, rtf_trace, PhaseTrace};
+pub use whatif::{
+    apply_virtual_speedup, build_whatif_report, diminishing_returns, validate_against_measured,
+    Target, ValidationPoint, WhatifPrediction, WhatifReport,
+};

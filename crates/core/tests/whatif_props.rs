@@ -1,0 +1,122 @@
+//! Property tests for the causal what-if engine: a larger virtual speedup
+//! on the same target never predicts a larger makespan (the FIFO schedule
+//! of independent tasks is monotone in its inputs), the predicted makespan
+//! never drops below the perturbed critical-path lower bound, and a 0%
+//! speedup is exactly the identity.
+
+use multimax_sim::{SimConfig, Task, TaskSet};
+use proptest::prelude::*;
+use spam_psm::trace::PhaseTrace;
+use spam_psm::whatif::{predict, GapComponent, Target};
+
+/// Synthetic task sets with service times spanning three orders of
+/// magnitude and arbitrary match fractions.
+fn tasks_strategy() -> impl Strategy<Value = Vec<Task>> {
+    prop::collection::vec((0.01f64..10.0, 0.0f64..1.0), 1..60).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (service, mf))| Task::with_match(i as u32, service, mf))
+            .collect()
+    })
+}
+
+fn trace_of(tasks: Vec<Task>) -> PhaseTrace {
+    PhaseTrace {
+        tasks: TaskSet::new(tasks),
+        cycle_log: Vec::new(),
+        firings: 0,
+        rhs_actions: 0,
+    }
+}
+
+/// One target per task-set-independent kind, plus a task target picked
+/// from the set by index.
+fn target_for(kind: u8, tasks: &[Task], pick: usize) -> Target {
+    match kind {
+        0 => Target::Match,
+        1 => Target::Level(3),
+        2 => Target::Component(GapComponent::Fork),
+        3 => Target::Component(GapComponent::Dequeue),
+        _ => Target::Task(tasks[pick % tasks.len()].id),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monotonicity: for the same target, scaling harder never predicts a
+    /// larger makespan. Holds because the FIFO greedy schedule of
+    /// independent tasks is monotone in service times and overheads —
+    /// Graham's scheduling anomalies need precedence constraints the
+    /// task-queue model does not have.
+    #[test]
+    fn larger_virtual_speedup_never_predicts_larger_makespan(
+        tasks in tasks_strategy(),
+        workers in 1u32..14,
+        kind in 0u8..5,
+        pick in 0usize..60,
+        lo in 0.0f64..100.0,
+        delta in 0.0f64..100.0,
+    ) {
+        let trace = trace_of(tasks);
+        let target = target_for(kind, &trace.tasks.tasks, pick);
+        let cfg = SimConfig::encore(workers);
+        let hi = (lo + delta).min(100.0);
+        let small = predict(&trace, None, &cfg, &target, lo).unwrap();
+        let large = predict(&trace, None, &cfg, &target, hi).unwrap();
+        prop_assert!(
+            large.predicted_makespan <= small.predicted_makespan + 1e-9,
+            "target {} at {}%: {} then at {}%: {}",
+            target, lo, small.predicted_makespan, hi, large.predicted_makespan
+        );
+    }
+
+    /// The prediction respects the physics of the perturbed workload: the
+    /// makespan never drops below the perturbed critical-path lower bound,
+    /// and never rises above the unperturbed makespan.
+    #[test]
+    fn prediction_stays_between_critical_path_and_baseline(
+        tasks in tasks_strategy(),
+        workers in 1u32..14,
+        kind in 0u8..5,
+        pick in 0usize..60,
+        pct in 0.0f64..100.0,
+    ) {
+        let trace = trace_of(tasks);
+        let target = target_for(kind, &trace.tasks.tasks, pick);
+        let cfg = SimConfig::encore(workers);
+        let p = predict(&trace, None, &cfg, &target, pct).unwrap();
+        prop_assert!(
+            p.predicted_makespan >= p.critical.length - 1e-9,
+            "target {} at {}%: predicted {} below critical bound {}",
+            target, pct, p.predicted_makespan, p.critical.length
+        );
+        prop_assert!(
+            p.predicted_makespan <= p.base_makespan + 1e-9,
+            "target {} at {}%: predicted {} above baseline {}",
+            target, pct, p.predicted_makespan, p.base_makespan
+        );
+        // Derived figures stay sane for reporting.
+        prop_assert!(p.saved() >= -1e-9);
+        prop_assert!(p.speedup() >= 1.0 - 1e-9);
+    }
+
+    /// A 0% virtual speedup is the identity on every target kind: same
+    /// makespan, same critical chain, zero predicted saving.
+    #[test]
+    fn zero_scale_is_a_no_op(
+        tasks in tasks_strategy(),
+        workers in 1u32..14,
+        kind in 0u8..5,
+        pick in 0usize..60,
+    ) {
+        let trace = trace_of(tasks);
+        let target = target_for(kind, &trace.tasks.tasks, pick);
+        let cfg = SimConfig::encore(workers);
+        let p = predict(&trace, None, &cfg, &target, 0.0).unwrap();
+        prop_assert_eq!(p.predicted_makespan, p.base_makespan);
+        prop_assert_eq!(p.critical.length, p.base_critical.length);
+        prop_assert_eq!(p.saved(), 0.0);
+    }
+}

@@ -406,9 +406,25 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
             .get("ph")
             .and_then(Json::as_str)
             .ok_or(format!("line {n}: missing ph"))?;
-        ev.get("name")
+        let name = ev
+            .get("name")
             .and_then(Json::as_str)
             .ok_or(format!("line {n}: missing name"))?;
+        // Same instant/counter hygiene as the Chrome validator: non-empty
+        // names, and counter samples finite and non-negative (JSONL
+        // counter lines carry the sample as a top-level `value`).
+        if (ph == "i" || ph == "C") && name.is_empty() {
+            return Err(format!("line {n}: {ph} event with empty name"));
+        }
+        if ph == "C" {
+            let value = ev
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or(format!("line {n}: counter '{name}' without numeric value"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("line {n}: counter '{name}' has bad value {value}"));
+            }
+        }
         let Some(&nthreads) = declared.get(pid as usize) else {
             return Err(format!("line {n}: pid {pid} not declared in header"));
         };
@@ -557,7 +573,27 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
                 max_ts = max_ts.max(ts + dur);
                 pids.entry(pid).or_default().push((ts, ts + dur));
             }
-            "i" | "C" => {}
+            // Instants and counters: names must be non-empty (an unnamed
+            // marker is unattributable in any viewer), and a counter must
+            // carry a finite, non-negative sample — gauges here (queue
+            // depth, page counts) are cardinalities by construction.
+            "i" | "C" => {
+                if name.is_empty() {
+                    return Err(format!("event {i}: {ph} event with empty name"));
+                }
+                if ph == "C" {
+                    let value = ev
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Json::as_f64)
+                        .ok_or(format!(
+                            "event {i}: counter '{name}' without numeric args.value"
+                        ))?;
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(format!("event {i}: counter '{name}' has bad value {value}"));
+                    }
+                }
+            }
             other => return Err(format!("event {i}: unknown phase {other:?}")),
         }
         if let Some(&prev) = last_ts.get(&(pid, tid)) {
@@ -777,6 +813,74 @@ mod tests {
         ]}"#;
         let err = validate_chrome_trace(text).unwrap_err();
         assert!(err.contains("negative dur"), "{err}");
+    }
+
+    #[test]
+    fn chrome_rejects_empty_instant_name() {
+        let text = r#"{"traceEvents":[
+            {"ph":"i","pid":1,"tid":0,"ts":1,"name":""}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("empty name"), "{err}");
+    }
+
+    #[test]
+    fn chrome_rejects_counter_without_value() {
+        let text = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":0,"ts":1,"name":"queue.depth"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("without numeric args.value"), "{err}");
+    }
+
+    #[test]
+    fn chrome_rejects_negative_counter_value() {
+        let text = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":0,"ts":1,"name":"queue.depth","args":{"value":-2}}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("bad value -2"), "{err}");
+        // A zero sample is a fine counter value.
+        let ok = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":0,"ts":1,"name":"queue.depth","args":{"value":0}}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn jsonl_rejects_empty_counter_name() {
+        let text = concat!(
+            r#"{"type":"header","threads":["control"]}"#,
+            "\n",
+            r#"{"thread":0,"seq":1,"ts_us":1,"cat":"queue","name":"","ph":"C","value":3}"#,
+            "\n",
+        );
+        let err = validate_jsonl(text).unwrap_err();
+        assert!(err.contains("empty name"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_rejects_counter_without_value() {
+        let text = concat!(
+            r#"{"type":"header","threads":["control"]}"#,
+            "\n",
+            r#"{"thread":0,"seq":1,"ts_us":1,"cat":"queue","name":"queue.depth","ph":"C"}"#,
+            "\n",
+        );
+        let err = validate_jsonl(text).unwrap_err();
+        assert!(err.contains("without numeric value"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_rejects_negative_counter_value() {
+        let text = concat!(
+            r#"{"type":"header","threads":["control"]}"#,
+            "\n",
+            r#"{"thread":0,"seq":1,"ts_us":1,"cat":"queue","name":"queue.depth","ph":"C","value":-1}"#,
+            "\n",
+        );
+        let err = validate_jsonl(text).unwrap_err();
+        assert!(err.contains("bad value -1"), "{err}");
     }
 
     fn machine(name: &str, thread: &str, events: Vec<Event>) -> MachineLog {

@@ -191,6 +191,26 @@ impl MatchProfile {
         self.conflict_sizes.iter().copied().max().unwrap_or(0)
     }
 
+    /// Index of the named production in the profile, if present.
+    pub fn find_production(&self, name: &str) -> Option<usize> {
+        self.productions.iter().position(|p| p.name == name)
+    }
+
+    /// Fraction of the run's **total** match work attributed to production
+    /// `idx`'s beta chain, in `[0, 1]`. Alpha classification work is shared
+    /// across productions and deliberately not credited, so the share is a
+    /// lower bound — the right property for *virtual scaling*: a causal
+    /// what-if that speeds this production up can never claim savings from
+    /// work the production does not own.
+    pub fn production_match_share(&self, idx: usize) -> f64 {
+        let total = self.work.match_units;
+        if total == 0 {
+            return 0.0;
+        }
+        let mine = self.productions.get(idx).map_or(0, |p| p.match_units);
+        (mine as f64 / total as f64).min(1.0)
+    }
+
     /// The `n` productions with the highest attributed match cost, as
     /// `(production index, profile)` pairs in descending cost order.
     /// Productions that never cost anything are omitted.
@@ -295,6 +315,23 @@ mod tests {
         assert_eq!(a.tokens_created, 7);
         assert_eq!(a.conflict_sizes, vec![3, 4]);
         assert_eq!(a.cycles, 2);
+    }
+
+    #[test]
+    fn production_shares_for_virtual_scaling() {
+        let mut p = prof(&[(30, 1), (50, 2), (0, 0)]);
+        // Total match work includes 20 units of shared alpha work that no
+        // production owns: shares are lower bounds and never sum past 1.
+        p.work.match_units = 100;
+        assert_eq!(p.find_production("p1"), Some(1));
+        assert_eq!(p.find_production("nope"), None);
+        assert!((p.production_match_share(1) - 0.5).abs() < 1e-12);
+        assert!((p.production_match_share(0) - 0.3).abs() < 1e-12);
+        assert_eq!(p.production_match_share(2), 0.0);
+        assert_eq!(p.production_match_share(99), 0.0);
+        // Zero total work: share is zero, not NaN.
+        let empty = MatchProfile::default();
+        assert_eq!(empty.production_match_share(0), 0.0);
     }
 
     #[test]
