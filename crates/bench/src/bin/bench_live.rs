@@ -1,0 +1,252 @@
+//! Live-telemetry overhead bench: runs the supervised LCC phase with the
+//! live registry off and on in interleaved repetitions, checks the results
+//! are bit-identical, and writes `BENCH_live.json` — the wall-clock medians
+//! plus the deterministic live-counter totals.
+//!
+//! The JSON splits into two sections so the CI gate can be precise:
+//!
+//! * `"wall"` — median wall milliseconds and the measured overhead
+//!   percentage. Machine-dependent; `benchdiff --ignore wall` skips it.
+//! * `"live"` — totals mirrored through the live registry (tasks, match
+//!   units, firings, RHS actions, SLO breaches, epoch). Deterministic:
+//!   any drift is a code change.
+//!
+//! `--check-overhead PCT` exits non-zero if the live arm is more than
+//! `PCT` percent slower than the off arm (the tentpole's always-on budget
+//! is 2 %), comparing the mean of each arm's fastest two-thirds of blocks:
+//! scheduler noise only ever adds time, so trimming the slow tail and
+//! averaging the rest is the low-variance estimator of the true cost.
+//!
+//! ```sh
+//! cargo run --release --bin bench_live [-- out.json] [--reps N] [--check-overhead PCT]
+//! ```
+
+use spam::lcc::Level;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use tlp_bench::{header, Prepared};
+use tlp_fault::{FaultPlan, SupervisorConfig};
+use tlp_obs::json::Json;
+use tlp_obs::{Live, LiveValue, Recorder, SloConfig, SloMonitor};
+
+const WORKERS: usize = 4;
+
+/// Median of a sample (ms). Sorts a copy; the input order is the
+/// interleaved measurement order.
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Mean of the fastest two-thirds of the blocks (ms). Scheduler noise is
+/// one-sided — preemption only ever adds time — so trimming the slow tail
+/// and averaging what remains estimates the true cost with far less
+/// variance than either the raw mean (tail-sensitive) or the minimum
+/// (a single sample, so two arms can pick blocks from different drift
+/// regimes). This is the estimator the overhead gate compares; the
+/// median is reported alongside for context.
+fn trimmed_mean(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let keep = (2 * s.len()).div_ceil(3).max(1);
+    s[..keep].iter().sum::<f64>() / keep as f64
+}
+
+/// LCC runs per timed measurement: each DC Level-4 run is only tens of
+/// milliseconds, so a single run is scheduler-noise-bound; a block of
+/// five (~0.2 s) amortises the worst of it.
+const INNER: usize = 5;
+
+/// One un-timed LCC run; returns (firings, total work units) plus the
+/// final snapshot when the registry was live.
+fn one_run(p: &Prepared, live: &Arc<Live>, slo: Option<&Arc<SloMonitor>>) -> (u64, u64) {
+    let phase = spam_psm::tlp::run_parallel_lcc_live(
+        &p.sp,
+        &p.scene,
+        &p.fragments,
+        Level::L4,
+        WORKERS,
+        &SupervisorConfig::default(),
+        &FaultPlan::none(),
+        &Recorder::off(),
+        live,
+        slo,
+    )
+    .expect("supervised LCC");
+    (phase.firings, phase.work.total_units())
+}
+
+/// A timed block of [`INNER`] runs, each checked against the reference
+/// results. With `live_on`, every run gets a fresh registry + SLO monitor
+/// (creation cost is part of the real overhead); the last registry is
+/// returned for the baseline's deterministic counter totals.
+fn timed_block(p: &Prepared, live_on: bool, reference: (u64, u64)) -> (f64, Option<Arc<Live>>) {
+    let mut last = None;
+    let t0 = Instant::now();
+    for _ in 0..INNER {
+        let (live, slo) = if live_on {
+            let live = Live::new(tlp_obs::DEFAULT_WINDOW);
+            let slo = Arc::new(SloMonitor::new(SloConfig::for_scene("dc"), live.handle()));
+            (live, Some(slo))
+        } else {
+            (Live::off(), None)
+        };
+        let got = one_run(p, &live, slo.as_ref());
+        assert_eq!(
+            got, reference,
+            "results drifted (live_on={live_on}); telemetry must be read-only"
+        );
+        if live_on {
+            last = Some(live);
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, last)
+}
+
+/// A counter's lifetime total from the final snapshot (0 if absent).
+fn total(snap: &tlp_obs::LiveSnapshot, name: &str) -> u64 {
+    match snap.series.get(name) {
+        Some(LiveValue::Counter { total, .. }) => *total,
+        _ => 0,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_live.json".to_string();
+    let mut reps = 15usize;
+    let mut check_overhead: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => reps = n,
+                _ => {
+                    eprintln!("bad --reps (want an integer >= 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check-overhead" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(p) if p >= 0.0 => check_overhead = Some(p),
+                _ => {
+                    eprintln!("bad --check-overhead (want a percentage >= 0)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => out = other.to_string(),
+        }
+    }
+
+    header("Live-telemetry overhead bench (LCC Level 4, DC, 4 workers)");
+    let p = Prepared::new(spam::datasets::dc());
+
+    // Warm both paths once (page in the scene, stabilise allocator state)
+    // and fix the reference results every later run must reproduce.
+    let reference = one_run(&p, &Live::off(), None);
+    {
+        let live = Live::new(tlp_obs::DEFAULT_WINDOW);
+        let slo = Arc::new(SloMonitor::new(SloConfig::for_scene("dc"), live.handle()));
+        one_run(&p, &live, Some(&slo));
+    }
+
+    // Interleave off/on so slow drift (thermal, scheduler) hits both arms.
+    let mut off_ms = Vec::with_capacity(reps);
+    let mut on_ms = Vec::with_capacity(reps);
+    let mut last_live = None;
+    for rep in 0..reps {
+        let (w_off, _) = timed_block(&p, false, reference);
+        off_ms.push(w_off);
+        let (w_on, live) = timed_block(&p, true, reference);
+        on_ms.push(w_on);
+        last_live = live;
+        println!("  rep {rep}: off {w_off:.1} ms, live {w_on:.1} ms ({INNER} runs each)");
+    }
+
+    let m_off = median(&off_ms);
+    let m_on = median(&on_ms);
+    let t_off = trimmed_mean(&off_ms);
+    let t_on = trimmed_mean(&on_ms);
+    let overhead_pct = 100.0 * (t_on - t_off) / t_off;
+    println!("median : off {m_off:.1} ms, live {m_on:.1} ms");
+    println!("trimmed: off {t_off:.1} ms, live {t_on:.1} ms -> overhead {overhead_pct:+.2}%");
+
+    let snap = last_live.expect("at least one live rep").snapshot();
+    let tasks = total(&snap, "spam_live_tasks_completed");
+    println!(
+        "live   : epoch {}, {} series; {} tasks, {} match units, {} firings mirrored",
+        snap.epoch,
+        snap.series.len(),
+        tasks,
+        total(&snap, "spam_live_match_units"),
+        total(&snap, "spam_live_firings"),
+    );
+
+    let json = Json::obj(vec![
+        ("bench", Json::str("live")),
+        ("dataset", Json::str("DC")),
+        ("phase", Json::str("LCC Level 4")),
+        ("workers", Json::Num(WORKERS as f64)),
+        ("reps", Json::Num(reps as f64)),
+        (
+            "wall",
+            Json::obj(vec![
+                ("off_median_ms", Json::Num(m_off)),
+                ("on_median_ms", Json::Num(m_on)),
+                ("off_trimmed_ms", Json::Num(t_off)),
+                ("on_trimmed_ms", Json::Num(t_on)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+            ]),
+        ),
+        (
+            "live",
+            Json::obj(vec![
+                ("epoch", Json::Num(snap.epoch as f64)),
+                ("tasks_completed", Json::Num(tasks as f64)),
+                (
+                    "match_units",
+                    Json::Num(total(&snap, "spam_live_match_units") as f64),
+                ),
+                (
+                    "firings",
+                    Json::Num(total(&snap, "spam_live_firings") as f64),
+                ),
+                (
+                    "rhs_actions",
+                    Json::Num(total(&snap, "spam_live_rhs_actions") as f64),
+                ),
+                (
+                    "task_retries",
+                    Json::Num(total(&snap, "spam_live_task_retries") as f64),
+                ),
+                (
+                    "dead_letters",
+                    Json::Num(total(&snap, "spam_live_dead_letters") as f64),
+                ),
+                (
+                    "slo_breaches",
+                    Json::Num(total(&snap, "spam_slo_breaches") as f64),
+                ),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, json.write()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(budget) = check_overhead {
+        if overhead_pct > budget {
+            eprintln!("check  : live overhead {overhead_pct:+.2}% EXCEEDS the {budget}% budget");
+            return ExitCode::FAILURE;
+        }
+        println!("check  : live overhead {overhead_pct:+.2}% within the {budget}% budget — ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,8 @@
 //!         [--retries K] [--deadline-ms MS] [--fault-seed S]
 //!         [--task-panic-rate P] [--topdown] [--sweep] [--quiet]
 //!         [--obs off|summary|full] [--trace-out F] [--metrics-out F]
+//!         [--live] [--serve ADDR] [--serve-linger-ms MS]
+//!         [--metrics-snapshot F]
 //! spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K]
 //!         [--json F] [--check-band LO:HI]
 //! spamctl svm-report [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
@@ -16,6 +18,7 @@
 //! spamctl whatif [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
 //!         [--target prod:<name>|task:<id>|level:<n>|component:<fork|dequeue>|match]
 //!         [--scale PCT] [--top N] [--json F] [--unshared]
+//! spamctl top [--url http://HOST:PORT] [--interval-ms MS] [--iters N]
 //! ```
 //!
 //! * default: run the full pipeline and print the interpretation summary
@@ -81,6 +84,28 @@
 //!   simulated Encore timeline of the LCC phase;
 //! * `--metrics-out F` writes the metrics-registry snapshot (service-time,
 //!   queue-wait, match-fraction histograms; counters; gauges) as JSON.
+//! * `--live` turns on the always-on live telemetry registry
+//!   (`tlp-obs::live`): the supervisor, the per-worker engines, and the
+//!   SLO monitor publish `spam_live_*` / `spam_slo_*` sliding-window
+//!   series while the run executes. Results are bit-identical with the
+//!   telemetry on or off;
+//! * `--serve ADDR` (implies `--live`) starts the blocking HTTP
+//!   exposition endpoint on `ADDR` (e.g. `127.0.0.1:9184`; port 0 picks a
+//!   free port) with routes `/metrics` (OpenMetrics text), `/healthz`
+//!   (SLO health JSON, HTTP 503 when degraded) and `/snapshot` (windowed
+//!   JSON for `spamctl top`);
+//! * `--serve-linger-ms MS` keeps the endpoint up for `MS` milliseconds
+//!   after the pipeline finishes, so a scraper or `spamctl top` can
+//!   observe the final state (default 0: shut down immediately);
+//! * `--metrics-snapshot F` (implies `--live`) writes the final
+//!   OpenMetrics exposition to `F` — the same bytes `/metrics` would
+//!   serve — so CI can validate the exposition without scraping a port;
+//! * `top`: a live terminal dashboard. Polls `/snapshot` on a serving
+//!   `spamctl run --serve ...` process and renders per-worker utilization
+//!   bars, queue/conflict-set/WM depths, match-units and task throughput,
+//!   retry/recovery counters, and the SLO burn-rate gauges. `--iters N`
+//!   stops after N frames (default 0 = poll until the endpoint goes
+//!   away); `--interval-ms` sets the poll cadence (default 1000).
 //! * `--unshared` (any subcommand) runs every engine on the historical
 //!   one-chain-per-production, linear-scan Rete instead of the shared +
 //!   indexed network — the baseline for the sharing experiments. Results
@@ -99,7 +124,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 use tlp_fault::{FaultPlan, SupervisorConfig};
-use tlp_obs::{ObsLevel, Recorder};
+use tlp_obs::json::Json;
+use tlp_obs::{Live, ObsLevel, Recorder, SloConfig, SloMonitor};
 
 struct Opts {
     profile: bool,
@@ -133,6 +159,14 @@ struct Opts {
     obs: ObsLevel,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    live: bool,
+    serve: Option<String>,
+    serve_linger_ms: u64,
+    metrics_snapshot: Option<String>,
+    top_cmd: bool,
+    top_url: String,
+    top_interval_ms: u64,
+    top_iters: u64,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -168,6 +202,14 @@ fn parse_args() -> Result<Opts, String> {
         obs: ObsLevel::Off,
         trace_out: None,
         metrics_out: None,
+        live: false,
+        serve: None,
+        serve_linger_ms: 0,
+        metrics_snapshot: None,
+        top_cmd: false,
+        top_url: "http://127.0.0.1:9184".into(),
+        top_interval_ms: 1000,
+        top_iters: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -177,6 +219,45 @@ fn parse_args() -> Result<Opts, String> {
             "svm-report" => o.svm_report = true,
             "chaos" => o.chaos = true,
             "whatif" => o.whatif = true,
+            "top" => o.top_cmd = true,
+            "--live" => o.live = true,
+            "--serve" => {
+                o.serve = Some(args.next().ok_or("--serve needs HOST:PORT")?);
+            }
+            "--serve-linger-ms" => {
+                o.serve_linger_ms = args
+                    .next()
+                    .ok_or("--serve-linger-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --serve-linger-ms: {e}"))?;
+            }
+            "--metrics-snapshot" => {
+                o.metrics_snapshot = Some(args.next().ok_or("--metrics-snapshot needs a path")?);
+            }
+            "--url" => {
+                let v = args.next().ok_or("--url needs http://HOST:PORT")?;
+                if !v.starts_with("http://") {
+                    return Err(format!("bad --url '{v}' (want http://HOST:PORT)"));
+                }
+                o.top_url = v;
+            }
+            "--interval-ms" => {
+                o.top_interval_ms = args
+                    .next()
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval-ms: {e}"))?;
+                if o.top_interval_ms == 0 {
+                    return Err("--interval-ms must be >= 1".into());
+                }
+            }
+            "--iters" => {
+                o.top_iters = args
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?;
+            }
             "--target" => {
                 o.target = Some(args.next().ok_or("--target needs a value")?);
             }
@@ -355,7 +436,8 @@ fn parse_args() -> Result<Opts, String> {
                      [--machines 1|2] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] \
                      [--retries K] [--deadline-ms MS] [--fault-seed S] \
                      [--task-panic-rate P] [--topdown] [--sweep] [--quiet] [--unshared] \
-                     [--obs off|summary|full] [--trace-out F] [--metrics-out F]\n\
+                     [--obs off|summary|full] [--trace-out F] [--metrics-out F] \
+                     [--live] [--serve ADDR] [--serve-linger-ms MS] [--metrics-snapshot F]\n\
                      \x20      spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K] \
                      [--json F] [--check-band LO:HI]\n\
                      \x20      spamctl svm-report [sf|dc|moff|suburb] [--level 1|2|3|4] \
@@ -365,7 +447,8 @@ fn parse_args() -> Result<Opts, String> {
                      [--kills K] [--interval C] [--workers N] [--retries K]\n\
                      \x20      spamctl whatif [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
                      [--target prod:<name>|task:<id>|level:<n>|component:<fork|dequeue>|match] \
-                     [--scale PCT] [--top N] [--json F] [--unshared]"
+                     [--scale PCT] [--top N] [--json F] [--unshared]\n\
+                     \x20      spamctl top [--url http://HOST:PORT] [--interval-ms MS] [--iters N]"
                         .into(),
                 )
             }
@@ -792,6 +875,205 @@ fn run_chaos(o: &Opts, sp: &SpamProgram, scene: &Arc<Scene>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---------------------------------------------------------------------------
+// `top`: the live terminal dashboard
+// ---------------------------------------------------------------------------
+
+/// A numeric field of a JSON object, defaulting to zero.
+fn num(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Compact human form for large counts (`1.2M`, `34.5k`).
+fn human(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// An ASCII utilization bar: `frac` of `width` cells filled.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    (0..width)
+        .map(|i| if i < filled { '#' } else { '.' })
+        .collect()
+}
+
+/// Renders one dashboard frame from a parsed `/snapshot` body.
+fn render_top(snap: &Json, base: &str) -> String {
+    let series = snap
+        .get("series")
+        .and_then(Json::as_map)
+        .unwrap_or_default();
+    let get = |name: &str| series.get(name).copied();
+    // Counter fields `(total, windowed, rate)`; missing series read as zero.
+    let counter = |name: &str| {
+        get(name)
+            .map(|j| (num(j, "total"), num(j, "windowed"), num(j, "rate")))
+            .unwrap_or((0.0, 0.0, 0.0))
+    };
+    let gauge = |name: &str| get(name).map(|j| num(j, "value"));
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "spamctl top — {base}  |  epoch {} (window {})  |  up {:.1} s\n",
+        num(snap, "epoch"),
+        num(snap, "window"),
+        num(snap, "uptime_us") / 1e6,
+    ));
+
+    let (tasks, _, task_rate) = counter("spam_live_tasks_completed");
+    let (retries, _, _) = counter("spam_live_task_retries");
+    let (dead, _, _) = counter("spam_live_dead_letters");
+    let (recov, _, _) = counter("spam_live_recoveries");
+    out.push_str(&format!(
+        "tasks  : {} done ({}/epoch) | retries {} | dead letters {} | recoveries {}\n",
+        human(tasks),
+        human(task_rate),
+        human(retries),
+        human(dead),
+        human(recov),
+    ));
+
+    let (mu, _, mu_rate) = counter("spam_live_match_units");
+    let (firings, _, _) = counter("spam_live_firings");
+    let (rhs, _, _) = counter("spam_live_rhs_actions");
+    out.push_str(&format!(
+        "engine : match units {} ({}/epoch) | firings {} | rhs actions {}\n",
+        human(mu),
+        human(mu_rate),
+        human(firings),
+        human(rhs),
+    ));
+    out.push_str(&format!(
+        "depth  : queue {} | conflict set {} | wm {}\n",
+        human(gauge("spam_live_queue_depth").unwrap_or(0.0)),
+        human(gauge("spam_live_conflict_set_depth").unwrap_or(0.0)),
+        human(gauge("spam_live_wm_size").unwrap_or(0.0)),
+    ));
+
+    if let Some(h) = get("spam_live_task_latency_seconds") {
+        out.push_str(&format!(
+            "latency: task p50 {:.3} p90 {:.3} p99 {:.3} s (n={})\n",
+            num(h, "p50"),
+            num(h, "p90"),
+            num(h, "p99"),
+            num(h, "count"),
+        ));
+    }
+
+    match gauge("spam_slo_health") {
+        Some(code) => {
+            let health = match code as i64 {
+                0 => "healthy",
+                1 => "recovering",
+                _ => "degraded",
+            };
+            out.push_str(&format!(
+                "slo    : {health} | burn fast {:.2} / slow {:.2} | budget {:.0}% left | \
+                 target {} s at {:.0}%\n",
+                gauge("spam_slo_burn_rate_fast").unwrap_or(0.0),
+                gauge("spam_slo_burn_rate_slow").unwrap_or(0.0),
+                100.0 * gauge("spam_slo_error_budget_remaining_ratio").unwrap_or(1.0),
+                human(gauge("spam_slo_latency_target_seconds").unwrap_or(0.0)),
+                100.0 * gauge("spam_slo_objective_ratio").unwrap_or(0.0),
+            ));
+        }
+        None => out.push_str("slo    : unconfigured\n"),
+    }
+
+    // Per-worker bars: windowed busy microseconds, normalised to the
+    // busiest worker in the window.
+    let mut workers: Vec<(usize, f64, f64)> = Vec::new();
+    for (key, j) in &series {
+        if let Some(rest) = key.strip_prefix("spam_live_worker_busy_us{worker=\"") {
+            if let Some(id) = rest
+                .strip_suffix("\"}")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                let tasks = get(&format!("spam_live_worker_tasks{{worker=\"{id}\"}}"))
+                    .map(|t| num(t, "total"))
+                    .unwrap_or(0.0);
+                workers.push((id, num(j, "windowed"), tasks));
+            }
+        }
+    }
+    workers.sort_unstable_by_key(|&(id, _, _)| id);
+    if !workers.is_empty() {
+        let peak = workers.iter().map(|&(_, b, _)| b).fold(1.0, f64::max);
+        out.push_str("workers (windowed busy, relative):\n");
+        for (id, busy, tasks) in &workers {
+            out.push_str(&format!(
+                "  w{id:<3} [{}] {} us | {} task(s)\n",
+                bar(busy / peak, 24),
+                human(*busy),
+                human(*tasks),
+            ));
+        }
+    }
+    out
+}
+
+/// The `top` subcommand: poll `/snapshot` on a serving `spamctl run` and
+/// redraw the dashboard until `--iters` frames are rendered or the
+/// endpoint goes away.
+fn run_top(o: &Opts) -> ExitCode {
+    let base = o.top_url.trim_end_matches('/').to_string();
+    let url = format!("{base}/snapshot");
+    let timeout = Duration::from_secs(2);
+    let mut frames = 0u64;
+    loop {
+        let polled = tlp_obs::http_get(&url, timeout);
+        let (status, body) = match polled {
+            Ok(r) => r,
+            Err(e) if frames > 0 => {
+                println!("top: endpoint gone after {frames} frame(s) ({e})");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!(
+                    "top: cannot reach {url}: {e}\n\
+                     (start one with: spamctl run --serve 127.0.0.1:9184 --serve-linger-ms 60000)"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if status != 200 {
+            eprintln!("top: {url} returned HTTP {status}");
+            return ExitCode::FAILURE;
+        }
+        let snap = match Json::parse(&body) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("top: malformed snapshot JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Repaint in place when looping; a single `--iters 1` frame (the CI
+        // mode) prints plainly so the output is capturable.
+        if o.top_iters != 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&snap, &base));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        frames += 1;
+        if o.top_iters != 0 && frames >= o.top_iters {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(o.top_interval_ms));
+    }
+}
+
 fn main() -> ExitCode {
     let o = match parse_args() {
         Ok(o) => o,
@@ -800,13 +1082,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if o.top_cmd {
+        return run_top(&o);
+    }
     let mut sp = SpamProgram::build();
     if o.unshared {
         sp = sp.with_config(ops5::ReteConfig::unshared());
     }
     // Figure 9 is an SF result, so `svm-report` defaults to that scene.
     let default_dataset = if o.svm_report { "sf" } else { "moff" };
-    let scene = build_scene(o.dataset.as_deref().unwrap_or(default_dataset));
+    let dataset = o.dataset.as_deref().unwrap_or(default_dataset);
+    let scene = build_scene(dataset);
     if o.svm_report {
         return run_svm_report(&o, &sp, &scene);
     }
@@ -842,6 +1128,37 @@ fn main() -> ExitCode {
     let rec = Recorder::new(obs_level);
     let mut ctl = rec.sink("control");
 
+    // Live telemetry: `--serve` and `--metrics-snapshot` imply `--live`.
+    // With none of the three, `Live::off()` keeps every emitter inert.
+    let live_on = o.live || o.serve.is_some() || o.metrics_snapshot.is_some();
+    let live = if live_on {
+        Live::new(tlp_obs::DEFAULT_WINDOW)
+    } else {
+        Live::off()
+    };
+    let slo = live_on.then(|| {
+        Arc::new(SloMonitor::new(
+            SloConfig::for_scene(dataset),
+            live.handle(),
+        ))
+    });
+    let mut server = None;
+    if let Some(addr) = &o.serve {
+        match tlp_obs::serve(addr, Arc::clone(&live), slo.clone()) {
+            Ok(s) => {
+                println!(
+                    "serve  : live telemetry on http://{} (/metrics /healthz /snapshot)",
+                    s.addr()
+                );
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if ctl.enabled(ObsLevel::Summary) {
         ctl.begin(tlp_obs::Category::Phase, "phase.rtf", vec![]);
     }
@@ -866,7 +1183,8 @@ fn main() -> ExitCode {
         || o.retries > 0
         || o.deadline_ms.is_some()
         || o.task_panic_rate > 0.0
-        || rec.enabled(ObsLevel::Summary);
+        || rec.enabled(ObsLevel::Summary)
+        || live_on;
     if ctl.enabled(ObsLevel::Summary) {
         ctl.begin(tlp_obs::Category::Phase, "phase.lcc", vec![]);
     }
@@ -879,8 +1197,17 @@ fn main() -> ExitCode {
         if o.task_panic_rate > 0.0 {
             plan = plan.with_task_panic_rate(o.task_panic_rate);
         }
-        match spam_psm::tlp::run_parallel_lcc_traced(
-            &sp, &scene, &fragments, o.level, workers, &cfg, &plan, &rec,
+        match spam_psm::tlp::run_parallel_lcc_live(
+            &sp,
+            &scene,
+            &fragments,
+            o.level,
+            workers,
+            &cfg,
+            &plan,
+            &rec,
+            &live,
+            slo.as_ref(),
         ) {
             Ok(lcc) => lcc,
             Err(e) => {
@@ -1090,6 +1417,46 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("metrics: snapshot -> {path}");
+        }
+    }
+
+    if live_on {
+        let snap = live.snapshot();
+        let health = slo
+            .as_ref()
+            .map(|m| m.health().name())
+            .unwrap_or("unconfigured");
+        println!(
+            "live   : epoch {}, {} series, health {health}",
+            snap.epoch,
+            snap.series.len()
+        );
+        if let Some(path) = &o.metrics_snapshot {
+            let text = tlp_obs::openmetrics(&snap);
+            match tlp_obs::validate_openmetrics(&text) {
+                Ok(summary) => {
+                    if let Err(e) = std::fs::write(path, &text) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("live   : exposition ({summary}) -> {path}");
+                }
+                Err(e) => {
+                    eprintln!("live   : exposition INVALID ({e})");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(server) = &mut server {
+            if o.serve_linger_ms > 0 {
+                println!(
+                    "serve  : lingering {} ms on http://{} (ctrl-c to stop early)",
+                    o.serve_linger_ms,
+                    server.addr()
+                );
+                std::thread::sleep(Duration::from_millis(o.serve_linger_ms));
+            }
+            server.shutdown();
         }
     }
     ExitCode::SUCCESS

@@ -66,14 +66,16 @@ pub use attribution::{
 pub use combined::{combined_grid, CombinedCell};
 pub use measure::{level_rows, profiled_lcc, table8_row, LevelRowMeasured, Table8Row};
 pub use recover::{
-    run_lcc_unit_checkpointed, run_parallel_lcc_recoverable, CheckpointConfig, CheckpointStore,
-    RecoveryInfo, RecoveryReport,
+    run_lcc_unit_checkpointed, run_parallel_lcc_recoverable, run_parallel_lcc_recoverable_live,
+    CheckpointConfig, CheckpointStore, RecoveryInfo, RecoveryReport,
 };
-pub use supervise::{supervise, supervise_traced, supervision_overhead, SupervisionOverhead};
+pub use supervise::{
+    supervise, supervise_observed, supervise_traced, supervision_overhead, SupervisionOverhead,
+};
 pub use tlp::{
-    attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_supervised, run_parallel_lcc_traced,
-    run_parallel_rtf, run_parallel_rtf_supervised, simulated_tlp_curve, synchronous_makespan,
-    RtfParallelResult,
+    attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_live, run_parallel_lcc_supervised,
+    run_parallel_lcc_traced, run_parallel_rtf, run_parallel_rtf_supervised, simulated_tlp_curve,
+    synchronous_makespan, RtfParallelResult,
 };
 pub use trace::{lcc_trace, record_phase_metrics, record_sim_metrics, rtf_trace, PhaseTrace};
 pub use whatif::{

@@ -34,7 +34,7 @@
 //!   one, the tear means the crash happened before the run loop started,
 //!   so a from-scratch rebuild loses nothing.
 
-use crate::supervise::supervise_traced;
+use crate::supervise::supervise_observed;
 use ops5::snapshot::apply_record;
 use ops5::{Value, Wal, WalOp, WalRecord, WorkCounters};
 use spam::fragments::FragmentHypothesis;
@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskReport};
-use tlp_obs::{Category, MetricsRegistry, ObsLevel, Recorder};
+use tlp_obs::{Category, Live, MetricsRegistry, ObsLevel, Recorder, SloMonitor};
 
 /// Checkpoint policy for a recoverable phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -486,6 +486,47 @@ pub fn run_parallel_lcc_recoverable(
     ckpt: &CheckpointConfig,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<(LccPhaseResult, RecoveryReport), SuperviseError> {
+    run_parallel_lcc_recoverable_live(
+        sp,
+        scene,
+        fragments,
+        level,
+        n_workers,
+        cfg,
+        plan,
+        rec,
+        ckpt,
+        metrics,
+        &Live::off(),
+        None,
+    )
+}
+
+/// [`run_parallel_lcc_recoverable`] with live telemetry attached: on top of
+/// the supervisor's task/queue series (see
+/// [`crate::supervise::supervise_observed`]), every successful attempt that
+/// recovered a previously crashed task publishes `spam_live_recoveries` and
+/// a `spam_live_recovery_latency_seconds` sample (the recovering attempt's
+/// wall time: restore + replay + remaining cycles). When an [`SloMonitor`]
+/// is attached it is told about each recovery ([`SloMonitor::on_recovery`]
+/// pins the health ladder at *recovering* until enough clean epochs pass)
+/// and fed each completed unit's simulated latency. Results are identical
+/// at every telemetry setting.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_lcc_recoverable_live(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    n_workers: usize,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    rec: &Arc<Recorder>,
+    ckpt: &CheckpointConfig,
+    metrics: Option<&MetricsRegistry>,
+    live: &Arc<Live>,
+    slo: Option<&Arc<SloMonitor>>,
+) -> Result<(LccPhaseResult, RecoveryReport), SuperviseError> {
     let units = decompose(scene, fragments, level);
     let labels: Vec<String> = units.iter().map(|u| u.label()).collect();
     let store = CheckpointStore::new();
@@ -494,16 +535,40 @@ pub fn run_parallel_lcc_recoverable(
     // only after the failed attempt's report arrives), so a fetch_add per
     // execution yields the attempt number.
     let attempts: Vec<AtomicU32> = (0..units.len()).map(|_| AtomicU32::new(0)).collect();
-    let (slots, report) = supervise_traced(n_workers, labels, cfg, plan, rec, |i| {
-        let attempt = attempts[i].fetch_add(1, Ordering::SeqCst);
-        run_lcc_unit_checkpointed(
-            sp, scene, fragments, &units[i], i, attempt, &store, ckpt, plan, rec, metrics,
-        )
-    })?;
+    let lh = live.handle();
+    let (slots, report) = supervise_observed(
+        n_workers,
+        labels,
+        cfg,
+        plan,
+        rec,
+        live,
+        slo,
+        |_i, (r, info, attempt_s): &(LccUnitResult, RecoveryInfo, f64)| {
+            if info.attempt > 0 {
+                lh.inc("spam_live_recoveries", 1);
+                lh.observe("spam_live_recovery_latency_seconds", *attempt_s);
+                if let Some(slo) = slo {
+                    slo.on_recovery();
+                }
+            }
+            if let Some(slo) = slo {
+                slo.observe(r.work.seconds_at(spam::phases::MIPS), true);
+            }
+        },
+        |i| {
+            let attempt = attempts[i].fetch_add(1, Ordering::SeqCst);
+            let t0 = Instant::now();
+            let (r, info) = run_lcc_unit_checkpointed(
+                sp, scene, fragments, &units[i], i, attempt, &store, ckpt, plan, rec, metrics,
+            );
+            (r, info, t0.elapsed().as_secs_f64())
+        },
+    )?;
 
     let mut recovery = RecoveryReport::default();
     let mut results: Vec<LccUnitResult> = Vec::new();
-    for (r, info) in slots.into_iter().flatten() {
+    for (r, info, _) in slots.into_iter().flatten() {
         if info.attempt > 0 {
             recovery.add(info);
         }
@@ -659,6 +724,61 @@ mod tests {
             ),
             "recovery_latency_ms must be recorded once"
         );
+    }
+
+    #[test]
+    fn live_recoverable_runner_publishes_recovery_series() {
+        use tlp_obs::{Health, LiveValue, SloConfig};
+        let (sp, scene, frags) = setup();
+        let seq = run_lcc(&sp, &scene, &frags, Level::L3);
+        let (victim, span) = seq
+            .units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (i, u.firings))
+            .max_by_key(|&(_, f)| f)
+            .unwrap();
+        assert!(span >= 4, "need a non-trivial unit: {span}");
+        let plan = FaultPlan::seeded(11).with_cycle_kill(victim, 0, span - 1);
+        let cfg = SupervisorConfig::default()
+            .with_retries(2)
+            .with_backoff(Duration::from_millis(1));
+        let live = Live::new(8);
+        let slo = Arc::new(SloMonitor::new(SloConfig::for_scene("dc"), live.handle()));
+        let (par, recovery) = run_parallel_lcc_recoverable_live(
+            &sp,
+            &scene,
+            &frags,
+            Level::L3,
+            3,
+            &cfg,
+            &plan,
+            &Recorder::off(),
+            &CheckpointConfig::every(2),
+            None,
+            &live,
+            Some(&slo),
+        )
+        .unwrap();
+        assert_phase_equal(&par, &seq);
+        assert_eq!(recovery.recovered_tasks(), 1);
+        let snap = live.snapshot();
+        match snap.series.get("spam_live_recoveries") {
+            Some(LiveValue::Counter { total, .. }) => assert_eq!(*total, 1),
+            other => panic!("recoveries counter missing: {other:?}"),
+        }
+        match snap.series.get("spam_live_recovery_latency_seconds") {
+            Some(LiveValue::Histogram(h)) => assert!(h.count() >= 1),
+            other => panic!("recovery latency histogram missing: {other:?}"),
+        }
+        // The supervisor's retry of the killed attempt is also visible.
+        match snap.series.get("spam_live_task_retries") {
+            Some(LiveValue::Counter { total, .. }) => assert_eq!(*total, 1),
+            other => panic!("retry counter missing: {other:?}"),
+        }
+        // One crash absorbed by recovery must never read as degraded; it
+        // either healed (enough clean epochs followed) or is recovering.
+        assert_ne!(slo.health(), Health::Degraded);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
 use std::time::{Duration, Instant};
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskOutcome, TaskReport, TaskStatus};
-use tlp_obs::{Category, ObsLevel, Recorder};
+use tlp_obs::{series_key, Category, Live, ObsLevel, Recorder, SloMonitor};
 
 /// Name prefix of supervised worker threads; the quiet panic hook uses it
 /// to keep injected/caught panics out of test output.
@@ -171,6 +171,58 @@ pub fn supervise_traced<T: Send>(
     rec: &Arc<Recorder>,
     task: impl Fn(usize) -> T + Sync,
 ) -> Result<(Vec<Option<T>>, TaskReport), SuperviseError> {
+    supervise_observed(
+        n_workers,
+        labels,
+        cfg,
+        plan,
+        rec,
+        &Live::off(),
+        None,
+        |_, _| {},
+        task,
+    )
+}
+
+/// [`supervise_traced`] with live telemetry attached.
+///
+/// When `live` is enabled the supervisor publishes its runtime health into
+/// the sliding-window registry while the phase runs:
+///
+/// * `spam_live_tasks_completed` / `spam_live_task_retries` /
+///   `spam_live_dead_letters` — control-process counters mirroring every
+///   terminal decision;
+/// * `spam_live_task_latency_seconds` — wall-clock latency histogram of
+///   successful attempts;
+/// * `spam_live_queue_depth` — gauge of tasks still outstanding
+///   (queued or in flight);
+/// * `spam_live_worker_busy_us{worker="w"}` /
+///   `spam_live_worker_tasks{worker="w"}` — per-worker busy time and
+///   attempt counts, emitted from each worker's own shard.
+///
+/// Logical time advances one epoch per *terminal* task (success or dead
+/// letter), so window widths read as "the last N finished tasks". When an
+/// [`SloMonitor`] is attached it is advanced on the same clock, and a
+/// dead-lettered task is charged to it as a breach (failed work burns
+/// error budget even though no latency sample exists for it).
+///
+/// `on_complete` runs on the control thread once per successful task,
+/// before the epoch advances — callers mirror task results (work counters,
+/// SLO latency observations) into `live` from there. With `live` disabled
+/// every emit is a single branch and behaviour is identical to
+/// [`supervise_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn supervise_observed<T: Send>(
+    n_workers: usize,
+    labels: Vec<String>,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    rec: &Arc<Recorder>,
+    live: &Arc<Live>,
+    slo: Option<&Arc<SloMonitor>>,
+    on_complete: impl Fn(usize, &T),
+    task: impl Fn(usize) -> T + Sync,
+) -> Result<(Vec<Option<T>>, TaskReport), SuperviseError> {
     if n_workers == 0 {
         return Err(SuperviseError::NoWorkers);
     }
@@ -223,17 +275,25 @@ pub fn supervise_traced<T: Send>(
         }
     }
 
+    let ctl_live = live.handle();
     std::thread::scope(|s| {
         for w in 0..n_workers.min(n_tasks) {
             let tx = tx.clone();
             let queue = &queue;
             let task = &task;
+            let wlive = Arc::clone(live);
             std::thread::Builder::new()
                 .name(format!("{WORKER_NAME}-{w}"))
                 .spawn_scoped(s, move || {
                     // Each worker owns a private sink; it flushes on drop
                     // when the queue closes and the thread exits.
                     let mut sink = rec.sink(format!("{WORKER_NAME}-{w}"));
+                    // And a private live shard, with its series keys built
+                    // once — the per-attempt emits must not allocate.
+                    let wh = wlive.handle();
+                    let worker = w.to_string();
+                    let busy_key = series_key("spam_live_worker_busy_us", &[("worker", &worker)]);
+                    let tasks_key = series_key("spam_live_worker_tasks", &[("worker", &worker)]);
                     while let Some((i, attempt)) = queue.pop() {
                         if attempt > 0 {
                             // Linear backoff before a retry attempt.
@@ -264,12 +324,17 @@ pub fn supervise_traced<T: Send>(
                                 vec![("ok", u64::from(result.is_ok()).into())],
                             );
                         }
+                        let elapsed = start.elapsed();
+                        if wh.enabled() {
+                            wh.inc(&busy_key, elapsed.as_micros() as u64);
+                            wh.inc(&tasks_key, 1);
+                        }
                         let msg = AttemptMsg {
                             task: i,
                             attempt,
                             result,
                             started: start,
-                            elapsed: start.elapsed(),
+                            elapsed,
                         };
                         if tx.send(msg).is_err() {
                             break;
@@ -318,6 +383,21 @@ pub fn supervise_traced<T: Send>(
                         ))
                     }
                     _ => {
+                        if ctl_live.enabled() {
+                            ctl_live.inc("spam_live_tasks_completed", 1);
+                            ctl_live.observe(
+                                "spam_live_task_latency_seconds",
+                                msg.elapsed.as_secs_f64(),
+                            );
+                        }
+                        // Mirror the task's result before its epoch closes,
+                        // so caller-side series land in the window of the
+                        // task that produced them.
+                        on_complete(i, &value);
+                        let epoch = live.advance_epoch();
+                        if let Some(slo) = slo {
+                            slo.advance(epoch);
+                        }
                         slots[i] = Some(value);
                         o.status = if msg.attempt == 0 {
                             TaskStatus::Ok
@@ -344,6 +424,7 @@ pub fn supervise_traced<T: Send>(
                 o.error = Some(err);
                 if msg.attempt < cfg.max_retries {
                     queue.push((i, msg.attempt + 1));
+                    ctl_live.inc("spam_live_task_retries", 1);
                     if ctl.enabled(ObsLevel::Full) {
                         ctl.instant(
                             Category::Supervisor,
@@ -359,6 +440,16 @@ pub fn supervise_traced<T: Send>(
                         Some(FailKind::Deadline) => TaskStatus::TimedOut,
                         _ => TaskStatus::Panicked,
                     };
+                    ctl_live.inc("spam_live_dead_letters", 1);
+                    if let Some(slo) = slo {
+                        // A dead letter is a breach: the work never
+                        // completed, so it burns error budget.
+                        slo.observe(msg.elapsed.as_secs_f64(), false);
+                    }
+                    let epoch = live.advance_epoch();
+                    if let Some(slo) = slo {
+                        slo.advance(epoch);
+                    }
                     remaining -= 1;
                     if ctl.enabled(ObsLevel::Full) {
                         ctl.instant(
@@ -372,6 +463,7 @@ pub fn supervise_traced<T: Send>(
                     }
                 }
             }
+            ctl_live.gauge("spam_live_queue_depth", remaining as f64);
         }
         queue.close();
     });
@@ -726,6 +818,159 @@ mod tests {
         assert!(text.contains("task 2 [t2] after 2 attempts"), "{text}");
         assert!(text.contains("attempt 1"), "{text}");
         assert!(text.contains("retry-latency"), "{text}");
+    }
+
+    #[test]
+    fn observed_supervision_publishes_live_series() {
+        use tlp_obs::LiveValue;
+        let live = Live::new(8);
+        let plan = FaultPlan::none()
+            .with_task_panic(1, 1)
+            .with_task_panic(2, u32::MAX);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1));
+        let completed = std::sync::atomic::AtomicUsize::new(0);
+        let (slots, report) = supervise_observed(
+            2,
+            labels(5),
+            &cfg,
+            &plan,
+            &Recorder::off(),
+            &live,
+            None,
+            |_, _| {
+                completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            },
+            |i| i,
+        )
+        .unwrap();
+        assert_eq!(slots.iter().flatten().count(), 4);
+        assert_eq!(report.dead_letters().len(), 1);
+        assert_eq!(completed.load(std::sync::atomic::Ordering::Relaxed), 4);
+        // Logical time: one epoch per terminal task, dead letters included.
+        assert_eq!(live.epoch(), 5);
+        let snap = live.snapshot();
+        let counter_total = |name: &str| match snap.series.get(name) {
+            Some(LiveValue::Counter { total, .. }) => *total,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        assert_eq!(counter_total("spam_live_tasks_completed"), 4);
+        assert_eq!(counter_total("spam_live_task_retries"), 2);
+        assert_eq!(counter_total("spam_live_dead_letters"), 1);
+        assert_eq!(
+            snap.series.get("spam_live_queue_depth"),
+            Some(&LiveValue::Gauge(0.0)),
+            "phase ended with nothing outstanding"
+        );
+        // Worker shards published busy time and per-attempt counts; total
+        // attempts = 5 first attempts + 2 retries.
+        assert!(snap
+            .series
+            .keys()
+            .any(|k| k.starts_with("spam_live_worker_busy_us{")));
+        let attempts: u64 = snap
+            .series
+            .iter()
+            .filter(|(k, _)| k.starts_with("spam_live_worker_tasks{"))
+            .map(|(_, v)| match v {
+                LiveValue::Counter { total, .. } => *total,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(attempts, 7);
+        match snap.series.get("spam_live_task_latency_seconds") {
+            Some(LiveValue::Histogram(h)) => assert_eq!(h.count(), 4),
+            other => panic!("latency histogram missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_supervision_drives_the_slo_clock() {
+        use tlp_obs::{Health, SloConfig, SloMonitor};
+        let live = Live::new(8);
+        let slo = Arc::new(SloMonitor::new(
+            SloConfig::for_scene("test").with_target(10.0),
+            live.handle(),
+        ));
+        let (slots, _) = supervise_observed(
+            2,
+            labels(6),
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            &Recorder::off(),
+            &live,
+            Some(&slo),
+            |_i, _v| slo.observe(0.5, true),
+            |i| i,
+        )
+        .unwrap();
+        assert_eq!(slots.iter().flatten().count(), 6);
+        assert_eq!(slo.health(), Health::Healthy);
+        let snap = live.snapshot();
+        assert!(snap.series.contains_key("spam_slo_burn_rate_fast"));
+        assert!(snap
+            .series
+            .contains_key("spam_slo_error_budget_remaining_ratio"));
+    }
+
+    #[test]
+    fn dead_letters_burn_slo_budget_via_the_supervisor() {
+        use tlp_obs::{Health, SloConfig, SloMonitor};
+        let live = Live::new(8);
+        let slo = Arc::new(SloMonitor::new(
+            SloConfig::for_scene("test").with_target(10.0),
+            live.handle(),
+        ));
+        let mut plan = FaultPlan::none();
+        for i in 0..40 {
+            plan = plan.with_task_panic(i, u32::MAX);
+        }
+        let cfg = SupervisorConfig::default()
+            .with_retries(0)
+            .with_backoff(Duration::from_millis(1));
+        let (slots, report) = supervise_observed(
+            4,
+            labels(40),
+            &cfg,
+            &plan,
+            &Recorder::off(),
+            &live,
+            Some(&slo),
+            |_, _| {},
+            |i| i,
+        )
+        .unwrap();
+        assert_eq!(slots.iter().flatten().count(), 0);
+        assert_eq!(report.dead_letters().len(), 40);
+        assert_eq!(live.epoch(), 40, "dead letters still advance the clock");
+        assert_eq!(
+            slo.health(),
+            Health::Degraded,
+            "a phase of pure failures must trip the burn-rate alert"
+        );
+        let (_, ok) = slo.healthz_json();
+        assert!(!ok, "healthz reports not-ok while degraded");
+    }
+
+    #[test]
+    fn observed_with_disabled_live_publishes_nothing() {
+        let live = Live::off();
+        let (slots, report) = supervise_observed(
+            2,
+            labels(4),
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            &Recorder::off(),
+            &live,
+            None,
+            |_, _| {},
+            |i| i,
+        )
+        .unwrap();
+        assert_eq!(slots.iter().flatten().count(), 4);
+        assert!(report.is_clean());
+        assert!(live.snapshot().series.is_empty());
     }
 
     #[test]

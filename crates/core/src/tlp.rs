@@ -12,17 +12,17 @@
 //!   since the container running this reproduction has a single core.
 
 use crate::attribution::GapAttribution;
-use crate::supervise::{supervise, supervise_traced};
+use crate::supervise::{supervise, supervise_observed};
 use crate::trace::PhaseTrace;
 use multimax_sim::{simulate, Schedule, SimConfig};
 use ops5::WorkCounters;
 use spam::fragments::FragmentHypothesis;
-use spam::lcc::{decompose, run_lcc_unit, ConsistentRec, LccPhaseResult, Level};
+use spam::lcc::{decompose, run_lcc_unit, run_lcc_unit_live, ConsistentRec, LccPhaseResult, Level};
 use spam::rules::SpamProgram;
 use spam::scene::Scene;
 use std::sync::Arc;
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskReport};
-use tlp_obs::Recorder;
+use tlp_obs::{Live, Recorder, SloMonitor};
 
 /// Result of a supervised parallel RTF phase: the merged fragments plus the
 /// per-batch supervision outcomes.
@@ -98,11 +98,64 @@ pub fn run_parallel_lcc_traced(
     plan: &FaultPlan,
     rec: &Arc<Recorder>,
 ) -> Result<LccPhaseResult, SuperviseError> {
+    run_parallel_lcc_live(
+        sp,
+        scene,
+        fragments,
+        level,
+        n_workers,
+        cfg,
+        plan,
+        rec,
+        &Live::off(),
+        None,
+    )
+}
+
+/// [`run_parallel_lcc_traced`] with live telemetry attached: worker engines
+/// mirror their counters into `live` as they run (see
+/// [`spam::lcc::run_lcc_unit_live`]), the supervisor publishes task/queue
+/// health (see [`crate::supervise::supervise_observed`]), and — when an
+/// [`SloMonitor`] is attached — each completed unit's *simulated* latency
+/// (work units at the paper's 1.5 MIPS) is judged against the scene's
+/// latency objective, keeping the SLO clock deterministic across hosts.
+/// Results are identical at every telemetry setting.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_lcc_live(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    n_workers: usize,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    rec: &Arc<Recorder>,
+    live: &Arc<Live>,
+    slo: Option<&Arc<SloMonitor>>,
+) -> Result<LccPhaseResult, SuperviseError> {
     let units = decompose(scene, fragments, level);
     let labels: Vec<String> = units.iter().map(|u| u.label()).collect();
-    let (slots, report) = supervise_traced(n_workers, labels, cfg, plan, rec, |i| {
-        run_lcc_unit(sp, scene, fragments, &units[i])
-    })?;
+    let (slots, report) = supervise_observed(
+        n_workers,
+        labels,
+        cfg,
+        plan,
+        rec,
+        live,
+        slo,
+        |_i, r: &spam::lcc::LccUnitResult| {
+            if let Some(slo) = slo {
+                slo.observe(r.work.seconds_at(spam::phases::MIPS), true);
+            }
+        },
+        |i| {
+            if live.is_enabled() {
+                run_lcc_unit_live(sp, scene, fragments, &units[i], live)
+            } else {
+                run_lcc_unit(sp, scene, fragments, &units[i])
+            }
+        },
+    )?;
     let results: Vec<spam::lcc::LccUnitResult> = slots.into_iter().flatten().collect();
 
     let mut work = WorkCounters::default();
@@ -408,6 +461,64 @@ mod tests {
         };
         assert_eq!(statuses(&a), statuses(&b), "fixed plan must replay");
         assert_eq!(canonical(&a.consistents), canonical(&b.consistents));
+    }
+
+    /// Acceptance scenario: the live-telemetry runner produces exactly the
+    /// sequential results while publishing the full series set — engine
+    /// mirrors, supervisor counters, and SLO health — into one registry.
+    #[test]
+    fn live_runner_matches_sequential_and_publishes_everything() {
+        use tlp_obs::{Health, Live, LiveValue, SloConfig, SloMonitor};
+        let (sp, scene, frags) = setup();
+        let seq = run_lcc(&sp, &scene, &frags, Level::L3);
+        let live = Live::new(8);
+        let slo = Arc::new(SloMonitor::new(SloConfig::for_scene("dc"), live.handle()));
+        let par = run_parallel_lcc_live(
+            &sp,
+            &scene,
+            &frags,
+            Level::L3,
+            3,
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+            &Recorder::off(),
+            &live,
+            Some(&slo),
+        )
+        .unwrap();
+        assert!(par.report.is_clean());
+        assert_eq!(par.firings, seq.firings);
+        assert_eq!(canonical(&par.consistents), canonical(&seq.consistents));
+        assert_eq!(par.work, seq.work, "telemetry must not change work");
+        assert_eq!(live.epoch(), par.units.len() as u64);
+
+        let snap = live.snapshot();
+        let total = |name: &str| match snap.series.get(name) {
+            Some(LiveValue::Counter { total, .. }) => *total,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        // Engine mirrors add up to the phase totals.
+        assert_eq!(total("spam_live_match_units"), par.work.match_units);
+        assert_eq!(total("spam_live_firings"), par.firings);
+        assert_eq!(total("spam_live_rhs_actions"), par.work.rhs_actions);
+        // Supervisor counters.
+        assert_eq!(total("spam_live_tasks_completed"), par.units.len() as u64);
+        assert!(snap.series.contains_key("spam_live_queue_depth"));
+        assert!(snap
+            .series
+            .keys()
+            .any(|k| k.starts_with("spam_live_worker_busy_us{")));
+        // SLO series, fed with simulated latencies.
+        match snap.series.get("spam_slo_latency_seconds") {
+            Some(LiveValue::Histogram(h)) => {
+                // Windowed: holds the last `window` epochs' observations.
+                assert!(h.count() >= 1);
+                assert!(h.count() <= par.units.len() as u64);
+                assert!(h.sum() > 0.0, "simulated latencies are positive");
+            }
+            other => panic!("slo latency histogram missing: {other:?}"),
+        }
+        assert_eq!(slo.health(), Health::Healthy, "DC L3 meets its objective");
     }
 
     #[test]

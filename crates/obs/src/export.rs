@@ -186,7 +186,22 @@ impl TraceDoc {
             ];
             match ev.kind {
                 EventKind::Counter(v) => {
-                    fields.push(("args", Json::obj(vec![("value", Json::Num(v))])));
+                    // Carry the event's own args (e.g. a `unit` declaration)
+                    // alongside the sample value.
+                    let mut args = vec![("value", Json::Num(v))];
+                    if let Json::Obj(extra) = args_json(&ev.args) {
+                        fields.push((
+                            "args",
+                            Json::Obj(
+                                args.drain(..)
+                                    .map(|(k, j)| (k.to_string(), j))
+                                    .chain(extra.into_iter().filter(|(k, _)| k != "value"))
+                                    .collect(),
+                            ),
+                        ));
+                    } else {
+                        fields.push(("args", Json::obj(args)));
+                    }
                 }
                 EventKind::Instant => {
                     fields.push(("s", Json::str("t")));
@@ -379,6 +394,7 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
     let mut last_seq: BTreeMap<(u64, u64), u64> = BTreeMap::new();
     let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     let mut pids_seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut counter_units: BTreeMap<(u64, String), String> = BTreeMap::new();
     let mut events = 0usize;
     let mut span_events = 0usize;
     let mut max_ts = 0.0f64;
@@ -423,6 +439,25 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
                 .ok_or(format!("line {n}: counter '{name}' without numeric value"))?;
             if !value.is_finite() || value < 0.0 {
                 return Err(format!("line {n}: counter '{name}' has bad value {value}"));
+            }
+            // First declared unit pins the counter series (per pid).
+            if let Some(unit) = ev
+                .get("args")
+                .and_then(|a| a.get("unit"))
+                .and_then(Json::as_str)
+            {
+                match counter_units.get(&(pid, name.to_string())) {
+                    Some(prev) if prev != unit => {
+                        return Err(format!(
+                            "line {n}: counter '{name}' changes unit mid-stream \
+                             ('{prev}' then '{unit}') on pid {pid}"
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        counter_units.insert((pid, name.to_string()), unit.to_string());
+                    }
+                }
             }
         }
         let Some(&nthreads) = declared.get(pid as usize) else {
@@ -498,6 +533,8 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     // xfer id -> [page.fault, page.req, page.send, page.recv] timestamps.
     let mut xfers: BTreeMap<u64, [Option<f64>; 4]> = BTreeMap::new();
+    // (pid, counter name) -> first declared unit.
+    let mut counter_units: BTreeMap<(u64, String), String> = BTreeMap::new();
     let mut span_events = 0usize;
     let mut max_ts = 0.0f64;
 
@@ -591,6 +628,28 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
                         ))?;
                     if !value.is_finite() || value < 0.0 {
                         return Err(format!("event {i}: counter '{name}' has bad value {value}"));
+                    }
+                    // A counter series must not change units mid-stream: the
+                    // first `args.unit` seen pins the series (per pid —
+                    // machines are separate clock/unit domains), and any
+                    // later sample declaring a different unit is rejected.
+                    if let Some(unit) = ev
+                        .get("args")
+                        .and_then(|a| a.get("unit"))
+                        .and_then(Json::as_str)
+                    {
+                        match counter_units.get(&(pid, name.to_string())) {
+                            Some(prev) if prev != unit => {
+                                return Err(format!(
+                                    "event {i}: counter '{name}' changes unit mid-stream \
+                                     ('{prev}' then '{unit}') on pid {pid}"
+                                ));
+                            }
+                            Some(_) => {}
+                            None => {
+                                counter_units.insert((pid, name.to_string()), unit.to_string());
+                            }
+                        }
                     }
                 }
             }
@@ -845,6 +904,61 @@ mod tests {
             {"ph":"C","pid":1,"tid":0,"ts":1,"name":"queue.depth","args":{"value":0}}
         ]}"#;
         assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn chrome_rejects_counter_unit_change_midstream() {
+        let text = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":0,"ts":1,"name":"queue.wait","args":{"value":3,"unit":"ms"}},
+            {"ph":"C","pid":1,"tid":0,"ts":2,"name":"queue.wait","args":{"value":4,"unit":"us"}}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("changes unit mid-stream"), "{err}");
+        assert!(err.contains("'ms'") && err.contains("'us'"), "{err}");
+        // Same unit throughout is fine, as is a unit-less sample.
+        let ok = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":0,"ts":1,"name":"queue.wait","args":{"value":3,"unit":"ms"}},
+            {"ph":"C","pid":1,"tid":0,"ts":2,"name":"queue.wait","args":{"value":4,"unit":"ms"}},
+            {"ph":"C","pid":1,"tid":0,"ts":3,"name":"queue.depth","args":{"value":1}}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+        // Different pids are separate unit domains: no conflict.
+        let two_pids = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":0,"ts":1,"name":"queue.wait","args":{"value":3,"unit":"ms"}},
+            {"ph":"C","pid":2,"tid":0,"ts":1,"name":"queue.wait","args":{"value":4,"unit":"us"}}
+        ]}"#;
+        assert!(validate_chrome_trace(two_pids).is_ok());
+    }
+
+    #[test]
+    fn jsonl_rejects_counter_unit_change_midstream() {
+        let text = concat!(
+            r#"{"type":"header","threads":["control"]}"#,
+            "\n",
+            r#"{"thread":0,"seq":1,"ts_us":1,"cat":"queue","name":"queue.wait","ph":"C","value":3,"args":{"unit":"ms"}}"#,
+            "\n",
+            r#"{"thread":0,"seq":2,"ts_us":2,"cat":"queue","name":"queue.wait","ph":"C","value":4,"args":{"unit":"us"}}"#,
+            "\n",
+        );
+        let err = validate_jsonl(text).unwrap_err();
+        assert!(err.contains("changes unit mid-stream"), "{err}");
+    }
+
+    #[test]
+    fn counter_unit_survives_export_round_trip() {
+        let rec = crate::Recorder::new(crate::ObsLevel::Full);
+        let mut sink = rec.sink("control");
+        sink.counter_unit(Category::Queue, "queue.wait", 3.0, "ms");
+        sink.counter_unit(Category::Queue, "queue.wait", 4.0, "ms");
+        sink.flush();
+        let mut doc = TraceDoc::new();
+        doc.add_recorder("proc", &rec);
+        let text = doc.write();
+        assert!(text.contains("\"unit\":\"ms\""), "{text}");
+        validate_chrome_trace(&text).unwrap();
+        let jsonl = events_to_jsonl(&rec.events(), &rec.threads());
+        assert!(jsonl.contains("\"unit\":\"ms\""), "{jsonl}");
+        validate_jsonl(&jsonl).unwrap();
     }
 
     #[test]

@@ -39,9 +39,12 @@
 
 pub mod event;
 pub mod export;
+pub mod expose;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod recorder;
+pub mod slo;
 pub mod stitch;
 pub mod timeline;
 
@@ -50,8 +53,11 @@ pub use export::{
     events_to_jsonl, machines_to_jsonl, validate_chrome_trace, validate_jsonl, TraceDoc,
     TraceSummary,
 };
+pub use expose::{http_get, openmetrics, serve, validate_openmetrics, ExpoSummary, MetricsServer};
+pub use live::{series_key, Live, LiveHandle, LiveSnapshot, LiveValue, DEFAULT_WINDOW};
 pub use metrics::{Histogram, Metric, MetricsRegistry, Snapshot};
 pub use recorder::{Recorder, ThreadSink};
+pub use slo::{Health, SloConfig, SloMonitor};
 pub use stitch::{stitch, MachineLog, StitchReport, Stitched};
 pub use timeline::{multi_gantt, CounterSeries, Span, Timeline, Track};
 

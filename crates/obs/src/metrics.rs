@@ -195,6 +195,15 @@ pub enum Metric {
 /// A point-in-time copy of the registry.
 pub type Snapshot = BTreeMap<String, Metric>;
 
+/// The human name of a metric's kind (for merge-conflict errors).
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
 /// A shared, thread-safe registry of named metrics.
 ///
 /// Lookups take the registry mutex; callers on hot paths should aggregate
@@ -254,26 +263,37 @@ impl MetricsRegistry {
     /// process merges the snapshots. Counters add, gauges take the
     /// incoming value (last write wins, in merge order), histograms merge
     /// bucket-wise (so merged quantile bounds still bracket the pooled
-    /// sample quantiles). On a name collision with a different metric type
-    /// the incoming value replaces the resident one.
-    pub fn merge_snapshot(&self, other: &Snapshot) {
+    /// sample quantiles). A name collision between *different* metric
+    /// kinds (a counter on one thread, a histogram on another) is a
+    /// programming error, not something to paper over — it is rejected,
+    /// and any entries merged before the offending name stay merged (the
+    /// registry mutex makes the partial merge itself atomic).
+    pub fn merge_snapshot(&self, other: &Snapshot) -> Result<(), String> {
         let mut m = self.inner.lock().unwrap();
         for (name, incoming) in other {
             match (m.get_mut(name), incoming) {
                 (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
                 (Some(Metric::Histogram(a)), Metric::Histogram(b)) => a.merge(b),
-                (Some(resident), _) => *resident = incoming.clone(),
+                (Some(g @ Metric::Gauge(_)), Metric::Gauge(_)) => *g = incoming.clone(),
+                (Some(resident), _) => {
+                    return Err(format!(
+                        "metric {name:?} merged as {} into {}",
+                        kind_name(incoming),
+                        kind_name(resident),
+                    ));
+                }
                 (None, _) => {
                     m.insert(name.clone(), incoming.clone());
                 }
             }
         }
+        Ok(())
     }
 
     /// Merges another registry's current contents into this one (see
     /// [`MetricsRegistry::merge_snapshot`]).
-    pub fn merge(&self, other: &MetricsRegistry) {
-        self.merge_snapshot(&other.snapshot());
+    pub fn merge(&self, other: &MetricsRegistry) -> Result<(), String> {
+        self.merge_snapshot(&other.snapshot())
     }
 
     /// Renders the registry as a JSON object keyed by metric name.
@@ -394,7 +414,7 @@ mod tests {
         b.gauge("lcc/utilization", 0.9);
         b.record("lcc/queue_wait_s", 8.0);
 
-        a.merge(&b);
+        a.merge(&b).unwrap();
         let snap = a.snapshot();
         assert_eq!(snap["lcc/retries"], Metric::Counter(5));
         assert_eq!(snap["lcc/dead_letters"], Metric::Counter(1));
@@ -411,13 +431,24 @@ mod tests {
     }
 
     #[test]
-    fn registry_merge_type_conflict_takes_incoming() {
+    fn registry_merge_type_conflict_is_error() {
         let a = MetricsRegistry::new();
         a.count("x", 7);
         let b = MetricsRegistry::new();
         b.gauge("x", 1.5);
-        a.merge(&b);
-        assert_eq!(a.snapshot()["x"], Metric::Gauge(1.5));
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.contains("\"x\""), "error names the metric: {err}");
+        assert!(
+            err.contains("gauge") && err.contains("counter"),
+            "error names both kinds: {err}"
+        );
+        // The resident metric is untouched by the rejected merge.
+        assert_eq!(a.snapshot()["x"], Metric::Counter(7));
+
+        // Histogram-vs-counter under the same name is just as illegal.
+        let c = MetricsRegistry::new();
+        c.record("x", 0.5);
+        assert!(a.merge(&c).unwrap_err().contains("histogram"));
     }
 
     #[test]
@@ -426,7 +457,7 @@ mod tests {
         let b = MetricsRegistry::new();
         b.count("n", 4);
         b.record("h", 2.0);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.snapshot(), b.snapshot());
     }
 

@@ -262,6 +262,24 @@ impl ThreadSink {
         self.emit(cat, name, EventKind::Counter(value), Vec::new());
     }
 
+    /// Emits a counter sample declaring its unit (`"ms"`, `"us"`, …). The
+    /// exporters carry the unit into the trace, and the validators reject a
+    /// counter series that changes unit mid-stream.
+    pub fn counter_unit(
+        &mut self,
+        cat: Category,
+        name: impl Into<String>,
+        value: f64,
+        unit: &'static str,
+    ) {
+        self.emit(
+            cat,
+            name,
+            EventKind::Counter(value),
+            vec![("unit", ArgValue::Str(unit.into()))],
+        );
+    }
+
     /// Number of events buffered but not yet flushed.
     pub fn buffered(&self) -> usize {
         self.buf.len()

@@ -92,7 +92,7 @@ proptest! {
         for &s in &b { rb.record("lcc/queue_wait_s", s); }
         rb.count("lcc/tasks", nb);
 
-        ra.merge(&rb);
+        ra.merge(&rb).expect("kinds agree");
         let snap = ra.snapshot();
         prop_assert_eq!(snap.get("lcc/tasks"), Some(&Metric::Counter(na + nb)));
         let Some(Metric::Histogram(h)) = snap.get("lcc/queue_wait_s") else {

@@ -99,11 +99,43 @@ pub struct Engine {
     /// (`base_work`, the cycle log) never flows through this — it only adds
     /// trace events, so work totals are identical with or without it.
     obs: Option<ThreadSink>,
+    /// Optional live-telemetry mirror. Like `obs`, strictly read-only with
+    /// respect to the deterministic counters: results are bit-identical
+    /// with the mirror attached or not.
+    live: Option<LiveMirror>,
     /// Interpreter-side profiling state (per-production firings and RHS
     /// cost, conflict-set sizes); `Some` only while profiling. Like `obs`,
     /// it only reads the deterministic counters — work totals are identical
     /// with profiling on or off.
     profile: Option<EngineProfile>,
+}
+
+/// Publish the live mirror every this many recognize–act cycles (and once
+/// more at [`Engine::publish_live`]): frequent enough that `spamctl top`
+/// sees the conflict set and WM move mid-task, rare enough that the mirror
+/// stays off the hot path.
+const LIVE_MIRROR_EVERY: u32 = 16;
+
+/// State behind [`Engine::set_live`]: the handle plus the work counters
+/// already published, so counter series are mirrored as deltas.
+struct LiveMirror {
+    handle: tlp_obs::LiveHandle,
+    published: WorkCounters,
+    cycles: u32,
+}
+
+impl LiveMirror {
+    fn publish(&mut self, work: WorkCounters, conflict_len: usize, wm_size: usize) {
+        let d = work.since(&self.published);
+        self.published = work;
+        self.cycles = 0;
+        self.handle.inc("spam_live_match_units", d.match_units);
+        self.handle.inc("spam_live_firings", d.firings);
+        self.handle.inc("spam_live_rhs_actions", d.rhs_actions);
+        self.handle
+            .gauge("spam_live_conflict_set_depth", conflict_len as f64);
+        self.handle.gauge("spam_live_wm_size", wm_size as f64);
+    }
 }
 
 /// Interpreter-side collection state behind [`Engine::enable_profile`].
@@ -181,6 +213,7 @@ impl Engine {
             gensym: 0,
             strategy,
             obs: None,
+            live: None,
             profile: None,
         }
     }
@@ -247,6 +280,37 @@ impl Engine {
     /// drop's job).
     pub fn take_obs(&mut self) -> Option<ThreadSink> {
         self.obs.take()
+    }
+
+    /// Attaches a live-telemetry handle. While attached, the engine mirrors
+    /// its deterministic counters into the sliding-window registry every
+    /// few recognize–act cycles: `spam_live_match_units` /
+    /// `spam_live_firings` / `spam_live_rhs_actions` as counter deltas,
+    /// `spam_live_conflict_set_depth` / `spam_live_wm_size` as gauges.
+    /// Mirror-only: work counters and run results are unaffected. A handle
+    /// from a disabled registry is dropped here, keeping the per-cycle cost
+    /// at a single `Option` check.
+    pub fn set_live(&mut self, handle: tlp_obs::LiveHandle) {
+        self.live = handle.enabled().then_some(LiveMirror {
+            handle,
+            published: WorkCounters::default(),
+            cycles: 0,
+        });
+    }
+
+    /// Forces a live-mirror publish of the counters accumulated since the
+    /// last one (task runners call this at task end so the tail of the run
+    /// is not lost to the every-N-cycles cadence). No-op without
+    /// [`Engine::set_live`].
+    pub fn publish_live(&mut self) {
+        if self.live.is_some() {
+            let work = self.work();
+            let conflict_len = self.conflict.len();
+            let wm_size = self.wm.len();
+            if let Some(lm) = &mut self.live {
+                lm.publish(work, conflict_len, wm_size);
+            }
+        }
     }
 
     /// Starts match-level profiling: per-production match cost and firing
@@ -500,6 +564,14 @@ impl Engine {
                 act_units: act_delta.act_units,
                 external_units: act_delta.external_units,
             });
+        }
+        // Mirror counters into the live registry every few cycles. One
+        // Option check when detached; never feeds back into the counters.
+        if let Some(lm) = &mut self.live {
+            lm.cycles += 1;
+            if lm.cycles >= LIVE_MIRROR_EVERY {
+                self.publish_live();
+            }
         }
         // Trace the cycle at Full. One Option check + one relaxed load when
         // disabled; the deterministic counters above never depend on this.
@@ -1064,6 +1136,60 @@ mod tests {
             names.iter().filter(|n| **n == "cycle.fire").count() as u64,
             out_traced.firings
         );
+    }
+
+    #[test]
+    fn live_mirror_publishes_counters_without_touching_work() {
+        use tlp_obs::{Live, LiveValue};
+        let src = "(literalize count n)
+             (p up (count ^n { <n> <= 39 }) --> (modify 1 ^n (compute <n> + 1)))";
+
+        let mut plain = engine(src);
+        plain.make_wme("count", &[("n", 0.into())]).unwrap();
+        let out_plain = plain.run(100);
+
+        let live = Live::new(8);
+        let mut mirrored = engine(src);
+        mirrored.set_live(live.handle());
+        mirrored.make_wme("count", &[("n", 0.into())]).unwrap();
+        let out_mirrored = mirrored.run(100);
+
+        // Results and work accounting are identical with the mirror on.
+        assert_eq!(out_plain, out_mirrored);
+        assert_eq!(plain.work(), mirrored.work());
+
+        // 40 firings crosses the every-16-cycles cadence, so counters are
+        // already partially published; the final flush accounts the rest.
+        mirrored.publish_live();
+        let snap = live.snapshot();
+        let total = |name: &str| match snap.series.get(name) {
+            Some(LiveValue::Counter { total, .. }) => *total,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        let w = mirrored.work();
+        assert_eq!(total("spam_live_match_units"), w.match_units);
+        assert_eq!(total("spam_live_firings"), w.firings);
+        assert_eq!(total("spam_live_rhs_actions"), w.rhs_actions);
+        assert_eq!(
+            snap.series.get("spam_live_wm_size"),
+            Some(&LiveValue::Gauge(mirrored.wm().len() as f64))
+        );
+        assert!(snap.series.contains_key("spam_live_conflict_set_depth"));
+    }
+
+    #[test]
+    fn disabled_live_handle_is_dropped() {
+        use tlp_obs::Live;
+        let live = Live::off();
+        let mut e = engine(
+            "(literalize count n)
+             (p up (count ^n { <n> <= 5 }) --> (modify 1 ^n (compute <n> + 1)))",
+        );
+        e.set_live(live.handle());
+        e.make_wme("count", &[("n", 0.into())]).unwrap();
+        e.run(100);
+        e.publish_live();
+        assert!(live.snapshot().series.is_empty());
     }
 
     #[cfg(feature = "profiler")]

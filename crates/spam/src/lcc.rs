@@ -374,6 +374,38 @@ pub fn run_lcc_unit(
     run_lcc_unit_inner(sp, scene, fragments, unit, false).0
 }
 
+/// Executes one LCC task like [`run_lcc_unit`], mirroring the engine's
+/// counters into the live sliding-window registry while the task runs
+/// (every few recognize–act cycles, plus a final flush): match units,
+/// firings and RHS actions as counters, conflict-set depth and WM size as
+/// gauges. The mirror only reads the deterministic counters — results are
+/// bit-identical to [`run_lcc_unit`], and with a disabled registry the
+/// mirror costs one branch per cycle.
+pub fn run_lcc_unit_live(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    unit: &LccUnit,
+    live: &Arc<tlp_obs::Live>,
+) -> LccUnitResult {
+    let mut e = lcc_engine(sp, scene, fragments);
+    e.set_live(live.handle());
+    e.enable_cycle_log();
+    e.make_wme(
+        "control",
+        &[
+            ("phase", Value::symbol("lcc")),
+            ("status", Value::symbol("running")),
+        ],
+    )
+    .expect("control");
+    load_unit_wm(&mut e, scene, fragments, unit);
+    let out = e.run(1_000_000);
+    debug_assert!(out.quiescent(), "LCC task must reach quiescence: {out:?}");
+    e.publish_live();
+    harvest_lcc_unit(&mut e, out.firings)
+}
+
 /// Executes one LCC task with match-level profiling enabled, returning the
 /// task's [`MatchProfile`] alongside its result. `None` when the ops5
 /// `profiler` feature is compiled out. Work counters are bit-identical to
@@ -649,6 +681,36 @@ mod tests {
         );
         assert!(r.consistents.iter().all(|c| c.a == runway.id));
         assert!(r.work.external_units > 0, "geometry ran outside the match");
+    }
+
+    #[test]
+    fn live_unit_matches_plain_unit_and_mirrors_work() {
+        use tlp_obs::{Live, LiveValue};
+        let (sp, scene, frags) = setup();
+        let unit = LccUnit::Object(frags[0].id);
+        let plain = run_lcc_unit(&sp, &scene, &frags, &unit);
+        let live = Live::new(8);
+        let mirrored = run_lcc_unit_live(&sp, &scene, &frags, &unit, &live);
+        assert_eq!(plain.consistents, mirrored.consistents);
+        assert_eq!(plain.supports, mirrored.supports);
+        assert_eq!(plain.work, mirrored.work, "mirror must not change work");
+        assert_eq!(plain.firings, mirrored.firings);
+        let snap = live.snapshot();
+        let total = |name: &str| match snap.series.get(name) {
+            Some(LiveValue::Counter { total, .. }) => *total,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        assert_eq!(total("spam_live_match_units"), mirrored.work.match_units);
+        assert_eq!(total("spam_live_firings"), mirrored.firings);
+        assert!(snap.series.contains_key("spam_live_wm_size"));
+        assert!(snap.series.contains_key("spam_live_conflict_set_depth"));
+
+        // With a disabled registry the live runner publishes nothing and
+        // still computes the same results.
+        let off = Live::off();
+        let silent = run_lcc_unit_live(&sp, &scene, &frags, &unit, &off);
+        assert_eq!(plain.consistents, silent.consistents);
+        assert!(off.snapshot().series.is_empty());
     }
 
     #[test]
