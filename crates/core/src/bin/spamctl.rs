@@ -19,6 +19,9 @@
 //!         [--target prod:<name>|task:<id>|level:<n>|component:<fork|dequeue>|match]
 //!         [--scale PCT] [--top N] [--json F] [--unshared]
 //! spamctl top [--url http://HOST:PORT] [--interval-ms MS] [--iters N]
+//! spamctl slow [--level 1|2|3|4] [--workers N] [--retries K]
+//!         [--fault-seed S] [--task-panic-rate P] [--unshared]
+//! spamctl trace <id> (--from F | --url http://HOST:PORT)
 //! ```
 //!
 //! * default: run the full pipeline and print the interpretation summary
@@ -111,6 +114,33 @@
 //!   indexed network — the baseline for the sharing experiments. Results
 //!   are identical; only the match work (and anything derived from it)
 //!   changes.
+//! * `--trace-sample` turns on scene-scoped request tracing
+//!   (`tlp-obs::tracectx`): the scene submission mints a deterministic
+//!   trace id (from `--fault-seed` + the dataset name) and a root span,
+//!   and the supervisor propagates the trace context through task spawn,
+//!   retry, dead-letter, recovery, and per-cycle engine emissions. The
+//!   tail sampler decides at completion whether to keep full span detail
+//!   (errored / SLO-breaching / slowest-N) or a one-line summary. With
+//!   `--serve`, retained traces are browsable at `/traces` and
+//!   `/trace/<id>`, and the task-latency histogram carries OpenMetrics
+//!   exemplars linking its tail bucket to a retained trace. Results are
+//!   bit-identical with tracing on or off;
+//! * `--traces-out F` (implies `--trace-sample`) writes the retained
+//!   traces as a `{"traces": […]}` JSON document (feed to
+//!   `tracecheck --spans` or `spamctl trace <id> --from F`);
+//! * `slow`: "why was this scene slow?" in one command — runs all four
+//!   datasets as traced scene submissions under the tail sampler, then
+//!   prints the retained traces ranked by wall duration with a per-scene
+//!   gap attribution (busy vs. wall, worker utilization, longest task
+//!   attempt, retry/dead-letter counts) and the one-line summaries for
+//!   everything the sampler declined to keep;
+//! * `trace <id>`: reconstructs one retained trace — the ASCII span tree
+//!   (workers, durations, errors) plus the critical task chain recomputed
+//!   from the trace's recorded per-task service table via
+//!   `core::attribution::critical_path_of`, cross-checked against the
+//!   longest measured task attempt. `--from F` reads a `--traces-out`
+//!   file; `--url` fetches `/trace/<id>` from a serving `spamctl run`.
+//!   `<id>` may be a unique hex prefix (>= 4 chars).
 
 use spam::fa::run_fa;
 use spam::lcc::Level;
@@ -125,7 +155,10 @@ use std::sync::Arc;
 use std::time::Duration;
 use tlp_fault::{FaultPlan, SupervisorConfig};
 use tlp_obs::json::Json;
-use tlp_obs::{Live, ObsLevel, Recorder, SloConfig, SloMonitor};
+use tlp_obs::{
+    Live, ObsLevel, Recorder, RetainedTrace, SampleVerdict, SamplerConfig, SloConfig, SloMonitor,
+    SpanKind, Tracing,
+};
 
 struct Opts {
     profile: bool,
@@ -167,6 +200,11 @@ struct Opts {
     top_url: String,
     top_interval_ms: u64,
     top_iters: u64,
+    trace_sample: bool,
+    traces_out: Option<String>,
+    slow_cmd: bool,
+    trace_cmd: Option<String>,
+    trace_from: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -210,6 +248,11 @@ fn parse_args() -> Result<Opts, String> {
         top_url: "http://127.0.0.1:9184".into(),
         top_interval_ms: 1000,
         top_iters: 0,
+        trace_sample: false,
+        traces_out: None,
+        slow_cmd: false,
+        trace_cmd: None,
+        trace_from: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -220,6 +263,17 @@ fn parse_args() -> Result<Opts, String> {
             "chaos" => o.chaos = true,
             "whatif" => o.whatif = true,
             "top" => o.top_cmd = true,
+            "slow" => o.slow_cmd = true,
+            "trace" => {
+                o.trace_cmd = Some(args.next().ok_or("trace needs a trace id (hex)")?);
+            }
+            "--trace-sample" => o.trace_sample = true,
+            "--traces-out" => {
+                o.traces_out = Some(args.next().ok_or("--traces-out needs a path")?);
+            }
+            "--from" => {
+                o.trace_from = Some(args.next().ok_or("--from needs a path")?);
+            }
             "--live" => o.live = true,
             "--serve" => {
                 o.serve = Some(args.next().ok_or("--serve needs HOST:PORT")?);
@@ -437,7 +491,8 @@ fn parse_args() -> Result<Opts, String> {
                      [--retries K] [--deadline-ms MS] [--fault-seed S] \
                      [--task-panic-rate P] [--topdown] [--sweep] [--quiet] [--unshared] \
                      [--obs off|summary|full] [--trace-out F] [--metrics-out F] \
-                     [--live] [--serve ADDR] [--serve-linger-ms MS] [--metrics-snapshot F]\n\
+                     [--live] [--serve ADDR] [--serve-linger-ms MS] [--metrics-snapshot F] \
+                     [--trace-sample] [--traces-out F]\n\
                      \x20      spamctl profile [sf|dc|moff|suburb] [--level 1|2|3|4] [--top K] \
                      [--json F] [--check-band LO:HI]\n\
                      \x20      spamctl svm-report [sf|dc|moff|suburb] [--level 1|2|3|4] \
@@ -448,7 +503,10 @@ fn parse_args() -> Result<Opts, String> {
                      \x20      spamctl whatif [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
                      [--target prod:<name>|task:<id>|level:<n>|component:<fork|dequeue>|match] \
                      [--scale PCT] [--top N] [--json F] [--unshared]\n\
-                     \x20      spamctl top [--url http://HOST:PORT] [--interval-ms MS] [--iters N]"
+                     \x20      spamctl top [--url http://HOST:PORT] [--interval-ms MS] [--iters N]\n\
+                     \x20      spamctl slow [--level 1|2|3|4] [--workers N] [--retries K] \
+                     [--fault-seed S] [--task-panic-rate P] [--unshared]\n\
+                     \x20      spamctl trace <id> (--from F | --url http://HOST:PORT)"
                         .into(),
                 )
             }
@@ -1074,6 +1132,424 @@ fn run_top(o: &Opts) -> ExitCode {
     }
 }
 
+/// One retained trace's "why slow" line: wall vs. busy, worker utilization,
+/// the longest attempt, and the residual gap (fork + queue + idle).
+fn gap_attribution(t: &RetainedTrace) -> String {
+    let wall = t.duration_s();
+    let tasks: Vec<&tlp_obs::SpanRecord> = t
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Task)
+        .collect();
+    let busy: f64 = tasks
+        .iter()
+        .map(|s| s.end_us.saturating_sub(s.start_us) as f64 / 1e6)
+        .sum();
+    let workers: std::collections::BTreeSet<&str> =
+        tasks.iter().map(|s| s.worker.as_str()).collect();
+    let nw = workers.len().max(1);
+    let ideal = busy / nw as f64;
+    let gap = (wall - ideal).max(0.0);
+    let util = if wall > 0.0 {
+        busy / (wall * nw as f64)
+    } else {
+        0.0
+    };
+    let longest = tasks
+        .iter()
+        .max_by_key(|s| s.end_us.saturating_sub(s.start_us))
+        .map(|s| {
+            format!(
+                "{} {:.3}s",
+                s.name,
+                s.end_us.saturating_sub(s.start_us) as f64 / 1e6
+            )
+        })
+        .unwrap_or_else(|| "none".into());
+    let dropped = if t.dropped_spans > 0 {
+        format!(" (+{} dropped)", t.dropped_spans)
+    } else {
+        String::new()
+    };
+    format!(
+        "{} scene={} [{}] dur={:.3}s: busy {:.3}s on {nw} worker(s) (util {:.0}%), \
+         ideal {ideal:.3}s, gap {gap:.3}s fork+queue+idle; longest {longest}; \
+         retries={} dead={} spans={}{dropped}",
+        t.trace,
+        t.scene,
+        t.reason.name(),
+        wall,
+        busy,
+        100.0 * util,
+        t.retries,
+        t.dead_letters,
+        t.spans.len(),
+    )
+}
+
+/// The `slow` subcommand: run all four datasets as traced scene
+/// submissions under one tail sampler, then print the retained traces
+/// ranked by wall duration with gap attribution, and the one-line
+/// summaries for the scenes the sampler declined to keep.
+fn run_slow(o: &Opts, sp: &SpamProgram) -> ExitCode {
+    let datasets = ["sf", "dc", "moff", "suburb"];
+    let workers = o.workers.unwrap_or(2);
+    // Slowest-2 of four submissions: demoting the fast half to summaries
+    // is the point of the demo, not an accident of ring capacity.
+    let tracing = Tracing::new(SamplerConfig {
+        slowest_n: 2,
+        ..SamplerConfig::default()
+    });
+    let rec = Recorder::new(ObsLevel::Off);
+    let live = Live::off();
+    println!(
+        "spamctl slow: {} scene submissions, LCC at {}, {workers} worker(s), fault seed {}",
+        datasets.len(),
+        o.level.name(),
+        o.fault_seed
+    );
+    let mut cfg = SupervisorConfig::default().with_retries(o.retries);
+    if let Some(ms) = o.deadline_ms {
+        cfg = cfg.with_deadline(Duration::from_millis(ms));
+    }
+    let mut plan = FaultPlan::seeded(o.fault_seed);
+    if o.task_panic_rate > 0.0 {
+        plan = plan.with_task_panic_rate(o.task_panic_rate);
+    }
+    for name in datasets {
+        let scene = build_scene(name);
+        let rtf = run_rtf(sp, &scene);
+        let fragments = Arc::new(rtf.fragments.clone());
+        let span = tracing.start_scene(o.fault_seed, name);
+        let lcc = match spam_psm::tlp::run_parallel_lcc_scene(
+            sp,
+            &scene,
+            &fragments,
+            o.level,
+            workers,
+            &cfg,
+            &plan,
+            &rec,
+            &live,
+            None,
+            Some(&span),
+        ) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("slow: {name}: supervision error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let what = match span.finish() {
+            SampleVerdict::Retained(r) => format!("retained ({})", r.name()),
+            SampleVerdict::Summarized => "summarized".into(),
+        };
+        println!(
+            "  {name:<7}: {} tasks, {} firings -> {} {what}",
+            lcc.units.len(),
+            lcc.firings,
+            span.trace_id()
+        );
+    }
+    let mut kept = tracing.retained();
+    kept.sort_by(|a, b| b.duration_s().total_cmp(&a.duration_s()));
+    println!("\nslowest retained traces (full span detail, ranked):");
+    for t in &kept {
+        println!("  {}", gap_attribution(t));
+    }
+    let sums = tracing.summaries();
+    if !sums.is_empty() {
+        println!("summarized (spans not kept by the tail sampler):");
+        for s in &sums {
+            println!("  {}", s.one_line());
+        }
+    }
+    if let Some(path) = &o.traces_out {
+        let doc = Json::obj(vec![(
+            "traces",
+            Json::Arr(kept.iter().map(RetainedTrace::to_json).collect()),
+        )]);
+        if let Err(e) = std::fs::write(path, doc.write()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{} retained trace(s) -> {path}", kept.len());
+    } else {
+        println!("inspect one: spamctl slow --traces-out F, then spamctl trace <id> --from F");
+    }
+    ExitCode::SUCCESS
+}
+
+/// A span parsed back out of trace JSON (from `/trace/<id>` or a
+/// `--traces-out` file).
+struct TSpan {
+    id: String,
+    parent: Option<String>,
+    kind: String,
+    name: String,
+    worker: String,
+    start_us: u64,
+    end_us: u64,
+    error: Option<String>,
+}
+
+fn parse_spans(t: &Json) -> Result<Vec<TSpan>, String> {
+    let Some(Json::Arr(spans)) = t.get("spans") else {
+        return Err("missing spans array".into());
+    };
+    let as_u64 = |j: Option<&Json>| j.and_then(Json::as_f64).map(|f| f.max(0.0) as u64);
+    spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Ok(TSpan {
+                id: s
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("span[{i}]: missing id"))?
+                    .to_string(),
+                parent: s
+                    .get("parent")
+                    .filter(|p| !matches!(p, Json::Null))
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                kind: s
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("aux")
+                    .to_string(),
+                name: s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                worker: s
+                    .get("worker")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                start_us: as_u64(s.get("start_us"))
+                    .ok_or(format!("span[{i}]: missing start_us"))?,
+                end_us: as_u64(s.get("end_us")).ok_or(format!("span[{i}]: missing end_us"))?,
+                error: s.get("error").and_then(Json::as_str).map(str::to_string),
+            })
+        })
+        .collect()
+}
+
+/// Renders the span tree as indented ASCII, children ordered by start.
+fn render_span_tree(spans: &[TSpan], root_start: u64) -> String {
+    let mut children: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+    let mut roots = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match &s.parent {
+            Some(p) => children.entry(p.as_str()).or_default().push(i),
+            None => roots.push(i),
+        }
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|&i| (spans[i].start_us, spans[i].id.clone()));
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let s = &spans[i];
+        let off_ms = s.start_us.saturating_sub(root_start) as f64 / 1e3;
+        let dur_ms = s.end_us.saturating_sub(s.start_us) as f64 / 1e3;
+        let worker = if s.worker.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", s.worker)
+        };
+        let err = match &s.error {
+            Some(e) => format!(" ERROR: {e}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  {:>9.2}ms +{:>9.2}ms  {}{} ({}){worker}{err}\n",
+            off_ms,
+            dur_ms,
+            "  ".repeat(depth),
+            s.name,
+            s.kind,
+        ));
+        if let Some(kids) = children.get(s.id.as_str()) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Task index embedded in a `task.exec t<N> a<M>` span name.
+fn task_index(name: &str) -> Option<u32> {
+    name.strip_prefix("task.exec t")?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// The `trace <id>` subcommand: reconstruct one retained trace — span
+/// tree plus the critical task chain recomputed from the recorded per-task
+/// service table — from a `--traces-out` file or a serving `/trace/<id>`.
+fn run_trace(o: &Opts, id: &str) -> ExitCode {
+    let text = if let Some(path) = &o.trace_from {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let base = o.top_url.trim_end_matches('/');
+        let url = format!("{base}/trace/{id}");
+        match tlp_obs::http_get(&url, Duration::from_secs(2)) {
+            Ok((200, body)) => body,
+            Ok((status, _)) => {
+                eprintln!("trace: {url} returned HTTP {status}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!(
+                    "trace: cannot reach {url}: {e}\n\
+                     (serve one with: spamctl run --serve 127.0.0.1:9184 --serve-linger-ms 60000, \
+                     or read a --traces-out file with --from F)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    // Structural validation first: same checker CI runs (`tracecheck --spans`).
+    if let Err(e) = tlp_obs::validate_span_tree(&text) {
+        eprintln!("trace: INVALID span tree: {e}");
+        return ExitCode::FAILURE;
+    }
+    let doc = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("trace: malformed JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A `--traces-out` file holds a listing; `/trace/<id>` a single doc.
+    let singles: Vec<&Json> = match doc.get("traces") {
+        Some(Json::Arr(list)) => list.iter().collect(),
+        _ => vec![&doc],
+    };
+    let matches_id = |t: &Json| {
+        t.get("trace_id")
+            .and_then(Json::as_str)
+            .is_some_and(|tid| tid == id || (id.len() >= 4 && tid.starts_with(id)))
+    };
+    let hits: Vec<&Json> = singles.iter().copied().filter(|t| matches_id(t)).collect();
+    let t = match hits.as_slice() {
+        [one] => *one,
+        [] => {
+            eprintln!(
+                "trace: no retained trace matches {id:?} ({} candidate(s) in document)",
+                singles.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        _ => {
+            eprintln!("trace: prefix {id:?} is ambiguous ({} matches)", hits.len());
+            return ExitCode::FAILURE;
+        }
+    };
+    let get_s = |k: &str| t.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    let get_n = |k: &str| t.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "trace {} scene={} seed={} [{}]: {:.3}s, retries={} dead={} dropped={}",
+        get_s("trace_id"),
+        get_s("scene"),
+        get_n("seed"),
+        get_s("reason"),
+        get_n("duration_s"),
+        get_n("retries"),
+        get_n("dead_letters"),
+        get_n("dropped_spans"),
+    );
+    let spans = match parse_spans(t) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root_start = spans
+        .iter()
+        .find(|s| s.parent.is_none())
+        .map(|s| s.start_us)
+        .unwrap_or(0);
+    print!("{}", render_span_tree(&spans, root_start));
+
+    // Critical task chain, recomputed from the recorded deterministic
+    // service table — the same `core::attribution::critical_path_of` the
+    // profiler uses, so the two reports agree.
+    let services: Vec<multimax_sim::Task> = match t.get("services") {
+        Some(Json::Arr(list)) => list
+            .iter()
+            .filter_map(|s| {
+                let task = s.get("task").and_then(Json::as_f64)? as u32;
+                let sim_s = s.get("sim_s").and_then(Json::as_f64)?;
+                let frac = s.get("match_frac").and_then(Json::as_f64)?.clamp(0.0, 1.0);
+                Some(multimax_sim::Task::with_match(task, sim_s.max(0.0), frac))
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    if services.is_empty() {
+        println!("critical path: no service table recorded (scene traced without attribution)");
+        return ExitCode::SUCCESS;
+    }
+    let task_spans: Vec<&TSpan> = spans.iter().filter(|s| s.kind == "task").collect();
+    let nw = task_spans
+        .iter()
+        .map(|s| s.worker.as_str())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        .max(1);
+    let cfg = multimax_sim::SimConfig::encore(nw as u32);
+    let cp = spam_psm::attribution::critical_path_of(&services, &cfg);
+    println!(
+        "critical path (core::attribution, {} tasks, {nw} worker(s)): task t{}, {:.2} sim s \
+         (fork {} + dequeue {} + service)",
+        services.len(),
+        cp.task,
+        cp.length,
+        cfg.fork_overhead,
+        cfg.dequeue_overhead,
+    );
+    // Cross-check against the measured wall spans: the longest successful
+    // attempt should be the same task the model says is critical.
+    let longest_wall = task_spans
+        .iter()
+        .filter(|s| s.error.is_none())
+        .max_by_key(|s| s.end_us.saturating_sub(s.start_us));
+    if let Some(s) = longest_wall {
+        let wall_s = s.end_us.saturating_sub(s.start_us) as f64 / 1e6;
+        match task_index(&s.name) {
+            Some(idx) if idx == cp.task => println!(
+                "cross-check: longest measured attempt {} ({wall_s:.3}s wall) agrees with the model"
+                , s.name
+            ),
+            Some(idx) => println!(
+                "cross-check: longest measured attempt {} ({wall_s:.3}s wall) is t{idx}, \
+                 model says t{} — wall noise or retries moved the chain",
+                s.name, cp.task
+            ),
+            None => println!(
+                "cross-check: longest measured attempt {} ({wall_s:.3}s wall)",
+                s.name
+            ),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let o = match parse_args() {
         Ok(o) => o,
@@ -1085,9 +1561,15 @@ fn main() -> ExitCode {
     if o.top_cmd {
         return run_top(&o);
     }
+    if let Some(id) = &o.trace_cmd {
+        return run_trace(&o, id);
+    }
     let mut sp = SpamProgram::build();
     if o.unshared {
         sp = sp.with_config(ops5::ReteConfig::unshared());
+    }
+    if o.slow_cmd {
+        return run_slow(&o, &sp);
     }
     // Figure 9 is an SF result, so `svm-report` defaults to that scene.
     let default_dataset = if o.svm_report { "sf" } else { "moff" };
@@ -1142,12 +1624,27 @@ fn main() -> ExitCode {
             live.handle(),
         ))
     });
+    // Scene tracing: `--traces-out` implies `--trace-sample`, and `--serve`
+    // turns it on too so `/traces`, `/trace/<id>`, and the histogram
+    // exemplars are live. Results are bit-identical either way.
+    let trace_on = o.trace_sample || o.traces_out.is_some() || o.serve.is_some();
+    let tracing = if trace_on {
+        Tracing::new(SamplerConfig::default())
+    } else {
+        Tracing::off()
+    };
     let mut server = None;
     if let Some(addr) = &o.serve {
-        match tlp_obs::serve(addr, Arc::clone(&live), slo.clone()) {
+        match tlp_obs::serve_traced(
+            addr,
+            Arc::clone(&live),
+            slo.clone(),
+            Some(Arc::clone(&tracing)),
+        ) {
             Ok(s) => {
                 println!(
-                    "serve  : live telemetry on http://{} (/metrics /healthz /snapshot)",
+                    "serve  : live telemetry on http://{} \
+                     (/metrics /healthz /snapshot /traces /trace/<id>)",
                     s.addr()
                 );
                 server = Some(s);
@@ -1184,10 +1681,14 @@ fn main() -> ExitCode {
         || o.deadline_ms.is_some()
         || o.task_panic_rate > 0.0
         || rec.enabled(ObsLevel::Summary)
-        || live_on;
+        || live_on
+        || trace_on;
     if ctl.enabled(ObsLevel::Summary) {
         ctl.begin(tlp_obs::Category::Phase, "phase.lcc", vec![]);
     }
+    // One scene submission = one trace: mint the deterministic id + root
+    // span just before the LCC fan-out and close it right after.
+    let scene_span = trace_on.then(|| tracing.start_scene(o.fault_seed, dataset));
     let lcc = if supervised {
         let mut cfg = SupervisorConfig::default().with_retries(o.retries);
         if let Some(ms) = o.deadline_ms {
@@ -1197,7 +1698,7 @@ fn main() -> ExitCode {
         if o.task_panic_rate > 0.0 {
             plan = plan.with_task_panic_rate(o.task_panic_rate);
         }
-        match spam_psm::tlp::run_parallel_lcc_live(
+        match spam_psm::tlp::run_parallel_lcc_scene(
             &sp,
             &scene,
             &fragments,
@@ -1208,6 +1709,7 @@ fn main() -> ExitCode {
             &rec,
             &live,
             slo.as_ref(),
+            scene_span.as_ref(),
         ) {
             Ok(lcc) => lcc,
             Err(e) => {
@@ -1236,6 +1738,28 @@ fn main() -> ExitCode {
         // Wall-clock latency detail only when the recorder is on: the
         // default output must stay byte-identical for same-seed runs.
         print!("{}", lcc.report.display(rec.enabled(ObsLevel::Summary)));
+    }
+    if let Some(span) = &scene_span {
+        let what = match span.finish() {
+            SampleVerdict::Retained(r) => format!("retained ({})", r.name()),
+            SampleVerdict::Summarized => "summarized".into(),
+        };
+        println!("trace  : {} {what}", span.trace_id());
+    }
+    if let Some(path) = &o.traces_out {
+        let kept = tracing.retained();
+        let doc = Json::obj(vec![(
+            "traces",
+            Json::Arr(kept.iter().map(RetainedTrace::to_json).collect()),
+        )]);
+        if let Err(e) = std::fs::write(path, doc.write()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace  : {} retained trace(s) -> {path} (tracecheck --spans / spamctl trace --from)",
+            kept.len()
+        );
     }
     let mut fragments = Arc::new(lcc.fragments.clone());
     let mut consistents = lcc.consistents.clone();

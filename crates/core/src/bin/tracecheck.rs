@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! tracecheck trace.json [--min-coverage 0.99] [--jsonl events.jsonl]
+//! tracecheck --spans traces.json
 //! ```
 //!
 //! Checks a Chrome `trace_event` file produced by `spamctl --trace-out`:
@@ -15,23 +16,32 @@
 //! parses, each thread's logical clock is strictly monotone and its wall
 //! clock never regresses. Exits non-zero on any violation, so CI can gate
 //! on it.
+//!
+//! `--spans` switches to scene-trace mode: the file is a retained-trace
+//! document (from `/trace/<id>` or `spamctl … --traces-out`) or a
+//! `{"traces": […]}` listing, and every span tree must be well-formed —
+//! unique span ids, exactly one root, every parent present in the same
+//! trace, and every child interval nested inside its parent's.
 
 use std::process::ExitCode;
-use tlp_obs::{validate_chrome_trace, validate_jsonl};
+use tlp_obs::{validate_chrome_trace, validate_jsonl, validate_span_tree};
 
 struct Opts {
     trace: String,
     min_coverage: f64,
     jsonl: Option<String>,
+    spans: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
     let mut trace = None;
     let mut min_coverage = 0.99;
     let mut jsonl = None;
+    let mut spans = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--spans" => spans = true,
             "--min-coverage" => {
                 min_coverage = args
                     .next()
@@ -45,7 +55,8 @@ fn parse_args() -> Result<Opts, String> {
             "--jsonl" => jsonl = Some(args.next().ok_or("--jsonl needs a path")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: tracecheck <trace.json> [--min-coverage C] [--jsonl events.jsonl]"
+                    "usage: tracecheck <trace.json> [--min-coverage C] [--jsonl events.jsonl]\n\
+                     \x20      tracecheck --spans <traces.json>"
                         .into(),
                 )
             }
@@ -61,6 +72,7 @@ fn parse_args() -> Result<Opts, String> {
         trace: trace.ok_or("usage: tracecheck <trace.json> [--min-coverage C] [--jsonl F]")?,
         min_coverage,
         jsonl,
+        spans,
     })
 }
 
@@ -80,6 +92,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if o.spans {
+        match validate_span_tree(&text) {
+            Ok(s) => {
+                println!("tracecheck: {}: {s}", o.trace);
+                println!("tracecheck: OK");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("tracecheck: {}: INVALID: {e}", o.trace);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let summary = match validate_chrome_trace(&text) {
         Ok(s) => s,
         Err(e) => {

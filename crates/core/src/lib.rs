@@ -71,11 +71,12 @@ pub use recover::{
 };
 pub use supervise::{
     supervise, supervise_observed, supervise_traced, supervision_overhead, SupervisionOverhead,
+    TaskAttempt,
 };
 pub use tlp::{
-    attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_live, run_parallel_lcc_supervised,
-    run_parallel_lcc_traced, run_parallel_rtf, run_parallel_rtf_supervised, simulated_tlp_curve,
-    synchronous_makespan, RtfParallelResult,
+    attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_live, run_parallel_lcc_scene,
+    run_parallel_lcc_supervised, run_parallel_lcc_traced, run_parallel_rtf,
+    run_parallel_rtf_supervised, simulated_tlp_curve, synchronous_makespan, RtfParallelResult,
 };
 pub use trace::{lcc_trace, record_phase_metrics, record_sim_metrics, rtf_trace, PhaseTrace};
 pub use whatif::{

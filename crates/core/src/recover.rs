@@ -34,7 +34,7 @@
 //!   one, the tear means the crash happened before the run loop started,
 //!   so a from-scratch rebuild loses nothing.
 
-use crate::supervise::supervise_observed;
+use crate::supervise::{supervise_observed, TaskAttempt};
 use ops5::snapshot::apply_record;
 use ops5::{Value, Wal, WalOp, WalRecord, WorkCounters};
 use spam::fragments::FragmentHypothesis;
@@ -45,11 +45,12 @@ use spam::lcc::{
 use spam::rules::SpamProgram;
 use spam::scene::Scene;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskReport};
-use tlp_obs::{Category, Live, MetricsRegistry, ObsLevel, Recorder, SloMonitor};
+use tlp_obs::{
+    Category, Live, MetricsRegistry, ObsLevel, Recorder, SceneSpan, SloMonitor, SpanSink,
+};
 
 /// Checkpoint policy for a recoverable phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -298,6 +299,7 @@ pub fn run_lcc_unit_checkpointed(
     plan: &FaultPlan,
     rec: &Arc<Recorder>,
     metrics: Option<&MetricsRegistry>,
+    mut trace: Option<SpanSink>,
 ) -> (LccUnitResult, RecoveryInfo) {
     let mut sink = rec.sink(format!("recover-t{task}"));
     let mut info = RecoveryInfo {
@@ -307,6 +309,7 @@ pub fn run_lcc_unit_checkpointed(
     };
 
     let saved = if attempt > 0 { store.load(task) } else { None };
+    let restore_start_us = trace.as_ref().map(|t| t.now_us());
     let (mut e, start_cycle) = match saved {
         Some((mut wal_bytes, checkpoint)) => {
             let t0 = Instant::now();
@@ -385,6 +388,21 @@ pub fn run_lcc_unit_checkpointed(
                     ],
                 );
             }
+            if let (Some(tr), Some(start_us)) = (trace.as_mut(), restore_start_us) {
+                // Restore cost shows up in the retained span tree as an aux
+                // leaf under the recovering attempt.
+                let end_us = tr.now_us();
+                tr.record_aux(
+                    &format!(
+                        "recover.restore from_cycle={} wal_records={}",
+                        info.recovered_from_cycle.unwrap_or(0),
+                        info.wal_records_replayed
+                    ),
+                    start_us,
+                    end_us,
+                    None,
+                );
+            }
             pair
         }
         None => (
@@ -392,6 +410,9 @@ pub fn run_lcc_unit_checkpointed(
             0,
         ),
     };
+    if let Some(tr) = trace.take() {
+        e.set_trace(tr);
+    }
 
     // The run loop: step, checkpointing every `interval` cycles. Injected
     // kills fire exactly where the plan fates them.
@@ -461,6 +482,7 @@ pub fn run_lcc_unit_checkpointed(
         }
     }
     sink.flush();
+    e.publish_trace();
     (harvest_lcc_unit(&mut e, firings), info)
 }
 
@@ -499,6 +521,7 @@ pub fn run_parallel_lcc_recoverable(
         metrics,
         &Live::off(),
         None,
+        None,
     )
 }
 
@@ -526,15 +549,11 @@ pub fn run_parallel_lcc_recoverable_live(
     metrics: Option<&MetricsRegistry>,
     live: &Arc<Live>,
     slo: Option<&Arc<SloMonitor>>,
+    span: Option<&SceneSpan>,
 ) -> Result<(LccPhaseResult, RecoveryReport), SuperviseError> {
     let units = decompose(scene, fragments, level);
     let labels: Vec<String> = units.iter().map(|u| u.label()).collect();
     let store = CheckpointStore::new();
-    // Our own attempt counter: the supervisor only hands the closure a task
-    // index, and retries of one task are serialized (a retry is enqueued
-    // only after the failed attempt's report arrives), so a fetch_add per
-    // execution yields the attempt number.
-    let attempts: Vec<AtomicU32> = (0..units.len()).map(|_| AtomicU32::new(0)).collect();
     let lh = live.handle();
     let (slots, report) = supervise_observed(
         n_workers,
@@ -544,7 +563,8 @@ pub fn run_parallel_lcc_recoverable_live(
         rec,
         live,
         slo,
-        |_i, (r, info, attempt_s): &(LccUnitResult, RecoveryInfo, f64)| {
+        span,
+        |i, (r, info, attempt_s): &(LccUnitResult, RecoveryInfo, f64)| {
             if info.attempt > 0 {
                 lh.inc("spam_live_recoveries", 1);
                 lh.observe("spam_live_recovery_latency_seconds", *attempt_s);
@@ -555,12 +575,29 @@ pub fn run_parallel_lcc_recoverable_live(
             if let Some(slo) = slo {
                 slo.observe(r.work.seconds_at(spam::phases::MIPS), true);
             }
+            if let Some(span) = span {
+                span.record_service(
+                    i as u32,
+                    r.work.seconds_at(spam::phases::MIPS),
+                    r.work.match_fraction(),
+                );
+            }
         },
-        |i| {
-            let attempt = attempts[i].fetch_add(1, Ordering::SeqCst);
+        |a: TaskAttempt| {
             let t0 = Instant::now();
             let (r, info) = run_lcc_unit_checkpointed(
-                sp, scene, fragments, &units[i], i, attempt, &store, ckpt, plan, rec, metrics,
+                sp,
+                scene,
+                fragments,
+                &units[a.task],
+                a.task,
+                a.attempt,
+                &store,
+                ckpt,
+                plan,
+                rec,
+                metrics,
+                a.trace,
             );
             (r, info, t0.elapsed().as_secs_f64())
         },
@@ -758,6 +795,7 @@ mod tests {
             None,
             &live,
             Some(&slo),
+            None,
         )
         .unwrap();
         assert_phase_equal(&par, &seq);

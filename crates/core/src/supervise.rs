@@ -28,7 +28,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
 use std::time::{Duration, Instant};
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskOutcome, TaskReport, TaskStatus};
-use tlp_obs::{series_key, Category, Live, ObsLevel, Recorder, SloMonitor};
+use tlp_obs::{
+    series_key, Category, Live, ObsLevel, Recorder, SceneSpan, SloMonitor, SpanId, SpanKind,
+    SpanRecord, SpanSink,
+};
 
 /// Name prefix of supervised worker threads; the quiet panic hook uses it
 /// to keep injected/caught panics out of test output.
@@ -125,6 +128,21 @@ struct AttemptMsg<T> {
     elapsed: Duration,
 }
 
+/// One scheduled execution of a task, handed to the task closure. Carries
+/// the structural coordinates the supervisor knows — which task, which
+/// attempt — plus, when a scene trace is active, a [`SpanSink`] whose
+/// children parent under this attempt's `task.exec` span. The attempt
+/// number lets recovery paths distinguish a fresh run from a re-run
+/// without keeping their own counters.
+pub struct TaskAttempt {
+    /// Task index within the phase.
+    pub task: usize,
+    /// Zero-based attempt number (0 = first execution, >0 = retry).
+    pub attempt: u32,
+    /// Aux-span sink parented under this attempt's span, when tracing.
+    pub trace: Option<SpanSink>,
+}
+
 /// Why the last attempt of a task failed (drives the final dead-letter
 /// status).
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -179,8 +197,9 @@ pub fn supervise_traced<T: Send>(
         rec,
         &Live::off(),
         None,
+        None,
         |_, _| {},
-        task,
+        |a: TaskAttempt| task(a.task),
     )
 }
 
@@ -211,6 +230,18 @@ pub fn supervise_traced<T: Send>(
 /// SLO latency observations) into `live` from there. With `live` disabled
 /// every emit is a single branch and behaviour is identical to
 /// [`supervise_traced`].
+///
+/// When `scene` is an enabled [`SceneSpan`], the supervisor propagates its
+/// trace context through every scheduling decision: each attempt becomes a
+/// `task.exec` span under the scene root (recorded by the worker that ran
+/// it, so worker hops are visible), retries and dead letters become marker
+/// spans recorded by the control thread, and the task closure receives a
+/// [`SpanSink`] parented under the attempt span for engine/recovery
+/// emissions. Span ids are derived from `(trace, task, attempt)`, so both
+/// sides of the channel agree on them without coordination. The closure
+/// now receives a [`TaskAttempt`] rather than a bare index — the attempt
+/// number rides along, which is what the recovery runner needs to decide
+/// whether to restore from a checkpoint.
 #[allow(clippy::too_many_arguments)]
 pub fn supervise_observed<T: Send>(
     n_workers: usize,
@@ -220,12 +251,16 @@ pub fn supervise_observed<T: Send>(
     rec: &Arc<Recorder>,
     live: &Arc<Live>,
     slo: Option<&Arc<SloMonitor>>,
+    scene: Option<&SceneSpan>,
     on_complete: impl Fn(usize, &T),
-    task: impl Fn(usize) -> T + Sync,
+    task: impl Fn(TaskAttempt) -> T + Sync,
 ) -> Result<(Vec<Option<T>>, TaskReport), SuperviseError> {
     if n_workers == 0 {
         return Err(SuperviseError::NoWorkers);
     }
+    // A disabled scene handle records nothing; drop it so the hot path
+    // sees one branch.
+    let scene = scene.filter(|sc| sc.enabled());
     install_quiet_hook();
     let phase_start = Instant::now();
     let n_tasks = labels.len();
@@ -288,6 +323,12 @@ pub fn supervise_observed<T: Send>(
                     // Each worker owns a private sink; it flushes on drop
                     // when the queue closes and the thread exits.
                     let mut sink = rec.sink(format!("{WORKER_NAME}-{w}"));
+                    if let Some(sc) = scene {
+                        // Tag recorder events with the scene's trace id so
+                        // flight-recorder output joins against the retained
+                        // span trees.
+                        sink.set_trace(sc.trace_id());
+                    }
                     // And a private live shard, with its series keys built
                     // once — the per-attempt emits must not allocate.
                     let wh = wlive.handle();
@@ -309,12 +350,34 @@ pub fn supervise_observed<T: Send>(
                                 ],
                             );
                         }
+                        // Derive this attempt's span id up front: the sink
+                        // handed to the task parents engine/recovery spans
+                        // under it, and the span itself is recorded below
+                        // once the outcome is known.
+                        let attempt_span = scene.map(|sc| {
+                            (
+                                SpanId::derive(
+                                    sc.trace_id(),
+                                    "task.exec",
+                                    i as u64,
+                                    u64::from(attempt),
+                                ),
+                                sc.now_us(),
+                            )
+                        });
+                        let invocation = TaskAttempt {
+                            task: i,
+                            attempt,
+                            trace: scene
+                                .zip(attempt_span)
+                                .map(|(sc, (span, _))| sc.sink_under(span)),
+                        };
                         let start = Instant::now();
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             if plan.task_panics(i, attempt) {
                                 panic!("injected fault: task {i} attempt {attempt}");
                             }
-                            task(i)
+                            task(invocation)
                         }))
                         .map_err(payload_to_string);
                         if sink.enabled(ObsLevel::Full) {
@@ -325,6 +388,18 @@ pub fn supervise_observed<T: Send>(
                             );
                         }
                         let elapsed = start.elapsed();
+                        if let (Some(sc), Some((span, start_us))) = (scene, attempt_span) {
+                            sc.record_span(SpanRecord {
+                                id: span,
+                                parent: Some(sc.root()),
+                                kind: SpanKind::Task,
+                                name: format!("task.exec t{i} a{attempt}"),
+                                worker: format!("{WORKER_NAME}-{w}"),
+                                start_us,
+                                end_us: sc.now_us(),
+                                error: result.as_ref().err().cloned(),
+                            });
+                        }
                         if wh.enabled() {
                             wh.inc(&busy_key, elapsed.as_micros() as u64);
                             wh.inc(&tasks_key, 1);
@@ -385,10 +460,8 @@ pub fn supervise_observed<T: Send>(
                     _ => {
                         if ctl_live.enabled() {
                             ctl_live.inc("spam_live_tasks_completed", 1);
-                            ctl_live.observe(
-                                "spam_live_task_latency_seconds",
-                                msg.elapsed.as_secs_f64(),
-                            );
+                            ctl_live
+                                .observe(tlp_obs::TASK_LATENCY_FAMILY, msg.elapsed.as_secs_f64());
                         }
                         // Mirror the task's result before its epoch closes,
                         // so caller-side series land in the window of the
@@ -425,6 +498,25 @@ pub fn supervise_observed<T: Send>(
                 if msg.attempt < cfg.max_retries {
                     queue.push((i, msg.attempt + 1));
                     ctl_live.inc("spam_live_task_retries", 1);
+                    if let Some(sc) = scene {
+                        sc.tracing().note_retry(sc.trace_id());
+                        let now = sc.now_us();
+                        sc.record_span(SpanRecord {
+                            id: SpanId::derive(
+                                sc.trace_id(),
+                                "supervisor.retry",
+                                i as u64,
+                                u64::from(msg.attempt),
+                            ),
+                            parent: Some(sc.root()),
+                            kind: SpanKind::Aux,
+                            name: format!("supervisor.retry t{i} a{}", msg.attempt + 1),
+                            worker: "psm-control".into(),
+                            start_us: now,
+                            end_us: now,
+                            error: None,
+                        });
+                    }
                     if ctl.enabled(ObsLevel::Full) {
                         ctl.instant(
                             Category::Supervisor,
@@ -441,6 +533,25 @@ pub fn supervise_observed<T: Send>(
                         _ => TaskStatus::Panicked,
                     };
                     ctl_live.inc("spam_live_dead_letters", 1);
+                    if let Some(sc) = scene {
+                        sc.tracing().note_dead_letter(sc.trace_id());
+                        let now = sc.now_us();
+                        sc.record_span(SpanRecord {
+                            id: SpanId::derive(
+                                sc.trace_id(),
+                                "supervisor.dead_letter",
+                                i as u64,
+                                u64::from(msg.attempt),
+                            ),
+                            parent: Some(sc.root()),
+                            kind: SpanKind::Aux,
+                            name: format!("supervisor.dead_letter t{i}"),
+                            worker: "psm-control".into(),
+                            start_us: now,
+                            end_us: now,
+                            error: o.error.clone(),
+                        });
+                    }
                     if let Some(slo) = slo {
                         // A dead letter is a breach: the work never
                         // completed, so it burns error budget.
@@ -690,6 +801,88 @@ mod tests {
     }
 
     #[test]
+    fn scene_traced_supervision_builds_a_wellformed_span_tree() {
+        use tlp_obs::{validate_span_tree, RetainReason, SampleVerdict, SamplerConfig, Tracing};
+        let tracing = Tracing::new(SamplerConfig::default());
+        let scene = tracing.start_scene(42, "dc");
+        // Task 1 fails once and recovers; task 2 dies for good.
+        let plan = FaultPlan::none()
+            .with_task_panic(1, 1)
+            .with_task_panic(2, u32::MAX);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1));
+        let live = Live::off();
+        let (slots, report) = supervise_observed(
+            2,
+            labels(4),
+            &cfg,
+            &plan,
+            &Recorder::off(),
+            &live,
+            None,
+            Some(&scene),
+            |_, _| {},
+            |a: TaskAttempt| {
+                // Stand-in for the engine's cycle mirror: record one aux
+                // span through the handed sink.
+                if let Some(mut tr) = a.trace {
+                    let t0 = tr.now_us();
+                    tr.record_aux("engine.cycles x1", t0, tr.now_us(), None);
+                }
+                a.task
+            },
+        )
+        .unwrap();
+        assert_eq!(slots.iter().flatten().count(), 3);
+        assert_eq!(report.dead_letters().len(), 1);
+        let verdict = scene.finish();
+        assert_eq!(
+            verdict,
+            SampleVerdict::Retained(RetainReason::Errored),
+            "a scene with retries and dead letters must be retained"
+        );
+        let retained = tracing.retained();
+        assert_eq!(retained.len(), 1);
+        let t = &retained[0];
+        assert_eq!(t.retries, 2, "t1's recovery retry + t2's doomed retry");
+        assert_eq!(t.dead_letters, 1);
+        // One task.exec span per attempt (4 first + 1 retry of t1 + 1
+        // retry of t2), one retry marker per re-enqueue, one dead-letter
+        // marker, plus the root and the per-attempt engine aux spans.
+        let count = |prefix: &str| {
+            t.spans
+                .iter()
+                .filter(|s| s.name.starts_with(prefix))
+                .count()
+        };
+        assert_eq!(count("task.exec"), 6);
+        assert_eq!(count("supervisor.retry"), 2);
+        assert_eq!(count("supervisor.dead_letter"), 1);
+        // Injected panics fire before the task body runs, so only the
+        // successful attempts reach the engine stand-in.
+        assert_eq!(count("engine.cycles"), 3);
+        // Failed attempts carry their panic payload.
+        let failed: Vec<_> = t
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("task.exec") && s.error.is_some())
+            .collect();
+        assert_eq!(failed.len(), 3, "t1 a0, t2 a0, t2 a1");
+        // The whole tree validates: unique ids, one root, parents exist,
+        // intervals nest.
+        let doc = t.to_json().write();
+        validate_span_tree(&doc).expect("retained trace must be a well-formed span tree");
+        // Deterministic ids: a rerun of the same seed + scene yields the
+        // same trace id.
+        assert_eq!(
+            t.trace,
+            tlp_obs::TraceId::derive(42, "dc"),
+            "trace ids must be derivable for benchdiff comparison"
+        );
+    }
+
+    #[test]
     fn traced_supervision_emits_phase_and_task_events() {
         use tlp_obs::EventKind;
         let rec = Recorder::new(ObsLevel::Full);
@@ -839,10 +1032,11 @@ mod tests {
             &Recorder::off(),
             &live,
             None,
+            None,
             |_, _| {
                 completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             },
-            |i| i,
+            |a: TaskAttempt| a.task,
         )
         .unwrap();
         assert_eq!(slots.iter().flatten().count(), 4);
@@ -901,8 +1095,9 @@ mod tests {
             &Recorder::off(),
             &live,
             Some(&slo),
+            None,
             |_i, _v| slo.observe(0.5, true),
-            |i| i,
+            |a: TaskAttempt| a.task,
         )
         .unwrap();
         assert_eq!(slots.iter().flatten().count(), 6);
@@ -937,8 +1132,9 @@ mod tests {
             &Recorder::off(),
             &live,
             Some(&slo),
+            None,
             |_, _| {},
-            |i| i,
+            |a: TaskAttempt| a.task,
         )
         .unwrap();
         assert_eq!(slots.iter().flatten().count(), 0);
@@ -964,8 +1160,9 @@ mod tests {
             &Recorder::off(),
             &live,
             None,
+            None,
             |_, _| {},
-            |i| i,
+            |a: TaskAttempt| a.task,
         )
         .unwrap();
         assert_eq!(slots.iter().flatten().count(), 4);

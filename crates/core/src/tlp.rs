@@ -12,17 +12,19 @@
 //!   since the container running this reproduction has a single core.
 
 use crate::attribution::GapAttribution;
-use crate::supervise::{supervise, supervise_observed};
+use crate::supervise::{supervise, supervise_observed, TaskAttempt};
 use crate::trace::PhaseTrace;
 use multimax_sim::{simulate, Schedule, SimConfig};
 use ops5::WorkCounters;
 use spam::fragments::FragmentHypothesis;
-use spam::lcc::{decompose, run_lcc_unit, run_lcc_unit_live, ConsistentRec, LccPhaseResult, Level};
+use spam::lcc::{
+    decompose, run_lcc_unit, run_lcc_unit_traced, ConsistentRec, LccPhaseResult, Level,
+};
 use spam::rules::SpamProgram;
 use spam::scene::Scene;
 use std::sync::Arc;
 use tlp_fault::{FaultPlan, SuperviseError, SupervisorConfig, TaskReport};
-use tlp_obs::{Live, Recorder, SloMonitor};
+use tlp_obs::{Live, Recorder, SceneSpan, SloMonitor};
 
 /// Result of a supervised parallel RTF phase: the merged fragments plus the
 /// per-batch supervision outcomes.
@@ -133,6 +135,34 @@ pub fn run_parallel_lcc_live(
     live: &Arc<Live>,
     slo: Option<&Arc<SloMonitor>>,
 ) -> Result<LccPhaseResult, SuperviseError> {
+    run_parallel_lcc_scene(
+        sp, scene, fragments, level, n_workers, cfg, plan, rec, live, slo, None,
+    )
+}
+
+/// [`run_parallel_lcc_live`] inside a scene-scoped trace: when a
+/// [`SceneSpan`] is attached, the supervisor records one `task.exec` span
+/// per attempt (parented under the scene's root), retry and dead-letter
+/// decisions become aux marker spans, worker engines group their
+/// recognize–act cycles into `engine.cycles` aux spans under their attempt,
+/// and each completed unit's simulated service time + match fraction land
+/// in the trace's service table so `spamctl trace` can rebuild the phase's
+/// critical path. Trace-only: results are bit-identical with the span
+/// attached, disabled, or absent.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_lcc_scene(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    n_workers: usize,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    rec: &Arc<Recorder>,
+    live: &Arc<Live>,
+    slo: Option<&Arc<SloMonitor>>,
+    span: Option<&SceneSpan>,
+) -> Result<LccPhaseResult, SuperviseError> {
     let units = decompose(scene, fragments, level);
     let labels: Vec<String> = units.iter().map(|u| u.label()).collect();
     let (slots, report) = supervise_observed(
@@ -143,16 +173,27 @@ pub fn run_parallel_lcc_live(
         rec,
         live,
         slo,
-        |_i, r: &spam::lcc::LccUnitResult| {
+        span,
+        |i, r: &spam::lcc::LccUnitResult| {
             if let Some(slo) = slo {
                 slo.observe(r.work.seconds_at(spam::phases::MIPS), true);
             }
+            if let Some(span) = span {
+                // The same service model `lcc_trace` feeds the simulator:
+                // work units at the paper's 1.5 MIPS plus the unit's match
+                // fraction, keyed by task index.
+                span.record_service(
+                    i as u32,
+                    r.work.seconds_at(spam::phases::MIPS),
+                    r.work.match_fraction(),
+                );
+            }
         },
-        |i| {
-            if live.is_enabled() {
-                run_lcc_unit_live(sp, scene, fragments, &units[i], live)
+        |a: TaskAttempt| {
+            if live.is_enabled() || a.trace.is_some() {
+                run_lcc_unit_traced(sp, scene, fragments, &units[a.task], live, a.trace)
             } else {
-                run_lcc_unit(sp, scene, fragments, &units[i])
+                run_lcc_unit(sp, scene, fragments, &units[a.task])
             }
         },
     )?;

@@ -29,6 +29,7 @@
 
 use crate::live::{Live, LiveSnapshot, LiveValue};
 use crate::slo::SloMonitor;
+use crate::tracectx::{Exemplar, Tracing};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -117,8 +118,35 @@ fn sample_line(out: &mut String, name: &str, labels: &str, extra: &[(&str, Strin
     out.push('\n');
 }
 
+/// Appends an OpenMetrics exemplar annotation to the current sample line
+/// (which must not yet be newline-terminated).
+fn exemplar_suffix(out: &mut String, ex: &Exemplar) {
+    out.push_str(&format!(
+        " # {{trace_id=\"{}\"}} {} {}",
+        ex.trace,
+        fmt_value(ex.value),
+        fmt_value(ex.ts_s)
+    ));
+}
+
+/// How many `le` buckets an exemplar-bearing histogram family exposes
+/// (plus the `+Inf` bucket). Coarse on purpose: the full 258-bucket
+/// log-scale shape stays internal; the exposition only needs enough
+/// resolution to hang exemplars off the tail.
+const EXPO_BUCKETS: usize = 8;
+
 /// Renders a snapshot as OpenMetrics text (terminated by `# EOF`).
 pub fn openmetrics(snap: &LiveSnapshot) -> String {
+    openmetrics_traced(snap, None)
+}
+
+/// Renders a snapshot as OpenMetrics text, attaching exemplars from the
+/// tail sampler where available. A histogram family with at least one
+/// exemplar is rendered as a real OpenMetrics `histogram` (cumulative
+/// `le` buckets, exemplar-annotated); families without exemplars keep the
+/// compact `summary` rendering.
+pub fn openmetrics_traced(snap: &LiveSnapshot, tracing: Option<&Tracing>) -> String {
+    let exemplars = tracing.map(Tracing::exemplars).unwrap_or_default();
     // Group series by family so labeled variants stay contiguous.
     let mut families: BTreeMap<String, Vec<(String, &LiveValue)>> = BTreeMap::new();
     for (key, value) in &snap.series {
@@ -135,9 +163,12 @@ pub fn openmetrics(snap: &LiveSnapshot) -> String {
     }
     let mut out = String::new();
     for (family, entries) in &families {
+        let fam_exemplars: Vec<&Exemplar> =
+            exemplars.iter().filter(|e| &e.family == family).collect();
         let ftype = match entries[0].1 {
             LiveValue::Counter { .. } => "counter",
             LiveValue::Gauge(_) => "gauge",
+            LiveValue::Histogram(_) if !fam_exemplars.is_empty() => "histogram",
             LiveValue::Histogram(_) => "summary",
         };
         out.push_str(&format!("# TYPE {family} {ftype}\n"));
@@ -159,6 +190,51 @@ pub fn openmetrics(snap: &LiveSnapshot) -> String {
                     );
                 }
                 LiveValue::Gauge(g) => sample_line(&mut out, family, labels, &[], *g),
+                LiveValue::Histogram(h) if ftype == "histogram" => {
+                    // Exemplar-linked exposition: real cumulative buckets,
+                    // each annotated with the latest exemplar it contains.
+                    let mut prev = f64::NEG_INFINITY;
+                    let buckets = h.le_buckets(EXPO_BUCKETS);
+                    for (le, cum) in &buckets {
+                        sample_line(
+                            &mut out,
+                            &format!("{family}_bucket"),
+                            labels,
+                            &[("le", fmt_value(*le))],
+                            *cum as f64,
+                        );
+                        if let Some(ex) = fam_exemplars
+                            .iter()
+                            .rev()
+                            .find(|e| e.value > prev && e.value <= *le)
+                        {
+                            out.truncate(out.len() - 1); // reopen the line
+                            exemplar_suffix(&mut out, ex);
+                            out.push('\n');
+                        }
+                        prev = *le;
+                    }
+                    sample_line(
+                        &mut out,
+                        &format!("{family}_bucket"),
+                        labels,
+                        &[("le", "+Inf".to_string())],
+                        h.count() as f64,
+                    );
+                    if let Some(ex) = fam_exemplars.iter().rev().find(|e| e.value > prev) {
+                        out.truncate(out.len() - 1);
+                        exemplar_suffix(&mut out, ex);
+                        out.push('\n');
+                    }
+                    sample_line(
+                        &mut out,
+                        &format!("{family}_count"),
+                        labels,
+                        &[],
+                        h.count() as f64,
+                    );
+                    sample_line(&mut out, &format!("{family}_sum"), labels, &[], h.sum());
+                }
                 LiveValue::Histogram(h) => {
                     for q in [0.5, 0.9, 0.99] {
                         let v = h.quantile(q).unwrap_or(f64::NAN);
@@ -235,9 +311,100 @@ struct Sample {
     name: String,
     labels: Vec<(String, String)>,
     value: f64,
+    exemplar: Option<SampleExemplar>,
 }
 
-/// Parses one sample line: `name[{labels}] value [timestamp]`.
+/// A parsed exemplar annotation (`# {labels} value [ts]`).
+struct SampleExemplar {
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses a `{k="v",…}` label set starting at `bytes[*i]` (which must be
+/// `{`), advancing `*i` past the closing brace.
+fn parse_labelset(
+    bytes: &[char],
+    i: &mut usize,
+    line: &str,
+) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    *i += 1; // consume '{'
+    loop {
+        if *i < bytes.len() && bytes[*i] == '}' {
+            *i += 1;
+            break;
+        }
+        let start = *i;
+        while *i < bytes.len() && (bytes[*i].is_ascii_alphanumeric() || bytes[*i] == '_') {
+            *i += 1;
+        }
+        let lname: String = bytes[start..*i].iter().collect();
+        if lname.is_empty() || !valid_name(&lname) {
+            return Err(format!("invalid label name in line {line:?}"));
+        }
+        if *i >= bytes.len() || bytes[*i] != '=' {
+            return Err(format!("expected '=' after label name in line {line:?}"));
+        }
+        *i += 1;
+        if *i >= bytes.len() || bytes[*i] != '"' {
+            return Err(format!("expected '\"' opening label value in {line:?}"));
+        }
+        *i += 1;
+        let mut val = String::new();
+        loop {
+            if *i >= bytes.len() {
+                return Err(format!("unterminated label value in line {line:?}"));
+            }
+            match bytes[*i] {
+                '"' => {
+                    *i += 1;
+                    break;
+                }
+                '\\' => {
+                    *i += 1;
+                    match bytes.get(*i) {
+                        Some('\\') => val.push('\\'),
+                        Some('"') => val.push('"'),
+                        Some('n') => val.push('\n'),
+                        _ => return Err(format!("bad escape in label value in {line:?}")),
+                    }
+                    *i += 1;
+                }
+                c => {
+                    val.push(c);
+                    *i += 1;
+                }
+            }
+        }
+        labels.push((lname, val));
+        match bytes.get(*i) {
+            Some(',') => *i += 1,
+            Some('}') => {}
+            _ => return Err(format!("expected ',' or '}}' in label set in {line:?}")),
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses `value [timestamp]` from whitespace-separated tokens.
+fn parse_value_ts(toks: &[&str], what: &str, line: &str) -> Result<f64, String> {
+    if toks.is_empty() {
+        return Err(format!("{what} in line {line:?} has no value"));
+    }
+    if toks.len() > 2 {
+        return Err(format!("{what} in line {line:?} has trailing tokens"));
+    }
+    let value = parse_value(toks[0])?;
+    if toks.len() == 2 {
+        toks[1]
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable {what} timestamp in line {line:?}"))?;
+    }
+    Ok(value)
+}
+
+/// Parses one sample line:
+/// `name[{labels}] value [timestamp] [# {exemplar-labels} value [timestamp]]`.
 fn parse_sample(line: &str) -> Result<Sample, String> {
     let bytes: Vec<char> = line.chars().collect();
     let mut i = 0;
@@ -252,80 +419,43 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
     }
     let mut labels = Vec::new();
     if i < bytes.len() && bytes[i] == '{' {
-        i += 1;
-        loop {
-            if i < bytes.len() && bytes[i] == '}' {
-                i += 1;
-                break;
-            }
-            let start = i;
-            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
-                i += 1;
-            }
-            let lname: String = bytes[start..i].iter().collect();
-            if lname.is_empty() || !valid_name(&lname) {
-                return Err(format!("invalid label name in line {line:?}"));
-            }
-            if i >= bytes.len() || bytes[i] != '=' {
-                return Err(format!("expected '=' after label name in line {line:?}"));
-            }
-            i += 1;
-            if i >= bytes.len() || bytes[i] != '"' {
-                return Err(format!("expected '\"' opening label value in {line:?}"));
-            }
-            i += 1;
-            let mut val = String::new();
-            loop {
-                if i >= bytes.len() {
-                    return Err(format!("unterminated label value in line {line:?}"));
-                }
-                match bytes[i] {
-                    '"' => {
-                        i += 1;
-                        break;
-                    }
-                    '\\' => {
-                        i += 1;
-                        match bytes.get(i) {
-                            Some('\\') => val.push('\\'),
-                            Some('"') => val.push('"'),
-                            Some('n') => val.push('\n'),
-                            _ => return Err(format!("bad escape in label value in {line:?}")),
-                        }
-                        i += 1;
-                    }
-                    c => {
-                        val.push(c);
-                        i += 1;
-                    }
-                }
-            }
-            labels.push((lname, val));
-            match bytes.get(i) {
-                Some(',') => i += 1,
-                Some('}') => {}
-                _ => return Err(format!("expected ',' or '}}' in label set in {line:?}")),
-            }
-        }
+        labels = parse_labelset(&bytes, &mut i, line)?;
     }
     let rest: String = bytes[i..].iter().collect();
-    let toks: Vec<&str> = rest.split_whitespace().collect();
-    if toks.is_empty() {
-        return Err(format!("sample line {line:?} has no value"));
-    }
-    if toks.len() > 2 {
-        return Err(format!("sample line {line:?} has trailing tokens"));
-    }
-    let value = parse_value(toks[0])?;
-    if toks.len() == 2 {
-        toks[1]
-            .parse::<f64>()
-            .map_err(|_| format!("unparseable timestamp in line {line:?}"))?;
-    }
+    // An exemplar is introduced by a '#' after the value: split it off
+    // before tokenizing the value/timestamp part.
+    let (value_part, exemplar_part) = match rest.find('#') {
+        Some(h) => (
+            rest[..h].to_string(),
+            Some(rest[h + 1..].trim().to_string()),
+        ),
+        None => (rest, None),
+    };
+    let toks: Vec<&str> = value_part.split_whitespace().collect();
+    let value = parse_value_ts(&toks, "sample", line)?;
+    let exemplar = match exemplar_part {
+        None => None,
+        Some(ex) => {
+            let exb: Vec<char> = ex.chars().collect();
+            let mut j = 0;
+            if exb.first() != Some(&'{') {
+                return Err(format!("exemplar must start with a label set in {line:?}"));
+            }
+            let ex_labels = parse_labelset(&exb, &mut j, line)?;
+            let ex_rest: String = exb[j..].iter().collect();
+            let ex_toks: Vec<&str> = ex_rest.split_whitespace().collect();
+            let ex_value = parse_value_ts(&ex_toks, "exemplar", line)?;
+            Some(SampleExemplar {
+                labels: ex_labels,
+                value: ex_value,
+            })
+        }
+    };
     Ok(Sample {
         name,
         labels,
         value,
+        exemplar,
     })
 }
 
@@ -334,8 +464,8 @@ struct FamilyState {
     ftype: String,
     has_samples: bool,
     /// For histogram-ish families: per label-set (minus `le`) bucket series
-    /// in appearance order.
-    buckets: BTreeMap<String, Vec<(f64, f64)>>,
+    /// in appearance order, `(le, cumulative count, exemplar value)`.
+    buckets: BTreeMap<String, Vec<(f64, f64, Option<f64>)>>,
 }
 
 /// Validates an OpenMetrics text exposition. Returns family/sample counts,
@@ -469,6 +599,29 @@ pub fn validate_openmetrics(text: &str) -> Result<ExpoSummary, String> {
         }
         let fam = families.get_mut(&family).unwrap();
         fam.has_samples = true;
+        if let Some(ex) = &sample.exemplar {
+            // Exemplars are legal only on histogram buckets and counter
+            // totals, and this repo's contract is that they carry the
+            // trace id of a retained scene trace.
+            let allowed = (matches!(fam.ftype.as_str(), "histogram" | "gaugehistogram")
+                && suffix == "_bucket")
+                || (fam.ftype == "counter" && suffix == "_total");
+            if !allowed {
+                return Err(at(format!(
+                    "exemplar not allowed on {} sample {:?}",
+                    fam.ftype, sample.name
+                )));
+            }
+            if !ex.labels.iter().any(|(k, _)| k == "trace_id") {
+                return Err(at(format!(
+                    "exemplar on {:?} is missing a trace_id label",
+                    sample.name
+                )));
+            }
+            if ex.value.is_nan() {
+                return Err(at(format!("exemplar on {:?} has NaN value", sample.name)));
+            }
+        }
         match fam.ftype.as_str() {
             "counter" if suffix == "_total" && (sample.value.is_nan() || sample.value < 0.0) => {
                 return Err(at(format!(
@@ -509,10 +662,11 @@ pub fn validate_openmetrics(text: &str) -> Result<ExpoSummary, String> {
                     .filter(|(k, _)| k != "le")
                     .map(|(k, v)| format!("{k}={v:?}"))
                     .collect();
-                fam.buckets
-                    .entry(series.join(","))
-                    .or_default()
-                    .push((lev, sample.value));
+                fam.buckets.entry(series.join(",")).or_default().push((
+                    lev,
+                    sample.value,
+                    sample.exemplar.as_ref().map(|e| e.value),
+                ));
             }
             _ => {}
         }
@@ -536,12 +690,26 @@ pub fn validate_openmetrics(text: &str) -> Result<ExpoSummary, String> {
                 }
             }
             match buckets.last() {
-                Some((le, _)) if le.is_infinite() && *le > 0.0 => {}
+                Some((le, _, _)) if le.is_infinite() && *le > 0.0 => {}
                 _ => {
                     return Err(format!(
                         "family {name:?} bucket series {{{series}}} does not end with le=\"+Inf\""
                     ))
                 }
+            }
+            // An exemplar must lie within its bucket: greater than the
+            // previous boundary, at most this one.
+            let mut prev = f64::NEG_INFINITY;
+            for (le, _, ex) in buckets {
+                if let Some(ev) = ex {
+                    if *ev <= prev || *ev > *le {
+                        return Err(format!(
+                            "family {name:?} series {{{series}}}: exemplar value {ev} \
+                             outside its bucket ({prev}, {le}]"
+                        ));
+                    }
+                }
+                prev = *le;
             }
         }
     }
@@ -573,6 +741,19 @@ pub fn serve(
     live: Arc<Live>,
     slo: Option<Arc<SloMonitor>>,
 ) -> io::Result<MetricsServer> {
+    serve_traced(addr, live, slo, None)
+}
+
+/// [`serve`] plus the tracing routes: `/traces` (retained-trace listing)
+/// and `/trace/<id>` (full span tree for a retained trace, by id or
+/// unique prefix), and `/metrics` exemplars sourced from the tail
+/// sampler.
+pub fn serve_traced(
+    addr: &str,
+    live: Arc<Live>,
+    slo: Option<Arc<SloMonitor>>,
+    tracing: Option<Arc<Tracing>>,
+) -> io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -585,7 +766,7 @@ pub fn serve(
                     break;
                 }
                 if let Ok(stream) = conn {
-                    let _ = handle_conn(stream, &live, slo.as_deref());
+                    let _ = handle_conn(stream, &live, slo.as_deref(), tracing.as_deref());
                 }
             }
         })?;
@@ -619,10 +800,22 @@ impl Drop for MetricsServer {
     }
 }
 
+/// A JSON error body (`{"error": …, "path": …}`), newline-terminated.
+fn json_error(error: &str, path: &str) -> String {
+    let mut body = crate::json::Json::obj(vec![
+        ("error", crate::json::Json::str(error)),
+        ("path", crate::json::Json::str(path)),
+    ])
+    .write();
+    body.push('\n');
+    body
+}
+
 fn handle_conn(
     mut stream: TcpStream,
     live: &Arc<Live>,
     slo: Option<&SloMonitor>,
+    tracing: Option<&Tracing>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 4096];
@@ -638,51 +831,89 @@ fn handle_conn(
         }
     }
     let head = String::from_utf8_lossy(&req);
-    let path = head
-        .lines()
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .unwrap_or("/")
-        .to_string();
-    let (status, ctype, body) = match path.split('?').next().unwrap_or("/") {
-        "/metrics" => (
-            200,
-            "application/openmetrics-text; version=1.0.0; charset=utf-8",
-            openmetrics(&live.snapshot()),
-        ),
-        "/healthz" => match slo {
-            Some(mon) => {
-                let (json, ok) = mon.healthz_json();
-                let mut body = json.write();
-                body.push('\n');
-                (if ok { 200 } else { 503 }, "application/json", body)
-            }
-            None => (
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("GET").to_string();
+    let path = request_line.next().unwrap_or("/").to_string();
+    let path = path.split('?').next().unwrap_or("/").to_string();
+    let (status, ctype, body) = if method != "GET" {
+        // The endpoint is read-only: anything but GET is a 405 with the
+        // allowed method advertised.
+        (
+            405,
+            "application/json",
+            json_error("method not allowed; only GET is supported", &path),
+        )
+    } else {
+        match path.as_str() {
+            "/metrics" => (
                 200,
-                "application/json",
-                "{\"status\":\"healthy\",\"slo\":\"unconfigured\"}\n".to_string(),
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                openmetrics_traced(&live.snapshot(), tracing),
             ),
-        },
-        "/snapshot" => {
-            let mut body = live.snapshot().to_json().write();
-            body.push('\n');
-            (200, "application/json", body)
+            "/healthz" => match slo {
+                Some(mon) => {
+                    let (json, ok) = mon.healthz_json();
+                    let mut body = json.write();
+                    body.push('\n');
+                    (if ok { 200 } else { 503 }, "application/json", body)
+                }
+                None => (
+                    200,
+                    "application/json",
+                    "{\"status\":\"healthy\",\"slo\":\"unconfigured\"}\n".to_string(),
+                ),
+            },
+            "/snapshot" => {
+                let mut body = live.snapshot().to_json().write();
+                body.push('\n');
+                (200, "application/json", body)
+            }
+            "/traces" => match tracing {
+                Some(tr) => {
+                    let mut body = tr.listing_json().write();
+                    body.push('\n');
+                    (200, "application/json", body)
+                }
+                None => (
+                    404,
+                    "application/json",
+                    json_error("tracing is not enabled on this server", &path),
+                ),
+            },
+            p if p.starts_with("/trace/") => {
+                let id = &p["/trace/".len()..];
+                match tracing.and_then(|tr| tr.find(id)) {
+                    Some(t) => {
+                        let mut body = t.to_json().write();
+                        body.push('\n');
+                        (200, "application/json", body)
+                    }
+                    None => (
+                        404,
+                        "application/json",
+                        json_error("no retained trace with that id", &path),
+                    ),
+                }
+            }
+            "/" => (
+                200,
+                "text/plain",
+                "spam live telemetry: /metrics /healthz /snapshot /traces /trace/<id>\n"
+                    .to_string(),
+            ),
+            _ => (404, "application/json", json_error("no route", &path)),
         }
-        "/" => (
-            200,
-            "text/plain",
-            "spam live telemetry: /metrics /healthz /snapshot\n".to_string(),
-        ),
-        other => (404, "text/plain", format!("no route {other}\n")),
     };
     let reason = match status {
         200 => "OK",
         404 => "Not Found",
+        405 => "Method Not Allowed",
         503 => "Service Unavailable",
         _ => "Error",
     };
+    let allow = if status == 405 { "Allow: GET\r\n" } else { "" };
     let resp = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n{allow}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(resp.as_bytes())
@@ -835,6 +1066,186 @@ mod tests {
         assert!(validate_openmetrics(text)
             .unwrap_err()
             .contains("duplicate sample"));
+    }
+
+    fn retained_tracer() -> Arc<Tracing> {
+        use crate::tracectx::{SamplerConfig, SpanId, SpanKind, SpanRecord};
+        let tr = Tracing::new(SamplerConfig::default());
+        let scene = tr.start_scene(42, "dc");
+        scene.record_span(SpanRecord {
+            id: SpanId::derive(scene.trace_id(), "task.exec", 0, 0),
+            parent: Some(scene.root()),
+            kind: SpanKind::Task,
+            name: "task.exec t0 a0".into(),
+            worker: "psm-task-0".into(),
+            start_us: scene.now_us(),
+            end_us: scene.now_us() + 250_000,
+            error: None,
+        });
+        scene.finish();
+        tr
+    }
+
+    #[test]
+    fn exemplar_rendering_validates_and_links_trace() {
+        let tr = retained_tracer();
+        // Make the live histogram contain the exemplar value so the bucket
+        // exists.
+        let live = Live::new(4);
+        let h = live.handle();
+        h.observe("spam_live_task_latency_seconds", 0.25);
+        h.observe("spam_live_task_latency_seconds", 0.01);
+        h.observe("spam_live_task_latency_seconds", 2.0);
+        let text = openmetrics_traced(&live.snapshot(), Some(&tr));
+        validate_openmetrics(&text).expect(&text);
+        assert!(text.contains("# TYPE spam_live_task_latency_seconds histogram"));
+        assert!(text.contains("spam_live_task_latency_seconds_bucket"));
+        let want = format!("# {{trace_id=\"{}\"}} 0.25", tr.retained()[0].trace);
+        assert!(text.contains(&want), "missing exemplar in:\n{text}");
+        // Without a tracer the family renders as a summary, as before.
+        let plain = openmetrics(&live.snapshot());
+        assert!(plain.contains("# TYPE spam_live_task_latency_seconds summary"));
+        validate_openmetrics(&plain).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_wellformed_exemplars() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1 # {trace_id=\"00ff\"} 0.5 12.0\n\
+                    h_bucket{le=\"+Inf\"} 3 # {trace_id=\"00aa\"} 2.5\n\
+                    h_count 3\nh_sum 4.0\n# EOF\n";
+        validate_openmetrics(text).expect(text);
+        let counter = "# TYPE c counter\nc_total 9 # {trace_id=\"ab\"} 1\n# EOF\n";
+        validate_openmetrics(counter).expect(counter);
+    }
+
+    #[test]
+    fn validator_rejects_exemplar_on_wrong_sample_types() {
+        let gauge = "# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n# EOF\n";
+        assert!(validate_openmetrics(gauge)
+            .unwrap_err()
+            .contains("exemplar not allowed"));
+        let summary = "# TYPE s summary\ns_count 1 # {trace_id=\"ab\"} 1\n# EOF\n";
+        assert!(validate_openmetrics(summary)
+            .unwrap_err()
+            .contains("exemplar not allowed"));
+    }
+
+    #[test]
+    fn validator_rejects_exemplar_without_trace_id() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {span=\"x\"} 0.5\n# EOF\n";
+        assert!(validate_openmetrics(text).unwrap_err().contains("trace_id"));
+    }
+
+    #[test]
+    fn validator_rejects_exemplar_outside_its_bucket() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1 # {trace_id=\"ab\"} 3.0\n\
+                    h_bucket{le=\"+Inf\"} 2\n# EOF\n";
+        assert!(validate_openmetrics(text)
+            .unwrap_err()
+            .contains("outside its bucket"));
+        let below = "# TYPE h histogram\n\
+                     h_bucket{le=\"1\"} 1\n\
+                     h_bucket{le=\"2\"} 2 # {trace_id=\"ab\"} 0.5\n\
+                     h_bucket{le=\"+Inf\"} 2\n# EOF\n";
+        assert!(validate_openmetrics(below)
+            .unwrap_err()
+            .contains("outside its bucket"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exemplar_syntax() {
+        let no_labels = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # 0.5\n# EOF\n";
+        assert!(validate_openmetrics(no_labels)
+            .unwrap_err()
+            .contains("label set"));
+        let no_value = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"a\"}\n# EOF\n";
+        assert!(validate_openmetrics(no_value)
+            .unwrap_err()
+            .contains("no value"));
+    }
+
+    #[test]
+    fn non_get_methods_are_405_with_allow_header() {
+        let live = Live::new(4);
+        let server = serve("127.0.0.1:0", Arc::clone(&live), None).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        assert!(raw.contains("Allow: GET"), "{raw}");
+        let body = &raw[raw.find("\r\n\r\n").unwrap() + 4..];
+        let json = Json::parse(body).expect(body);
+        assert!(json
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("method not allowed"));
+    }
+
+    #[test]
+    fn unknown_path_returns_json_error_body() {
+        let live = Live::new(4);
+        let server = serve("127.0.0.1:0", Arc::clone(&live), None).unwrap();
+        let (status, body) = http_get(
+            &format!("http://{}/definitely-not-a-route", server.addr()),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+        let json = Json::parse(&body).expect(&body);
+        assert_eq!(json.get("error").and_then(Json::as_str), Some("no route"));
+        assert_eq!(
+            json.get("path").and_then(Json::as_str),
+            Some("/definitely-not-a-route")
+        );
+    }
+
+    #[test]
+    fn trace_routes_serve_retained_traces() {
+        let tr = retained_tracer();
+        let live = Live::new(4);
+        let server = serve_traced(
+            "127.0.0.1:0",
+            Arc::clone(&live),
+            None,
+            Some(Arc::clone(&tr)),
+        )
+        .unwrap();
+        let base = format!("http://{}", server.addr());
+        let t = Duration::from_secs(5);
+
+        let (status, body) = http_get(&format!("{base}/traces"), t).unwrap();
+        assert_eq!(status, 200);
+        let listing = Json::parse(&body).expect(&body);
+        let retained = listing.get("retained").and_then(Json::as_arr).unwrap();
+        assert_eq!(retained.len(), 1);
+        let id = retained[0]
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+
+        let (status, body) = http_get(&format!("{base}/trace/{id}"), t).unwrap();
+        assert_eq!(status, 200);
+        crate::tracectx::validate_span_tree(&body).expect(&body);
+
+        // Prefix lookup works; a bogus id is a JSON 404.
+        let (status, _) = http_get(&format!("{base}/trace/{}", &id[..8]), t).unwrap();
+        assert_eq!(status, 200);
+        let (status, body) = http_get(&format!("{base}/trace/ffffffffffffffff"), t).unwrap();
+        assert_eq!(status, 404);
+        assert!(Json::parse(&body).is_ok());
+
+        // Without tracing, /traces is a JSON 404.
+        let plain = serve("127.0.0.1:0", Arc::clone(&live), None).unwrap();
+        let (status, body) = http_get(&format!("http://{}/traces", plain.addr()), t).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("tracing is not enabled"));
     }
 
     #[test]

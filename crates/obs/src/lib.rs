@@ -47,19 +47,30 @@ pub mod recorder;
 pub mod slo;
 pub mod stitch;
 pub mod timeline;
+pub mod tracectx;
 
 pub use event::{ArgValue, Category, Event, EventKind};
 pub use export::{
     events_to_jsonl, machines_to_jsonl, validate_chrome_trace, validate_jsonl, TraceDoc,
     TraceSummary,
 };
-pub use expose::{http_get, openmetrics, serve, validate_openmetrics, ExpoSummary, MetricsServer};
-pub use live::{series_key, Live, LiveHandle, LiveSnapshot, LiveValue, DEFAULT_WINDOW};
+pub use expose::{
+    http_get, openmetrics, openmetrics_traced, serve, serve_traced, validate_openmetrics,
+    ExpoSummary, MetricsServer,
+};
+pub use live::{
+    series_key, Live, LiveHandle, LiveSnapshot, LiveValue, DEFAULT_WINDOW, TASK_LATENCY_FAMILY,
+};
 pub use metrics::{Histogram, Metric, MetricsRegistry, Snapshot};
 pub use recorder::{Recorder, ThreadSink};
 pub use slo::{Health, SloConfig, SloMonitor};
 pub use stitch::{stitch, MachineLog, StitchReport, Stitched};
 pub use timeline::{multi_gantt, CounterSeries, Span, Timeline, Track};
+pub use tracectx::{
+    validate_span_tree, Exemplar, RetainReason, RetainedTrace, SampleVerdict, SamplerConfig,
+    SceneSpan, SceneSummary, SpanId, SpanKind, SpanRecord, SpanSink, SpanTreeStats, TraceContext,
+    TraceId, Tracing,
+};
 
 use std::fmt;
 

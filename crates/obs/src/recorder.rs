@@ -8,6 +8,7 @@
 //! (explicitly or on drop).
 
 use crate::event::{ArgValue, Category, Event, EventKind};
+use crate::tracectx::TraceId;
 use crate::ObsLevel;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
@@ -97,6 +98,7 @@ impl Recorder {
             thread,
             seq: 0,
             buf: Vec::new(),
+            trace: None,
         }
     }
 
@@ -135,6 +137,10 @@ pub struct ThreadSink {
     thread: u32,
     seq: u64,
     buf: Vec<Event>,
+    /// Sticky scene-trace annotation: while set, every emitted event
+    /// carries a `trace_id` argument, so flight-recorder output can be
+    /// joined against the retained traces of [`crate::tracectx::Tracing`].
+    trace: Option<TraceId>,
 }
 
 impl ThreadSink {
@@ -159,6 +165,20 @@ impl ThreadSink {
     #[inline]
     pub fn enabled(&self, at: ObsLevel) -> bool {
         self.rec.enabled(at)
+    }
+
+    /// Sets the sticky scene-trace annotation: every subsequent event from
+    /// this sink carries a `trace_id` argument until
+    /// [`ThreadSink::clear_trace`]. Workers set this when they start
+    /// executing inside a traced scene, so recorder events and retained
+    /// span trees share a join key.
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.trace = Some(trace);
+    }
+
+    /// Clears the sticky scene-trace annotation.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
     }
 
     /// Emits one event (unconditionally — call [`ThreadSink::enabled`]
@@ -201,6 +221,10 @@ impl ThreadSink {
         {
             if !self.rec.enabled(ObsLevel::Summary) {
                 return;
+            }
+            let mut args = args;
+            if let Some(trace) = self.trace {
+                args.push(("trace_id", ArgValue::Str(trace.to_string())));
             }
             self.seq += 1;
             self.buf.push(Event {
@@ -345,6 +369,33 @@ mod tests {
         let evs = rec.events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].name, "kept");
+    }
+
+    #[test]
+    #[cfg(feature = "recorder")]
+    fn sticky_trace_annotation_tags_events() {
+        let rec = Recorder::new(ObsLevel::Full);
+        let mut sink = rec.sink("worker");
+        sink.instant(Category::Task, "before", vec![]);
+        sink.set_trace(TraceId::derive(7, "dc"));
+        sink.instant(Category::Task, "during", vec![("task", 3u64.into())]);
+        sink.clear_trace();
+        sink.instant(Category::Task, "after", vec![]);
+        sink.flush();
+        let evs = rec.events();
+        let tagged: Vec<&Event> = evs
+            .iter()
+            .filter(|e| e.args.iter().any(|(k, _)| *k == "trace_id"))
+            .collect();
+        assert_eq!(tagged.len(), 1);
+        assert_eq!(tagged[0].name, "during");
+        match tagged[0].args.iter().find(|(k, _)| *k == "trace_id") {
+            Some((_, ArgValue::Str(s))) => {
+                assert_eq!(s, &TraceId::derive(7, "dc").to_string());
+                assert_eq!(s.len(), 16, "zero-padded hex");
+            }
+            other => panic!("expected string trace_id arg, got {other:?}"),
+        }
     }
 
     #[test]

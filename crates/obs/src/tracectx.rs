@@ -1,0 +1,1267 @@
+//! Scene-scoped request tracing: trace-context propagation + tail sampling.
+//!
+//! The unit of work in the paper is the *scene*: one interpretation fans
+//! out as a tree of match/fire tasks across workers. The fleet-level
+//! telemetry ([`crate::live`], [`crate::slo`]) answers rate/quantile
+//! questions; this module answers "why was **this** scene slow?".
+//!
+//! Every scene submission mints a deterministic [`TraceId`] (derived from
+//! the run seed + scene label, so reruns are benchdiff-comparable) and a
+//! root span. A [`TraceContext`] — trace id plus parent span id — is
+//! explicitly propagated through the supervisor → task spawn → retry →
+//! dead-letter → recovery path and into per-cycle engine emissions, so a
+//! well-formed span tree exists per scene even when tasks hop workers or
+//! die mid-cycle.
+//!
+//! Retention is **tail-based**: the verdict is made at scene *completion*,
+//! when the outcome is known. Scenes that errored/retried, breached the
+//! SLO target, or rank among the slowest-N seen keep full span detail in a
+//! bounded ring; everything else collapses to a one-line summary. Retained
+//! traces also feed OpenMetrics exemplars (`# {trace_id="…"}`) attached to
+//! the live latency histograms, so a scraped p99 bucket links straight to
+//! a retained trace.
+
+use crate::json::Json;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// SplitMix64 finalizer — the same mix used by the fault plans, so trace
+/// ids are deterministic, well-distributed functions of their inputs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn mix_str(mut h: u64, s: &str) -> u64 {
+    for b in s.bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Identifies one scene submission. Deterministic: derived from the run
+/// seed and the scene label, never from wall time, so the same workload
+/// produces the same ids run over run (benchdiff-comparable).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Derives the trace id for `scene` under `seed`.
+    pub fn derive(seed: u64, scene: &str) -> TraceId {
+        TraceId(splitmix64(mix_str(splitmix64(seed), scene)))
+    }
+
+    /// Parses the 16-hex-digit form produced by [`fmt::Display`].
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identifies one span within a trace. Derived deterministically from the
+/// trace id plus structural coordinates, so independent threads (the
+/// supervisor control loop, a worker, the engine inside the worker) can
+/// all compute the *same* id for a span without coordinating.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Derives a span id from its structural position: `name` is the span
+    /// kind ("task.exec", "recover.restore", …), `a`/`b` are coordinates
+    /// such as (task, attempt).
+    pub fn derive(trace: TraceId, name: &str, a: u64, b: u64) -> SpanId {
+        let h = mix_str(splitmix64(trace.0), name);
+        SpanId(splitmix64(splitmix64(h ^ a) ^ b))
+    }
+
+    /// Parses the 16-hex-digit form produced by [`fmt::Display`].
+    pub fn parse(s: &str) -> Option<SpanId> {
+        TraceId::parse(s).map(|t| SpanId(t.0))
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The propagated context: which trace, and which span is the parent of
+/// anything recorded under this context.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceContext {
+    /// The scene's trace id.
+    pub trace: TraceId,
+    /// Parent span for anything recorded under this context.
+    pub parent: SpanId,
+}
+
+/// Structural role of a span. Aux spans (engine emissions, recovery
+/// restores, supervisor markers) are leaves and are the only spans the
+/// per-trace span cap evicts, which keeps capped trees connected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// The scene root span.
+    Root,
+    /// One task attempt (`task.exec`).
+    Task,
+    /// Leaf detail: engine cycles, recovery restores, retry/dead-letter
+    /// markers.
+    Aux,
+}
+
+impl SpanKind {
+    /// Stable lower-case name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Root => "root",
+            SpanKind::Task => "task",
+            SpanKind::Aux => "aux",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SpanKind> {
+        match s {
+            "root" => Some(SpanKind::Root),
+            "task" => Some(SpanKind::Task),
+            "aux" => Some(SpanKind::Aux),
+            _ => None,
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span id, unique within the trace.
+    pub id: SpanId,
+    /// Parent span id; `None` only for the root.
+    pub parent: Option<SpanId>,
+    /// Structural role.
+    pub kind: SpanKind,
+    /// Human-readable name, e.g. `task.exec t3 a1`.
+    pub name: String,
+    /// Worker thread that produced the span (empty for control-thread
+    /// markers and the root).
+    pub worker: String,
+    /// Start, µs since the tracer's epoch.
+    pub start_us: u64,
+    /// End, µs since the tracer's epoch (`>= start_us`).
+    pub end_us: u64,
+    /// Failure payload, if the span covers a failed attempt.
+    pub error: Option<String>,
+}
+
+impl SpanRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(self.id.to_string())),
+            (
+                "parent",
+                match self.parent {
+                    Some(p) => Json::str(p.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("kind", Json::str(self.kind.name())),
+            ("name", Json::str(&*self.name)),
+            ("worker", Json::str(&*self.worker)),
+            ("start_us", Json::Num(self.start_us as f64)),
+            ("end_us", Json::Num(self.end_us as f64)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::str(&**e),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Per-task simulated service attribution recorded alongside the span
+/// tree: the deterministic work-model seconds and match fraction that
+/// critical-path reconstruction needs. (The engine's work counters are
+/// the ground truth; wall spans only bound them.)
+#[derive(Clone, Copy, Debug)]
+pub struct TaskService {
+    /// Task index within the scene.
+    pub task: u32,
+    /// Simulated service seconds (work units at the Encore's MIPS).
+    pub sim_s: f64,
+    /// Fraction of the task's work spent in match.
+    pub match_frac: f64,
+}
+
+/// Why a trace was retained by the tail sampler.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetainReason {
+    /// Among the slowest-N scenes observed.
+    Slow,
+    /// At least one retry, dead letter, or failed span.
+    Errored,
+    /// Scene duration exceeded the SLO target.
+    SloBreach,
+}
+
+impl RetainReason {
+    /// Stable lower-case name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetainReason::Slow => "slow",
+            RetainReason::Errored => "errored",
+            RetainReason::SloBreach => "slo-breach",
+        }
+    }
+}
+
+/// A fully retained trace: the span tree plus scene-level attribution.
+#[derive(Clone, Debug)]
+pub struct RetainedTrace {
+    /// Trace id.
+    pub trace: TraceId,
+    /// Scene label.
+    pub scene: String,
+    /// Run seed the id was derived from.
+    pub seed: u64,
+    /// Why the tail sampler kept it.
+    pub reason: RetainReason,
+    /// Root start, µs since tracer epoch.
+    pub start_us: u64,
+    /// Root end, µs since tracer epoch.
+    pub end_us: u64,
+    /// Retries observed by the supervisor.
+    pub retries: u32,
+    /// Dead letters observed by the supervisor.
+    pub dead_letters: u32,
+    /// The span tree (root included; parents precede nothing in
+    /// particular — consumers index by id).
+    pub spans: Vec<SpanRecord>,
+    /// Per-task simulated service attribution.
+    pub services: Vec<TaskService>,
+    /// Aux spans evicted by the per-trace span cap.
+    pub dropped_spans: u64,
+}
+
+impl RetainedTrace {
+    /// Wall duration of the scene in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_us.saturating_sub(self.start_us)) as f64 / 1e6
+    }
+
+    /// JSON document for `/trace/<id>`, `--traces-out`, and `tracecheck`.
+    pub fn to_json(&self) -> Json {
+        let services = self
+            .services
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("task", Json::Num(f64::from(s.task))),
+                    ("sim_s", Json::Num(s.sim_s)),
+                    ("match_frac", Json::Num(s.match_frac)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("trace_id", Json::str(self.trace.to_string())),
+            ("scene", Json::str(&*self.scene)),
+            ("seed", Json::Num(self.seed as f64)),
+            ("reason", Json::str(self.reason.name())),
+            ("start_us", Json::Num(self.start_us as f64)),
+            ("end_us", Json::Num(self.end_us as f64)),
+            ("duration_s", Json::Num(self.duration_s())),
+            ("retries", Json::Num(f64::from(self.retries))),
+            ("dead_letters", Json::Num(f64::from(self.dead_letters))),
+            ("dropped_spans", Json::Num(self.dropped_spans as f64)),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(SpanRecord::to_json).collect()),
+            ),
+            ("services", Json::Arr(services)),
+        ])
+    }
+}
+
+/// One-line record of a scene the tail sampler decided *not* to keep.
+#[derive(Clone, Debug)]
+pub struct SceneSummary {
+    /// Trace id (spans are gone; the id still correlates with logs).
+    pub trace: TraceId,
+    /// Scene label.
+    pub scene: String,
+    /// Wall duration in seconds.
+    pub duration_s: f64,
+    /// Retries observed.
+    pub retries: u32,
+    /// Dead letters observed.
+    pub dead_letters: u32,
+}
+
+impl SceneSummary {
+    /// The one-line rendering used by `/traces` and `spamctl slow`.
+    pub fn one_line(&self) -> String {
+        format!(
+            "{} scene={} dur={:.3}s retries={} dead={}",
+            self.trace, self.scene, self.duration_s, self.retries, self.dead_letters
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trace_id", Json::str(self.trace.to_string())),
+            ("scene", Json::str(&*self.scene)),
+            ("duration_s", Json::Num(self.duration_s)),
+            ("retries", Json::Num(f64::from(self.retries))),
+            ("dead_letters", Json::Num(f64::from(self.dead_letters))),
+        ])
+    }
+}
+
+/// An exemplar candidate: links a latency observation to a retained trace.
+#[derive(Clone, Debug)]
+pub struct Exemplar {
+    /// Metric family the observation belongs to.
+    pub family: String,
+    /// Observed value (seconds).
+    pub value: f64,
+    /// Trace it came from.
+    pub trace: TraceId,
+    /// Timestamp, seconds since the tracer's epoch.
+    pub ts_s: f64,
+}
+
+/// Tail-sampler policy knobs. All bounds are hard.
+#[derive(Clone, Debug)]
+pub struct SamplerConfig {
+    /// Retain scenes ranking among the slowest `slowest_n` seen so far.
+    pub slowest_n: usize,
+    /// Ring capacity for fully retained traces (oldest demoted to a
+    /// summary when full).
+    pub max_retained: usize,
+    /// Per-trace span cap. Aux spans are evicted oldest-first once a
+    /// trace reaches this bound; root/task spans are always kept, so the
+    /// true per-trace bound is `max_spans + 1 + task-attempt spans`.
+    pub max_spans: usize,
+    /// Ring capacity for one-line summaries.
+    pub max_summaries: usize,
+    /// Retain any scene slower than this (seconds), regardless of rank.
+    pub slo_target_s: Option<f64>,
+    /// Ring capacity for exemplar candidates.
+    pub max_exemplars: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            slowest_n: 4,
+            max_retained: 16,
+            max_spans: 4096,
+            max_summaries: 64,
+            slo_target_s: None,
+            max_exemplars: 16,
+        }
+    }
+}
+
+/// Verdict returned by [`Tracing::finish_scene`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SampleVerdict {
+    /// Full span detail kept.
+    Retained(RetainReason),
+    /// Collapsed to a one-line summary.
+    Summarized,
+}
+
+struct ActiveTrace {
+    scene: String,
+    seed: u64,
+    start_us: u64,
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+    retries: u32,
+    dead_letters: u32,
+    services: Vec<TaskService>,
+}
+
+#[derive(Default)]
+struct Inner {
+    active: BTreeMap<u64, ActiveTrace>,
+    retained: VecDeque<RetainedTrace>,
+    summaries: VecDeque<SceneSummary>,
+    /// Durations of the current slowest-N qualifiers (ascending).
+    slow_floor: Vec<f64>,
+    exemplars: VecDeque<Exemplar>,
+    finished: u64,
+}
+
+/// The scene-scoped trace collector + tail sampler.
+///
+/// Shared as `Arc<Tracing>`; recording is mutex-protected but cheap (one
+/// lock per span, and spans are emitted at coarse granularity — per task
+/// attempt and per engine publish cadence, not per cycle).
+pub struct Tracing {
+    enabled: bool,
+    epoch: Instant,
+    cfg: SamplerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Tracing {
+    /// An enabled tracer with the given sampling policy.
+    pub fn new(cfg: SamplerConfig) -> Arc<Tracing> {
+        Arc::new(Tracing {
+            enabled: true,
+            epoch: Instant::now(),
+            cfg,
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// A disabled tracer: every operation is a cheap no-op. Lets call
+    /// sites hold an unconditional handle.
+    pub fn off() -> Arc<Tracing> {
+        Arc::new(Tracing {
+            enabled: false,
+            epoch: Instant::now(),
+            cfg: SamplerConfig::default(),
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// Whether spans are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The sampling policy.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// Microseconds since this tracer's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Same poison policy as the rest of the crate: telemetry must not
+        // fail the run, so recover the guard.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Mints the deterministic trace id + root span for one scene
+    /// submission and opens the trace.
+    pub fn start_scene(self: &Arc<Tracing>, seed: u64, scene: &str) -> SceneSpan {
+        let trace = TraceId::derive(seed, scene);
+        let root = SpanId::derive(trace, "scene", 0, 0);
+        if self.enabled {
+            let start_us = self.now_us();
+            let mut g = self.lock();
+            g.active.insert(
+                trace.0,
+                ActiveTrace {
+                    scene: scene.to_string(),
+                    seed,
+                    start_us,
+                    spans: Vec::new(),
+                    dropped: 0,
+                    retries: 0,
+                    dead_letters: 0,
+                    services: Vec::new(),
+                },
+            );
+        }
+        SceneSpan {
+            tracing: Arc::clone(self),
+            trace,
+            root,
+        }
+    }
+
+    /// Records a completed span into its trace. Unknown traces (already
+    /// finished, or the tracer is disabled) are ignored.
+    pub fn record_span(&self, trace: TraceId, span: SpanRecord) {
+        if !self.enabled {
+            return;
+        }
+        let max_spans = self.cfg.max_spans;
+        let mut g = self.lock();
+        let Some(t) = g.active.get_mut(&trace.0) else {
+            return;
+        };
+        if t.spans.len() >= max_spans {
+            match span.kind {
+                // Aux detail is droppable — it is always a leaf.
+                SpanKind::Aux => {
+                    t.dropped += 1;
+                    return;
+                }
+                // Root/task spans are structural: evict the oldest aux
+                // leaf to make room so the tree stays connected.
+                SpanKind::Root | SpanKind::Task => {
+                    if let Some(pos) = t.spans.iter().position(|s| s.kind == SpanKind::Aux) {
+                        t.spans.remove(pos);
+                        t.dropped += 1;
+                    }
+                }
+            }
+        }
+        t.spans.push(span);
+    }
+
+    /// Notes a supervisor retry on the trace (drives retention).
+    pub fn note_retry(&self, trace: TraceId) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(t) = self.lock().active.get_mut(&trace.0) {
+            t.retries += 1;
+        }
+    }
+
+    /// Notes a dead-lettered task on the trace (drives retention).
+    pub fn note_dead_letter(&self, trace: TraceId) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(t) = self.lock().active.get_mut(&trace.0) {
+            t.dead_letters += 1;
+        }
+    }
+
+    /// Records a task's simulated service attribution.
+    pub fn record_service(&self, trace: TraceId, svc: TaskService) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(t) = self.lock().active.get_mut(&trace.0) {
+            t.services.push(svc);
+        }
+    }
+
+    /// Closes the scene: records the root span and applies the tail
+    /// sampling verdict. Retention happens *here*, when the outcome is
+    /// known — that is what makes the sampler tail-based.
+    pub fn finish_scene(&self, trace: TraceId, root: SpanId) -> SampleVerdict {
+        if !self.enabled {
+            return SampleVerdict::Summarized;
+        }
+        let mut end_us = self.now_us();
+        let cfg = self.cfg.clone();
+        let mut g = self.lock();
+        let Some(mut t) = g.active.remove(&trace.0) else {
+            return SampleVerdict::Summarized;
+        };
+        // The root must enclose every child: a worker's clock read can
+        // land a hair after the control thread's, so clamp outward.
+        if let Some(max_child) = t.spans.iter().map(|s| s.end_us).max() {
+            end_us = end_us.max(max_child);
+        }
+        let errored =
+            t.retries > 0 || t.dead_letters > 0 || t.spans.iter().any(|s| s.error.is_some());
+        let duration_s = (end_us.saturating_sub(t.start_us)) as f64 / 1e6;
+        g.finished += 1;
+
+        // Slowest-N floor: retain if we have fewer than N qualifiers, or
+        // this scene is slower than the current floor.
+        let slow = if g.slow_floor.len() < cfg.slowest_n {
+            g.slow_floor.push(duration_s);
+            g.slow_floor.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            true
+        } else if g.slow_floor.first().is_some_and(|f| duration_s > *f) {
+            g.slow_floor[0] = duration_s;
+            g.slow_floor.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            true
+        } else {
+            false
+        };
+        let breach = cfg.slo_target_s.is_some_and(|tgt| duration_s > tgt);
+
+        let reason = if errored {
+            Some(RetainReason::Errored)
+        } else if breach {
+            Some(RetainReason::SloBreach)
+        } else if slow {
+            Some(RetainReason::Slow)
+        } else {
+            None
+        };
+
+        let summary = SceneSummary {
+            trace,
+            scene: t.scene.clone(),
+            duration_s,
+            retries: t.retries,
+            dead_letters: t.dead_letters,
+        };
+
+        let Some(reason) = reason else {
+            push_bounded(&mut g.summaries, summary, cfg.max_summaries);
+            return SampleVerdict::Summarized;
+        };
+
+        t.spans.push(SpanRecord {
+            id: root,
+            parent: None,
+            kind: SpanKind::Root,
+            name: format!("scene {}", t.scene),
+            worker: String::new(),
+            start_us: t.start_us,
+            end_us,
+            error: None,
+        });
+        // Exemplar candidate: the slowest successful task attempt links
+        // the task-latency histogram's tail bucket to this trace.
+        let slowest_task = t
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Task && s.error.is_none())
+            .map(|s| (s.end_us.saturating_sub(s.start_us)) as f64 / 1e6)
+            .fold(0.0f64, f64::max);
+        if slowest_task > 0.0 {
+            push_bounded(
+                &mut g.exemplars,
+                Exemplar {
+                    family: crate::live::TASK_LATENCY_FAMILY.to_string(),
+                    value: slowest_task,
+                    trace,
+                    ts_s: end_us as f64 / 1e6,
+                },
+                cfg.max_exemplars,
+            );
+        }
+        let retained = RetainedTrace {
+            trace,
+            scene: t.scene,
+            seed: t.seed,
+            reason,
+            start_us: t.start_us,
+            end_us,
+            retries: t.retries,
+            dead_letters: t.dead_letters,
+            spans: t.spans,
+            services: t.services,
+            dropped_spans: t.dropped,
+        };
+        if g.retained.len() >= cfg.max_retained {
+            if let Some(old) = g.retained.pop_front() {
+                let demoted = SceneSummary {
+                    trace: old.trace,
+                    duration_s: old.duration_s(),
+                    scene: old.scene,
+                    retries: old.retries,
+                    dead_letters: old.dead_letters,
+                };
+                push_bounded(&mut g.summaries, demoted, cfg.max_summaries);
+            }
+        }
+        g.retained.push_back(retained);
+        SampleVerdict::Retained(reason)
+    }
+
+    /// Snapshot of the retained traces, oldest first.
+    pub fn retained(&self) -> Vec<RetainedTrace> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        self.lock().retained.iter().cloned().collect()
+    }
+
+    /// Snapshot of the one-line summaries, oldest first.
+    pub fn summaries(&self) -> Vec<SceneSummary> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        self.lock().summaries.iter().cloned().collect()
+    }
+
+    /// Total scenes that have completed under this tracer.
+    pub fn finished(&self) -> u64 {
+        self.lock().finished
+    }
+
+    /// Looks up a retained trace by full id or unique hex prefix.
+    pub fn find(&self, id: &str) -> Option<RetainedTrace> {
+        if !self.enabled {
+            return None;
+        }
+        let g = self.lock();
+        let mut hit: Option<&RetainedTrace> = None;
+        for t in &g.retained {
+            let s = t.trace.to_string();
+            if s == id {
+                return Some(t.clone());
+            }
+            if id.len() >= 4 && s.starts_with(id) {
+                if hit.is_some() {
+                    return None; // ambiguous prefix
+                }
+                hit = Some(t);
+            }
+        }
+        hit.cloned()
+    }
+
+    /// Current exemplar candidates, oldest first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        self.lock().exemplars.iter().cloned().collect()
+    }
+
+    /// JSON listing for `/traces`: retained trace headers + summaries.
+    pub fn listing_json(&self) -> Json {
+        let g = self.lock();
+        let retained = g
+            .retained
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("trace_id", Json::str(t.trace.to_string())),
+                    ("scene", Json::str(&*t.scene)),
+                    ("reason", Json::str(t.reason.name())),
+                    ("duration_s", Json::Num(t.duration_s())),
+                    ("spans", Json::Num(t.spans.len() as f64)),
+                    ("retries", Json::Num(f64::from(t.retries))),
+                    ("dead_letters", Json::Num(f64::from(t.dead_letters))),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("retained", Json::Arr(retained)),
+            (
+                "summaries",
+                Json::Arr(g.summaries.iter().map(SceneSummary::to_json).collect()),
+            ),
+            ("finished", Json::Num(g.finished as f64)),
+        ])
+    }
+}
+
+fn push_bounded<T>(dq: &mut VecDeque<T>, v: T, cap: usize) {
+    if cap == 0 {
+        return;
+    }
+    while dq.len() >= cap {
+        dq.pop_front();
+    }
+    dq.push_back(v);
+}
+
+/// Handle for one open scene: the root of the trace. Shared by reference
+/// into the supervisor while the scene runs; call
+/// [`SceneSpan::finish`] once the scene completes.
+pub struct SceneSpan {
+    tracing: Arc<Tracing>,
+    trace: TraceId,
+    root: SpanId,
+}
+
+impl SceneSpan {
+    /// Whether spans recorded through this handle are collected.
+    pub fn enabled(&self) -> bool {
+        self.tracing.is_enabled()
+    }
+
+    /// The scene's trace id.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The root span id.
+    pub fn root(&self) -> SpanId {
+        self.root
+    }
+
+    /// The context under which direct children of the root record.
+    pub fn ctx(&self) -> TraceContext {
+        TraceContext {
+            trace: self.trace,
+            parent: self.root,
+        }
+    }
+
+    /// The shared tracer.
+    pub fn tracing(&self) -> &Arc<Tracing> {
+        &self.tracing
+    }
+
+    /// Microseconds since the tracer's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.tracing.now_us()
+    }
+
+    /// Records a completed span into this scene's trace.
+    pub fn record_span(&self, span: SpanRecord) {
+        self.tracing.record_span(self.trace, span);
+    }
+
+    /// A sink whose children parent under `parent` (e.g. a task-attempt
+    /// span id), for handing into the engine or the recovery path.
+    pub fn sink_under(&self, parent: SpanId) -> SpanSink {
+        SpanSink {
+            tracing: Arc::clone(&self.tracing),
+            ctx: TraceContext {
+                trace: self.trace,
+                parent,
+            },
+            seq: 0,
+        }
+    }
+
+    /// Records a per-task simulated service attribution.
+    pub fn record_service(&self, task: u32, sim_s: f64, match_frac: f64) {
+        self.tracing.record_service(
+            self.trace,
+            TaskService {
+                task,
+                sim_s,
+                match_frac,
+            },
+        );
+    }
+
+    /// Closes the root span and applies the tail-sampling verdict.
+    pub fn finish(&self) -> SampleVerdict {
+        self.tracing.finish_scene(self.trace, self.root)
+    }
+}
+
+/// A single-owner sink for aux spans under one parent (an engine run, a
+/// recovery path). Ids are derived from an internal sequence number, so
+/// they are deterministic given a deterministic emission cadence. Not
+/// `Clone` on purpose: two clones would mint colliding ids.
+pub struct SpanSink {
+    tracing: Arc<Tracing>,
+    ctx: TraceContext,
+    seq: u64,
+}
+
+impl SpanSink {
+    /// Whether recording through this sink does anything.
+    pub fn enabled(&self) -> bool {
+        self.tracing.is_enabled()
+    }
+
+    /// The sink's context (trace + parent span).
+    pub fn ctx(&self) -> TraceContext {
+        self.ctx
+    }
+
+    /// Microseconds since the tracer's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.tracing.now_us()
+    }
+
+    /// Records an aux leaf span `[start_us, end_us]` under this sink's
+    /// parent and returns its id.
+    pub fn record_aux(
+        &mut self,
+        name: &str,
+        start_us: u64,
+        end_us: u64,
+        error: Option<String>,
+    ) -> SpanId {
+        self.seq += 1;
+        let id = SpanId::derive(self.ctx.trace, name, self.ctx.parent.0, self.seq);
+        let worker = std::thread::current()
+            .name()
+            .unwrap_or_default()
+            .to_string();
+        self.tracing.record_span(
+            self.ctx.trace,
+            SpanRecord {
+                id,
+                parent: Some(self.ctx.parent),
+                kind: SpanKind::Aux,
+                name: name.to_string(),
+                worker,
+                start_us,
+                end_us: end_us.max(start_us),
+                error,
+            },
+        );
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree validation (used by `tracecheck --spans`)
+// ---------------------------------------------------------------------------
+
+/// Summary returned by [`validate_span_tree`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanTreeStats {
+    /// Traces validated.
+    pub traces: usize,
+    /// Spans validated across all traces.
+    pub spans: usize,
+}
+
+impl std::fmt::Display for SpanTreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} trace(s), {} span(s): ids unique, parentage connected, intervals nested",
+            self.traces, self.spans
+        )
+    }
+}
+
+/// Validates exported trace JSON: accepts either a single trace document
+/// (as produced by `/trace/<id>`) or `{"traces":[…]}` (as produced by
+/// `spamctl … --traces-out`). Checks, per trace:
+///
+/// - exactly one root span (`parent: null`) whose id matches no parent
+///   cycle,
+/// - span ids are unique,
+/// - every non-root span's parent exists in the same trace,
+/// - every child's interval nests inside its parent's
+///   (`parent.start <= child.start && child.end <= parent.end`),
+/// - every span has `end >= start`.
+pub fn validate_span_tree(text: &str) -> Result<SpanTreeStats, String> {
+    fn as_u64(j: &Json) -> Option<u64> {
+        j.as_f64().filter(|f| *f >= 0.0).map(|f| f as u64)
+    }
+    let doc = Json::parse(text).map_err(|e| format!("trace JSON: {e}"))?;
+    let traces: Vec<&Json> = match doc.get("traces") {
+        Some(Json::Arr(list)) => list.iter().collect(),
+        Some(other) => return Err(format!("\"traces\" must be an array, got {other:?}")),
+        None => vec![&doc],
+    };
+    let mut stats = SpanTreeStats::default();
+    for (ti, t) in traces.iter().enumerate() {
+        let tid = t
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace[{ti}]: missing trace_id"))?;
+        let spans = match t.get("spans") {
+            Some(Json::Arr(s)) => s,
+            _ => return Err(format!("trace {tid}: missing spans array")),
+        };
+        if spans.is_empty() {
+            return Err(format!("trace {tid}: no spans"));
+        }
+        struct S {
+            id: String,
+            parent: Option<String>,
+            start: u64,
+            end: u64,
+            name: String,
+        }
+        let mut parsed = Vec::with_capacity(spans.len());
+        let mut ids = BTreeMap::new();
+        for (si, s) in spans.iter().enumerate() {
+            let id = s
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("trace {tid}: span[{si}] missing id"))?
+                .to_string();
+            let parent = match s.get("parent") {
+                Some(Json::Null) | None => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .ok_or_else(|| format!("trace {tid}: span {id}: bad parent"))?
+                        .to_string(),
+                ),
+            };
+            if let Some(k) = s.get("kind").and_then(Json::as_str) {
+                if SpanKind::parse(k).is_none() {
+                    return Err(format!("trace {tid}: span {id}: unknown kind {k:?}"));
+                }
+            }
+            let start = s
+                .get("start_us")
+                .and_then(as_u64)
+                .ok_or_else(|| format!("trace {tid}: span {id}: missing start_us"))?;
+            let end = s
+                .get("end_us")
+                .and_then(as_u64)
+                .ok_or_else(|| format!("trace {tid}: span {id}: missing end_us"))?;
+            if end < start {
+                return Err(format!(
+                    "trace {tid}: span {id}: end_us {end} < start_us {start}"
+                ));
+            }
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            if ids.insert(id.clone(), (start, end)).is_some() {
+                return Err(format!("trace {tid}: duplicate span id {id}"));
+            }
+            parsed.push(S {
+                id,
+                parent,
+                start,
+                end,
+                name,
+            });
+        }
+        let roots = parsed.iter().filter(|s| s.parent.is_none()).count();
+        if roots != 1 {
+            return Err(format!(
+                "trace {tid}: expected exactly 1 root span, found {roots}"
+            ));
+        }
+        for s in &parsed {
+            let Some(p) = &s.parent else { continue };
+            let Some(&(ps, pe)) = ids.get(p.as_str()) else {
+                return Err(format!(
+                    "trace {tid}: span {} ({}) is orphaned: parent {p} not in trace",
+                    s.id, s.name
+                ));
+            };
+            if s.start < ps || s.end > pe {
+                return Err(format!(
+                    "trace {tid}: span {} ({}) [{}, {}] overhangs parent {p} [{ps}, {pe}]",
+                    s.id, s.name, s.start, s.end
+                ));
+            }
+        }
+        stats.traces += 1;
+        stats.spans += parsed.len();
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        assert_eq!(TraceId::derive(42, "dc"), TraceId::derive(42, "dc"));
+        assert_ne!(TraceId::derive(42, "dc"), TraceId::derive(43, "dc"));
+        assert_ne!(TraceId::derive(42, "dc"), TraceId::derive(42, "dc2"));
+        let id = TraceId::derive(7, "scene");
+        assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+    }
+
+    #[test]
+    fn span_ids_depend_on_all_coordinates() {
+        let t = TraceId::derive(1, "s");
+        let a = SpanId::derive(t, "task.exec", 0, 0);
+        assert_eq!(a, SpanId::derive(t, "task.exec", 0, 0));
+        assert_ne!(a, SpanId::derive(t, "task.exec", 0, 1));
+        assert_ne!(a, SpanId::derive(t, "task.exec", 1, 0));
+        assert_ne!(a, SpanId::derive(t, "recover.restore", 0, 0));
+    }
+
+    fn task_span(scene: &SceneSpan, task: u64, attempt: u64, err: Option<&str>) -> SpanRecord {
+        let id = SpanId::derive(scene.trace_id(), "task.exec", task, attempt);
+        let now = scene.now_us();
+        SpanRecord {
+            id,
+            parent: Some(scene.root()),
+            kind: SpanKind::Task,
+            name: format!("task.exec t{task} a{attempt}"),
+            worker: "psm-task-0".into(),
+            start_us: now,
+            end_us: now,
+            error: err.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_no_op() {
+        let tr = Tracing::off();
+        let scene = tr.start_scene(1, "dc");
+        assert!(!scene.enabled());
+        scene.record_span(task_span(&scene, 0, 0, None));
+        assert_eq!(scene.finish(), SampleVerdict::Summarized);
+        assert!(tr.retained().is_empty());
+        assert!(tr.summaries().is_empty());
+    }
+
+    #[test]
+    fn errored_scene_is_retained_with_reason() {
+        let tr = Tracing::new(SamplerConfig {
+            slowest_n: 0,
+            ..SamplerConfig::default()
+        });
+        let scene = tr.start_scene(9, "dc");
+        scene.record_span(task_span(&scene, 0, 0, Some("boom")));
+        tr.note_retry(scene.trace_id());
+        scene.record_span(task_span(&scene, 0, 1, None));
+        assert_eq!(
+            scene.finish(),
+            SampleVerdict::Retained(RetainReason::Errored)
+        );
+        let kept = tr.retained();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].retries, 1);
+        // Root + both attempts.
+        assert_eq!(kept[0].spans.len(), 3);
+        validate_span_tree(&kept[0].to_json().write()).unwrap();
+    }
+
+    #[test]
+    fn fast_clean_scene_collapses_to_summary_once_floor_is_full() {
+        let tr = Tracing::new(SamplerConfig {
+            slowest_n: 0,
+            ..SamplerConfig::default()
+        });
+        let scene = tr.start_scene(5, "dc");
+        scene.record_span(task_span(&scene, 0, 0, None));
+        assert_eq!(scene.finish(), SampleVerdict::Summarized);
+        assert!(tr.retained().is_empty());
+        let sums = tr.summaries();
+        assert_eq!(sums.len(), 1);
+        assert!(sums[0].one_line().contains("scene=dc"));
+    }
+
+    #[test]
+    fn span_cap_evicts_aux_first_and_keeps_tree_connected() {
+        let tr = Tracing::new(SamplerConfig {
+            max_spans: 3,
+            ..SamplerConfig::default()
+        });
+        let scene = tr.start_scene(3, "dc");
+        let attempt = SpanId::derive(scene.trace_id(), "task.exec", 0, 0);
+        let attempt_start = scene.now_us();
+        let mut sink = scene.sink_under(attempt);
+        for _ in 0..10 {
+            let now = sink.now_us();
+            sink.record_aux("engine.cycles", now, now, None);
+        }
+        scene.record_span(SpanRecord {
+            id: attempt,
+            parent: Some(scene.root()),
+            kind: SpanKind::Task,
+            name: "task.exec t0 a0".into(),
+            worker: "psm-task-0".into(),
+            start_us: attempt_start,
+            end_us: scene.now_us(),
+            error: Some("late fail".into()),
+        });
+        assert!(matches!(scene.finish(), SampleVerdict::Retained(_)));
+        let kept = tr.retained();
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].dropped_spans >= 7);
+        // Tree must still validate: root + task always present.
+        validate_span_tree(&kept[0].to_json().write()).unwrap();
+        assert!(kept[0].spans.iter().any(|s| s.kind == SpanKind::Task));
+    }
+
+    #[test]
+    fn retained_ring_is_bounded_and_demotes_oldest() {
+        let tr = Tracing::new(SamplerConfig {
+            max_retained: 2,
+            slowest_n: 0,
+            ..SamplerConfig::default()
+        });
+        for i in 0..5 {
+            let scene = tr.start_scene(i, "dc");
+            scene.record_span(task_span(&scene, 0, 0, Some("x")));
+            scene.finish();
+        }
+        assert_eq!(tr.retained().len(), 2);
+        assert!(tr.summaries().len() >= 3);
+    }
+
+    #[test]
+    fn find_matches_full_id_and_unique_prefix() {
+        let tr = Tracing::new(SamplerConfig::default());
+        let scene = tr.start_scene(11, "dc");
+        scene.record_span(task_span(&scene, 0, 0, None));
+        scene.finish(); // retained: slowest-N floor not yet full
+        let id = TraceId::derive(11, "dc").to_string();
+        assert!(tr.find(&id).is_some());
+        assert!(tr.find(&id[..8]).is_some());
+        assert!(tr.find("zzzz").is_none());
+    }
+
+    #[test]
+    fn exemplar_links_slowest_task_to_retained_trace() {
+        let tr = Tracing::new(SamplerConfig::default());
+        let scene = tr.start_scene(2, "dc");
+        let id = SpanId::derive(scene.trace_id(), "task.exec", 4, 0);
+        scene.record_span(SpanRecord {
+            id,
+            parent: Some(scene.root()),
+            kind: SpanKind::Task,
+            name: "task.exec t4 a0".into(),
+            worker: "psm-task-1".into(),
+            start_us: 0,
+            end_us: 250_000,
+            error: None,
+        });
+        scene.finish();
+        let ex = tr.exemplars();
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].trace, scene.trace_id());
+        assert!((ex[0].value - 0.25).abs() < 1e-9);
+        assert_eq!(ex[0].family, "spam_live_task_latency_seconds");
+    }
+
+    #[test]
+    fn validator_rejects_orphaned_span() {
+        let text = r#"{"trace_id":"00ab","spans":[
+            {"id":"1","parent":null,"kind":"root","name":"scene","start_us":0,"end_us":100},
+            {"id":"2","parent":"99","kind":"task","name":"task.exec t0","start_us":10,"end_us":20}
+        ]}"#;
+        let err = validate_span_tree(text).unwrap_err();
+        assert!(err.contains("orphaned"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_overhanging_span() {
+        let text = r#"{"trace_id":"00ab","spans":[
+            {"id":"1","parent":null,"kind":"root","name":"scene","start_us":0,"end_us":100},
+            {"id":"2","parent":"1","kind":"task","name":"task.exec t0","start_us":10,"end_us":120}
+        ]}"#;
+        let err = validate_span_tree(text).unwrap_err();
+        assert!(err.contains("overhangs"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_ids_and_multiple_roots() {
+        let dup = r#"{"trace_id":"t","spans":[
+            {"id":"1","parent":null,"name":"a","start_us":0,"end_us":9},
+            {"id":"1","parent":null,"name":"b","start_us":0,"end_us":9}
+        ]}"#;
+        assert!(validate_span_tree(dup).unwrap_err().contains("duplicate"));
+        let two_roots = r#"{"trace_id":"t","spans":[
+            {"id":"1","parent":null,"name":"a","start_us":0,"end_us":9},
+            {"id":"2","parent":null,"name":"b","start_us":0,"end_us":9}
+        ]}"#;
+        assert!(validate_span_tree(two_roots)
+            .unwrap_err()
+            .contains("exactly 1 root"));
+    }
+
+    #[test]
+    fn validator_accepts_trace_list_documents() {
+        let tr = Tracing::new(SamplerConfig::default());
+        for i in 0..2 {
+            let scene = tr.start_scene(i, &format!("s{i}"));
+            scene.record_span(task_span(&scene, 0, 0, None));
+            scene.finish();
+        }
+        let doc = Json::obj(vec![(
+            "traces",
+            Json::Arr(tr.retained().iter().map(RetainedTrace::to_json).collect()),
+        )]);
+        let stats = validate_span_tree(&doc.write()).unwrap();
+        assert_eq!(stats.traces, 2);
+    }
+}

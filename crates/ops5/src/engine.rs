@@ -103,6 +103,10 @@ pub struct Engine {
     /// respect to the deterministic counters: results are bit-identical
     /// with the mirror attached or not.
     live: Option<LiveMirror>,
+    /// Optional scene-trace mirror. Groups recognize–act cycles into aux
+    /// spans under the owning task attempt. Read-only with respect to the
+    /// deterministic counters, like `obs` and `live`.
+    trace: Option<TraceMirror>,
     /// Interpreter-side profiling state (per-production firings and RHS
     /// cost, conflict-set sizes); `Some` only while profiling. Like `obs`,
     /// it only reads the deterministic counters — work totals are identical
@@ -135,6 +139,43 @@ impl LiveMirror {
         self.handle
             .gauge("spam_live_conflict_set_depth", conflict_len as f64);
         self.handle.gauge("spam_live_wm_size", wm_size as f64);
+    }
+}
+
+/// Close the scene-trace cycle window every this many recognize–act
+/// cycles (and once more at [`Engine::publish_trace`]). Coarser than the
+/// live mirror on purpose: each window closure takes the tracer's shared
+/// mutex and allocates a span, and the tail sampler's per-trace span cap
+/// means finer windows would only be evicted anyway — 256 keeps the
+/// traced arm inside the 2 % overhead budget while still splitting a
+/// task's wall time into enough windows to see where the engine spent it.
+const TRACE_WINDOW_EVERY: u32 = 256;
+
+/// State behind [`Engine::set_trace`]: a span sink parented under the
+/// owning task-attempt span, plus the current cycle window. Every
+/// [`TRACE_WINDOW_EVERY`] cycles the window closes into one
+/// `engine.cycles` aux span, so a retained trace shows where inside the
+/// task the engine spent its wall time without paying one span per cycle.
+struct TraceMirror {
+    sink: tlp_obs::SpanSink,
+    window_start_us: u64,
+    cycles: u32,
+}
+
+impl TraceMirror {
+    fn flush(&mut self) {
+        if self.cycles == 0 {
+            return;
+        }
+        let end = self.sink.now_us();
+        self.sink.record_aux(
+            &format!("engine.cycles x{}", self.cycles),
+            self.window_start_us,
+            end,
+            None,
+        );
+        self.window_start_us = end;
+        self.cycles = 0;
     }
 }
 
@@ -214,6 +255,7 @@ impl Engine {
             strategy,
             obs: None,
             live: None,
+            trace: None,
             profile: None,
         }
     }
@@ -310,6 +352,29 @@ impl Engine {
             if let Some(lm) = &mut self.live {
                 lm.publish(work, conflict_len, wm_size);
             }
+        }
+    }
+
+    /// Attaches a scene-trace span sink (normally parented under this
+    /// task's attempt span). While attached, every [`TRACE_WINDOW_EVERY`]
+    /// recognize–act cycles close into one `engine.cycles` aux span;
+    /// [`Engine::publish_trace`] flushes the tail. A sink from a disabled
+    /// tracer is dropped here, keeping the per-cycle cost at one `Option`
+    /// check. Trace-only: work counters and results are unaffected.
+    pub fn set_trace(&mut self, sink: tlp_obs::SpanSink) {
+        self.trace = sink.enabled().then(|| TraceMirror {
+            window_start_us: sink.now_us(),
+            sink,
+            cycles: 0,
+        });
+    }
+
+    /// Closes the trace mirror's open cycle window into a final
+    /// `engine.cycles` span (task runners call this at task end). No-op
+    /// without [`Engine::set_trace`].
+    pub fn publish_trace(&mut self) {
+        if let Some(tm) = &mut self.trace {
+            tm.flush();
         }
     }
 
@@ -571,6 +636,14 @@ impl Engine {
             lm.cycles += 1;
             if lm.cycles >= LIVE_MIRROR_EVERY {
                 self.publish_live();
+            }
+        }
+        // Scene-trace mirror, at its own coarser cadence: close the cycle
+        // window into one aux span. One Option check when detached.
+        if let Some(tm) = &mut self.trace {
+            tm.cycles += 1;
+            if tm.cycles >= TRACE_WINDOW_EVERY {
+                tm.flush();
             }
         }
         // Trace the cycle at Full. One Option check + one relaxed load when

@@ -388,8 +388,28 @@ pub fn run_lcc_unit_live(
     unit: &LccUnit,
     live: &Arc<tlp_obs::Live>,
 ) -> LccUnitResult {
+    run_lcc_unit_traced(sp, scene, fragments, unit, live, None)
+}
+
+/// [`run_lcc_unit_live`] with a scene-trace span sink attached: the engine
+/// additionally groups its recognize–act cycles into `engine.cycles` aux
+/// spans parented under the owning task-attempt span (see
+/// [`ops5::Engine::set_trace`]), so a retained trace shows where inside the
+/// task the engine spent wall time. Trace-only: results are bit-identical
+/// to [`run_lcc_unit`] with the sink attached, disabled, or absent.
+pub fn run_lcc_unit_traced(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    unit: &LccUnit,
+    live: &Arc<tlp_obs::Live>,
+    trace: Option<tlp_obs::SpanSink>,
+) -> LccUnitResult {
     let mut e = lcc_engine(sp, scene, fragments);
     e.set_live(live.handle());
+    if let Some(sink) = trace {
+        e.set_trace(sink);
+    }
     e.enable_cycle_log();
     e.make_wme(
         "control",
@@ -403,6 +423,7 @@ pub fn run_lcc_unit_live(
     let out = e.run(1_000_000);
     debug_assert!(out.quiescent(), "LCC task must reach quiescence: {out:?}");
     e.publish_live();
+    e.publish_trace();
     harvest_lcc_unit(&mut e, out.firings)
 }
 
