@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N]
+//!         [--exec real|sim]
 //!         [--machines 1|2] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X]
 //!         [--retries K] [--deadline-ms MS] [--fault-seed S]
 //!         [--task-panic-rate P] [--topdown] [--sweep] [--quiet]
@@ -73,6 +74,14 @@
 //!   is the reference);
 //! * `--level` selects the LCC decomposition level (default 3);
 //! * `--workers N` runs LCC with N real task-process threads (SPAM/PSM);
+//! * `--exec real|sim` picks the LCC execution substrate (default `sim`):
+//!   `real` runs the units on the work-stealing executor (`spam_psm::exec`
+//!   — per-worker deques, cost-model-sized chunks, idle workers stealing)
+//!   and prints the measured wall-clock schedule: per-worker utilization,
+//!   steal and overflow counters. Scene results are bit-identical to
+//!   `sim` and to the sequential run; only the measured report differs.
+//!   With `--obs full` the Gantt and Chrome trace additionally carry the
+//!   measured (wall-clock) timeline next to the simulated one;
 //! * `--retries K` allows K supervised retries per LCC task;
 //! * `--deadline-ms MS` sets a soft per-task deadline;
 //! * `--fault-seed S` + `--task-panic-rate P` inject deterministic task
@@ -177,6 +186,7 @@ struct Opts {
     dataset: Option<String>,
     level: Level,
     workers: Option<usize>,
+    exec_mode: String,
     machines: u32,
     svm_mode: String,
     skew_ms: f64,
@@ -225,6 +235,7 @@ fn parse_args() -> Result<Opts, String> {
         dataset: None,
         level: Level::L3,
         workers: None,
+        exec_mode: "sim".into(),
         machines: 1,
         svm_mode: "tuned".into(),
         skew_ms: -3.5,
@@ -438,6 +449,13 @@ fn parse_args() -> Result<Opts, String> {
                 }
                 o.workers = Some(w);
             }
+            "--exec" => {
+                let v = args.next().ok_or("--exec needs real|sim")?;
+                if v != "real" && v != "sim" {
+                    return Err(format!("bad --exec '{v}' (want real|sim)"));
+                }
+                o.exec_mode = v;
+            }
             "--retries" => {
                 o.retries = args
                     .next()
@@ -487,6 +505,7 @@ fn parse_args() -> Result<Opts, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: spamctl [run] [sf|dc|moff|suburb] [--level 1|2|3|4] [--workers N] \
+                     [--exec real|sim] \
                      [--machines 1|2] [--svm tuned|naive] [--skew-ms X] [--drift-ppm X] \
                      [--retries K] [--deadline-ms MS] [--fault-seed S] \
                      [--task-panic-rate P] [--topdown] [--sweep] [--quiet] [--unshared] \
@@ -1676,20 +1695,22 @@ fn main() -> ExitCode {
 
     // A recording run takes the supervised path so task/supervisor events
     // are emitted; the results are identical either way.
+    let exec_real = o.exec_mode == "real";
     let supervised = workers > 1
         || o.retries > 0
         || o.deadline_ms.is_some()
         || o.task_panic_rate > 0.0
         || rec.enabled(ObsLevel::Summary)
         || live_on
-        || trace_on;
+        || trace_on
+        || exec_real;
     if ctl.enabled(ObsLevel::Summary) {
         ctl.begin(tlp_obs::Category::Phase, "phase.lcc", vec![]);
     }
     // One scene submission = one trace: mint the deterministic id + root
     // span just before the LCC fan-out and close it right after.
     let scene_span = trace_on.then(|| tracing.start_scene(o.fault_seed, dataset));
-    let lcc = if supervised {
+    let (lcc, measured) = if supervised {
         let mut cfg = SupervisorConfig::default().with_retries(o.retries);
         if let Some(ms) = o.deadline_ms {
             cfg = cfg.with_deadline(Duration::from_millis(ms));
@@ -1698,27 +1719,55 @@ fn main() -> ExitCode {
         if o.task_panic_rate > 0.0 {
             plan = plan.with_task_panic_rate(o.task_panic_rate);
         }
-        match spam_psm::tlp::run_parallel_lcc_scene(
-            &sp,
-            &scene,
-            &fragments,
-            o.level,
-            workers,
-            &cfg,
-            &plan,
-            &rec,
-            &live,
-            slo.as_ref(),
-            scene_span.as_ref(),
-        ) {
-            Ok(lcc) => lcc,
-            Err(e) => {
-                eprintln!("LCC supervision error: {e}");
-                return ExitCode::FAILURE;
+        if exec_real {
+            // Real cores: the work-stealing executor, chunked by the
+            // ParaOPS5 cost model's subtask granularity.
+            let exec_cfg = spam_psm::exec::ExecConfig::with_cost_model(
+                workers,
+                &paraops5::costmodel::CostModel::default(),
+            );
+            match spam_psm::tlp::run_parallel_lcc_exec(
+                &sp,
+                &scene,
+                &fragments,
+                o.level,
+                &exec_cfg,
+                &cfg,
+                &plan,
+                &rec,
+                &live,
+                slo.as_ref(),
+                scene_span.as_ref(),
+            ) {
+                Ok((lcc, m)) => (lcc, Some(m)),
+                Err(e) => {
+                    eprintln!("LCC supervision error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match spam_psm::tlp::run_parallel_lcc_scene(
+                &sp,
+                &scene,
+                &fragments,
+                o.level,
+                workers,
+                &cfg,
+                &plan,
+                &rec,
+                &live,
+                slo.as_ref(),
+                scene_span.as_ref(),
+            ) {
+                Ok(lcc) => (lcc, None),
+                Err(e) => {
+                    eprintln!("LCC supervision error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     } else {
-        spam::lcc::run_lcc(&sp, &scene, &fragments, o.level)
+        (spam::lcc::run_lcc(&sp, &scene, &fragments, o.level), None)
     };
     if ctl.enabled(ObsLevel::Summary) {
         ctl.end(
@@ -1738,6 +1787,19 @@ fn main() -> ExitCode {
         // Wall-clock latency detail only when the recorder is on: the
         // default output must stay byte-identical for same-seed runs.
         print!("{}", lcc.report.display(rec.enabled(ObsLevel::Summary)));
+    }
+    if let Some(m) = &measured {
+        println!(
+            "exec   : real work-stealing pool, {} worker(s): wall {:.1} ms, \
+             utilization {:.0}%, {} steal(s), {} overflow chunk(s) drained, {} chunk(s) of {}",
+            m.workers.len(),
+            m.wall_s * 1e3,
+            100.0 * m.utilization(),
+            m.steals(),
+            m.overflow_taken(),
+            m.chunks,
+            lcc.units.len(),
+        );
     }
     if let Some(span) = &scene_span {
         let what = match span.finish() {
@@ -1896,6 +1958,16 @@ fn main() -> ExitCode {
                     100.0 * tl.coverage()
                 );
                 print!("{}", tl.gantt(72));
+                if let Some(m) = &measured {
+                    let mtl = m.timeline("exec-real");
+                    println!(
+                        "measured Gantt ({} worker(s), wall {:.1} ms, coverage {:.1}%):",
+                        m.workers.len(),
+                        m.wall_s * 1e3,
+                        100.0 * mtl.coverage()
+                    );
+                    print!("{}", mtl.gantt(72));
+                }
             }
         }
 
@@ -1916,6 +1988,9 @@ fn main() -> ExitCode {
                 let mut doc = tlp_obs::TraceDoc::new();
                 doc.add_recorder("spamctl", &rec);
                 doc.add_timeline(&sim.timeline(&format!("encore-sim-{sim_workers}p")));
+                if let Some(m) = &measured {
+                    doc.add_timeline(&m.timeline("exec-real"));
+                }
                 if let Err(e) = std::fs::write(path, doc.write()) {
                     eprintln!("cannot write {path}: {e}");
                     return ExitCode::FAILURE;

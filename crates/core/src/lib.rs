@@ -36,6 +36,12 @@
 //!   component, or the whole match phase), re-simulated to predict the new
 //!   makespan/critical chain, and ranked into the "optimize this next"
 //!   report behind `spamctl whatif` / `bench_whatif`;
+//! * [`exec`] — the real work-stealing executor ("Multimax on real
+//!   cores"): per-worker Chase–Lev-style deques plus a shared overflow
+//!   queue run the task set as actual threads with cost-model-driven
+//!   dynamic chunking, measuring wall-clock schedules that convert into
+//!   the simulator's result shape for gap attribution and Gantt
+//!   timelines;
 //! * [`baseline`] — the §6 unoptimised-baseline comparison (the 10–20×
 //!   Lisp→C/ParaOPS5 port factor), via the engine's naive-match backend;
 //! * [`recover`] — crash-consistent checkpoints and deterministic replay
@@ -49,6 +55,7 @@
 pub mod attribution;
 pub mod baseline;
 pub mod combined;
+pub mod exec;
 pub mod measure;
 pub mod recover;
 pub mod supervise;
@@ -64,6 +71,9 @@ pub use attribution::{
     ProfileReport, SpeedupCheck, SvmGapAttribution, SvmReport,
 };
 pub use combined::{combined_grid, CombinedCell};
+pub use exec::{
+    chunk_tasks, execute, execute_observed, ExecAttempt, ExecConfig, ExecReport, WorkerStats,
+};
 pub use measure::{level_rows, profiled_lcc, table8_row, LevelRowMeasured, Table8Row};
 pub use recover::{
     run_lcc_unit_checkpointed, run_parallel_lcc_recoverable, run_parallel_lcc_recoverable_live,
@@ -74,8 +84,8 @@ pub use supervise::{
     TaskAttempt,
 };
 pub use tlp::{
-    attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_live, run_parallel_lcc_scene,
-    run_parallel_lcc_supervised, run_parallel_lcc_traced, run_parallel_rtf,
+    attributed_tlp_curve, run_parallel_lcc, run_parallel_lcc_exec, run_parallel_lcc_live,
+    run_parallel_lcc_scene, run_parallel_lcc_supervised, run_parallel_lcc_traced, run_parallel_rtf,
     run_parallel_rtf_supervised, simulated_tlp_curve, synchronous_makespan, RtfParallelResult,
 };
 pub use trace::{lcc_trace, record_phase_metrics, record_sim_metrics, rtf_trace, PhaseTrace};

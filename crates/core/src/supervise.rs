@@ -34,8 +34,10 @@ use tlp_obs::{
 };
 
 /// Name prefix of supervised worker threads; the quiet panic hook uses it
-/// to keep injected/caught panics out of test output.
-const WORKER_NAME: &str = "psm-task";
+/// to keep injected/caught panics out of test output. Shared with the
+/// work-stealing executor (`crate::exec`), whose workers take the same
+/// prefix so one hook covers both runners.
+pub(crate) const WORKER_NAME: &str = "psm-task";
 
 /// Installs (once) a panic hook that suppresses default printing for
 /// panics on supervised worker threads — those panics are caught and
@@ -56,7 +58,7 @@ pub(crate) fn install_quiet_hook() {
     });
 }
 
-fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -226,6 +226,111 @@ pub fn run_parallel_lcc_scene(
     })
 }
 
+/// A-priori work estimate for one LCC unit, in cost-model units, used by
+/// the work-stealing executor's dynamic chunker. Class units match every
+/// fragment of their kind (the level-4 "big task"); finer levels shrink
+/// toward a single candidate pair. The absolute scale does not matter —
+/// only the ratios steer chunk boundaries.
+fn unit_estimate(unit: &spam::lcc::LccUnit, fragments: &[FragmentHypothesis]) -> u64 {
+    use spam::lcc::LccUnit;
+    let wmes = match unit {
+        LccUnit::Class(kind) => fragments.iter().filter(|f| f.kind == *kind).count() as u64 + 1,
+        LccUnit::Object(_) => 4,
+        LccUnit::ObjectConstraint(..) => 2,
+        LccUnit::Pair { .. } => 1,
+    };
+    wmes * crate::exec::ESTIMATE_UNITS_PER_WME
+}
+
+/// Runs the LCC phase on the **real work-stealing executor**
+/// ([`crate::exec`]) instead of the central shared queue: per-worker
+/// deques seeded with cost-model-sized chunks of units, idle workers
+/// stealing from victims, every observability hook of
+/// [`run_parallel_lcc_scene`] attached identically. Returns the merged
+/// phase result — bit-identical to the sequential and central-queue runs,
+/// because results merge in unit order — plus the measured
+/// [`crate::exec::ExecReport`] (the wall-clock schedule, per-worker
+/// utilization and steal counters; convertible to a simulator result for
+/// gap attribution).
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_lcc_exec(
+    sp: &SpamProgram,
+    scene: &Arc<Scene>,
+    fragments: &Arc<Vec<FragmentHypothesis>>,
+    level: Level,
+    exec: &crate::exec::ExecConfig,
+    cfg: &SupervisorConfig,
+    plan: &FaultPlan,
+    rec: &Arc<Recorder>,
+    live: &Arc<Live>,
+    slo: Option<&Arc<SloMonitor>>,
+    span: Option<&SceneSpan>,
+) -> Result<(LccPhaseResult, crate::exec::ExecReport), SuperviseError> {
+    let units = decompose(scene, fragments, level);
+    let labels: Vec<String> = units.iter().map(|u| u.label()).collect();
+    let estimates: Vec<u64> = units.iter().map(|u| unit_estimate(u, fragments)).collect();
+    let (slots, report, measured) = crate::exec::execute_observed(
+        exec,
+        labels,
+        &estimates,
+        cfg,
+        plan,
+        rec,
+        live,
+        slo,
+        span,
+        |i, r: &spam::lcc::LccUnitResult| {
+            if let Some(slo) = slo {
+                slo.observe(r.work.seconds_at(spam::phases::MIPS), true);
+            }
+            if let Some(span) = span {
+                span.record_service(
+                    i as u32,
+                    r.work.seconds_at(spam::phases::MIPS),
+                    r.work.match_fraction(),
+                );
+            }
+        },
+        |a: TaskAttempt| {
+            if live.is_enabled() || a.trace.is_some() {
+                run_lcc_unit_traced(sp, scene, fragments, &units[a.task], live, a.trace)
+            } else {
+                run_lcc_unit(sp, scene, fragments, &units[a.task])
+            }
+        },
+    )?;
+    let results: Vec<spam::lcc::LccUnitResult> = slots.into_iter().flatten().collect();
+
+    let mut work = WorkCounters::default();
+    let mut firings = 0;
+    let mut consistents: Vec<ConsistentRec> = Vec::new();
+    let mut supports = vec![0i64; fragments.len()];
+    for r in &results {
+        work.add(&r.work);
+        firings += r.firings;
+        consistents.extend(r.consistents.iter().copied());
+        for &(f, sup) in &r.supports {
+            supports[f as usize] += sup;
+        }
+    }
+    let mut updated: Vec<FragmentHypothesis> = fragments.as_ref().clone();
+    for f in &mut updated {
+        f.support = supports[f.id as usize];
+    }
+    Ok((
+        LccPhaseResult {
+            level,
+            fragments: updated,
+            consistents,
+            units: results,
+            work,
+            firings,
+            report,
+        },
+        measured,
+    ))
+}
+
 /// Runs the RTF phase with `n_workers` real task-process threads over
 /// region batches (the paper's RTF decomposition: 60–100 tasks, §4).
 /// Fragment ids are renumbered densely in batch order, exactly as the
@@ -560,6 +665,83 @@ mod tests {
             other => panic!("slo latency histogram missing: {other:?}"),
         }
         assert_eq!(slo.health(), Health::Healthy, "DC L3 meets its objective");
+    }
+
+    /// Acceptance scenario: the real work-stealing executor produces the
+    /// sequential results bit-for-bit at every worker count, while the
+    /// measured report stays internally consistent (task conservation,
+    /// utilization in range, a gap-free Gantt).
+    #[test]
+    fn exec_runner_equals_sequential_at_any_worker_count() {
+        let (sp, scene, frags) = setup();
+        let seq = run_lcc(&sp, &scene, &frags, Level::L3);
+        for n in [1, 2, 4] {
+            let (par, measured) = run_parallel_lcc_exec(
+                &sp,
+                &scene,
+                &frags,
+                Level::L3,
+                &crate::exec::ExecConfig::new(n),
+                &SupervisorConfig::default(),
+                &FaultPlan::none(),
+                &Recorder::off(),
+                &Live::off(),
+                None,
+                None,
+            )
+            .unwrap();
+            assert!(par.report.is_clean(), "workers={n}");
+            assert_eq!(par.firings, seq.firings, "workers={n}");
+            assert_eq!(
+                canonical(&par.consistents),
+                canonical(&seq.consistents),
+                "workers={n}"
+            );
+            let seq_sup: Vec<i64> = seq.fragments.iter().map(|f| f.support).collect();
+            let par_sup: Vec<i64> = par.fragments.iter().map(|f| f.support).collect();
+            assert_eq!(seq_sup, par_sup, "workers={n}");
+            assert_eq!(par.work, seq.work, "total work is schedule-independent");
+            // Measured-schedule sanity.
+            let executed: u64 = measured.workers.iter().map(|w| w.executed).sum();
+            assert_eq!(executed, seq.units.len() as u64, "task conservation");
+            let u = measured.utilization();
+            assert!(u > 0.0 && u <= 1.0 + 1e-9, "utilization {u} out of range");
+            assert!(
+                measured.timeline("lcc-exec").coverage() > 0.999,
+                "measured Gantt must be gap-free"
+            );
+        }
+    }
+
+    /// Acceptance scenario: a killed unit on the real executor retries and
+    /// the phase still equals the sequential run — the recovery path is
+    /// schedule-independent too.
+    #[test]
+    fn exec_runner_recovers_injected_fault() {
+        let (sp, scene, frags) = setup();
+        let seq = run_lcc(&sp, &scene, &frags, Level::L3);
+        let plan = FaultPlan::seeded(42).with_task_panic(1, 1);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(std::time::Duration::from_millis(1));
+        let (par, _) = run_parallel_lcc_exec(
+            &sp,
+            &scene,
+            &frags,
+            Level::L3,
+            &crate::exec::ExecConfig::new(3),
+            &cfg,
+            &plan,
+            &Recorder::off(),
+            &Live::off(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(par.firings, seq.firings);
+        assert_eq!(canonical(&par.consistents), canonical(&seq.consistents));
+        assert_eq!(par.report.dead_letters().len(), 0);
+        assert_eq!(par.report.total_retries(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! speed-up curves — Figures 3, 7 and the match axis of Table 9.
 
 use ops5::instrument::CycleStats;
+use std::fmt;
 
 /// Cost-model parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,8 +30,35 @@ pub struct CostModel {
     /// batch together before being handed to a match process (ParaOPS5's
     /// scheduler granularity). Caps the useful chunk count at
     /// `match_units / chunk_units`.
+    ///
+    /// Zero is degenerate (a chunk of no work cannot be scheduled). The
+    /// fields are public for struct-literal convenience, so a zero *can*
+    /// be written; every consumer reads the value through
+    /// [`CostModel::granularity`], which treats zero as one. Use
+    /// [`CostModel::new`] to reject it outright at construction.
     pub chunk_units: u64,
 }
+
+/// Error from [`CostModel::new`]: the parameters are degenerate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModelError {
+    /// `chunk_units` was zero — dynamic chunking would degenerate to a
+    /// single unbounded chunk (or divide by zero, depending on the
+    /// consumer) without the [`CostModel::granularity`] guard.
+    ZeroChunkUnits,
+}
+
+impl fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelError::ZeroChunkUnits => {
+                write!(f, "chunk_units must be at least 1 work unit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
 
 impl Default for CostModel {
     /// Parameters for the *shared, indexed* Rete (the engine default).
@@ -62,12 +90,46 @@ impl CostModel {
             chunk_units: 150,
         }
     }
+
+    /// Validated constructor: rejects a zero `chunk_units` instead of
+    /// letting the degenerate model flow silently into dynamic chunking.
+    pub fn new(
+        per_chunk_overhead: u64,
+        barrier_per_process: u64,
+        chunk_units: u64,
+    ) -> Result<Self, CostModelError> {
+        let model = CostModel {
+            per_chunk_overhead,
+            barrier_per_process,
+            chunk_units,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Checks the parameters for degeneracy (struct literals can bypass
+    /// [`CostModel::new`]).
+    pub fn validate(&self) -> Result<(), CostModelError> {
+        if self.chunk_units == 0 {
+            return Err(CostModelError::ZeroChunkUnits);
+        }
+        Ok(())
+    }
+
+    /// Scheduler granularity with the documented zero case applied: a
+    /// `chunk_units` of zero reads as one work unit per chunk (the finest
+    /// meaningful granularity), never as "divide into nothing". Consumers
+    /// — [`cycle_time_units`] here, dynamic chunking in the real executor
+    /// — must read through this accessor rather than the raw field.
+    pub fn granularity(&self) -> u64 {
+        self.chunk_units.max(1)
+    }
 }
 
 /// Number of schedulable chunks a cycle really offers under `model`.
 fn effective_chunks(stats: &CycleStats, model: &CostModel) -> f64 {
     let by_count = stats.match_chunks.max(1) as u64;
-    let by_work = (stats.match_units / model.chunk_units.max(1)).max(1);
+    let by_work = (stats.match_units / model.granularity()).max(1);
     by_count.min(by_work) as f64
 }
 
@@ -233,6 +295,45 @@ mod tests {
             assert!(u <= s + 1e-9, "p={p}: unshared {u} > shared {s}");
         }
         assert!(match_speedup(&log, 14, &unshared) < match_speedup(&log, 14, &shared));
+    }
+
+    #[test]
+    fn constructor_rejects_zero_chunk_units() {
+        assert_eq!(
+            CostModel::new(10, 8, 0),
+            Err(CostModelError::ZeroChunkUnits)
+        );
+        let ok = CostModel::new(10, 8, 50).unwrap();
+        assert_eq!(ok, CostModel::default());
+        assert!(ok.validate().is_ok());
+    }
+
+    /// The documented zero case: a struct-literal `chunk_units: 0` reads
+    /// as granularity 1 everywhere, so the model behaves exactly like the
+    /// finest-grained legal model rather than collapsing the cycle into
+    /// one degenerate chunk.
+    #[test]
+    fn zero_chunk_units_behaves_as_one() {
+        let zero = CostModel {
+            chunk_units: 0,
+            ..CostModel::default()
+        };
+        assert!(zero.validate().is_err());
+        assert_eq!(zero.granularity(), 1);
+        let one = CostModel {
+            chunk_units: 1,
+            ..CostModel::default()
+        };
+        let log: Vec<CycleStats> = (0..20).map(|i| cycle(400 + i, 30, 200)).collect();
+        for p in 1..=14 {
+            for c in &log {
+                assert_eq!(
+                    cycle_time_units(c, p, &zero),
+                    cycle_time_units(c, p, &one),
+                    "p={p}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod suites;
 pub mod threaded;
 
 pub use costmodel::{
-    amdahl_limit, cycle_time_units, match_speedup, match_speedup_curve, CostModel,
+    amdahl_limit, cycle_time_units, match_speedup, match_speedup_curve, CostModel, CostModelError,
 };
 pub use suites::{rubik, suite_engine, tourney, weaver, Suite};
 pub use threaded::ThreadedMatcher;

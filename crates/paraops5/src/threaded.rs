@@ -61,7 +61,10 @@ enum Req {
 struct Resp {
     events: Vec<MatchEvent>,
     work: WorkCounters,
-    chunks: u32,
+    /// Widened from the Rete's per-flush `u32`: long streaming runs
+    /// aggregate these across millions of flush barriers, and the pool's
+    /// lifetime total must not wrap.
+    chunks: u64,
 }
 
 /// What the pool does when it finds a match worker dead.
@@ -191,7 +194,10 @@ pub struct ThreadedMatcher {
     report: MatchPoolReport,
     failure: Option<String>,
     work: WorkCounters,
-    chunks: u32,
+    /// Lifetime match-chunk total across all workers. `u64` (not the
+    /// trait's `u32`) so long streaming runs can't wrap it; aggregation
+    /// saturates and [`Matcher::take_chunks`] clamps at the boundary.
+    chunks: u64,
     /// Optional flight-recorder sink (control side). Match-work accounting
     /// never flows through it, so results are identical with or without it.
     obs: Option<ThreadSink>,
@@ -336,25 +342,24 @@ impl ThreadedMatcher {
 
     /// Replaces a dead worker with a fresh thread: replay the log, flush,
     /// and return the replacement's net match state. `None` if the
-    /// replacement died during replay (a fault plan can fate it too).
+    /// replacement died during replay (a fault plan can fate it too) — the
+    /// failed replacement is joined before returning, never leaked.
     fn respawn(&mut self, subset: Arc<Vec<CompiledProduction>>) -> Option<(WorkerSlot, NetState)> {
         let slot = self.spawn_slot(Arc::clone(&subset));
-        for delta in &self.log {
-            let req = match delta {
-                Delta::Add(id, wme) => Req::Add(*id, Arc::clone(wme)),
-                Delta::Remove(id) => Req::Remove(*id),
-            };
-            if slot.tx.send(req).is_err() {
-                return None;
+        match replay_log(&slot, &self.log) {
+            Some(resp) => {
+                let mut net = NetState::new();
+                fold_events(&mut net, &resp.events);
+                Some((slot, net))
+            }
+            None => {
+                // The replacement died during replay. Join its thread here:
+                // dropping the slot would abandon the `JoinHandle` and leak
+                // a detached (if still unwinding) thread.
+                reap_slot(slot);
+                None
             }
         }
-        if slot.tx.send(Req::Flush).is_err() {
-            return None;
-        }
-        let resp = slot.rx.recv().ok()?;
-        let mut net = NetState::new();
-        fold_events(&mut net, &resp.events);
-        Some((slot, net))
     }
 
     /// Recovers one dead slot per the policy, returning the reconciliation
@@ -380,8 +385,14 @@ impl ThreadedMatcher {
         }
         match policy {
             RecoveryPolicy::Respawn => {
-                self.report.respawns += 1;
                 if let Some((slot, net)) = self.respawn(Arc::clone(&subset)) {
+                    // Charge the budget only for a replacement that took
+                    // over the subset. A failed respawn falls through to
+                    // degrade below; charging it too would double-count one
+                    // death against `max_respawns` (burned respawn *and*
+                    // degraded slot), starving a later death of the respawn
+                    // the budget still owes it.
+                    self.report.respawns += 1;
                     if let Some(s) = self.obs.as_mut().filter(|s| s.enabled(ObsLevel::Full)) {
                         s.instant(
                             Category::Match,
@@ -405,8 +416,9 @@ impl ThreadedMatcher {
                     self.slots[idx].delivered = net;
                     events
                 } else {
-                    // The replacement died too (fated). Burn another respawn
-                    // next round — or degrade now to guarantee progress.
+                    // The replacement died too (fated). Degrade now to
+                    // guarantee progress; the respawn budget was not
+                    // charged, so a later death can still use it.
                     self.report.warnings.push(format!(
                         "worker {idx} replacement died during replay; degrading"
                     ));
@@ -476,7 +488,7 @@ impl ThreadedMatcher {
                     fold_events(&mut slot.delivered, &resp.events);
                     events.extend(resp.events);
                     total.add(&resp.work);
-                    self.chunks += resp.chunks;
+                    self.chunks = self.chunks.saturating_add(resp.chunks);
                 }
                 Err(_) => slot.state = SlotState::Dead,
             }
@@ -494,7 +506,7 @@ impl ThreadedMatcher {
         for iw in &mut self.inline {
             events.extend(iw.rete.drain_events());
             total.add(&iw.rete.work);
-            self.chunks += iw.rete.take_chunks();
+            self.chunks = self.chunks.saturating_add(u64::from(iw.rete.take_chunks()));
         }
         self.work = total;
         if let Some(s) = self.obs.as_mut().filter(|s| s.enabled(ObsLevel::Full)) {
@@ -514,6 +526,31 @@ impl ThreadedMatcher {
             );
         }
         events
+    }
+}
+
+/// Replays the full delta log to a freshly spawned slot and flushes it.
+/// `None` if the slot dies at any point (send or receive fails).
+fn replay_log(slot: &WorkerSlot, log: &[Delta]) -> Option<Resp> {
+    for delta in log {
+        let req = match delta {
+            Delta::Add(id, wme) => Req::Add(*id, Arc::clone(wme)),
+            Delta::Remove(id) => Req::Remove(*id),
+        };
+        slot.tx.send(req).ok()?;
+    }
+    slot.tx.send(Req::Flush).ok()?;
+    slot.rx.recv().ok()
+}
+
+/// Hangs up a slot's request channel and joins its thread. Used for
+/// replacements that died during replay — they must still be joined, or
+/// the `JoinHandle` leaks with the dropped slot.
+fn reap_slot(mut slot: WorkerSlot) {
+    let (dead_tx, _) = channel();
+    slot.tx = dead_tx;
+    if let Some(h) = slot.handle.take() {
+        let _ = h.join();
     }
 }
 
@@ -548,7 +585,11 @@ impl Matcher for ThreadedMatcher {
     }
 
     fn take_chunks(&mut self) -> u32 {
-        std::mem::take(&mut self.chunks)
+        // The pool counts in u64 so its lifetime total can't wrap; the
+        // trait boundary is u32, so a drained total beyond u32::MAX clamps
+        // rather than truncating bits.
+        let drained = std::mem::take(&mut self.chunks);
+        u32::try_from(drained).unwrap_or(u32::MAX)
     }
 
     fn work(&self) -> WorkCounters {
@@ -603,7 +644,7 @@ fn worker_loop(
                 let resp = Resp {
                     events: rete.drain_events(),
                     work: rete.work,
-                    chunks: rete.take_chunks(),
+                    chunks: u64::from(rete.take_chunks()),
                 };
                 if tx.send(resp).is_err() {
                     break;
@@ -813,6 +854,76 @@ mod tests {
         assert!(names.iter().any(|n| n == "match.flush"), "{names:?}");
         assert!(names.iter().any(|n| n == "match.death"), "{names:?}");
         assert!(names.iter().any(|n| n == "match.respawn"), "{names:?}");
+    }
+
+    /// Regression: a *failed* respawn (the fated replacement dies during
+    /// replay) must not burn the respawn budget — the slot degrades
+    /// instead, and a later death is still entitled to the respawn. The
+    /// old accounting charged `respawns` before knowing the outcome, so
+    /// one death could both burn a respawn and degrade a slot, and with
+    /// `max_respawns = 1` the next death was forced to degrade too.
+    #[test]
+    fn failed_respawn_does_not_burn_the_budget() {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let opts = MatchPoolOptions {
+            // Worker 1 dies after flush 1; its replacement (fault id 3)
+            // dies immediately during replay. Worker 2 dies after flush 2.
+            fault_plan: FaultPlan::seeded(17)
+                .with_worker_death(1, 1)
+                .with_worker_death(3, 0)
+                .with_worker_death(2, 2),
+            recovery: RecoveryPolicy::Respawn,
+            max_respawns: 1,
+        };
+        let mut m = ThreadedMatcher::with_options(&program, &compiled, 3, opts.clone()).unwrap();
+        let mut wm = WmStore::new();
+        let class = ops5::symbol::sym("region");
+        let n_slots = program.n_slots(class).unwrap();
+        for tag in 1..=3u64 {
+            let id = wm.add(Wme::new(class, n_slots, tag));
+            m.add_wme(id, &wm);
+            let _ = m.drain_events(&wm);
+        }
+        assert_eq!(m.report().deaths, 2);
+        // Flush 2: worker 1's failed respawn degrades without charging the
+        // budget. Flush 3: worker 2's death still gets the one respawn.
+        assert_eq!(m.report().respawns, 1, "{:?}", m.report().warnings);
+        assert_eq!(m.report().degraded, 1, "{:?}", m.report().warnings);
+        assert_eq!(m.workers(), 3);
+        drop(m);
+
+        // The same fault plan through the full engine still converges to
+        // the sequential result.
+        let (seq_firings, seq_wm) = run_with(None);
+        let (par_firings, par_wm) = run_with_options(Some(3), opts);
+        assert_eq!(par_firings, seq_firings);
+        assert_eq!(par_wm, seq_wm);
+    }
+
+    /// Regression: the pool's lifetime chunk counter is `u64` and
+    /// saturates instead of wrapping; the `u32` trait boundary clamps.
+    #[test]
+    fn chunk_counter_saturates_instead_of_wrapping() {
+        let program = Arc::new(Program::parse(SRC).unwrap());
+        let compiled = Engine::compile(&program).unwrap();
+        let mut m = ThreadedMatcher::new(&program, &compiled, 2).unwrap();
+        let mut wm = WmStore::new();
+        let class = ops5::symbol::sym("region");
+        let n_slots = program.n_slots(class).unwrap();
+        let id = wm.add(Wme::new(class, n_slots, 1));
+        m.add_wme(id, &wm);
+        let _ = m.drain_events(&wm);
+        assert!(m.chunks > 0, "matching a WME must produce chunks");
+        // Pretend a long streaming run already drove the total to the top:
+        // the next flush's aggregation must saturate, not wrap or panic.
+        m.chunks = u64::MAX;
+        let id2 = wm.add(Wme::new(class, n_slots, 2));
+        m.add_wme(id2, &wm);
+        let _ = m.drain_events(&wm);
+        assert_eq!(m.chunks, u64::MAX);
+        assert_eq!(m.take_chunks(), u32::MAX, "trait boundary clamps");
+        assert_eq!(m.chunks, 0, "take_chunks drains the counter");
     }
 
     /// The pool's report records deaths and recoveries; driving the
