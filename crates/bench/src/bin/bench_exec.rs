@@ -73,7 +73,7 @@ fn one_run(p: &Prepared, workers: usize) -> ((u64, u64, usize), spam_psm::exec::
 }
 
 fn main() -> ExitCode {
-    let mut out = "BENCH_exec.json".to_string();
+    let mut out: Option<String> = None;
     let mut reps = 5usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -85,9 +85,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            other => out = other.to_string(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag} (usage: bench_exec [--reps N] [OUT.json])");
+                return ExitCode::FAILURE;
+            }
+            path => {
+                if let Some(prev) = &out {
+                    eprintln!("output path given twice ({prev}, then {path})");
+                    return ExitCode::FAILURE;
+                }
+                out = Some(path.to_string());
+            }
         }
     }
+    let out = out.unwrap_or_else(|| "BENCH_exec.json".to_string());
 
     header("Work-stealing executor bench (LCC Level 3, DC, real cores)");
     let p = Prepared::new(spam::datasets::dc());

@@ -129,7 +129,9 @@ pub struct ExecAttempt {
     /// When the job was acquired (popped, stolen, or taken from
     /// overflow).
     pub acquired_s: f64,
-    /// When the task body started (after any retry backoff).
+    /// When the task body started (immediately after acquisition; retry
+    /// backoff delays the re-enqueue, so it shows up in the
+    /// queued→acquired interval, not here).
     pub started_s: f64,
     /// When the task body returned or panicked.
     pub finished_s: f64,
@@ -186,8 +188,10 @@ impl ExecReport {
     /// the gap accountant ([`crate::attribution::GapAttribution`]) and
     /// [`multimax_sim::SimResult::timeline`] then work on measured runs
     /// unchanged. Queue-wait is the workers' job-search time (incl. steal
-    /// sweeps and idle parking between jobs), dequeue is
-    /// acquisition-to-start (retry backoff lands here), so the identity
+    /// sweeps, idle parking between jobs, and retry backoff — the
+    /// re-enqueue is delayed, so the backoff is queue time on otherwise
+    /// idle workers, never a stalled pool slot), dequeue is
+    /// acquisition-to-start (span bookkeeping only), so the identity
     /// `busy + fork + queue_wait + dequeue + idle = capacity` holds
     /// exactly as it does for simulated results.
     pub fn to_sim_result(&self) -> SimResult {
@@ -301,10 +305,14 @@ enum Source {
 /// Like the supervisor's `JobQueue`, every lock recovers from poisoning:
 /// queue state is a plain collection with no half-updatable invariant.
 /// The `pending` count under the `sync` lock tracks jobs enqueued
-/// anywhere; a job is always made visible in its queue *before* the
-/// count rises, so `pending > 0` implies a sweep can find it, and a
-/// sleeping worker woken by the condvar re-sweeps rather than trusting
-/// any particular queue.
+/// anywhere; it rises *before* the job becomes visible in its queue, so
+/// a worker that pops a job always decrements a count that already
+/// includes it — the counter can never underflow, even when a sweep
+/// races a `push_overflow` from the control loop mid-phase. The price
+/// is a brief window where `pending > 0` with the job not yet visible:
+/// a worker that sweeps empty during the window re-reads the count
+/// under the sync lock and retries the sweep instead of sleeping, so no
+/// job is ever missed.
 struct StealPool {
     deques: Vec<Mutex<VecDeque<Job>>>,
     overflow: Mutex<VecDeque<Job>>,
@@ -330,23 +338,26 @@ impl StealPool {
         }
     }
 
-    /// Makes a job visible, then raises `pending` and wakes one sleeper.
+    /// Raises `pending` *before* the caller makes the job visible
+    /// (count-then-push is what keeps the decrement in [`Self::acquire`]
+    /// underflow-proof; see the struct doc).
     fn announce(&self) {
         relock(self.sync.lock()).0 += 1;
-        self.cv.notify_one();
     }
 
     /// Seeds worker `w`'s deque (distribution time, before workers run).
     fn seed_local(&self, w: usize, job: Job) {
-        relock(self.deques[w].lock()).push_back(job);
         self.announce();
+        relock(self.deques[w].lock()).push_back(job);
+        self.cv.notify_one();
     }
 
     /// Pushes a job to the shared overflow queue (distribution spill or a
     /// supervisor retry).
     fn push_overflow(&self, job: Job) {
-        relock(self.overflow.lock()).push_back(job);
         self.announce();
+        relock(self.overflow.lock()).push_back(job);
+        self.cv.notify_one();
     }
 
     fn close(&self) {
@@ -605,9 +616,6 @@ pub fn execute_observed<T: Send>(
                                 }
                             }
                         }
-                        if attempt > 0 {
-                            std::thread::sleep(cfg.backoff * attempt);
-                        }
                         if sink.enabled(ObsLevel::Full) {
                             sink.begin(
                                 Category::Task,
@@ -697,7 +705,10 @@ pub fn execute_observed<T: Send>(
         drop(tx);
 
         // Control process: same decision loop as the supervisor; retries
-        // go to the shared overflow queue (cold by definition).
+        // go to the shared overflow queue (cold by definition). Linear
+        // backoff delays the *re-enqueue* on a timer thread — a worker
+        // sleeping through the backoff would stall a pool slot that
+        // could be running other queued work.
         while remaining > 0 {
             let msg = rx.recv().expect("workers alive while tasks outstanding");
             let i = msg.task;
@@ -784,7 +795,17 @@ pub fn execute_observed<T: Send>(
             if let Some(err) = failure {
                 o.error = Some(err);
                 if msg.attempt < cfg.max_retries {
-                    pool.push_overflow((i, msg.attempt + 1));
+                    let next = msg.attempt + 1;
+                    let delay = cfg.backoff * next;
+                    if delay.is_zero() {
+                        pool.push_overflow((i, next));
+                    } else {
+                        let pool = &pool;
+                        s.spawn(move || {
+                            std::thread::sleep(delay);
+                            pool.push_overflow((i, next));
+                        });
+                    }
                     ctl_live.inc("spam_live_task_retries", 1);
                     if let Some(sc) = scene {
                         sc.tracing().note_retry(sc.trace_id());
@@ -984,6 +1005,79 @@ mod tests {
         let chunks = chunk_tasks(&[0, 0, 0, 0], 2);
         let covered: usize = chunks.iter().map(|c| c.len()).sum();
         assert_eq!(covered, 4);
+    }
+
+    #[test]
+    fn pending_counter_survives_racing_overflow_pushes() {
+        // Regression: push_overflow used to make the job visible before
+        // raising `pending`, so a worker racing the push could consume
+        // the job and decrement the counter through zero (u64 underflow:
+        // panic in debug, transient u64::MAX in release). Hammer
+        // concurrent pushes against spinning consumers — under the buggy
+        // ordering this trips the debug overflow check almost instantly.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        const PUSHERS: usize = 2;
+        const JOBS: usize = 2000;
+        let pool = StealPool::new(2);
+        let consumed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                let pool = &pool;
+                let consumed = &consumed;
+                s.spawn(move || {
+                    let mut misses = 0u64;
+                    while pool.acquire(w, &mut misses).is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let pushers: Vec<_> = (0..PUSHERS)
+                .map(|p| {
+                    let pool = &pool;
+                    s.spawn(move || {
+                        for j in 0..JOBS {
+                            pool.push_overflow((p * JOBS + j, 0));
+                        }
+                    })
+                })
+                .collect();
+            for h in pushers {
+                h.join().unwrap();
+            }
+            pool.close();
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), (PUSHERS * JOBS) as u64);
+    }
+
+    #[test]
+    fn retry_backoff_delays_the_reenqueue_not_a_worker() {
+        // Regression: the backoff used to be slept by the worker after
+        // popping the retry, stalling a pool slot for the whole delay.
+        // Now the control loop delays the re-enqueue, so the backoff is
+        // queue time (queued→acquired), not dequeue time
+        // (acquired→started).
+        let plan = FaultPlan::none().with_task_panic(0, 1);
+        let cfg = SupervisorConfig::default()
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(40));
+        let (slots, report, exec) = execute(&cfg1(), labels(1), &cfg, &plan, |i| i).unwrap();
+        assert_eq!(slots[0], Some(0));
+        assert!(report.outcomes[0].retry_latency >= Duration::from_millis(40));
+        let retry = exec
+            .attempts
+            .iter()
+            .find(|a| a.attempt == 1)
+            .expect("retry attempt recorded");
+        assert!(
+            retry.acquired_s - retry.queued_s >= 0.035,
+            "backoff must surface as queue wait, got {:.4}s",
+            retry.acquired_s - retry.queued_s
+        );
+        assert!(
+            retry.started_s - retry.acquired_s < 0.020,
+            "no worker may sleep through the backoff, got {:.4}s",
+            retry.started_s - retry.acquired_s
+        );
     }
 
     #[test]
